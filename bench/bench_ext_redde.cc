@@ -1,0 +1,66 @@
+// Extension experiment: the paper's footnote 9 leaves "shrinkage together
+// with ReDDE [27]" as future work. This bench implements the comparison:
+// ReDDE (centralized sample index over the same QBS samples) against CORI
+// with plain and with adaptively-shrunk summaries, on the TREC4 workload.
+
+#include <cstdio>
+#include <string>
+
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/selection/redde.h"
+#include "fedsearch/selection/rk_metric.h"
+#include "harness/experiment.h"
+
+using namespace fedsearch;
+
+int main() {
+  const bench::ExperimentConfig config = bench::ConfigFromEnv();
+  const bench::DataSet dataset = bench::DataSet::kTrec4;
+  const corpus::Testbed& bed = bench::GetTestbed(dataset, config);
+
+  // One sampling pass feeds all three methods (ReDDE consumes the sampled
+  // documents themselves; CORI consumes the derived summaries).
+  bench::Federation federation = bench::SampleFederation(
+      dataset, bench::SamplerKind::kQbs, /*frequency_estimation=*/true, 0,
+      config, /*keep_documents=*/true);
+  std::vector<const sampling::SampleResult*> sample_ptrs;
+  for (const sampling::SampleResult& s : federation.samples) {
+    sample_ptrs.push_back(&s);
+  }
+  const selection::ReddeSelector redde(sample_ptrs);
+  auto meta = bench::BuildMetasearcher(dataset, std::move(federation), config);
+
+  const selection::CoriScorer cori;
+  std::array<double, bench::kMaxK> redde_curve{};
+  size_t evaluated = 0;
+  for (size_t qi = 0; qi < bed.queries().size(); ++qi) {
+    const selection::Query query{
+        bed.analyzer().Analyze(bed.queries()[qi].text)};
+    std::vector<size_t> relevant(bed.num_databases());
+    size_t total = 0;
+    for (size_t d = 0; d < bed.num_databases(); ++d) {
+      relevant[d] = bed.CountRelevant(qi, d);
+      total += relevant[d];
+    }
+    if (total == 0) continue;
+    ++evaluated;
+    const auto ranking = redde.Select(query, bench::kMaxK);
+    for (size_t k = 1; k <= bench::kMaxK; ++k) {
+      redde_curve[k - 1] += selection::RkScore(ranking, relevant, k);
+    }
+  }
+  if (evaluated > 0) {
+    for (double& v : redde_curve) v /= static_cast<double>(evaluated);
+  }
+
+  bench::PrintRkPanel(
+      "Extension (TREC4, QBS): ReDDE vs CORI plain vs CORI shrinkage",
+      {"ReDDE", "CORI-Plain", "CORI-Shrinkage"},
+      {redde_curve,
+       bench::AverageRkCurveForMode(dataset, *meta, cori,
+                                    core::SummaryMode::kPlain, config),
+       bench::AverageRkCurveForMode(dataset, *meta, cori,
+                                    core::SummaryMode::kAdaptiveShrinkage,
+                                    config)});
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 4: the R_k ratio for the CORI selection algorithm over
+// the TREC4 and TREC6 data sets, k = 1..20, comparing the adaptive
+// shrinkage strategy against plain (unshrunk) summaries and the
+// hierarchical baseline of [17], for both QBS and FPS summaries
+// (Section 6.2).
+
+#include <string>
+
+#include "fedsearch/selection/cori.h"
+#include "harness/experiment.h"
+
+using namespace fedsearch;
+
+int main() {
+  const bench::ExperimentConfig config = bench::ConfigFromEnv();
+  const selection::CoriScorer cori;
+
+  for (bench::DataSet dataset :
+       {bench::DataSet::kTrec4, bench::DataSet::kTrec6}) {
+    for (bench::SamplerKind sampler :
+         {bench::SamplerKind::kQbs, bench::SamplerKind::kFps}) {
+      auto meta = bench::BuildMetasearcher(
+          dataset,
+          bench::SampleFederation(dataset, sampler,
+                                  /*frequency_estimation=*/true, 0, config),
+          config);
+      std::vector<std::string> labels;
+      std::vector<std::array<double, bench::kMaxK>> curves;
+      for (bench::SelectionMethod method :
+           {bench::SelectionMethod::kShrinkage,
+            bench::SelectionMethod::kHierarchical,
+            bench::SelectionMethod::kPlain}) {
+        labels.push_back(std::string(Name(sampler)) + "-" + Name(method));
+        curves.push_back(
+            bench::AverageRkCurve(dataset, *meta, cori, method, config));
+      }
+      bench::PrintRkPanel(std::string("Figure 4 (") + Name(dataset) + ", " +
+                              Name(sampler) + "): R_k for CORI",
+                          labels, curves);
+    }
+  }
+  return 0;
+}

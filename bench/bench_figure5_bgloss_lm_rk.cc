@@ -1,0 +1,46 @@
+// Reproduces Figure 5: the R_k ratio for bGlOSS over TREC4 with QBS
+// summaries (panel a) and for LM over TREC6 with FPS summaries (panel b),
+// comparing shrinkage, hierarchical, and plain strategies (Section 6.2).
+
+#include <string>
+
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/lm.h"
+#include "harness/experiment.h"
+
+using namespace fedsearch;
+
+namespace {
+
+void RunPanel(const char* title, bench::DataSet dataset,
+              bench::SamplerKind sampler,
+              const selection::ScoringFunction& scorer,
+              const bench::ExperimentConfig& config) {
+  auto meta = bench::BuildMetasearcher(
+      dataset,
+      bench::SampleFederation(dataset, sampler,
+                              /*frequency_estimation=*/true, 0, config),
+      config);
+  std::vector<std::string> labels;
+  std::vector<std::array<double, bench::kMaxK>> curves;
+  for (bench::SelectionMethod method :
+       {bench::SelectionMethod::kShrinkage,
+        bench::SelectionMethod::kHierarchical,
+        bench::SelectionMethod::kPlain}) {
+    labels.push_back(std::string(Name(sampler)) + "-" + Name(method));
+    curves.push_back(
+        bench::AverageRkCurve(dataset, *meta, scorer, method, config));
+  }
+  bench::PrintRkPanel(title, labels, curves);
+}
+
+}  // namespace
+
+int main() {
+  const bench::ExperimentConfig config = bench::ConfigFromEnv();
+  RunPanel("Figure 5a (TREC4, QBS): R_k for bGlOSS", bench::DataSet::kTrec4,
+           bench::SamplerKind::kQbs, selection::BglossScorer(), config);
+  RunPanel("Figure 5b (TREC6, FPS): R_k for LM", bench::DataSet::kTrec6,
+           bench::SamplerKind::kFps, selection::LmScorer(), config);
+  return 0;
+}

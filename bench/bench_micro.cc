@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) for the performance-critical kernels:
+// index search, EM mixture-weight fitting, shrunk-summary lookups, the
+// document-frequency posterior, and QBS sampling throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "fedsearch/core/adaptive.h"
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/corpus/testbed.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/cori.h"
+
+namespace fedsearch {
+namespace {
+
+const corpus::Testbed& MicroTestbed() {
+  static const corpus::Testbed* bed = [] {
+    corpus::TestbedOptions o = corpus::Testbed::Trec4Options(0.2);
+    o.num_databases = 20;
+    o.num_queries = 10;
+    return new corpus::Testbed(o);
+  }();
+  return *bed;
+}
+
+const core::Metasearcher& MicroMetasearcher() {
+  static const core::Metasearcher* meta = [] {
+    const corpus::Testbed& bed = MicroTestbed();
+    sampling::QbsOptions options;
+    sampling::QbsSampler sampler(
+        options, corpus::BuildSamplerDictionary(bed.model(), 10));
+    std::vector<sampling::SampleResult> samples;
+    std::vector<corpus::CategoryId> classifications;
+    util::Rng rng(4242);
+    for (size_t i = 0; i < bed.num_databases(); ++i) {
+      util::Rng db_rng = rng.Fork();
+      samples.push_back(sampler.Sample(bed.database(i), db_rng));
+      classifications.push_back(bed.category_of(i));
+    }
+    return new core::Metasearcher(&bed.hierarchy(), std::move(samples),
+                                  std::move(classifications));
+  }();
+  return *meta;
+}
+
+void BM_IndexConjunctiveQuery(benchmark::State& state) {
+  const corpus::Testbed& bed = MicroTestbed();
+  const index::TextDatabase& db = bed.database(0);
+  const std::string query =
+      bed.queries()[0].words[0] + " " + bed.queries()[0].words[1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Query(query, 4));
+  }
+}
+BENCHMARK(BM_IndexConjunctiveQuery);
+
+void BM_IndexSingleWordMatchCount(benchmark::State& state) {
+  const corpus::Testbed& bed = MicroTestbed();
+  const index::TextDatabase& db = bed.database(0);
+  const std::string query = bed.queries()[0].words[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Query(query, 0));
+  }
+}
+BENCHMARK(BM_IndexSingleWordMatchCount);
+
+void BM_QbsSampleDatabase(benchmark::State& state) {
+  const corpus::Testbed& bed = MicroTestbed();
+  sampling::QbsOptions options;
+  options.target_documents = static_cast<size_t>(state.range(0));
+  sampling::QbsSampler sampler(
+      options, corpus::BuildSamplerDictionary(bed.model(), 10));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(sampler.Sample(bed.database(1), rng));
+  }
+}
+BENCHMARK(BM_QbsSampleDatabase)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_EmMixtureFit(benchmark::State& state) {
+  const core::Metasearcher& meta = MicroMetasearcher();
+  const auto& hs = meta.hierarchy_summaries();
+  const corpus::TopicHierarchy& h = MicroTestbed().hierarchy();
+  const auto path = h.PathFromRoot(meta.classification(0));
+  std::vector<const summary::SummaryView*> categories;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i + 1 < path.size()) {
+      categories.push_back(&hs.ExclusiveOfChild(path[i], path[i + 1]));
+    } else {
+      categories.push_back(&hs.ExclusiveOfDatabase(path[i], 0));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FitMixtureWeights(
+        meta.plain_summary(0), categories, hs.uniform_probability(),
+        meta.sample(0).sample_size));
+  }
+}
+BENCHMARK(BM_EmMixtureFit);
+
+void BM_ShrunkSummaryLookup(benchmark::State& state) {
+  const core::Metasearcher& meta = MicroMetasearcher();
+  const core::ShrunkSummary& shrunk = meta.shrunk_summary(0);
+  const std::string& word = MicroTestbed().queries()[0].words[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shrunk.MixtureProbDoc(word));
+  }
+}
+BENCHMARK(BM_ShrunkSummaryLookup);
+
+void BM_DocFrequencyPosteriorSample(benchmark::State& state) {
+  core::DocFrequencyPosterior posterior(/*sample_df=*/3, /*sample_size=*/300,
+                                        /*db_size=*/50000, /*gamma=*/-2.0,
+                                        /*grid_points=*/64);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(posterior.Sample(rng));
+  }
+}
+BENCHMARK(BM_DocFrequencyPosteriorSample);
+
+void BM_AdaptiveDecision(benchmark::State& state) {
+  const core::Metasearcher& meta = MicroMetasearcher();
+  const corpus::Testbed& bed = MicroTestbed();
+  const selection::Query query{bed.analyzer().Analyze(bed.queries()[0].text)};
+  selection::CoriScorer cori;
+  selection::ScoringContext context;
+  for (size_t i = 0; i < meta.num_databases(); ++i) {
+    context.ranked_summaries.push_back(&meta.plain_summary(i));
+  }
+  context.global_summary = &meta.global_summary();
+  selection::PrepareContextForQuery(query, context);
+  core::AdaptiveSummarySelector selector;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        selector.Evaluate(query, meta.sample(0), cori, context, rng));
+  }
+}
+BENCHMARK(BM_AdaptiveDecision);
+
+void BM_SelectDatabasesCori(benchmark::State& state) {
+  const core::Metasearcher& meta = MicroMetasearcher();
+  const corpus::Testbed& bed = MicroTestbed();
+  const selection::Query query{bed.analyzer().Analyze(bed.queries()[0].text)};
+  selection::CoriScorer cori;
+  const core::SummaryMode mode = state.range(0) == 0
+                                     ? core::SummaryMode::kPlain
+                                     : core::SummaryMode::kAdaptiveShrinkage;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meta.SelectDatabases(query, cori, mode));
+  }
+}
+BENCHMARK(BM_SelectDatabasesCori)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace fedsearch
+
+BENCHMARK_MAIN();

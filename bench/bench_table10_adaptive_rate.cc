@@ -1,0 +1,58 @@
+// Reproduces Table 10: the percentage of (query, database) pairs for which
+// the adaptive algorithm of Figure 3 chose the shrunk content summary, per
+// data set, sampler, and base selection algorithm (Section 6.2).
+
+#include <cstdio>
+
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/selection/lm.h"
+#include "harness/experiment.h"
+
+using namespace fedsearch;
+
+int main() {
+  const bench::ExperimentConfig config = bench::ConfigFromEnv();
+  std::printf(
+      "Table 10: %% of (query, database) pairs with shrinkage applied\n");
+  std::printf("%-8s %-9s %-10s %12s\n", "Data Set", "Sampling", "Selection",
+              "Shrinkage");
+
+  const selection::BglossScorer bgloss;
+  const selection::CoriScorer cori;
+  const selection::LmScorer lm;
+
+  for (bench::DataSet dataset :
+       {bench::DataSet::kTrec4, bench::DataSet::kTrec6}) {
+    const corpus::Testbed& bed = bench::GetTestbed(dataset, config);
+    for (bench::SamplerKind sampler :
+         {bench::SamplerKind::kFps, bench::SamplerKind::kQbs}) {
+      auto meta = bench::BuildMetasearcher(
+          dataset,
+          bench::SampleFederation(dataset, sampler,
+                                  /*frequency_estimation=*/true, 0, config),
+          config);
+      for (const selection::ScoringFunction* scorer :
+           std::initializer_list<const selection::ScoringFunction*>{
+               &bgloss, &cori, &lm}) {
+        size_t applied = 0;
+        size_t considered = 0;
+        for (const corpus::TestQuery& tq : bed.queries()) {
+          const selection::Query q{bed.analyzer().Analyze(tq.text)};
+          const auto outcome = meta->SelectDatabases(
+              q, *scorer, core::SummaryMode::kAdaptiveShrinkage);
+          applied += outcome.shrinkage_applied;
+          considered += outcome.databases_considered;
+        }
+        std::printf("%-8s %-9s %-10s %11.2f%%\n", Name(dataset),
+                    Name(sampler), std::string(scorer->name()).c_str(),
+                    considered > 0
+                        ? 100.0 * static_cast<double>(applied) /
+                              static_cast<double>(considered)
+                        : 0.0);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

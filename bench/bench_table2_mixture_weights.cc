@@ -1,0 +1,62 @@
+// Reproduces Table 2: the EM category mixture weights λ_i for two example
+// databases of the Web set — one under a depth-3 leaf in Health (AIDS.org
+// in the paper) and one under Science/SocialSciences/Economics (the
+// American Economics Association in the paper).
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace fedsearch;
+
+namespace {
+
+void PrintLambdaTable(const corpus::Testbed& bed,
+                      const core::Metasearcher& meta, size_t db) {
+  const corpus::TopicHierarchy& h = bed.hierarchy();
+  std::printf("Database %s\n", bed.database(db).name().c_str());
+  const auto& lambdas = meta.lambdas(db);
+  std::printf("  %-24s %8s\n", "Category", "lambda");
+  std::printf("  %-24s %8.3f\n", "Uniform", lambdas[0]);
+  const std::vector<corpus::CategoryId> path =
+      h.PathFromRoot(meta.classification(db));
+  for (size_t i = 0; i < path.size(); ++i) {
+    std::printf("  %-24s %8.3f\n", h.node(path[i]).name.c_str(),
+                lambdas[i + 1]);
+  }
+  std::printf("  %-24s %8.3f\n", "(database)", lambdas.back());
+}
+
+}  // namespace
+
+int main() {
+  const bench::ExperimentConfig config = bench::ConfigFromEnv();
+  const corpus::Testbed& bed =
+      bench::GetTestbed(bench::DataSet::kWeb, config);
+  auto meta = bench::BuildMetasearcher(
+      bench::DataSet::kWeb,
+      bench::SampleFederation(bench::DataSet::kWeb, bench::SamplerKind::kQbs,
+                              /*frequency_estimation=*/true, /*run_index=*/0,
+                              config),
+      config);
+
+  std::printf("Table 2: category mixture weights (QBS, freq. estimation)\n\n");
+  const corpus::CategoryId aids =
+      bed.hierarchy().FindByPath("Root/Health/Diseases/Aids");
+  const corpus::CategoryId econ =
+      bed.hierarchy().FindByPath("Root/Science/SocialSciences/Economics");
+  bool printed_aids = false;
+  bool printed_econ = false;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    if (!printed_aids && bed.category_of(i) == aids) {
+      PrintLambdaTable(bed, *meta, i);
+      std::printf("\n");
+      printed_aids = true;
+    } else if (!printed_econ && bed.category_of(i) == econ) {
+      PrintLambdaTable(bed, *meta, i);
+      std::printf("\n");
+      printed_econ = true;
+    }
+  }
+  return 0;
+}

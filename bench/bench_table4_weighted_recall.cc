@@ -1,0 +1,14 @@
+// Reproduces Table 4: weighted recall wr of shrunk vs unshrunk content
+// summaries for every (data set, sampler, frequency estimation)
+// configuration (Section 6.1).
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace fedsearch;
+  bench::RunQualityTable(
+      "Table 4: weighted recall wr",
+      [](const summary::SummaryQuality& q) { return q.weighted_recall; },
+      bench::ConfigFromEnv());
+  return 0;
+}

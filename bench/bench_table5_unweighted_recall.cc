@@ -1,0 +1,13 @@
+// Reproduces Table 5: unweighted recall ur (vocabulary coverage) of shrunk
+// vs unshrunk content summaries (Section 6.1).
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace fedsearch;
+  bench::RunQualityTable(
+      "Table 5: unweighted recall ur",
+      [](const summary::SummaryQuality& q) { return q.unweighted_recall; },
+      bench::ConfigFromEnv());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Table 6: weighted precision wp of shrunk vs unshrunk content
+// summaries (Section 6.1). Unshrunk summaries are exactly 1.0 by
+// construction; shrinkage trades a small amount of precision for recall.
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace fedsearch;
+  bench::RunQualityTable(
+      "Table 6: weighted precision wp",
+      [](const summary::SummaryQuality& q) { return q.weighted_precision; },
+      bench::ConfigFromEnv());
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Table 7: unweighted precision up of shrunk vs unshrunk content
+// summaries (Section 6.1).
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace fedsearch;
+  bench::RunQualityTable(
+      "Table 7: unweighted precision up",
+      [](const summary::SummaryQuality& q) { return q.unweighted_precision; },
+      bench::ConfigFromEnv());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Table 8: Spearman rank correlation coefficient between the
+// word ranking of the approximate summary and the true summary
+// (Section 6.1).
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace fedsearch;
+  bench::RunQualityTable(
+      "Table 8: Spearman rank correlation coefficient SRCC",
+      [](const summary::SummaryQuality& q) { return q.spearman; },
+      bench::ConfigFromEnv());
+  return 0;
+}

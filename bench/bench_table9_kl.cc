@@ -1,0 +1,13 @@
+// Reproduces Table 9: KL-divergence between the approximate and true
+// content-summary token distributions (Section 6.1). Lower is better.
+
+#include "harness/experiment.h"
+
+int main() {
+  using namespace fedsearch;
+  bench::RunQualityTable(
+      "Table 9: KL-divergence (lower is better)",
+      [](const summary::SummaryQuality& q) { return q.kl_divergence; },
+      bench::ConfigFromEnv());
+  return 0;
+}

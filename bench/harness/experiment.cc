@@ -1,0 +1,285 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "fedsearch/sampling/fps_sampler.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/rk_metric.h"
+
+namespace fedsearch::bench {
+
+const char* Name(DataSet dataset) {
+  switch (dataset) {
+    case DataSet::kTrec4:
+      return "TREC4";
+    case DataSet::kTrec6:
+      return "TREC6";
+    case DataSet::kWeb:
+      return "Web";
+  }
+  return "?";
+}
+
+const char* Name(SamplerKind sampler) {
+  return sampler == SamplerKind::kQbs ? "QBS" : "FPS";
+}
+
+const char* Name(SelectionMethod method) {
+  switch (method) {
+    case SelectionMethod::kPlain:
+      return "Plain";
+    case SelectionMethod::kShrinkage:
+      return "Shrinkage";
+    case SelectionMethod::kHierarchical:
+      return "Hierarchical";
+  }
+  return "?";
+}
+
+ExperimentConfig ConfigFromEnv() {
+  ExperimentConfig config;
+  if (const char* scale = std::getenv("FEDSEARCH_SCALE")) {
+    config.scale = std::atof(scale);
+    if (config.scale <= 0.0) config.scale = 0.25;
+  }
+  if (const char* runs = std::getenv("FEDSEARCH_QBS_RUNS")) {
+    const long value = std::atol(runs);
+    if (value > 0) config.qbs_runs = static_cast<size_t>(value);
+  }
+  if (const char* seed = std::getenv("FEDSEARCH_SEED")) {
+    config.seed = static_cast<uint64_t>(std::atoll(seed));
+  }
+  return config;
+}
+
+const corpus::Testbed& GetTestbed(DataSet dataset,
+                                  const ExperimentConfig& config) {
+  static std::map<std::pair<int, double>, std::unique_ptr<corpus::Testbed>>*
+      cache = new std::map<std::pair<int, double>,
+                           std::unique_ptr<corpus::Testbed>>();
+  const auto key = std::make_pair(static_cast<int>(dataset), config.scale);
+  auto it = cache->find(key);
+  if (it != cache->end()) return *it->second;
+
+  corpus::TestbedOptions options;
+  switch (dataset) {
+    case DataSet::kTrec4:
+      options = corpus::Testbed::Trec4Options(config.scale);
+      break;
+    case DataSet::kTrec6:
+      options = corpus::Testbed::Trec6Options(config.scale);
+      break;
+    case DataSet::kWeb:
+      options = corpus::Testbed::WebOptions(config.scale);
+      break;
+  }
+  std::fprintf(stderr, "[harness] building %s testbed (scale %.2f) ...\n",
+               Name(dataset), config.scale);
+  auto bed = std::make_unique<corpus::Testbed>(options);
+  std::fprintf(stderr, "[harness]   %zu databases, %llu documents\n",
+               bed->num_databases(),
+               static_cast<unsigned long long>(bed->total_documents()));
+  it = cache->emplace(key, std::move(bed)).first;
+  return *it->second;
+}
+
+Federation SampleFederation(DataSet dataset, SamplerKind sampler,
+                            bool frequency_estimation, size_t run_index,
+                            const ExperimentConfig& config,
+                            bool keep_documents) {
+  const corpus::Testbed& bed = GetTestbed(dataset, config);
+  Federation federation;
+  federation.samples.reserve(bed.num_databases());
+  federation.classifications.reserve(bed.num_databases());
+  util::Rng rng(config.seed * 7919 + run_index * 104729 +
+                static_cast<uint64_t>(sampler) * 31 +
+                (frequency_estimation ? 17 : 0));
+
+  if (sampler == SamplerKind::kQbs) {
+    sampling::QbsOptions options;
+    options.build.frequency_estimation = frequency_estimation;
+    options.build.keep_documents = keep_documents;
+    sampling::QbsSampler qbs(options,
+                             corpus::BuildSamplerDictionary(bed.model(), 20));
+    for (size_t i = 0; i < bed.num_databases(); ++i) {
+      util::Rng db_rng = rng.Fork();
+      federation.samples.push_back(qbs.Sample(bed.database(i), db_rng));
+      // QBS relies on the directory classification (Section 5.2).
+      federation.classifications.push_back(bed.directory_category_of(i));
+    }
+  } else {
+    static std::map<std::pair<int, double>, sampling::ProbeRuleSet>* rules =
+        new std::map<std::pair<int, double>, sampling::ProbeRuleSet>();
+    const auto key = std::make_pair(static_cast<int>(dataset), config.scale);
+    auto it = rules->find(key);
+    if (it == rules->end()) {
+      it = rules->emplace(key,
+                          sampling::ProbeRuleSet::FromTopicModel(bed.model()))
+               .first;
+    }
+    sampling::FpsOptions options;
+    options.build.frequency_estimation = frequency_estimation;
+    options.build.keep_documents = keep_documents;
+    sampling::FpsSampler fps(options, &it->second);
+    for (size_t i = 0; i < bed.num_databases(); ++i) {
+      util::Rng db_rng = rng.Fork();
+      federation.samples.push_back(fps.Sample(bed.database(i), db_rng));
+      // FPS classifies the database itself during probing.
+      federation.classifications.push_back(
+          federation.samples.back().classification);
+    }
+  }
+  return federation;
+}
+
+std::unique_ptr<core::Metasearcher> BuildMetasearcher(
+    DataSet dataset, Federation federation, const ExperimentConfig& config) {
+  const corpus::Testbed& bed = GetTestbed(dataset, config);
+  return std::make_unique<core::Metasearcher>(
+      &bed.hierarchy(), std::move(federation.samples),
+      std::move(federation.classifications));
+}
+
+void RunQualityTable(const std::string& title,
+                     double (*pick)(const summary::SummaryQuality&),
+                     const ExperimentConfig& config) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-8s %-9s %-10s %12s %12s\n", "Data Set", "Sampling",
+              "Freq. Est.", "Shrink=Yes", "Shrink=No");
+  for (DataSet dataset : {DataSet::kWeb, DataSet::kTrec4, DataSet::kTrec6}) {
+    const corpus::Testbed& bed = GetTestbed(dataset, config);
+
+    // Per-database true summaries, shared across configurations.
+    std::vector<summary::ContentSummary> truths;
+    truths.reserve(bed.num_databases());
+    for (size_t i = 0; i < bed.num_databases(); ++i) {
+      truths.push_back(
+          summary::ContentSummary::FromIndex(bed.database(i).index()));
+    }
+
+    for (SamplerKind sampler : {SamplerKind::kQbs, SamplerKind::kFps}) {
+      const size_t runs =
+          sampler == SamplerKind::kQbs ? config.qbs_runs : size_t{1};
+      for (bool freq_est : {false, true}) {
+        double shrunk_total = 0.0;
+        double plain_total = 0.0;
+        size_t cells = 0;
+        for (size_t run = 0; run < runs; ++run) {
+          auto meta = BuildMetasearcher(
+              dataset, SampleFederation(dataset, sampler, freq_est, run,
+                                        config),
+              config);
+          for (size_t i = 0; i < bed.num_databases(); ++i) {
+            const summary::ContentSummary trimmed =
+                summary::ContentSummary::Materialize(meta->shrunk_summary(i),
+                                                     /*trim=*/true);
+            shrunk_total +=
+                pick(summary::EvaluateSummary(trimmed, truths[i]));
+            plain_total += pick(
+                summary::EvaluateSummary(meta->plain_summary(i), truths[i]));
+            ++cells;
+          }
+        }
+        std::printf("%-8s %-9s %-10s %12.3f %12.3f\n", Name(dataset),
+                    Name(sampler), freq_est ? "Yes" : "No",
+                    shrunk_total / static_cast<double>(cells),
+                    plain_total / static_cast<double>(cells));
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+namespace {
+
+// Shared R_k averaging loop; `rank` produces the ranking for one query and
+// budget k.
+template <typename RankFn>
+std::array<double, kMaxK> AverageRkImpl(const corpus::Testbed& bed,
+                                        RankFn&& rank) {
+  std::array<double, kMaxK> totals{};
+  size_t evaluated = 0;
+  for (size_t qi = 0; qi < bed.queries().size(); ++qi) {
+    const selection::Query query{
+        bed.analyzer().Analyze(bed.queries()[qi].text)};
+    std::vector<size_t> relevant(bed.num_databases());
+    size_t total_relevant = 0;
+    for (size_t d = 0; d < bed.num_databases(); ++d) {
+      relevant[d] = bed.CountRelevant(qi, d);
+      total_relevant += relevant[d];
+    }
+    if (total_relevant == 0) continue;  // R_k undefined for this query
+    ++evaluated;
+    rank(query, relevant, totals);
+  }
+  if (evaluated > 0) {
+    for (double& t : totals) t /= static_cast<double>(evaluated);
+  }
+  return totals;
+}
+
+}  // namespace
+
+std::array<double, kMaxK> AverageRkCurveForMode(
+    DataSet dataset, const core::Metasearcher& meta,
+    const selection::ScoringFunction& scorer, core::SummaryMode mode,
+    const ExperimentConfig& config) {
+  const corpus::Testbed& bed = GetTestbed(dataset, config);
+  return AverageRkImpl(
+      bed, [&](const selection::Query& query,
+               const std::vector<size_t>& relevant,
+               std::array<double, kMaxK>& totals) {
+        const auto outcome = meta.SelectDatabases(query, scorer, mode);
+        for (size_t k = 1; k <= kMaxK; ++k) {
+          totals[k - 1] += selection::RkScore(outcome.ranking, relevant, k);
+        }
+      });
+}
+
+std::array<double, kMaxK> AverageRkCurve(
+    DataSet dataset, const core::Metasearcher& meta,
+    const selection::ScoringFunction& scorer, SelectionMethod method,
+    const ExperimentConfig& config) {
+  if (method == SelectionMethod::kHierarchical) {
+    const corpus::Testbed& bed = GetTestbed(dataset, config);
+    return AverageRkImpl(
+        bed, [&](const selection::Query& query,
+                 const std::vector<size_t>& relevant,
+                 std::array<double, kMaxK>& totals) {
+          for (size_t k = 1; k <= kMaxK; ++k) {
+            const auto ranking = meta.SelectHierarchical(query, scorer, k);
+            totals[k - 1] += selection::RkScore(ranking, relevant, k);
+          }
+        });
+  }
+  return AverageRkCurveForMode(dataset, meta, scorer,
+                               method == SelectionMethod::kPlain
+                                   ? core::SummaryMode::kPlain
+                                   : core::SummaryMode::kAdaptiveShrinkage,
+                               config);
+}
+
+void PrintRkPanel(const std::string& title,
+                  const std::vector<std::string>& labels,
+                  const std::vector<std::array<double, kMaxK>>& curves) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-4s", "k");
+  for (const std::string& label : labels) {
+    std::printf(" %16s", label.c_str());
+  }
+  std::printf("\n");
+  for (size_t k = 1; k <= kMaxK; ++k) {
+    std::printf("%-4zu", k);
+    for (const auto& curve : curves) {
+      std::printf(" %16.3f", curve[k - 1]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace fedsearch::bench

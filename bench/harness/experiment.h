@@ -1,0 +1,108 @@
+#ifndef FEDSEARCH_BENCH_HARNESS_EXPERIMENT_H_
+#define FEDSEARCH_BENCH_HARNESS_EXPERIMENT_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/corpus/testbed.h"
+#include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/selection/scoring.h"
+#include "fedsearch/summary/metrics.h"
+
+namespace fedsearch::bench {
+
+// The three data sets of Section 5.1.
+enum class DataSet { kTrec4, kTrec6, kWeb };
+
+// The two content-summary construction strategies of Section 5.2.
+enum class SamplerKind { kQbs, kFps };
+
+const char* Name(DataSet dataset);
+const char* Name(SamplerKind sampler);
+
+// Global experiment knobs, read from the environment:
+//   FEDSEARCH_SCALE     — testbed size multiplier (default 0.25; 1.0
+//                         approximates the paper's database sizes),
+//   FEDSEARCH_QBS_RUNS  — QBS sample runs averaged per database (default
+//                         1; the paper uses 5),
+//   FEDSEARCH_SEED      — base RNG seed (default 7).
+struct ExperimentConfig {
+  double scale = 0.25;
+  size_t qbs_runs = 1;
+  uint64_t seed = 7;
+};
+
+ExperimentConfig ConfigFromEnv();
+
+// Process-wide cache of built testbeds (building the Web set takes tens of
+// seconds; every bench binary touches several configurations).
+const corpus::Testbed& GetTestbed(DataSet dataset,
+                                  const ExperimentConfig& config);
+
+// One sampled federation: per-database sample results + classifications.
+// QBS uses the testbed's directory categories; FPS uses its own derived
+// classification (Section 5.2).
+struct Federation {
+  std::vector<sampling::SampleResult> samples;
+  std::vector<corpus::CategoryId> classifications;
+};
+
+// Runs a full sampling pass over the data set. `run_index` seeds the
+// sampler streams so QBS runs can be averaged. `keep_documents` retains
+// the analyzed sample documents (needed by ReDDE).
+Federation SampleFederation(DataSet dataset, SamplerKind sampler,
+                            bool frequency_estimation, size_t run_index,
+                            const ExperimentConfig& config,
+                            bool keep_documents = false);
+
+std::unique_ptr<core::Metasearcher> BuildMetasearcher(DataSet dataset,
+                                                      Federation federation,
+                                                      const ExperimentConfig& config);
+
+// ---------------------------------------------------------------- tables --
+
+// Prints one of the Tables 4-9: the selected quality metric for every
+// (data set, sampler, frequency estimation) configuration, with and
+// without shrinkage. `pick` selects the metric from the bundle.
+void RunQualityTable(const std::string& title,
+                     double (*pick)(const summary::SummaryQuality&),
+                     const ExperimentConfig& config);
+
+// --------------------------------------------------------------- figures --
+
+// Average R_k over the data set's queries for k = 1..kMaxK, for one
+// selection method. Queries without any relevant documents are skipped
+// (R_k is undefined for them).
+inline constexpr size_t kMaxK = 20;
+
+enum class SelectionMethod {
+  kPlain,        // unshrunk summaries (QBS-Plain / FPS-Plain)
+  kShrinkage,    // adaptive shrinkage (Figure 3)
+  kHierarchical  // the hierarchical baseline of [17]
+};
+
+const char* Name(SelectionMethod method);
+
+std::array<double, kMaxK> AverageRkCurve(
+    DataSet dataset, const core::Metasearcher& meta,
+    const selection::ScoringFunction& scorer, SelectionMethod method,
+    const ExperimentConfig& config);
+
+// Same curve for an explicit summary mode (used by the ablations, e.g.
+// universal shrinkage).
+std::array<double, kMaxK> AverageRkCurveForMode(
+    DataSet dataset, const core::Metasearcher& meta,
+    const selection::ScoringFunction& scorer, core::SummaryMode mode,
+    const ExperimentConfig& config);
+
+// Prints an R_k figure panel: one column per method, k = 1..kMaxK rows.
+void PrintRkPanel(const std::string& title,
+                  const std::vector<std::string>& labels,
+                  const std::vector<std::array<double, kMaxK>>& curves);
+
+}  // namespace fedsearch::bench
+
+#endif  // FEDSEARCH_BENCH_HARNESS_EXPERIMENT_H_

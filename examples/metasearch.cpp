@@ -1,0 +1,120 @@
+// Federated search session over a Web-like collection of databases:
+// builds the federation, samples every database through its public search
+// interface, constructs shrunk content summaries off-line, and then routes
+// interactive-style queries with adaptive database selection (Figure 3),
+// comparing the databases each strategy picks.
+
+#include <cstdio>
+#include <string>
+
+#include "fedsearch/core/federated_search.h"
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/corpus/testbed.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/selection/lm.h"
+
+using namespace fedsearch;
+
+namespace {
+
+void RouteQuery(const corpus::Testbed& bed, const core::Metasearcher& meta,
+                const selection::ScoringFunction& scorer,
+                const std::string& query_text, size_t k) {
+  const selection::Query query{bed.analyzer().Analyze(query_text)};
+  std::printf("\n[%s] query: \"%s\"\n", std::string(scorer.name()).c_str(),
+              query_text.c_str());
+  if (query.terms.empty()) {
+    std::printf("  (no terms after analysis)\n");
+    return;
+  }
+
+  const auto plain =
+      meta.SelectDatabases(query, scorer, core::SummaryMode::kPlain);
+  const auto adaptive = meta.SelectDatabases(
+      query, scorer, core::SummaryMode::kAdaptiveShrinkage);
+  std::printf("  adaptive shrinkage used for %zu/%zu databases\n",
+              adaptive.shrinkage_applied, adaptive.databases_considered);
+
+  auto print_top = [&](const char* label,
+                       const std::vector<selection::RankedDatabase>& ranking) {
+    std::printf("  %-10s:", label);
+    for (size_t i = 0; i < std::min(k, ranking.size()); ++i) {
+      std::printf(" %s", bed.database(ranking[i].database).name().c_str());
+    }
+    if (ranking.empty()) std::printf(" (no database selected)");
+    std::printf("\n");
+  };
+  print_top("plain", plain.ranking);
+  print_top("shrinkage", adaptive.ranking);
+
+  // Step (3) of the pipeline: evaluate the query at the selected databases
+  // and merge the result lists.
+  std::vector<const index::TextDatabase*> databases;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    databases.push_back(&bed.database(i));
+  }
+  core::FederatedSearchOptions merge_options;
+  merge_options.databases_to_search = 3;
+  merge_options.merged_results = 3;
+  const auto merged = core::SearchAndMerge(databases, adaptive.ranking,
+                                           query_text, merge_options);
+  std::printf("  merged    :");
+  for (const core::FederatedHit& hit : merged) {
+    std::printf(" %s#%u(%.2f)", bed.database(hit.database).name().c_str(),
+                hit.doc, hit.score);
+  }
+  if (merged.empty()) std::printf(" (no results)");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // A reduced Web-like federation (64 databases) so the example stays
+  // interactive-speed; bump the scale for a fuller run.
+  corpus::TestbedOptions options = corpus::Testbed::WebOptions(0.05);
+  options.num_databases = 64;
+  options.databases_per_leaf = 1;
+  std::printf("Building federation of %zu web databases ...\n",
+              options.num_databases);
+  corpus::Testbed bed(options);
+  std::printf("  %llu documents total\n",
+              static_cast<unsigned long long>(bed.total_documents()));
+
+  std::printf("Sampling every database via QBS ...\n");
+  sampling::QbsOptions qbs;
+  qbs.build.frequency_estimation = true;
+  sampling::QbsSampler sampler(qbs,
+                               corpus::BuildSamplerDictionary(bed.model(), 20));
+  std::vector<sampling::SampleResult> samples;
+  std::vector<corpus::CategoryId> classifications;
+  util::Rng rng(12);
+  size_t total_queries = 0;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    util::Rng db_rng = rng.Fork();
+    samples.push_back(sampler.Sample(bed.database(i), db_rng));
+    total_queries += samples.back().queries_sent;
+    classifications.push_back(bed.category_of(i));  // directory category
+  }
+  std::printf("  %zu probe queries in total (%.1f per database)\n",
+              total_queries,
+              static_cast<double>(total_queries) /
+                  static_cast<double>(bed.num_databases()));
+
+  std::printf("Fitting shrinkage models ...\n");
+  core::Metasearcher meta(&bed.hierarchy(), std::move(samples),
+                          std::move(classifications));
+
+  // Route a few recognizable queries (the curated category seed words).
+  const selection::CoriScorer cori;
+  const selection::LmScorer lm;
+  RouteQuery(bed, meta, cori, "hypertension cholesterol", 5);
+  RouteQuery(bed, meta, cori, "hemophilia", 5);
+  RouteQuery(bed, meta, lm, "market inflation monetary", 5);
+  RouteQuery(bed, meta, lm, "soccer league striker", 5);
+  RouteQuery(bed, meta, cori, "java bytecode compiler", 5);
+
+  std::printf("\nDone.\n");
+  return 0;
+}

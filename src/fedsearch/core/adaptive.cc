@@ -1,0 +1,191 @@
+#include "fedsearch/core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedsearch/util/math.h"
+
+namespace fedsearch::core {
+
+OverrideSummary::OverrideSummary(
+    const summary::SummaryView* base,
+    const std::unordered_map<std::string, double>* df_override)
+    : base_(base), df_override_(df_override) {}
+
+double OverrideSummary::DocFrequency(const std::string& word) const {
+  auto it = df_override_->find(word);
+  return it != df_override_->end() ? it->second : base_->DocFrequency(word);
+}
+
+double OverrideSummary::TokenFrequency(const std::string& word) const {
+  auto it = df_override_->find(word);
+  if (it == df_override_->end()) return base_->TokenFrequency(word);
+  const double base_df = base_->DocFrequency(word);
+  if (base_df > 0.0) {
+    // Keep the average per-document term count of the word.
+    return it->second * base_->TokenFrequency(word) / base_df;
+  }
+  // Word unseen in the sample: assume one occurrence per containing doc.
+  return it->second;
+}
+
+void OverrideSummary::ForEachWord(
+    const std::function<void(const std::string&, const summary::WordStats&)>&
+        fn) const {
+  base_->ForEachWord(fn);
+}
+
+size_t OverrideSummary::vocabulary_size() const {
+  return base_->vocabulary_size();
+}
+
+DocFrequencyPosterior::DocFrequencyPosterior(size_t sample_df,
+                                             size_t sample_size,
+                                             double db_size, double gamma,
+                                             size_t grid_points)
+    : sampler_({}) {
+  const double n = std::max(1.0, db_size);
+  // Log-spaced integer grid over [1, |D|].
+  support_.reserve(grid_points);
+  double prev = 0.0;
+  for (size_t i = 0; i < grid_points; ++i) {
+    const double frac = grid_points > 1
+                            ? static_cast<double>(i) /
+                                  static_cast<double>(grid_points - 1)
+                            : 0.0;
+    double d = std::round(std::exp(frac * std::log(n)));
+    d = std::clamp(d, 1.0, n);
+    if (d <= prev) continue;
+    support_.push_back(d);
+    prev = d;
+  }
+
+  // Log-space posterior: γ·ln d + s·ln(d/|D|) + (|S|−s)·ln(1−d/|D|).
+  const double s = static_cast<double>(sample_df);
+  const double trials = static_cast<double>(sample_size);
+  std::vector<double> log_w(support_.size());
+  double max_log = -1e300;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    const double d = support_[i];
+    const double p = d / n;
+    double lw = gamma * std::log(d);
+    if (s > 0.0) lw += s * std::log(p);
+    const double q = 1.0 - p;
+    if (trials > s) {
+      if (q <= 0.0) {
+        lw = -1e300;  // d == |D| impossible unless the word is in every
+                      // sample document
+      } else {
+        lw += (trials - s) * std::log(q);
+      }
+    }
+    log_w[i] = lw;
+    max_log = std::max(max_log, lw);
+  }
+  weights_.resize(support_.size());
+  for (size_t i = 0; i < support_.size(); ++i) {
+    weights_[i] = std::exp(log_w[i] - max_log);
+  }
+  sampler_ = util::DiscreteSampler(weights_);
+}
+
+double DocFrequencyPosterior::Sample(util::Rng& rng) const {
+  if (support_.empty()) return 1.0;
+  return support_[sampler_.Sample(rng)];
+}
+
+AdaptiveSummarySelector::AdaptiveSummarySelector(AdaptiveOptions options)
+    : options_(options) {}
+
+AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
+    const selection::Query& query, const sampling::SampleResult& sample,
+    const selection::ScoringFunction& scorer,
+    const selection::ScoringContext& context, util::Rng& rng) const {
+  Uncertainty result;
+  const double db_size = std::max(1.0, sample.estimated_db_size);
+
+  // A sample that covered (almost) the whole database is already
+  // "sufficiently complete"; shrinkage could only add spurious words
+  // (Section 4).
+  if (static_cast<double>(sample.sample_size) >= 0.9 * db_size) {
+    return result;
+  }
+  if (query.terms.empty()) return result;
+
+  // Section 4's boundary-case gate: all words present (summary already
+  // trustworthy for this query) or all words absent (the database is
+  // confidently a poor match) -> no shrinkage. A single-word query cannot
+  // show mixed evidence, so it passes whenever its word is absent — the
+  // paper's [hemophilia] scenario (Example 1), where the sample missing
+  // one rare word is precisely the uncertainty shrinkage resolves.
+  if (options_.require_mixed_evidence && query.terms.size() > 1) {
+    bool any_present = false;
+    bool any_absent = false;
+    for (const std::string& w : query.terms) {
+      auto it = sample.sample_df.find(w);
+      const size_t sk = it != sample.sample_df.end() ? it->second : 0;
+      if (sk >= options_.present_min_df) any_present = true;
+      if (sk == 0) any_absent = true;
+    }
+    if (!any_present || !any_absent) return result;
+  }
+
+  // γ = 1/α − 1 from the rank-frequency exponent (Appendix B; [1]).
+  const double alpha = sample.mandelbrot_alpha < 0.0
+                           ? sample.mandelbrot_alpha
+                           : -1.0;
+  const double gamma = 1.0 / alpha - 1.0;
+
+  // Per-word posteriors p(d_k | s_k).
+  std::vector<DocFrequencyPosterior> posteriors;
+  posteriors.reserve(query.terms.size());
+  for (const std::string& w : query.terms) {
+    auto it = sample.sample_df.find(w);
+    const size_t sk = it != sample.sample_df.end() ? it->second : 0;
+    posteriors.emplace_back(sk, sample.sample_size, db_size, gamma,
+                            options_.grid_points);
+  }
+
+  // Monte-Carlo over (d1, ..., dn) combinations.
+  std::unordered_map<std::string, double> overrides;
+  OverrideSummary perturbed(&sample.summary, &overrides);
+  util::RunningStats stats;
+  double last_mean = 0.0;
+  double last_std = 0.0;
+  for (size_t draw = 0; draw < options_.max_draws; ++draw) {
+    overrides.clear();
+    for (size_t i = 0; i < query.terms.size(); ++i) {
+      overrides[query.terms[i]] = posteriors[i].Sample(rng);
+    }
+    stats.Add(scorer.Score(query, perturbed, context));
+
+    if (stats.count() >= options_.min_draws && stats.count() % 50 == 0) {
+      const double mean = stats.mean();
+      const double stddev = stats.stddev();
+      const double scale = std::max({std::fabs(mean), stddev, 1e-12});
+      if (std::fabs(mean - last_mean) < options_.convergence_tolerance * scale &&
+          std::fabs(stddev - last_std) < options_.convergence_tolerance * scale) {
+        break;
+      }
+      last_mean = mean;
+      last_std = stddev;
+    }
+  }
+
+  result.mean = stats.mean();
+  result.stddev = stats.stddev();
+  result.draws = stats.count();
+  // Figure 3's rule: high variance relative to the mean marks the sample
+  // summary as unreliable. Scorers with a built-in belief floor (CORI's
+  // 0.4, LM's global smoothing) would otherwise never qualify — the floor
+  // inflates the mean without carrying any database-specific evidence — so
+  // the comparison uses the mean's excess over the scorer's default score,
+  // scaled by the configured threshold (see AdaptiveOptions).
+  const double floor = scorer.DefaultScore(query, sample.summary, context);
+  result.use_shrinkage =
+      result.stddev >
+      options_.uncertainty_threshold * std::max(0.0, result.mean - floor);
+  return result;
+}
+
+}  // namespace fedsearch::core

@@ -1,0 +1,125 @@
+#ifndef FEDSEARCH_CORE_ADAPTIVE_H_
+#define FEDSEARCH_CORE_ADAPTIVE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/selection/scoring.h"
+#include "fedsearch/summary/content_summary.h"
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::core {
+
+// Parameters of the score-uncertainty estimation of Section 4 / Appendix B.
+struct AdaptiveOptions {
+  // Monte-Carlo draws over (d1, ..., dn) combinations. The paper observes
+  // that "usually, after examining just a few hundred random combinations,
+  // mean and variance converge to a stable value".
+  size_t min_draws = 100;
+  size_t max_draws = 400;
+  // Early stop when mean and stddev both move less than this relative
+  // amount between convergence checks.
+  double convergence_tolerance = 0.02;
+  // Log-spaced grid resolution of each word's posterior p(d_k | s_k).
+  size_t grid_points = 64;
+
+  // Shrinkage fires when stddev > uncertainty_threshold · (mean − default
+  // score). The paper states the rule as "standard deviation ... larger
+  // than its mean"; applied literally, scorers with a built-in belief
+  // floor (CORI's 0.4 term, LM's global smoothing) can never qualify, so
+  // the mean is first reduced by the scorer's default score and the
+  // comparison is scaled by this threshold (see DESIGN.md).
+  double uncertainty_threshold = 0.3;
+
+  // Section 4's boundary cases: when every query word appears in close to
+  // all sample documents — or in close to none — "shrinkage would provide
+  // limited benefit and should then be avoided". With this gate on, the
+  // score-distribution test only runs for mixed-evidence pairs: at least
+  // one query word solidly present in the sample and at least one absent.
+  bool require_mixed_evidence = true;
+  // "Solidly present": sample df >= this.
+  size_t present_min_df = 2;
+};
+
+// A summary view that overrides the document frequencies of a few words —
+// the "assume w_k appears in exactly d_k documents" counterfactual of the
+// Content Summary Selection step (Figure 3). Token frequencies of
+// overridden words are scaled proportionally so LM-style scorers respond
+// to the perturbation too.
+class OverrideSummary : public summary::SummaryView {
+ public:
+  // Both referents must outlive this object.
+  OverrideSummary(const summary::SummaryView* base,
+                  const std::unordered_map<std::string, double>* df_override);
+
+  double num_documents() const override { return base_->num_documents(); }
+  double total_tokens() const override { return base_->total_tokens(); }
+  double DocFrequency(const std::string& word) const override;
+  double TokenFrequency(const std::string& word) const override;
+  void ForEachWord(
+      const std::function<void(const std::string&,
+                               const summary::WordStats&)>& fn) const override;
+  size_t vocabulary_size() const override;
+
+ private:
+  const summary::SummaryView* base_;
+  const std::unordered_map<std::string, double>* df_override_;
+};
+
+// The posterior over a query word's true document frequency given its
+// sample frequency (Appendix B):
+//   p(d | s) ∝ Binomial(s; |S|, d/|D|) · c·d^γ
+// with γ = 1/α − 1 from the database's Mandelbrot fit. Discretized on a
+// log-spaced grid over [1, |D|]. Exposed for testing.
+class DocFrequencyPosterior {
+ public:
+  DocFrequencyPosterior(size_t sample_df, size_t sample_size, double db_size,
+                        double gamma, size_t grid_points);
+
+  // Draws one d value.
+  double Sample(util::Rng& rng) const;
+
+  const std::vector<double>& support() const { return support_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> support_;
+  std::vector<double> weights_;
+  util::DiscreteSampler sampler_;
+};
+
+// Decides — per query and database — whether the sample summary is
+// trustworthy or shrinkage should be applied: the Content Summary Selection
+// step of Figure 3. Stateless apart from options.
+class AdaptiveSummarySelector {
+ public:
+  explicit AdaptiveSummarySelector(AdaptiveOptions options = {});
+
+  // Computed score-distribution statistics for one (query, database) pair.
+  struct Uncertainty {
+    double mean = 0.0;
+    double stddev = 0.0;
+    size_t draws = 0;
+    bool use_shrinkage = false;
+  };
+
+  // Estimates the uncertainty of scorer's s(q, D) under the document
+  // frequency posterior and applies the paper's rule: use the shrunk
+  // summary iff stddev > mean. `sample` supplies s_k, |S|, |D̂| and the
+  // power-law exponent; `context` must be the context the real scoring
+  // will use.
+  Uncertainty Evaluate(const selection::Query& query,
+                       const sampling::SampleResult& sample,
+                       const selection::ScoringFunction& scorer,
+                       const selection::ScoringContext& context,
+                       util::Rng& rng) const;
+
+ private:
+  AdaptiveOptions options_;
+};
+
+}  // namespace fedsearch::core
+
+#endif  // FEDSEARCH_CORE_ADAPTIVE_H_

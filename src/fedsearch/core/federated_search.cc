@@ -1,0 +1,54 @@
+#include "fedsearch/core/federated_search.h"
+
+#include <algorithm>
+
+namespace fedsearch::core {
+
+std::vector<FederatedHit> SearchAndMerge(
+    const std::vector<const index::TextDatabase*>& databases,
+    const std::vector<selection::RankedDatabase>& ranking,
+    std::string_view query_text, const FederatedSearchOptions& options) {
+  std::vector<FederatedHit> merged;
+  const size_t searched = std::min(options.databases_to_search, ranking.size());
+  if (searched == 0) return merged;
+
+  // Min-max normalize the selection scores of the databases searched.
+  double lo = ranking[0].score;
+  double hi = ranking[0].score;
+  for (size_t i = 0; i < searched; ++i) {
+    lo = std::min(lo, ranking[i].score);
+    hi = std::max(hi, ranking[i].score);
+  }
+  const double range = hi - lo;
+
+  for (size_t i = 0; i < searched; ++i) {
+    const selection::RankedDatabase& entry = ranking[i];
+    const double normalized =
+        range > 0.0 ? (entry.score - lo) / range : 1.0;
+    const double weight = (1.0 + 0.4 * normalized) / 1.4;
+    const index::QueryResult result = databases[entry.database]->Query(
+        query_text, options.results_per_database);
+    // Re-derive per-document scores: TextDatabase's public interface
+    // returns ids ranked best-first; weight positions by a reciprocal-rank
+    // style decay so merged scores remain comparable across engines that
+    // do not expose raw scores (as real web databases do not).
+    for (size_t pos = 0; pos < result.docs.size(); ++pos) {
+      const double doc_score = 1.0 / static_cast<double>(pos + 1);
+      merged.push_back(FederatedHit{entry.database, result.docs[pos],
+                                    weight * doc_score});
+    }
+  }
+
+  std::sort(merged.begin(), merged.end(),
+            [](const FederatedHit& a, const FederatedHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.database != b.database) return a.database < b.database;
+              return a.doc < b.doc;
+            });
+  if (merged.size() > options.merged_results) {
+    merged.resize(options.merged_results);
+  }
+  return merged;
+}
+
+}  // namespace fedsearch::core

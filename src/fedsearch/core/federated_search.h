@@ -1,0 +1,52 @@
+#ifndef FEDSEARCH_CORE_FEDERATED_SEARCH_H_
+#define FEDSEARCH_CORE_FEDERATED_SEARCH_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "fedsearch/index/text_database.h"
+#include "fedsearch/selection/flat_ranker.h"
+
+namespace fedsearch::core {
+
+// One merged federated result.
+struct FederatedHit {
+  size_t database = 0;   // index into the federation's database list
+  index::DocId doc = 0;  // document id within that database
+  double score = 0.0;    // merged score (database belief x document score)
+};
+
+// Parameters of federated query evaluation.
+struct FederatedSearchOptions {
+  // How many of the top-ranked databases to actually query (the paper's
+  // "evaluate q over just the databases with the highest scores").
+  size_t databases_to_search = 5;
+  // Results requested from each searched database.
+  size_t results_per_database = 10;
+  // Size of the merged result list.
+  size_t merged_results = 10;
+};
+
+// Step (3) of the metasearching pipeline (Section 1): evaluates the query
+// at the selected databases through their public search interfaces and
+// merges the per-database ranked lists into a single list.
+//
+// Merging uses the CORI/CSS-style heuristic: each database's selection
+// score is min-max normalized over the searched databases to s'' in
+// [0, 1], and a document with engine score d from that database receives
+// the merged score d * (1 + 0.4 * s'') / 1.4 — documents from
+// higher-believed databases are promoted, without letting the database
+// score completely dominate.
+//
+// `ranking` is the database-selection output (e.g. from
+// Metasearcher::SelectDatabases); `databases[i]` must be the database that
+// ranking entries with .database == i refer to.
+std::vector<FederatedHit> SearchAndMerge(
+    const std::vector<const index::TextDatabase*>& databases,
+    const std::vector<selection::RankedDatabase>& ranking,
+    std::string_view query_text, const FederatedSearchOptions& options = {});
+
+}  // namespace fedsearch::core
+
+#endif  // FEDSEARCH_CORE_FEDERATED_SEARCH_H_

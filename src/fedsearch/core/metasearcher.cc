@@ -1,0 +1,93 @@
+#include "fedsearch/core/metasearcher.h"
+
+#include <utility>
+
+namespace fedsearch::core {
+
+Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
+                           std::vector<sampling::SampleResult> samples,
+                           std::vector<corpus::CategoryId> classifications,
+                           MetasearcherOptions options)
+    : hierarchy_(hierarchy),
+      samples_(std::move(samples)),
+      classifications_(std::move(classifications)),
+      options_(options),
+      adaptive_(options.adaptive) {
+  std::vector<const summary::ContentSummary*> summary_ptrs;
+  summary_ptrs.reserve(samples_.size());
+  for (const sampling::SampleResult& s : samples_) {
+    summary_ptrs.push_back(&s.summary);
+  }
+  hierarchy_summaries_ = std::make_unique<HierarchySummaries>(
+      hierarchy_, summary_ptrs, classifications_);
+  std::vector<size_t> sample_sizes;
+  sample_sizes.reserve(samples_.size());
+  for (const sampling::SampleResult& s : samples_) {
+    sample_sizes.push_back(s.sample_size);
+  }
+  shrinkage_ = std::make_unique<ShrinkageModel>(
+      hierarchy_summaries_.get(), std::move(sample_sizes), options_.shrinkage);
+  hierarchical_ = std::make_unique<selection::HierarchicalSelector>(
+      hierarchy_, summary_ptrs, classifications_);
+}
+
+Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
+    const selection::Query& query, const selection::ScoringFunction& scorer,
+    SummaryMode mode) const {
+  const size_t n = samples_.size();
+  SelectionOutcome outcome;
+  outcome.databases_considered = n;
+
+  // Content Summary Selection step (Figure 3): pick A(Di) per database.
+  std::vector<const summary::SummaryView*> chosen(n);
+  switch (mode) {
+    case SummaryMode::kPlain:
+      for (size_t i = 0; i < n; ++i) chosen[i] = &samples_[i].summary;
+      break;
+    case SummaryMode::kUniversalShrinkage:
+      for (size_t i = 0; i < n; ++i) chosen[i] = &shrinkage_->shrunk(i);
+      outcome.shrinkage_applied = n;
+      break;
+    case SummaryMode::kAdaptiveShrinkage: {
+      // The uncertainty estimation scores against the unshrunk summaries'
+      // corpus statistics.
+      selection::ScoringContext decision_context;
+      decision_context.ranked_summaries.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        decision_context.ranked_summaries.push_back(&samples_[i].summary);
+      }
+      decision_context.global_summary =
+          &hierarchy_summaries_->root_aggregate();
+      selection::PrepareContextForQuery(query, decision_context);
+      util::Rng rng(options_.adaptive_seed);
+      for (size_t i = 0; i < n; ++i) {
+        util::Rng db_rng = rng.Fork();
+        const AdaptiveSummarySelector::Uncertainty u = adaptive_.Evaluate(
+            query, samples_[i], scorer, decision_context, db_rng);
+        if (u.use_shrinkage) {
+          chosen[i] = &shrinkage_->shrunk(i);
+          ++outcome.shrinkage_applied;
+        } else {
+          chosen[i] = &samples_[i].summary;
+        }
+      }
+      break;
+    }
+  }
+
+  // Scoring + Ranking steps over the chosen summaries.
+  selection::ScoringContext context;
+  context.ranked_summaries = chosen;
+  context.global_summary = &hierarchy_summaries_->root_aggregate();
+  selection::PrepareContextForQuery(query, context);
+  outcome.ranking = selection::RankDatabases(query, chosen, scorer, context);
+  return outcome;
+}
+
+std::vector<selection::RankedDatabase> Metasearcher::SelectHierarchical(
+    const selection::Query& query, const selection::ScoringFunction& scorer,
+    size_t k) const {
+  return hierarchical_->Select(query, k, scorer);
+}
+
+}  // namespace fedsearch::core

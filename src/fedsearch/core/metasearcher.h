@@ -1,0 +1,109 @@
+#ifndef FEDSEARCH_CORE_METASEARCHER_H_
+#define FEDSEARCH_CORE_METASEARCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "fedsearch/core/adaptive.h"
+#include "fedsearch/core/hierarchy_summaries.h"
+#include "fedsearch/core/shrinkage.h"
+#include "fedsearch/corpus/topic_hierarchy.h"
+#include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/selection/flat_ranker.h"
+#include "fedsearch/selection/hierarchical.h"
+#include "fedsearch/selection/scoring.h"
+
+namespace fedsearch::core {
+
+// How content summaries are chosen per (query, database) during selection.
+enum class SummaryMode {
+  // Always the unshrunk sample summaries (QBS-Plain / FPS-Plain).
+  kPlain,
+  // Figure 3: per-database adaptive choice between S(D) and R(D)
+  // (QBS-Shrinkage / FPS-Shrinkage).
+  kAdaptiveShrinkage,
+  // Always the shrunk summaries (the "universal" ablation of Section 6.2).
+  kUniversalShrinkage,
+};
+
+struct MetasearcherOptions {
+  ShrinkageOptions shrinkage;
+  AdaptiveOptions adaptive;
+  // Seed for the adaptive Monte-Carlo draws (forked per query/database).
+  uint64_t adaptive_seed = 0xADA9715EULL;
+};
+
+// End-to-end federation layer: owns the per-database sample results and
+// classifications, builds category summaries and the shrinkage model
+// off-line, and answers database selection requests. This is the library's
+// top-level entry point — see examples/metasearch.cpp.
+class Metasearcher {
+ public:
+  // `hierarchy` must outlive the metasearcher. classifications[i] is the
+  // category of database i — either the directory category (QBS) or the
+  // sampler-derived one (FPS).
+  Metasearcher(const corpus::TopicHierarchy* hierarchy,
+               std::vector<sampling::SampleResult> samples,
+               std::vector<corpus::CategoryId> classifications,
+               MetasearcherOptions options = {});
+
+  Metasearcher(const Metasearcher&) = delete;
+  Metasearcher& operator=(const Metasearcher&) = delete;
+
+  size_t num_databases() const { return samples_.size(); }
+  const sampling::SampleResult& sample(size_t i) const { return samples_[i]; }
+  const summary::ContentSummary& plain_summary(size_t i) const {
+    return samples_[i].summary;
+  }
+  const ShrunkSummary& shrunk_summary(size_t i) const {
+    return shrinkage_->shrunk(i);
+  }
+  const std::vector<double>& lambdas(size_t i) const {
+    return shrinkage_->lambdas(i);
+  }
+  corpus::CategoryId classification(size_t i) const {
+    return classifications_[i];
+  }
+  const HierarchySummaries& hierarchy_summaries() const {
+    return *hierarchy_summaries_;
+  }
+  // The Root category summary: the "global" G of the LM scorer.
+  const summary::ContentSummary& global_summary() const {
+    return hierarchy_summaries_->root_aggregate();
+  }
+
+  struct SelectionOutcome {
+    std::vector<selection::RankedDatabase> ranking;
+    // Instrumentation for Table 10: how many databases used R(D) for this
+    // query, out of how many considered.
+    size_t shrinkage_applied = 0;
+    size_t databases_considered = 0;
+  };
+
+  // Ranks all databases for the query with the given base algorithm and
+  // summary mode (the full pipeline of Figure 3). The ranking is a total
+  // order over the selected databases; callers take prefixes for any k.
+  SelectionOutcome SelectDatabases(const selection::Query& query,
+                                   const selection::ScoringFunction& scorer,
+                                   SummaryMode mode) const;
+
+  // The hierarchical baseline of [17] over the same summaries
+  // (QBS-Hierarchical / FPS-Hierarchical).
+  std::vector<selection::RankedDatabase> SelectHierarchical(
+      const selection::Query& query, const selection::ScoringFunction& scorer,
+      size_t k) const;
+
+ private:
+  const corpus::TopicHierarchy* hierarchy_;
+  std::vector<sampling::SampleResult> samples_;
+  std::vector<corpus::CategoryId> classifications_;
+  MetasearcherOptions options_;
+  std::unique_ptr<HierarchySummaries> hierarchy_summaries_;
+  std::unique_ptr<ShrinkageModel> shrinkage_;
+  std::unique_ptr<selection::HierarchicalSelector> hierarchical_;
+  AdaptiveSummarySelector adaptive_;
+};
+
+}  // namespace fedsearch::core
+
+#endif  // FEDSEARCH_CORE_METASEARCHER_H_

@@ -1,0 +1,202 @@
+#include "fedsearch/core/shrinkage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fedsearch::core {
+
+ShrunkSummary::ShrunkSummary(
+    std::vector<const summary::SummaryView*> components,
+    std::vector<double> lambdas, double uniform_probability)
+    : components_(std::move(components)),
+      lambdas_(std::move(lambdas)),
+      uniform_probability_(uniform_probability) {}
+
+double ShrunkSummary::num_documents() const {
+  return components_.back()->num_documents();
+}
+
+double ShrunkSummary::total_tokens() const {
+  return components_.back()->total_tokens();
+}
+
+double ShrunkSummary::MixtureProbDoc(const std::string& word) const {
+  double p = lambdas_[0] * uniform_probability_;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    p += lambdas_[i + 1] * components_[i]->ProbDoc(word);
+  }
+  return std::min(1.0, p);
+}
+
+double ShrunkSummary::MixtureProbToken(const std::string& word) const {
+  double p = lambdas_[0] * uniform_probability_;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    p += lambdas_[i + 1] * components_[i]->ProbToken(word);
+  }
+  return std::min(1.0, p);
+}
+
+double ShrunkSummary::DocFrequency(const std::string& word) const {
+  return MixtureProbDoc(word) * num_documents();
+}
+
+double ShrunkSummary::TokenFrequency(const std::string& word) const {
+  return MixtureProbToken(word) * total_tokens();
+}
+
+void ShrunkSummary::ForEachWord(
+    const std::function<void(const std::string&, const summary::WordStats&)>&
+        fn) const {
+  // Union over the component vocabularies, computed in a single
+  // accumulation pass (one hash probe per component word) instead of
+  // re-querying every component per word. The uniform C0 assigns mass to
+  // every conceivable word and is by construction not enumerable; it only
+  // contributes to the probabilities of enumerated words.
+  struct Probs {
+    double doc = 0.0;
+    double token = 0.0;
+  };
+  std::unordered_map<std::string, Probs> acc;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const summary::SummaryView* component = components_[i];
+    const double lambda = lambdas_[i + 1];
+    const double n = component->num_documents();
+    const double tokens = component->total_tokens();
+    if (lambda <= 0.0 || n <= 0.0) continue;
+    component->ForEachWord(
+        [&](const std::string& word, const summary::WordStats& stats) {
+          Probs& p = acc[word];
+          p.doc += lambda * std::min(1.0, stats.df / n);
+          if (tokens > 0.0) {
+            p.token += lambda * std::min(1.0, stats.ctf / tokens);
+          }
+        });
+  }
+  const double uniform = lambdas_[0] * uniform_probability_;
+  const double n = num_documents();
+  const double tokens = total_tokens();
+  for (const auto& [word, probs] : acc) {
+    fn(word, summary::WordStats{std::min(1.0, probs.doc + uniform) * n,
+                                std::min(1.0, probs.token + uniform) * tokens});
+  }
+}
+
+size_t ShrunkSummary::vocabulary_size() const {
+  std::unordered_set<std::string> words;
+  for (const summary::SummaryView* component : components_) {
+    component->ForEachWord(
+        [&](const std::string& word, const summary::WordStats&) {
+          words.insert(word);
+        });
+  }
+  return words.size();
+}
+
+std::vector<double> FitMixtureWeights(
+    const summary::ContentSummary& database_summary,
+    const std::vector<const summary::SummaryView*>& categories,
+    double uniform_probability, size_t sample_size,
+    const ShrinkageOptions& options) {
+  const size_t m = categories.size();
+  const size_t k = m + 2;  // uniform + categories + database
+  const double deleted_mass =
+      sample_size > 0 ? 1.0 / static_cast<double>(sample_size) : 0.0;
+
+  // Precompute the per-word component probabilities once; the EM loop then
+  // touches only this dense matrix. Rows: words of S(D); columns:
+  // C0, C1..Cm, D. The database column uses the deleted (cross-validated)
+  // estimate, and each word carries its sample document frequency as
+  // observation weight — see the header comment.
+  std::vector<double> probs;  // row-major, k columns
+  std::vector<double> weights;
+  size_t rows = 0;
+  database_summary.ForEachWord(
+      [&](const std::string& word, const summary::WordStats&) {
+        probs.push_back(uniform_probability);
+        for (const summary::SummaryView* c : categories) {
+          probs.push_back(c->ProbDoc(word));
+        }
+        const double p_db = database_summary.ProbDoc(word);
+        probs.push_back(std::max(0.0, p_db - deleted_mass));
+        weights.push_back(
+            sample_size > 0
+                ? std::max(1.0, p_db * static_cast<double>(sample_size))
+                : 1.0);
+        ++rows;
+      });
+
+  std::vector<double> lambdas(k, 1.0 / static_cast<double>(k));
+  if (rows == 0) return lambdas;
+
+  std::vector<double> beta(k, 0.0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(beta.begin(), beta.end(), 0.0);
+    // Expectation: β_i = Σ_w weight_w · λ_i p̂(w|C_i) / p̂_R(w|D).
+    for (size_t r = 0; r < rows; ++r) {
+      const double* row = &probs[r * k];
+      double p_r = 0.0;
+      for (size_t i = 0; i < k; ++i) p_r += lambdas[i] * row[i];
+      if (p_r <= 0.0) continue;
+      for (size_t i = 0; i < k; ++i) {
+        beta[i] += weights[r] * lambdas[i] * row[i] / p_r;
+      }
+    }
+    // Maximization: λ_i = β_i / Σ_j β_j.
+    double total = 0.0;
+    for (double b : beta) total += b;
+    if (total <= 0.0) break;
+    double max_delta = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      const double next = beta[i] / total;
+      max_delta = std::max(max_delta, std::fabs(next - lambdas[i]));
+      lambdas[i] = next;
+    }
+    if (max_delta < options.epsilon) break;
+  }
+  return lambdas;
+}
+
+ShrinkageModel::ShrinkageModel(const HierarchySummaries* hierarchy_summaries,
+                               std::vector<size_t> sample_sizes,
+                               const ShrinkageOptions& options)
+    : summaries_(hierarchy_summaries) {
+  const corpus::TopicHierarchy& h = summaries_->hierarchy();
+  const size_t n = summaries_->num_databases();
+  shrunk_.reserve(n);
+  paths_.reserve(n);
+  for (size_t db = 0; db < n; ++db) {
+    const corpus::CategoryId category = summaries_->classification(db);
+    std::vector<corpus::CategoryId> path = h.PathFromRoot(category);
+
+    // Level components, each exclusive of the data the next level uses
+    // (Definition 4's footnote): aggregate(Ci) − aggregate(Ci+1), and at
+    // the classification node, aggregate(Cm) − S(D).
+    std::vector<const summary::SummaryView*> components;
+    components.reserve(path.size() + 1);
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i + 1 < path.size()) {
+        components.push_back(
+            &summaries_->ExclusiveOfChild(path[i], path[i + 1]));
+      } else {
+        components.push_back(&summaries_->ExclusiveOfDatabase(path[i], db));
+      }
+    }
+    components.push_back(&summaries_->database_summary(db));
+
+    const size_t sample_size =
+        db < sample_sizes.size() ? sample_sizes[db] : 0;
+    std::vector<double> lambdas =
+        FitMixtureWeights(summaries_->database_summary(db),
+                          {components.begin(), components.end() - 1},
+                          summaries_->uniform_probability(), sample_size,
+                          options);
+    shrunk_.push_back(std::make_unique<ShrunkSummary>(
+        std::move(components), std::move(lambdas),
+        summaries_->uniform_probability()));
+    paths_.push_back(std::move(path));
+  }
+}
+
+}  // namespace fedsearch::core

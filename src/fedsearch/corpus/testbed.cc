@@ -1,0 +1,203 @@
+#include "fedsearch/corpus/testbed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fedsearch::corpus {
+namespace {
+
+size_t LogUniformSize(size_t lo, size_t hi, util::Rng& rng) {
+  if (hi <= lo) return lo;
+  const double x = rng.NextDouble(std::log(static_cast<double>(lo)),
+                                  std::log(static_cast<double>(hi)));
+  return static_cast<size_t>(std::lround(std::exp(x)));
+}
+
+}  // namespace
+
+TestbedOptions Testbed::Trec4Options(double scale) {
+  TestbedOptions o;
+  o.seed = 20040613;
+  o.web_layout = false;
+  o.num_databases = 100;
+  // At scale 1 the databases average a few thousand documents, like the
+  // clustered TREC collections; a 300-document sample then covers only a
+  // small fraction of a database, which is the regime the paper studies.
+  o.min_db_docs = std::max<size_t>(300, static_cast<size_t>(2400 * scale));
+  o.max_db_docs = std::max<size_t>(1000, static_cast<size_t>(16000 * scale));
+  o.num_queries = 50;
+  o.min_query_words = 8;
+  o.max_query_words = 26;  // TREC-4 range 8-34, mean 16.75
+  return o;
+}
+
+TestbedOptions Testbed::Trec6Options(double scale) {
+  TestbedOptions o = Trec4Options(scale);
+  o.seed = 19980601;
+  o.num_queries = 50;
+  o.min_query_words = 2;  // TREC-6 range 2-5, mean 2.75
+  o.max_query_words = 5;
+  o.relevance_min_terms = 1;
+  return o;
+}
+
+TestbedOptions Testbed::WebOptions(double scale) {
+  TestbedOptions o;
+  o.seed = 19700101;
+  o.web_layout = true;
+  // At scale 1.0 this is the paper's layout: 5 databases for each of the
+  // 54 leaf categories plus 45 arbitrary extra sites = 315 databases.
+  // Smaller scales shrink both the per-leaf multiplicity and the sizes.
+  o.databases_per_leaf = static_cast<size_t>(
+      std::clamp(std::lround(5.0 * scale), 1l, 5l));
+  const size_t extras = static_cast<size_t>(
+      std::clamp(std::lround(45.0 * scale), 5l, 45l));
+  o.num_databases = 54 * o.databases_per_leaf + extras;
+  o.min_db_docs = 100;
+  o.max_db_docs = std::max<size_t>(400, static_cast<size_t>(20000 * scale));
+  o.num_queries = 0;  // the Web set has no relevance judgments (Section 6.2)
+  return o;
+}
+
+Testbed::Testbed(const TestbedOptions& options) : options_(options) {
+  hierarchy_ = std::make_unique<TopicHierarchy>(TopicHierarchy::BuildDefault());
+  util::Rng rng(options_.seed);
+  model_ = std::make_unique<TopicModel>(hierarchy_.get(), options_.model, rng);
+  analyzer_ = std::make_unique<text::Analyzer>(options_.analyzer);
+
+  const std::vector<CategoryId> leaves = hierarchy_->Leaves();
+
+  // Decide each database's topic and size.
+  std::vector<CategoryId> topics;
+  if (options_.web_layout) {
+    for (CategoryId leaf : leaves) {
+      for (size_t i = 0; i < options_.databases_per_leaf; ++i) {
+        topics.push_back(leaf);
+      }
+    }
+    while (topics.size() < options_.num_databases) {
+      topics.push_back(leaves[rng.NextBounded(leaves.size())]);
+    }
+  } else {
+    std::vector<CategoryId> shuffled = leaves;
+    rng.Shuffle(shuffled);
+    for (size_t i = 0; i < options_.num_databases; ++i) {
+      topics.push_back(shuffled[i % shuffled.size()]);
+    }
+  }
+
+  // Generate the databases.
+  databases_.reserve(topics.size());
+  for (size_t i = 0; i < topics.size(); ++i) {
+    const CategoryId leaf = topics[i];
+    const size_t num_docs =
+        LogUniformSize(options_.min_db_docs, options_.max_db_docs, rng);
+    std::string name = options_.web_layout
+                           ? "www." + hierarchy_->node(leaf).name + "-" +
+                                 std::to_string(i) + ".example.com"
+                           : "db-" + std::to_string(i) + "-" +
+                                 hierarchy_->node(leaf).name;
+    auto db = std::make_unique<index::TextDatabase>(std::move(name),
+                                                    analyzer_.get());
+    util::Rng db_rng = rng.Fork();
+    const DatabaseVocabulary db_vocab =
+        model_->MakeDatabaseVocabulary(db_rng);
+    std::vector<CategoryId> doc_topics;
+    doc_topics.reserve(num_docs);
+    for (size_t d = 0; d < num_docs; ++d) {
+      CategoryId topic = leaf;
+      if (db_rng.NextBernoulli(options_.offtopic_fraction)) {
+        topic = PickOfftopicLeaf(leaf, db_rng);
+      }
+      db->AddDocument(
+          model_->GenerateDocumentText(topic, db_rng, &db_vocab));
+      doc_topics.push_back(topic);
+    }
+    total_documents_ += num_docs;
+    databases_.push_back(std::move(db));
+    categories_.push_back(leaf);
+    directory_categories_.push_back(
+        rng.NextBernoulli(options_.misclassified_fraction)
+            ? PickOfftopicLeaf(leaf, rng)
+            : leaf);
+    doc_topics_.push_back(std::move(doc_topics));
+  }
+
+  // Generate the query workload. Topics are drawn only from leaves that
+  // actually have databases, so every query has potential relevant results.
+  std::unordered_set<CategoryId> populated(categories_.begin(),
+                                           categories_.end());
+  std::vector<CategoryId> query_leaves(populated.begin(), populated.end());
+  std::sort(query_leaves.begin(), query_leaves.end());
+  for (size_t q = 0; q < options_.num_queries; ++q) {
+    TestQuery query;
+    query.topic = query_leaves[rng.NextBounded(query_leaves.size())];
+    if (rng.NextBernoulli(options_.internal_query_fraction)) {
+      // A query about the leaf's parent category: its relevant documents
+      // spread over every populated leaf of that subtree.
+      const CategoryId parent = hierarchy_->node(query.topic).parent;
+      if (parent != kInvalidCategory) query.topic = parent;
+    }
+    const size_t len = static_cast<size_t>(rng.NextInt(
+        static_cast<int64_t>(options_.min_query_words),
+        static_cast<int64_t>(options_.max_query_words)));
+    query.words = model_->GenerateQueryTerms(query.topic, len, rng);
+    for (const std::string& w : query.words) {
+      if (!query.text.empty()) query.text.push_back(' ');
+      query.text += w;
+    }
+    queries_.push_back(std::move(query));
+  }
+}
+
+CategoryId Testbed::PickOfftopicLeaf(CategoryId leaf, util::Rng& rng) const {
+  // Prefer a sibling leaf under the same parent; fall back to any leaf.
+  const CategoryId parent = hierarchy_->node(leaf).parent;
+  if (parent != kInvalidCategory) {
+    std::vector<CategoryId> sibling_leaves;
+    for (CategoryId c : hierarchy_->node(parent).children) {
+      if (c != leaf && hierarchy_->IsLeaf(c)) sibling_leaves.push_back(c);
+    }
+    if (!sibling_leaves.empty() && rng.NextBernoulli(0.7)) {
+      return sibling_leaves[rng.NextBounded(sibling_leaves.size())];
+    }
+  }
+  const std::vector<CategoryId> leaves = hierarchy_->Leaves();
+  return leaves[rng.NextBounded(leaves.size())];
+}
+
+size_t Testbed::CountRelevant(size_t query_index, size_t db_index) const {
+  const uint64_t key = (static_cast<uint64_t>(query_index) << 32) |
+                       static_cast<uint64_t>(db_index);
+  auto it = relevance_cache_.find(key);
+  if (it != relevance_cache_.end()) return it->second;
+
+  const TestQuery& q = queries_[query_index];
+  std::vector<std::string> terms = analyzer_->Analyze(q.text);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  const size_t threshold =
+      std::min(options_.relevance_min_terms, std::max<size_t>(1, terms.size()));
+
+  const index::TextDatabase& db = *databases_[db_index];
+  std::vector<uint16_t> hits(db.num_documents(), 0);
+  for (const std::string& t : terms) {
+    db.index().ForEachPosting(
+        t, [&](index::DocId doc, uint32_t) { ++hits[doc]; });
+  }
+  // A document is on-topic if its generating topic lies in the query
+  // topic's subtree (for leaf queries that is equality).
+  std::unordered_set<CategoryId> on_topic;
+  for (CategoryId c : hierarchy_->Subtree(q.topic)) on_topic.insert(c);
+
+  const std::vector<CategoryId>& topics = doc_topics_[db_index];
+  size_t relevant = 0;
+  for (size_t d = 0; d < hits.size(); ++d) {
+    if (hits[d] >= threshold && on_topic.count(topics[d]) > 0) ++relevant;
+  }
+  relevance_cache_.emplace(key, relevant);
+  return relevant;
+}
+
+}  // namespace fedsearch::corpus

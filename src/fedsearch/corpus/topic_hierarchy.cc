@@ -1,0 +1,165 @@
+#include "fedsearch/corpus/topic_hierarchy.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fedsearch::corpus {
+
+TopicHierarchy::TopicHierarchy(std::string root_name) {
+  Node root;
+  root.id = 0;
+  root.name = std::move(root_name);
+  nodes_.push_back(std::move(root));
+}
+
+CategoryId TopicHierarchy::AddCategory(std::string_view name,
+                                       CategoryId parent) {
+  Node n;
+  n.id = static_cast<CategoryId>(nodes_.size());
+  n.name = std::string(name);
+  n.parent = parent;
+  n.depth = node(parent).depth + 1;
+  max_depth_ = std::max(max_depth_, n.depth);
+  nodes_[static_cast<size_t>(parent)].children.push_back(n.id);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+std::vector<CategoryId> TopicHierarchy::Leaves() const {
+  std::vector<CategoryId> out;
+  for (const Node& n : nodes_) {
+    if (n.children.empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<CategoryId> TopicHierarchy::PathFromRoot(CategoryId id) const {
+  std::vector<CategoryId> path;
+  for (CategoryId cur = id; cur != kInvalidCategory; cur = node(cur).parent) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<CategoryId> TopicHierarchy::Subtree(CategoryId id) const {
+  std::vector<CategoryId> out;
+  std::vector<CategoryId> stack = {id};
+  while (!stack.empty()) {
+    const CategoryId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (CategoryId c : node(cur).children) stack.push_back(c);
+  }
+  return out;
+}
+
+CategoryId TopicHierarchy::FindByPath(std::string_view slash_path) const {
+  size_t pos = 0;
+  auto next_segment = [&]() -> std::string_view {
+    if (pos >= slash_path.size()) return {};
+    const size_t slash = slash_path.find('/', pos);
+    std::string_view seg =
+        slash == std::string_view::npos
+            ? slash_path.substr(pos)
+            : slash_path.substr(pos, slash - pos);
+    pos = slash == std::string_view::npos ? slash_path.size() : slash + 1;
+    return seg;
+  };
+
+  std::string_view seg = next_segment();
+  if (seg != node(0).name) return kInvalidCategory;
+  CategoryId cur = 0;
+  while (pos < slash_path.size()) {
+    seg = next_segment();
+    CategoryId found = kInvalidCategory;
+    for (CategoryId c : node(cur).children) {
+      if (node(c).name == seg) {
+        found = c;
+        break;
+      }
+    }
+    if (found == kInvalidCategory) return kInvalidCategory;
+    cur = found;
+  }
+  return cur;
+}
+
+std::string TopicHierarchy::PathString(CategoryId id) const {
+  std::string out;
+  for (CategoryId c : PathFromRoot(id)) {
+    if (!out.empty()) out += " -> ";
+    out += node(c).name;
+  }
+  return out;
+}
+
+TopicHierarchy TopicHierarchy::BuildDefault() {
+  TopicHierarchy h;
+  struct Spec {
+    const char* l1;
+    // Each entry: level-2 name followed by its (possibly empty) leaf
+    // children.
+    std::vector<std::pair<const char*, std::vector<const char*>>> l2;
+  };
+  const std::vector<Spec> specs = {
+      {"Arts",
+       {{"Literature", {"Texts", "Poetry", "Drama"}},
+        {"Music", {}},
+        {"Movies", {}},
+        {"Photography", {}},
+        {"Dance", {}}}},
+      {"Business",
+       {{"Finance", {"Banking", "Investing"}},
+        {"Jobs", {}},
+        {"Marketing", {}},
+        {"RealEstate", {}}}},
+      {"Computers",
+       {{"Programming", {"Java", "Cpp", "Perl"}},
+        {"Internet", {}},
+        {"Hardware", {}},
+        {"Security", {}},
+        {"Multimedia", {}}}},
+      {"Health",
+       {{"Diseases", {"Aids", "Cancer", "Diabetes", "Heart"}},
+        {"Medicine", {"Pharmacy", "Surgery"}},
+        {"Fitness", {}},
+        {"Nutrition", {}},
+        {"MentalHealth", {}}}},
+      {"Recreation",
+       {{"Outdoors", {"Camping", "Fishing"}},
+        {"Travel", {}},
+        {"Autos", {}},
+        {"Pets", {}},
+        {"Boating", {}}}},
+      {"Science",
+       {{"Biology", {"Genetics", "Ecology"}},
+        {"Physics", {"Astronomy", "Mechanics"}},
+        {"SocialSciences", {"Economics", "History", "Psychology"}},
+        {"Chemistry", {}},
+        {"Mathematics", {}},
+        {"Geology", {}}}},
+      {"Society",
+       {{"Politics", {}},
+        {"Law", {}},
+        {"Religion", {}},
+        {"Philosophy", {}},
+        {"Military", {}}}},
+      {"Sports",
+       {{"Soccer", {}},
+        {"Basketball", {}},
+        {"Baseball", {}},
+        {"Golf", {}},
+        {"Tennis", {}}}},
+  };
+  for (const Spec& spec : specs) {
+    const CategoryId l1 = h.AddCategory(spec.l1, h.root());
+    for (const auto& [l2_name, leaves] : spec.l2) {
+      const CategoryId l2 = h.AddCategory(l2_name, l1);
+      for (const char* leaf : leaves) h.AddCategory(leaf, l2);
+    }
+  }
+  return h;
+}
+
+}  // namespace fedsearch::corpus

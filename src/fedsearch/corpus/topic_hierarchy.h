@@ -1,0 +1,69 @@
+#ifndef FEDSEARCH_CORPUS_TOPIC_HIERARCHY_H_
+#define FEDSEARCH_CORPUS_TOPIC_HIERARCHY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedsearch::corpus {
+
+// Identifier of a category node (dense, root == 0).
+using CategoryId = int;
+
+inline constexpr CategoryId kInvalidCategory = -1;
+
+// A rooted topic hierarchy in the style of the Open Directory subset used by
+// the paper (72 nodes organized in 4 levels, 54 leaf categories).
+// Shrinkage (Section 3) and hierarchical selection [17] both operate on this
+// structure.
+class TopicHierarchy {
+ public:
+  struct Node {
+    CategoryId id = 0;
+    std::string name;
+    CategoryId parent = kInvalidCategory;
+    std::vector<CategoryId> children;
+    int depth = 0;  // root is 0
+  };
+
+  // Creates a hierarchy containing only the root category.
+  explicit TopicHierarchy(std::string root_name = "Root");
+
+  // Adds a category under `parent` and returns its id.
+  CategoryId AddCategory(std::string_view name, CategoryId parent);
+
+  // The 72-node / 4-level / 54-leaf default hierarchy modeled on the Open
+  // Directory subset of QProber [14] (the scheme of Section 5.1).
+  static TopicHierarchy BuildDefault();
+
+  CategoryId root() const { return 0; }
+  size_t size() const { return nodes_.size(); }
+  const Node& node(CategoryId id) const { return nodes_[static_cast<size_t>(id)]; }
+  bool IsLeaf(CategoryId id) const { return node(id).children.empty(); }
+  int max_depth() const { return max_depth_; }
+
+  // All leaf categories, in id order.
+  std::vector<CategoryId> Leaves() const;
+
+  // Path from the root (inclusive) to `id` (inclusive); Definition 4's
+  // C1, ..., Cm followed by the database level.
+  std::vector<CategoryId> PathFromRoot(CategoryId id) const;
+
+  // Category ids of the whole subtree rooted at `id` (including `id`).
+  std::vector<CategoryId> Subtree(CategoryId id) const;
+
+  // Looks up a category by a "Root/A/B" style path; returns
+  // kInvalidCategory if absent.
+  CategoryId FindByPath(std::string_view slash_path) const;
+
+  // Human-readable "Root -> A -> B" path string.
+  std::string PathString(CategoryId id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  int max_depth_ = 0;
+};
+
+}  // namespace fedsearch::corpus
+
+#endif  // FEDSEARCH_CORPUS_TOPIC_HIERARCHY_H_

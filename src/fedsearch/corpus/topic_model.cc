@@ -1,0 +1,217 @@
+#include "fedsearch/corpus/topic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fedsearch::corpus {
+namespace {
+
+// Function words injected into generated documents (a compact subset of the
+// analyzer's stopword list, so the analyzer removes them again — exercising
+// the full text pipeline).
+const char* const kFunctionWords[] = {
+    "the", "of",   "and", "a",    "in",   "to",   "is",   "was", "it",
+    "for", "on",   "are", "as",   "with", "they", "at",   "be",  "this",
+    "have", "from", "or",  "had",  "by",   "but",  "some", "what",
+};
+constexpr size_t kNumFunctionWords =
+    sizeof(kFunctionWords) / sizeof(kFunctionWords[0]);
+
+// Mixture over path levels for documents, by topic depth. Deeper topics
+// devote more mass to their specific vocabulary but always keep a large
+// general (root) component, mirroring real text.
+const std::vector<double>& DocMixtureForDepth(int depth) {
+  static const std::vector<double> kByDepth[4] = {
+      {1.0},
+      {0.55, 0.45},
+      {0.45, 0.20, 0.35},
+      {0.40, 0.12, 0.18, 0.30},
+  };
+  return kByDepth[std::min(depth, 3)];
+}
+
+// Mixture over path levels for queries: biased to the specific end, since
+// users querying about a topic use its characteristic words.
+const std::vector<double>& QueryMixtureForDepth(int depth) {
+  static const std::vector<double> kByDepth[4] = {
+      {1.0},
+      {0.30, 0.70},
+      {0.20, 0.30, 0.50},
+      {0.12, 0.18, 0.25, 0.45},
+  };
+  return kByDepth[std::min(depth, 3)];
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+CuratedSeedWords() {
+  static const auto* kSeeds = new std::vector<
+      std::pair<std::string, std::vector<std::string>>>{
+      {"Root", {"information", "system", "report", "world", "year"}},
+      {"Root/Health", {"medicine", "blood", "patient", "clinical", "hospital"}},
+      {"Root/Health/Diseases", {"disease", "syndrome", "infection", "symptom"}},
+      {"Root/Health/Diseases/Aids", {"aids", "hiv", "retrovirus", "hemophilia"}},
+      {"Root/Health/Diseases/Heart",
+       {"heart", "hypertension", "cardiac", "artery", "cholesterol"}},
+      {"Root/Health/Diseases/Cancer", {"cancer", "tumor", "oncology", "chemotherapy"}},
+      {"Root/Health/Diseases/Diabetes", {"diabetes", "insulin", "glucose"}},
+      {"Root/Computers", {"computer", "software", "data", "network"}},
+      {"Root/Computers/Programming", {"programming", "code", "compiler", "algorithm"}},
+      {"Root/Computers/Programming/Java", {"java", "applet", "bytecode", "jvm"}},
+      {"Root/Science", {"science", "research", "theory", "experiment"}},
+      {"Root/Science/Mathematics", {"mathematics", "theorem", "algebra", "geometry"}},
+      {"Root/Science/SocialSciences", {"society", "culture", "study"}},
+      {"Root/Science/SocialSciences/Economics",
+       {"economics", "market", "inflation", "trade", "monetary"}},
+      {"Root/Sports", {"sports", "team", "player", "game", "season"}},
+      {"Root/Sports/Soccer", {"soccer", "goal", "league", "striker"}},
+      {"Root/Arts", {"arts", "artist", "style", "gallery"}},
+      {"Root/Arts/Literature", {"literature", "author", "novel", "prose"}},
+      {"Root/Arts/Literature/Texts", {"text", "edition", "manuscript", "anthology"}},
+  };
+  return *kSeeds;
+}
+
+TopicModel::TopicModel(const TopicHierarchy* hierarchy,
+                       TopicModelOptions options, util::Rng& rng)
+    : hierarchy_(hierarchy), options_(options) {
+  const size_t n = hierarchy_->size();
+  node_words_.resize(n);
+
+  // Plant curated seeds first so they land at the top Zipf ranks.
+  for (const auto& [path, words] : CuratedSeedWords()) {
+    const CategoryId id = hierarchy_->FindByPath(path);
+    if (id == kInvalidCategory) continue;
+    node_words_[static_cast<size_t>(id)] = factory_.Claim(words);
+  }
+
+  node_samplers_.reserve(n);
+  query_samplers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int depth = hierarchy_->node(static_cast<CategoryId>(i)).depth;
+    const size_t target =
+        options_.vocab_size_by_depth[std::min(depth, 3)];
+    std::vector<std::string>& words = node_words_[i];
+    while (words.size() < target) words.push_back(factory_.MakeWord(rng));
+    node_samplers_.emplace_back(
+        ZipfWeights(words.size(), options_.zipf_exponent));
+    query_samplers_.emplace_back(
+        ZipfWeights(words.size(), options_.query_zipf_exponent));
+  }
+}
+
+std::vector<double> TopicModel::ZipfWeights(size_t n, double exponent) const {
+  // Mandelbrot rank-frequency weights, most frequent first.
+  std::vector<double> weights;
+  weights.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    weights.push_back(
+        1.0 /
+        std::pow(static_cast<double>(r + 1) + options_.zipf_shift, exponent));
+  }
+  return weights;
+}
+
+DatabaseVocabulary TopicModel::MakeDatabaseVocabulary(util::Rng& rng) {
+  DatabaseVocabulary v;
+  v.words = factory_.MakeWords(options_.database_vocab_size, rng);
+  v.sampler = util::DiscreteSampler(
+      ZipfWeights(v.words.size(), options_.zipf_exponent));
+  v.weight = options_.database_vocab_weight;
+  return v;
+}
+
+std::vector<double> TopicModel::DocumentLevelMixture(CategoryId topic) const {
+  return DocMixtureForDepth(hierarchy_->node(topic).depth);
+}
+
+const std::string& TopicModel::SampleNodeWord(CategoryId node,
+                                              util::Rng& rng) const {
+  const size_t i = node_samplers_[static_cast<size_t>(node)].Sample(rng);
+  return node_words_[static_cast<size_t>(node)][i];
+}
+
+const std::string& TopicModel::SampleTopicWord(CategoryId topic,
+                                               util::Rng& rng) const {
+  const std::vector<CategoryId> path = hierarchy_->PathFromRoot(topic);
+  const std::vector<double>& mix = DocMixtureForDepth(
+      hierarchy_->node(topic).depth);
+  const size_t level = rng.NextDiscrete(mix);
+  return SampleNodeWord(path[std::min(level, path.size() - 1)], rng);
+}
+
+std::string TopicModel::GenerateDocumentText(
+    CategoryId topic, util::Rng& rng,
+    const DatabaseVocabulary* db_vocab) const {
+  const double log_len = std::log(options_.doc_length_mean) +
+                         options_.doc_length_sigma * rng.NextGaussian();
+  size_t len = static_cast<size_t>(std::lround(std::exp(log_len)));
+  len = std::clamp(len, options_.min_doc_tokens, options_.max_doc_tokens);
+
+  const std::vector<CategoryId> path = hierarchy_->PathFromRoot(topic);
+  const std::vector<double>& mix =
+      DocMixtureForDepth(hierarchy_->node(topic).depth);
+
+  std::string text;
+  text.reserve(len * 8);
+  for (size_t i = 0; i < len; ++i) {
+    if (!text.empty()) text.push_back(' ');
+    if (rng.NextBernoulli(options_.stopword_rate)) {
+      text += kFunctionWords[rng.NextBounded(kNumFunctionWords)];
+    } else if (db_vocab != nullptr && !db_vocab->words.empty() &&
+               rng.NextBernoulli(db_vocab->weight)) {
+      text += db_vocab->words[db_vocab->sampler.Sample(rng)];
+    } else {
+      const size_t level = rng.NextDiscrete(mix);
+      text += SampleNodeWord(path[std::min(level, path.size() - 1)], rng);
+    }
+  }
+  return text;
+}
+
+std::vector<std::string> TopicModel::GenerateQueryTerms(
+    CategoryId topic, size_t num_words, util::Rng& rng) const {
+  const std::vector<CategoryId> path = hierarchy_->PathFromRoot(topic);
+  const std::vector<double>& mix =
+      QueryMixtureForDepth(hierarchy_->node(topic).depth);
+  std::vector<std::string> terms;
+  std::unordered_set<std::string> seen;
+  size_t attempts = 0;
+  while (terms.size() < num_words && attempts < num_words * 50) {
+    ++attempts;
+    const size_t level = rng.NextDiscrete(mix);
+    const CategoryId node = path[std::min(level, path.size() - 1)];
+    const std::string& w =
+        node_words_[static_cast<size_t>(node)]
+                   [query_samplers_[static_cast<size_t>(node)].Sample(rng)];
+    if (seen.insert(w).second) terms.push_back(w);
+  }
+  return terms;
+}
+
+std::vector<std::string> TopicModel::CharacteristicWords(CategoryId node,
+                                                         size_t n) const {
+  const std::vector<std::string>& words =
+      node_words_[static_cast<size_t>(node)];
+  const size_t k = std::min(n, words.size());
+  return {words.begin(), words.begin() + static_cast<long>(k)};
+}
+
+std::vector<std::string> BuildSamplerDictionary(const TopicModel& model,
+                                                size_t per_node,
+                                                uint64_t seed) {
+  const TopicHierarchy& h = model.hierarchy();
+  std::vector<std::string> dictionary;
+  for (CategoryId c = 0; c < static_cast<CategoryId>(h.size()); ++c) {
+    for (std::string& w : model.CharacteristicWords(c, per_node)) {
+      dictionary.push_back(std::move(w));
+    }
+  }
+  util::Rng rng(seed);
+  rng.Shuffle(dictionary);
+  return dictionary;
+}
+
+}  // namespace fedsearch::corpus

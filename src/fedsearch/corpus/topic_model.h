@@ -1,0 +1,154 @@
+#ifndef FEDSEARCH_CORPUS_TOPIC_MODEL_H_
+#define FEDSEARCH_CORPUS_TOPIC_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fedsearch/corpus/topic_hierarchy.h"
+#include "fedsearch/corpus/word_factory.h"
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::corpus {
+
+// A database-private vocabulary: Zipf-distributed words that appear only in
+// one database's documents. Created via TopicModel::MakeDatabaseVocabulary
+// so the words are globally unique.
+struct DatabaseVocabulary {
+  std::vector<std::string> words;  // most frequent first
+  util::DiscreteSampler sampler{{}};
+  double weight = 0.0;  // fraction of content tokens drawn from it
+};
+
+// Parameters of the synthetic hierarchical language model.
+struct TopicModelOptions {
+  // Vocabulary sizes of the node-specific word lists, by node depth
+  // (root = 0). Category-specific vocabularies are pairwise disjoint.
+  size_t vocab_size_by_depth[4] = {18000, 6000, 4000, 3000};
+
+  // Within-node rank-frequency distribution follows Mandelbrot's law
+  // f(r) = 1 / (r + shift)^exponent, the distribution Appendix A fits.
+  double zipf_exponent = 1.1;
+  double zipf_shift = 2.0;
+
+  // Query words are drawn with a flatter exponent so queries contain the
+  // mid- and low-frequency words real users type ("hemophilia") — the
+  // words small document samples miss, which is the regime the paper's
+  // selection experiments probe.
+  double query_zipf_exponent = 0.75;
+
+  // Fraction of raw document tokens that are function words.
+  double stopword_rate = 0.30;
+
+  // Per-database specific vocabulary (see MakeDatabaseVocabulary): its size
+  // and the fraction of content tokens drawn from it. Real databases under
+  // the same category share topic vocabulary but also have words of their
+  // own; this keeps same-category databases distinguishable.
+  size_t database_vocab_size = 800;
+  double database_vocab_weight = 0.10;
+
+  // Raw document length: lognormal around `doc_length_mean` tokens with
+  // log-space sigma `doc_length_sigma`, clamped to [min, max].
+  double doc_length_mean = 90.0;
+  double doc_length_sigma = 0.45;
+  size_t min_doc_tokens = 20;
+  size_t max_doc_tokens = 400;
+};
+
+// A generative model of topical text over a TopicHierarchy.
+//
+// Every category node owns a disjoint, Zipf-distributed vocabulary; a
+// document about topic T mixes words from the vocabularies along T's
+// root-to-leaf path (general words from the root, increasingly specific
+// words deeper down). This reproduces the two statistical properties the
+// paper's experiments rest on:
+//   1. word frequencies in any database follow a power law (Zipf/Mandelbrot),
+//      so small samples miss the vocabulary tail (Section 2.2);
+//   2. databases under topically-related categories share vocabulary
+//      (Section 3.1's key observation), making shrinkage effective.
+//
+// This model is the stand-in for the TREC and crawled-web corpora of
+// Section 5.1 (see DESIGN.md's substitution table).
+class TopicModel {
+ public:
+  // The hierarchy must outlive the model. All randomness is drawn from
+  // `rng` during construction; generation methods take their own Rng so
+  // corpora can be regenerated independently and deterministically.
+  TopicModel(const TopicHierarchy* hierarchy, TopicModelOptions options,
+             util::Rng& rng);
+
+  TopicModel(const TopicModel&) = delete;
+  TopicModel& operator=(const TopicModel&) = delete;
+
+  const TopicHierarchy& hierarchy() const { return *hierarchy_; }
+  const TopicModelOptions& options() const { return options_; }
+
+  // Node-specific vocabulary, most-frequent first.
+  const std::vector<std::string>& WordsOf(CategoryId node) const {
+    return node_words_[static_cast<size_t>(node)];
+  }
+
+  // Level mixture used when generating a document about `topic`: weight i
+  // applies to PathFromRoot(topic)[i]'s vocabulary.
+  std::vector<double> DocumentLevelMixture(CategoryId topic) const;
+
+  // Samples one content word for a document about `topic`.
+  const std::string& SampleTopicWord(CategoryId topic, util::Rng& rng) const;
+
+  // Samples a word from one node's own vocabulary.
+  const std::string& SampleNodeWord(CategoryId node, util::Rng& rng) const;
+
+  // Generates the raw text of one document about `topic` (content words
+  // interleaved with function words, space-separated). If `db_vocab` is
+  // given, its weight-fraction of content tokens comes from it.
+  std::string GenerateDocumentText(
+      CategoryId topic, util::Rng& rng,
+      const DatabaseVocabulary* db_vocab = nullptr) const;
+
+  // Allocates a fresh database-private vocabulary (options().database_vocab_*
+  // control its shape). Words never collide with category vocabularies or
+  // with other databases'.
+  DatabaseVocabulary MakeDatabaseVocabulary(util::Rng& rng);
+
+  // Generates `num_words` distinct query words about `topic`, biased toward
+  // the topic-specific end of the path. Used for TREC-style query sets.
+  std::vector<std::string> GenerateQueryTerms(CategoryId topic,
+                                              size_t num_words,
+                                              util::Rng& rng) const;
+
+  // The `n` most frequent node-specific words: the probe rules a trained
+  // document classifier would key on (substitute for the RIPPER rules that
+  // drive Focused Probing in [14, 17]).
+  std::vector<std::string> CharacteristicWords(CategoryId node,
+                                               size_t n) const;
+
+ private:
+  std::vector<double> ZipfWeights(size_t n, double exponent) const;
+
+  const TopicHierarchy* hierarchy_;
+  TopicModelOptions options_;
+  WordFactory factory_;
+  std::vector<std::vector<std::string>> node_words_;     // by CategoryId
+  std::vector<util::DiscreteSampler> node_samplers_;     // by CategoryId
+  std::vector<util::DiscreteSampler> query_samplers_;    // by CategoryId
+};
+
+// Builds a query dictionary for bootstrap sampling (the stand-in for the
+// English dictionary QBS seeds its first queries from): the `per_node` most
+// frequent words of every category vocabulary, shuffled deterministically
+// by `seed`.
+std::vector<std::string> BuildSamplerDictionary(const TopicModel& model,
+                                                size_t per_node,
+                                                uint64_t seed = 7);
+
+// Curated, human-readable seed words for selected categories (by slash
+// path). They occupy the top ranks of those categories' vocabularies so
+// example programs can show recognizable words ("hypertension" under
+// Root/Health/Diseases/Heart, per Figure 1 of the paper).
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+CuratedSeedWords();
+
+}  // namespace fedsearch::corpus
+
+#endif  // FEDSEARCH_CORPUS_TOPIC_MODEL_H_

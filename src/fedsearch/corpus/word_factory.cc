@@ -1,0 +1,45 @@
+#include "fedsearch/corpus/word_factory.h"
+
+namespace fedsearch::corpus {
+namespace {
+
+constexpr char kConsonants[] = "bcdfghjklmnpqrstvwz";
+constexpr char kVowels[] = "aeiou";
+
+}  // namespace
+
+std::string WordFactory::MakeWord(util::Rng& rng) {
+  while (true) {
+    // 2-5 consonant-vowel syllables, occasionally with a trailing consonant.
+    const int syllables = static_cast<int>(rng.NextInt(2, 5));
+    std::string w;
+    w.reserve(static_cast<size_t>(2 * syllables + 1));
+    for (int i = 0; i < syllables; ++i) {
+      w.push_back(kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)]);
+      w.push_back(kVowels[rng.NextBounded(sizeof(kVowels) - 1)]);
+    }
+    if (rng.NextBernoulli(0.3)) {
+      w.push_back(kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)]);
+    }
+    if (used_.insert(w).second) return w;
+  }
+}
+
+std::vector<std::string> WordFactory::MakeWords(size_t n, util::Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(MakeWord(rng));
+  return out;
+}
+
+std::vector<std::string> WordFactory::Claim(
+    const std::vector<std::string>& words) {
+  std::vector<std::string> claimed;
+  claimed.reserve(words.size());
+  for (const std::string& w : words) {
+    if (used_.insert(w).second) claimed.push_back(w);
+  }
+  return claimed;
+}
+
+}  // namespace fedsearch::corpus

@@ -1,0 +1,41 @@
+#ifndef FEDSEARCH_CORPUS_WORD_FACTORY_H_
+#define FEDSEARCH_CORPUS_WORD_FACTORY_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::corpus {
+
+// Generates globally-unique synthetic vocabulary words. Words are
+// pronounceable-ish consonant/vowel alternations of 4-10 letters, so they
+// behave like natural-language tokens under tokenization and stemming.
+//
+// Uniqueness is guaranteed across all calls on one factory instance, which
+// is what makes category-specific vocabularies disjoint by construction.
+class WordFactory {
+ public:
+  WordFactory() = default;
+
+  // Generates one fresh word.
+  std::string MakeWord(util::Rng& rng);
+
+  // Generates `n` fresh words.
+  std::vector<std::string> MakeWords(size_t n, util::Rng& rng);
+
+  // Registers externally-supplied (curated) words so later generated words
+  // cannot collide with them. Returns only those not already in use, i.e.
+  // the ones the caller may safely claim.
+  std::vector<std::string> Claim(const std::vector<std::string>& words);
+
+  size_t words_issued() const { return used_.size(); }
+
+ private:
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace fedsearch::corpus
+
+#endif  // FEDSEARCH_CORPUS_WORD_FACTORY_H_

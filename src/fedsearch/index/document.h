@@ -1,0 +1,20 @@
+#ifndef FEDSEARCH_INDEX_DOCUMENT_H_
+#define FEDSEARCH_INDEX_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fedsearch::index {
+
+// Identifier of a document within one database (dense, 0-based).
+using DocId = uint32_t;
+
+// A stored document: raw text plus its database-local id.
+struct Document {
+  DocId id = 0;
+  std::string text;
+};
+
+}  // namespace fedsearch::index
+
+#endif  // FEDSEARCH_INDEX_DOCUMENT_H_

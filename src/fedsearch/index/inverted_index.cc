@@ -1,0 +1,209 @@
+#include "fedsearch/index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace fedsearch::index {
+
+DocId InvertedIndex::AddDocument(const std::vector<std::string>& terms) {
+  const DocId doc = static_cast<DocId>(doc_lengths_.size());
+  doc_lengths_.push_back(static_cast<uint32_t>(terms.size()));
+  total_occurrences_ += terms.size();
+
+  // Aggregate per-term counts for this document first, then append one
+  // posting per distinct term (keeps postings sorted by doc id).
+  std::unordered_map<text::TermId, uint32_t> counts;
+  counts.reserve(terms.size());
+  for (const std::string& term : terms) {
+    const text::TermId id = vocab_.Intern(term);
+    if (id >= postings_.size()) {
+      postings_.resize(id + 1);
+      collection_freq_.resize(id + 1, 0);
+    }
+    ++counts[id];
+  }
+  for (const auto& [id, tf] : counts) {
+    postings_[id].push_back(Posting{doc, tf});
+    collection_freq_[id] += tf;
+  }
+  return doc;
+}
+
+size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
+  const text::TermId id = vocab_.Lookup(term);
+  return id == text::kInvalidTermId ? 0 : postings_[id].size();
+}
+
+uint64_t InvertedIndex::CollectionFrequency(std::string_view term) const {
+  const text::TermId id = vocab_.Lookup(term);
+  return id == text::kInvalidTermId ? 0 : collection_freq_[id];
+}
+
+bool InvertedIndex::ResolveTerms(const std::vector<std::string>& terms,
+                                 std::vector<text::TermId>& ids) const {
+  ids.clear();
+  ids.reserve(terms.size());
+  for (const std::string& term : terms) {
+    const text::TermId id = vocab_.Lookup(term);
+    if (id == text::kInvalidTermId) return false;
+    ids.push_back(id);
+  }
+  return !ids.empty();
+}
+
+size_t InvertedIndex::CountConjunctiveMatches(
+    const std::vector<std::string>& terms) const {
+  std::vector<text::TermId> ids;
+  if (!ResolveTerms(terms, ids)) return 0;
+  // Intersect postings starting from the shortest list. Postings within a
+  // term are sorted by doc id, so merge-intersect.
+  std::sort(ids.begin(), ids.end(), [&](text::TermId a, text::TermId b) {
+    return postings_[a].size() < postings_[b].size();
+  });
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::vector<DocId> current;
+  current.reserve(postings_[ids[0]].size());
+  for (const Posting& p : postings_[ids[0]]) current.push_back(p.doc);
+  for (size_t i = 1; i < ids.size() && !current.empty(); ++i) {
+    const auto& plist = postings_[ids[i]];
+    std::vector<DocId> next;
+    next.reserve(std::min(current.size(), plist.size()));
+    size_t a = 0, b = 0;
+    while (a < current.size() && b < plist.size()) {
+      if (current[a] < plist[b].doc) {
+        ++a;
+      } else if (current[a] > plist[b].doc) {
+        ++b;
+      } else {
+        next.push_back(current[a]);
+        ++a;
+        ++b;
+      }
+    }
+    current = std::move(next);
+  }
+  return current.size();
+}
+
+std::vector<SearchHit> InvertedIndex::SearchTopK(
+    const std::vector<std::string>& terms, size_t k,
+    const std::unordered_set<DocId>* exclude) const {
+  std::vector<SearchHit> hits;
+  if (k == 0) return hits;
+  std::vector<text::TermId> ids;
+  if (!ResolveTerms(terms, ids)) return hits;
+  std::sort(ids.begin(), ids.end(), [&](text::TermId a, text::TermId b) {
+    return postings_[a].size() < postings_[b].size();
+  });
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  // Conjunctive candidate set with accumulated tf-idf scores.
+  struct Cand {
+    DocId doc;
+    double score;
+  };
+  const double n_docs = static_cast<double>(num_documents());
+  auto idf = [&](text::TermId id) {
+    const double df = static_cast<double>(postings_[id].size());
+    return std::log(1.0 + n_docs / (df + 1.0));
+  };
+
+  std::vector<Cand> current;
+  {
+    const double w = idf(ids[0]);
+    current.reserve(postings_[ids[0]].size());
+    for (const Posting& p : postings_[ids[0]]) {
+      const double norm =
+          static_cast<double>(std::max<uint32_t>(1, doc_lengths_[p.doc]));
+      current.push_back(Cand{p.doc, w * p.tf / norm});
+    }
+  }
+  for (size_t i = 1; i < ids.size() && !current.empty(); ++i) {
+    const auto& plist = postings_[ids[i]];
+    const double w = idf(ids[i]);
+    std::vector<Cand> next;
+    next.reserve(std::min(current.size(), plist.size()));
+    size_t a = 0, b = 0;
+    while (a < current.size() && b < plist.size()) {
+      if (current[a].doc < plist[b].doc) {
+        ++a;
+      } else if (current[a].doc > plist[b].doc) {
+        ++b;
+      } else {
+        const double norm = static_cast<double>(
+            std::max<uint32_t>(1, doc_lengths_[current[a].doc]));
+        next.push_back(
+            Cand{current[a].doc, current[a].score + w * plist[b].tf / norm});
+        ++a;
+        ++b;
+      }
+    }
+    current = std::move(next);
+  }
+
+  for (const Cand& c : current) {
+    if (exclude != nullptr && exclude->count(c.doc) > 0) continue;
+    hits.push_back(SearchHit{c.doc, c.score});
+  }
+  // Deterministic top-k: score desc, doc id asc.
+  auto better = [](const SearchHit& x, const SearchHit& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.doc < y.doc;
+  };
+  if (hits.size() > k) {
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
+                      hits.end(), better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), better);
+  }
+  return hits;
+}
+
+std::vector<SearchHit> InvertedIndex::SearchTopKDisjunctive(
+    const std::vector<std::string>& terms, size_t k) const {
+  std::vector<SearchHit> hits;
+  if (k == 0 || terms.empty()) return hits;
+
+  std::vector<text::TermId> ids;
+  ids.reserve(terms.size());
+  for (const std::string& term : terms) {
+    const text::TermId id = vocab_.Lookup(term);
+    if (id != text::kInvalidTermId) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.empty()) return hits;
+
+  const double n_docs = static_cast<double>(num_documents());
+  std::unordered_map<DocId, double> scores;
+  for (text::TermId id : ids) {
+    const double df = static_cast<double>(postings_[id].size());
+    const double idf = std::log(1.0 + n_docs / (df + 1.0));
+    for (const Posting& p : postings_[id]) {
+      const double norm =
+          static_cast<double>(std::max<uint32_t>(1, doc_lengths_[p.doc]));
+      scores[p.doc] += idf * p.tf / norm;
+    }
+  }
+
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back(SearchHit{doc, score});
+  }
+  auto better = [](const SearchHit& x, const SearchHit& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.doc < y.doc;
+  };
+  if (hits.size() > k) {
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
+                      hits.end(), better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), better);
+  }
+  return hits;
+}
+
+}  // namespace fedsearch::index

@@ -1,0 +1,109 @@
+#ifndef FEDSEARCH_INDEX_INVERTED_INDEX_H_
+#define FEDSEARCH_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "fedsearch/index/document.h"
+#include "fedsearch/text/vocabulary.h"
+
+namespace fedsearch::index {
+
+// One ranked search hit.
+struct SearchHit {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+// In-memory inverted index over analyzed terms for a single database.
+//
+// Postings are kept sorted by document id (documents are appended in id
+// order). Supports the two operations the rest of the system needs:
+//   * conjunctive match counting (the "N matches" figure a web search
+//     interface reports), and
+//   * ranked tf-idf retrieval over the matching documents, with an optional
+//     exclusion set (used by the samplers to fetch previously-unseen docs).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  // Adds the next document (ids are assigned densely in call order) with the
+  // given analyzed terms. Returns the new document's id.
+  DocId AddDocument(const std::vector<std::string>& terms);
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+  uint64_t total_term_occurrences() const { return total_occurrences_; }
+  size_t vocabulary_size() const { return vocab_.size(); }
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+
+  // Document frequency: number of documents containing `term`.
+  size_t DocumentFrequency(std::string_view term) const;
+
+  // Collection term frequency: total occurrences of `term`.
+  uint64_t CollectionFrequency(std::string_view term) const;
+
+  // Number of documents containing ALL of `terms` (empty terms -> 0).
+  size_t CountConjunctiveMatches(const std::vector<std::string>& terms) const;
+
+  // Top-k documents containing all of `terms`, ranked by a tf-idf score,
+  // skipping documents in `exclude` (may be null). Deterministic: ties are
+  // broken by ascending document id.
+  std::vector<SearchHit> SearchTopK(
+      const std::vector<std::string>& terms, size_t k,
+      const std::unordered_set<DocId>* exclude = nullptr) const;
+
+  // Disjunctive (OR) ranked retrieval: top-k documents containing at least
+  // one term, by accumulated tf-idf. Used by ReDDE's centralized sample
+  // index, where conjunctive semantics would be far too strict for long
+  // queries. Same determinism guarantees as SearchTopK.
+  std::vector<SearchHit> SearchTopKDisjunctive(
+      const std::vector<std::string>& terms, size_t k) const;
+
+  // Iterates the full index: calls fn(term, document_frequency,
+  // collection_frequency) for every term. Used to build the "perfect"
+  // content summary S(D) of Section 6.1.
+  template <typename Fn>
+  void ForEachTerm(Fn&& fn) const {
+    for (text::TermId t = 0; t < vocab_.size(); ++t) {
+      fn(vocab_.TermOf(t), postings_[t].size(), collection_freq_[t]);
+    }
+  }
+
+  // Calls fn(doc_id, tf) for every document containing `term`. Used by the
+  // evaluation harness to compute relevance judgments.
+  template <typename Fn>
+  void ForEachPosting(std::string_view term, Fn&& fn) const {
+    const text::TermId id = vocab_.Lookup(term);
+    if (id == text::kInvalidTermId) return;
+    for (const Posting& p : postings_[id]) fn(p.doc, p.tf);
+  }
+
+ private:
+  struct Posting {
+    DocId doc;
+    uint32_t tf;
+  };
+
+  // Returns postings list ids for the terms, or empty if any term is
+  // unknown (conjunctive semantics: unknown term -> no matches).
+  bool ResolveTerms(const std::vector<std::string>& terms,
+                    std::vector<text::TermId>& ids) const;
+
+  text::Vocabulary vocab_;
+  std::vector<std::vector<Posting>> postings_;   // indexed by TermId
+  std::vector<uint64_t> collection_freq_;        // indexed by TermId
+  std::vector<uint32_t> doc_lengths_;            // indexed by DocId
+  uint64_t total_occurrences_ = 0;
+};
+
+}  // namespace fedsearch::index
+
+#endif  // FEDSEARCH_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,30 @@
+#include "fedsearch/index/text_database.h"
+
+#include <utility>
+
+namespace fedsearch::index {
+
+TextDatabase::TextDatabase(std::string name, const text::Analyzer* analyzer)
+    : name_(std::move(name)), analyzer_(analyzer) {}
+
+DocId TextDatabase::AddDocument(std::string text) {
+  const std::vector<std::string> terms = analyzer_->Analyze(text);
+  const DocId id = index_.AddDocument(terms);
+  docs_.push_back(Document{id, std::move(text)});
+  return id;
+}
+
+QueryResult TextDatabase::Query(
+    std::string_view query_text, size_t top_k,
+    const std::unordered_set<DocId>* exclude) const {
+  QueryResult result;
+  const std::vector<std::string> terms = analyzer_->Analyze(query_text);
+  if (terms.empty()) return result;
+  result.num_matches = index_.CountConjunctiveMatches(terms);
+  for (const SearchHit& hit : index_.SearchTopK(terms, top_k, exclude)) {
+    result.docs.push_back(hit.doc);
+  }
+  return result;
+}
+
+}  // namespace fedsearch::index

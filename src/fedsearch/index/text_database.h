@@ -1,0 +1,75 @@
+#ifndef FEDSEARCH_INDEX_TEXT_DATABASE_H_
+#define FEDSEARCH_INDEX_TEXT_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "fedsearch/index/document.h"
+#include "fedsearch/index/inverted_index.h"
+#include "fedsearch/text/analyzer.h"
+
+namespace fedsearch::index {
+
+// What a query against the database's public search interface returns: the
+// reported number of matches plus the ids of the top-ranked hits. This is
+// the complete "uncooperative database" contract of Section 2.2 — no content
+// summaries, no metadata, just search.
+struct QueryResult {
+  // Number of documents matching the (conjunctive) query, as search engines
+  // report ("[hemophilia] returns 15,158 matches", Example 1).
+  size_t num_matches = 0;
+  // Top-ranked matching documents, already filtered by the caller-provided
+  // exclusion set.
+  std::vector<DocId> docs;
+};
+
+// A searchable text database. Construction-side methods (AddDocument) are
+// used by the corpus builder; Query/FetchDocument form the public search
+// interface that samplers are restricted to. Evaluation-only accessors
+// (num_documents, index) are used to compute the "perfect" content summary
+// S(D) and the gold metrics, never by the samplers themselves.
+class TextDatabase {
+ public:
+  // `analyzer` must outlive the database.
+  TextDatabase(std::string name, const text::Analyzer* analyzer);
+
+  TextDatabase(const TextDatabase&) = delete;
+  TextDatabase& operator=(const TextDatabase&) = delete;
+  TextDatabase(TextDatabase&&) = default;
+  TextDatabase& operator=(TextDatabase&&) = default;
+
+  // Indexes and stores one document. Returns its id.
+  DocId AddDocument(std::string text);
+
+  // --- Public ("uncooperative") search interface -------------------------
+
+  // Runs `query_text` through the same analyzer as the documents and
+  // evaluates it conjunctively. At most `top_k` hits are returned; documents
+  // in `exclude` (may be null) are skipped in the ranked results but still
+  // counted in num_matches.
+  QueryResult Query(std::string_view query_text, size_t top_k,
+                    const std::unordered_set<DocId>* exclude = nullptr) const;
+
+  // Downloads a result document (samplers call this for each returned hit).
+  const Document& FetchDocument(DocId id) const { return docs_[id]; }
+
+  const std::string& name() const { return name_; }
+
+  // --- Evaluation-only access --------------------------------------------
+
+  size_t num_documents() const { return docs_.size(); }
+  const InvertedIndex& index() const { return index_; }
+  const text::Analyzer& analyzer() const { return *analyzer_; }
+
+ private:
+  std::string name_;
+  const text::Analyzer* analyzer_;
+  InvertedIndex index_;
+  std::vector<Document> docs_;
+};
+
+}  // namespace fedsearch::index
+
+#endif  // FEDSEARCH_INDEX_TEXT_DATABASE_H_

@@ -1,0 +1,105 @@
+#include "fedsearch/sampling/fps_sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fedsearch::sampling {
+
+ProbeRuleSet::ProbeRuleSet(const corpus::TopicHierarchy* hierarchy,
+                           std::vector<std::vector<ProbeRule>> rules_by_category)
+    : hierarchy_(hierarchy), rules_(std::move(rules_by_category)) {
+  rules_.resize(hierarchy_->size());
+}
+
+ProbeRuleSet ProbeRuleSet::FromTopicModel(const corpus::TopicModel& model,
+                                          size_t single_word_rules,
+                                          size_t pair_rules) {
+  const corpus::TopicHierarchy& h = model.hierarchy();
+  std::vector<std::vector<ProbeRule>> rules(h.size());
+  for (corpus::CategoryId c = 0; c < static_cast<corpus::CategoryId>(h.size());
+       ++c) {
+    const std::vector<std::string> words =
+        model.CharacteristicWords(c, single_word_rules + 2 * pair_rules);
+    std::vector<ProbeRule>& out = rules[static_cast<size_t>(c)];
+    size_t i = 0;
+    for (; i < single_word_rules && i < words.size(); ++i) {
+      out.push_back(ProbeRule{c, {words[i]}});
+    }
+    for (size_t p = 0; p < pair_rules && i + 1 < words.size(); ++p, i += 2) {
+      out.push_back(ProbeRule{c, {words[i], words[i + 1]}});
+    }
+  }
+  return ProbeRuleSet(&h, std::move(rules));
+}
+
+FpsSampler::FpsSampler(FpsOptions options, const ProbeRuleSet* rules)
+    : options_(options), rules_(rules) {}
+
+std::vector<size_t> FpsSampler::ProbeChildren(const index::TextDatabase& db,
+                                              corpus::CategoryId node,
+                                              SampleCollector& collector,
+                                              size_t& queries_sent) const {
+  const corpus::TopicHierarchy& h = rules_->hierarchy();
+  const std::vector<corpus::CategoryId>& children = h.node(node).children;
+  std::vector<size_t> coverage(children.size(), 0);
+  for (size_t i = 0; i < children.size(); ++i) {
+    for (const ProbeRule& rule : rules_->RulesFor(children[i])) {
+      std::string query;
+      for (const std::string& t : rule.terms) {
+        if (!query.empty()) query.push_back(' ');
+        query += t;
+      }
+      const index::QueryResult result =
+          db.Query(query, options_.docs_per_query, &collector.seen());
+      ++queries_sent;
+      coverage[i] += result.num_matches;
+      collector.AddDocuments(result.docs);
+    }
+  }
+  return coverage;
+}
+
+SampleResult FpsSampler::Sample(const index::TextDatabase& db,
+                                util::Rng& rng) const {
+  const corpus::TopicHierarchy& h = rules_->hierarchy();
+  SampleCollector collector(&db, &options_.build);
+  size_t queries_sent = 0;
+
+  // Walk the hierarchy, probing the children of every qualified node.
+  // `classification` tracks the deepest node along the best-coverage path.
+  corpus::CategoryId classification = h.root();
+  std::vector<std::pair<corpus::CategoryId, bool>> frontier = {
+      {h.root(), /*on_best_path=*/true}};
+  while (!frontier.empty()) {
+    const auto [node, on_best_path] = frontier.back();
+    frontier.pop_back();
+    const std::vector<corpus::CategoryId>& children = h.node(node).children;
+    if (children.empty()) continue;
+
+    const std::vector<size_t> coverage =
+        ProbeChildren(db, node, collector, queries_sent);
+    size_t total = 0;
+    for (size_t c : coverage) total += c;
+    if (total == 0) continue;
+
+    const size_t best =
+        static_cast<size_t>(std::max_element(coverage.begin(), coverage.end()) -
+                            coverage.begin());
+    for (size_t i = 0; i < children.size(); ++i) {
+      const double specificity =
+          static_cast<double>(coverage[i]) / static_cast<double>(total);
+      if (coverage[i] >= options_.coverage_threshold &&
+          specificity >= options_.specificity_threshold) {
+        const bool child_on_best_path = on_best_path && i == best;
+        if (child_on_best_path) classification = children[i];
+        frontier.push_back({children[i], child_on_best_path});
+      }
+    }
+  }
+
+  SampleResult result = collector.Finalize(queries_sent, rng);
+  result.classification = classification;
+  return result;
+}
+
+}  // namespace fedsearch::sampling

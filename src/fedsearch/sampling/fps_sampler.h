@@ -1,0 +1,83 @@
+#ifndef FEDSEARCH_SAMPLING_FPS_SAMPLER_H_
+#define FEDSEARCH_SAMPLING_FPS_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "fedsearch/corpus/topic_hierarchy.h"
+#include "fedsearch/corpus/topic_model.h"
+#include "fedsearch/index/text_database.h"
+#include "fedsearch/sampling/sample_collector.h"
+#include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::sampling {
+
+// A topically-focused probe query: the conjunction of `terms` is
+// characteristic of `category`. The stand-in for the RIPPER document
+// classification rules that drive Focused Probing in [14, 17].
+struct ProbeRule {
+  corpus::CategoryId category = corpus::kInvalidCategory;
+  std::vector<std::string> terms;
+};
+
+// Probe rules for every category of a hierarchy.
+class ProbeRuleSet {
+ public:
+  ProbeRuleSet(const corpus::TopicHierarchy* hierarchy,
+               std::vector<std::vector<ProbeRule>> rules_by_category);
+
+  // Derives rules from a topic model's characteristic words:
+  // `single_word_rules` one-word rules plus `pair_rules` two-word
+  // conjunctions per category (the shape of trained classifier rules).
+  static ProbeRuleSet FromTopicModel(const corpus::TopicModel& model,
+                                     size_t single_word_rules = 4,
+                                     size_t pair_rules = 2);
+
+  const corpus::TopicHierarchy& hierarchy() const { return *hierarchy_; }
+  const std::vector<ProbeRule>& RulesFor(corpus::CategoryId category) const {
+    return rules_[static_cast<size_t>(category)];
+  }
+
+ private:
+  const corpus::TopicHierarchy* hierarchy_;
+  std::vector<std::vector<ProbeRule>> rules_;
+};
+
+// Parameters of Focused Probing (Section 5.2; [17]).
+struct FpsOptions {
+  // Documents retrieved per probe ("the top four previously unseen").
+  size_t docs_per_query = 4;
+  // A subcategory is explored if its probes generate at least
+  // `coverage_threshold` matches in total...
+  size_t coverage_threshold = 10;
+  // ...and at least this fraction of all matches at its level.
+  double specificity_threshold = 0.25;
+  SummaryBuildOptions build;
+};
+
+// Focused Probing: classifier-derived queries walk the topic hierarchy,
+// descending into subcategories whose probes generate many matches. The
+// output is both an approximate content summary and the database's
+// classification (Section 5.2).
+class FpsSampler {
+ public:
+  // `rules` must outlive the sampler.
+  FpsSampler(FpsOptions options, const ProbeRuleSet* rules);
+
+  SampleResult Sample(const index::TextDatabase& db, util::Rng& rng) const;
+
+ private:
+  // Probes the children of `node`; returns per-child total match counts.
+  std::vector<size_t> ProbeChildren(const index::TextDatabase& db,
+                                    corpus::CategoryId node,
+                                    SampleCollector& collector,
+                                    size_t& queries_sent) const;
+
+  FpsOptions options_;
+  const ProbeRuleSet* rules_;
+};
+
+}  // namespace fedsearch::sampling
+
+#endif  // FEDSEARCH_SAMPLING_FPS_SAMPLER_H_

@@ -1,0 +1,66 @@
+#include "fedsearch/sampling/freq_estimator.h"
+
+#include <cmath>
+
+#include "fedsearch/util/math.h"
+
+namespace fedsearch::sampling {
+
+double MandelbrotFit::Frequency(double rank) const {
+  return std::exp(log_beta + alpha * std::log(rank));
+}
+
+MandelbrotFit FitMandelbrot(const std::vector<double>& frequencies_desc) {
+  std::vector<double> log_ranks;
+  std::vector<double> log_freqs;
+  log_ranks.reserve(frequencies_desc.size());
+  log_freqs.reserve(frequencies_desc.size());
+  for (size_t i = 0; i < frequencies_desc.size(); ++i) {
+    if (frequencies_desc[i] <= 0.0) continue;
+    log_ranks.push_back(std::log(static_cast<double>(i + 1)));
+    log_freqs.push_back(std::log(frequencies_desc[i]));
+  }
+  MandelbrotFit fit;
+  if (log_ranks.size() < 2) return fit;
+  const util::LinearFit line = util::FitLine(log_ranks, log_freqs);
+  fit.alpha = line.slope;
+  fit.log_beta = line.intercept;
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+MandelbrotFit ScalingModel::ExtrapolateTo(double size) const {
+  MandelbrotFit fit;
+  const double log_size = std::log(std::max(1.0, size));
+  fit.alpha = a1 * log_size + a2;
+  fit.log_beta = b1 * log_size + b2;
+  return fit;
+}
+
+ScalingModel FitScalingModel(const std::vector<Checkpoint>& checkpoints) {
+  ScalingModel model;
+  std::vector<double> log_sizes;
+  std::vector<double> alphas;
+  std::vector<double> log_betas;
+  for (const Checkpoint& c : checkpoints) {
+    if (c.sample_size == 0) continue;
+    log_sizes.push_back(std::log(static_cast<double>(c.sample_size)));
+    alphas.push_back(c.fit.alpha);
+    log_betas.push_back(c.fit.log_beta);
+  }
+  if (log_sizes.empty()) return model;
+  if (log_sizes.size() == 1) {
+    model.a2 = alphas[0];
+    model.b2 = log_betas[0];
+    return model;
+  }
+  const util::LinearFit alpha_line = util::FitLine(log_sizes, alphas);
+  const util::LinearFit beta_line = util::FitLine(log_sizes, log_betas);
+  model.a1 = alpha_line.slope;
+  model.a2 = alpha_line.intercept;
+  model.b1 = beta_line.slope;
+  model.b2 = beta_line.intercept;
+  return model;
+}
+
+}  // namespace fedsearch::sampling

@@ -1,0 +1,54 @@
+#ifndef FEDSEARCH_SAMPLING_FREQ_ESTIMATOR_H_
+#define FEDSEARCH_SAMPLING_FREQ_ESTIMATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedsearch::sampling {
+
+// One Mandelbrot-law fit f(r) = beta * r^alpha over rank-frequency data
+// (Appendix A's simplified form with c = 0). alpha is negative for real
+// frequency distributions.
+struct MandelbrotFit {
+  double alpha = -1.0;
+  double log_beta = 0.0;
+  double r_squared = 0.0;
+
+  // Frequency predicted for 1-based rank r.
+  double Frequency(double rank) const;
+};
+
+// Fits the law by least squares on (log rank, log frequency).
+// `frequencies_desc` are the word frequencies sorted in non-increasing
+// order; rank i+1 corresponds to frequencies_desc[i]. Zero frequencies are
+// ignored. With fewer than two usable points the default fit is returned.
+MandelbrotFit FitMandelbrot(const std::vector<double>& frequencies_desc);
+
+// The sample-size scaling model of Appendix A (Equations 4a/4b):
+//   alpha(|S|)    = A1 * log(|S|) + A2
+//   log beta(|S|) = B1 * log(|S|) + B2
+// fitted over per-checkpoint Mandelbrot fits observed at growing sample
+// sizes during document sampling.
+struct ScalingModel {
+  double a1 = 0.0;
+  double a2 = -1.0;
+  double b1 = 0.0;
+  double b2 = 0.0;
+
+  // The fit extrapolated to a collection of `size` documents (Equation 5).
+  MandelbrotFit ExtrapolateTo(double size) const;
+};
+
+struct Checkpoint {
+  size_t sample_size = 0;
+  MandelbrotFit fit;
+};
+
+// Regresses the scaling model from sampling checkpoints. With a single
+// checkpoint the model degenerates to constants (extrapolation returns that
+// checkpoint's fit); with none, defaults are returned.
+ScalingModel FitScalingModel(const std::vector<Checkpoint>& checkpoints);
+
+}  // namespace fedsearch::sampling
+
+#endif  // FEDSEARCH_SAMPLING_FREQ_ESTIMATOR_H_

@@ -1,0 +1,58 @@
+#include "fedsearch/sampling/qbs_sampler.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace fedsearch::sampling {
+
+QbsSampler::QbsSampler(QbsOptions options, std::vector<std::string> dictionary)
+    : options_(options), dictionary_(std::move(dictionary)) {}
+
+SampleResult QbsSampler::Sample(const index::TextDatabase& db,
+                                util::Rng& rng) const {
+  SampleCollector collector(&db, &options_.build);
+  std::unordered_set<std::string> used_queries;
+  size_t queries_sent = 0;
+  size_t consecutive_failures = 0;
+
+  // Safety valve: a database can be smaller than the target sample, and the
+  // observed vocabulary can run out of fresh query words.
+  const size_t max_queries =
+      options_.max_consecutive_failures * 4 + options_.target_documents * 4;
+
+  while (collector.sample_size() < options_.target_documents &&
+         consecutive_failures < options_.max_consecutive_failures &&
+         queries_sent < max_queries) {
+    // Pick the next single-word query: from the dictionary while the sample
+    // is empty, from the sampled documents' vocabulary afterwards.
+    const std::vector<std::string>& pool = collector.sample_size() == 0
+                                               ? dictionary_
+                                               : collector.observed_words();
+    if (pool.empty()) break;
+    const std::string* query = nullptr;
+    for (int attempt = 0; attempt < 64 && query == nullptr; ++attempt) {
+      const std::string& cand = pool[rng.NextBounded(pool.size())];
+      if (used_queries.insert(cand).second) query = &cand;
+    }
+    if (query == nullptr) {
+      // Word pool exhausted (tiny database); count as a failed query.
+      ++consecutive_failures;
+      ++queries_sent;
+      continue;
+    }
+
+    const index::QueryResult result =
+        db.Query(*query, options_.docs_per_query, &collector.seen());
+    ++queries_sent;
+    const size_t added = collector.AddDocuments(result.docs);
+    if (added == 0) {
+      ++consecutive_failures;
+    } else {
+      consecutive_failures = 0;
+    }
+  }
+
+  return collector.Finalize(queries_sent, rng);
+}
+
+}  // namespace fedsearch::sampling

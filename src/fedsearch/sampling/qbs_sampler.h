@@ -1,0 +1,47 @@
+#ifndef FEDSEARCH_SAMPLING_QBS_SAMPLER_H_
+#define FEDSEARCH_SAMPLING_QBS_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "fedsearch/index/text_database.h"
+#include "fedsearch/sampling/sample_collector.h"
+#include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::sampling {
+
+// Parameters of Query-Based Sampling as run in Section 5.2.
+struct QbsOptions {
+  // Stop once the sample holds this many documents.
+  size_t target_documents = 300;
+  // ... or once this many consecutive queries retrieve no new documents.
+  size_t max_consecutive_failures = 500;
+  // Documents retrieved per query ("at most four previously unseen").
+  size_t docs_per_query = 4;
+  SummaryBuildOptions build;
+};
+
+// Query-Based Sampling (Callan & Connell [2]): random single-word queries
+// from an external dictionary until a first document is retrieved, then
+// single-word queries drawn from the words of the retrieved documents.
+class QbsSampler {
+ public:
+  // `dictionary` supplies the bootstrap query words (the stand-in for the
+  // English dictionary real QBS uses). Copied.
+  QbsSampler(QbsOptions options, std::vector<std::string> dictionary);
+
+  // Samples `db` and builds its approximate content summary. All
+  // randomness comes from `rng`, so runs are reproducible; the paper
+  // averages five QBS runs per database, which the harness reproduces by
+  // calling this with five forked generators.
+  SampleResult Sample(const index::TextDatabase& db, util::Rng& rng) const;
+
+ private:
+  QbsOptions options_;
+  std::vector<std::string> dictionary_;
+};
+
+}  // namespace fedsearch::sampling
+
+#endif  // FEDSEARCH_SAMPLING_QBS_SAMPLER_H_

@@ -1,0 +1,196 @@
+#include "fedsearch/sampling/sample_collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedsearch::sampling {
+
+SampleCollector::SampleCollector(const index::TextDatabase* db,
+                                 const SummaryBuildOptions* options)
+    : db_(db), options_(options) {}
+
+size_t SampleCollector::AddDocuments(const std::vector<index::DocId>& docs) {
+  size_t added = 0;
+  for (index::DocId doc : docs) {
+    if (!seen_.insert(doc).second) continue;
+    ++added;
+    ++sample_size_;
+    const index::Document& d = db_->FetchDocument(doc);
+    const std::vector<std::string> terms = db_->analyzer().Analyze(d.text);
+    // Per-document distinct terms for df; all occurrences for ctf.
+    std::unordered_map<std::string, uint32_t> counts;
+    for (const std::string& t : terms) ++counts[t];
+    if (options_->keep_documents) kept_documents_.push_back(terms);
+    for (const auto& [term, tf] : counts) {
+      WordObs& obs = words_[term];
+      if (obs.df == 0 && obs.ctf == 0) observed_words_.push_back(term);
+      obs.df += 1;
+      obs.ctf += tf;
+    }
+    MaybeCheckpoint();
+  }
+  return added;
+}
+
+void SampleCollector::MaybeCheckpoint() {
+  if (sample_size_ < last_checkpoint_size_ + options_->checkpoint_every) {
+    return;
+  }
+  last_checkpoint_size_ = sample_size_;
+  checkpoints_.push_back(Checkpoint{sample_size_, FitCurrent()});
+}
+
+MandelbrotFit SampleCollector::FitCurrent() const {
+  std::vector<double> dfs;
+  dfs.reserve(words_.size());
+  for (const auto& [word, obs] : words_) {
+    dfs.push_back(static_cast<double>(obs.df));
+  }
+  std::sort(dfs.begin(), dfs.end(), std::greater<double>());
+  return FitMandelbrot(dfs);
+}
+
+double SampleCollector::EstimateDatabaseSize(
+    size_t probes, util::Rng& rng, size_t& queries_used,
+    std::vector<std::pair<std::string, double>>& probe_matches) const {
+  // Candidate probe words: a word observed in few sample documents has an
+  // upward-biased sample frequency (it was observed *because* it got
+  // lucky), which deflates the size estimate. Restrict probes to a
+  // mid-to-high frequency band where the df ratio is stable.
+  const size_t lo = std::max<size_t>(5, sample_size_ / 30);
+  const size_t hi = std::max<size_t>(lo + 1, (sample_size_ * 4) / 5);
+  std::vector<const std::string*> candidates;
+  for (const std::string& w : observed_words_) {
+    const size_t df = words_.at(w).df;
+    if (df >= lo && df <= hi) candidates.push_back(&w);
+  }
+  if (candidates.empty()) {
+    for (const std::string& w : observed_words_) candidates.push_back(&w);
+  }
+  if (candidates.empty() || sample_size_ == 0) {
+    return static_cast<double>(sample_size_);
+  }
+  rng.Shuffle(candidates);
+
+  std::vector<double> estimates;
+  for (size_t i = 0; i < candidates.size() && estimates.size() < probes; ++i) {
+    const std::string& w = *candidates[i];
+    const index::QueryResult r = db_->Query(w, /*top_k=*/0);
+    ++queries_used;
+    const size_t sample_df = words_.at(w).df;
+    if (r.num_matches == 0 || sample_df == 0) continue;
+    probe_matches.emplace_back(w, static_cast<double>(r.num_matches));
+    estimates.push_back(static_cast<double>(r.num_matches) *
+                        static_cast<double>(sample_size_) /
+                        static_cast<double>(sample_df));
+  }
+  if (estimates.empty()) return static_cast<double>(sample_size_);
+  // Median is robust to one unlucky probe.
+  std::sort(estimates.begin(), estimates.end());
+  return estimates[estimates.size() / 2];
+}
+
+SampleResult SampleCollector::Finalize(size_t queries_sent,
+                                       util::Rng& rng) const {
+  SampleResult result;
+  result.sample_size = sample_size_;
+  result.queries_sent = queries_sent;
+  result.sampled_documents = kept_documents_;
+  for (const auto& [word, obs] : words_) {
+    result.sample_df.emplace(word, obs.df);
+  }
+
+  size_t queries = queries_sent;
+  std::vector<std::pair<std::string, double>> probe_matches;
+  double db_size = EstimateDatabaseSize(options_->resample_probes, rng,
+                                        queries, probe_matches);
+  db_size = std::max(db_size, static_cast<double>(sample_size_));
+  result.queries_sent = queries;
+  result.estimated_db_size = db_size;
+
+  // Scaling model over the checkpoints plus the final sample state
+  // (Appendix A), extrapolated to the estimated database size.
+  std::vector<Checkpoint> checkpoints = checkpoints_;
+  if (checkpoints.empty() ||
+      checkpoints.back().sample_size != sample_size_) {
+    checkpoints.push_back(Checkpoint{sample_size_, FitCurrent()});
+  }
+  const ScalingModel scaling = FitScalingModel(checkpoints);
+  MandelbrotFit db_fit = scaling.ExtrapolateTo(db_size);
+  if (db_fit.alpha >= 0.0 || !std::isfinite(db_fit.alpha) ||
+      !std::isfinite(db_fit.log_beta)) {
+    // Degenerate extrapolation; fall back to the in-sample fit.
+    db_fit = checkpoints.back().fit;
+  }
+  result.mandelbrot_alpha = db_fit.alpha;
+  result.mandelbrot_log_beta = db_fit.log_beta;
+
+  // Assemble the summary. Without frequency estimation, p̂(w|D) is the
+  // sample fraction of Definition 2 (stored in absolute terms as
+  // p̂ · |D̂|); with estimation, the word's df is read off the Mandelbrot
+  // curve extrapolated to the estimated database size (Equation 5), at the
+  // word's sample rank.
+  summary::ContentSummary& s = result.summary;
+  s.set_num_documents(db_size);
+  const double scale =
+      sample_size_ > 0 ? db_size / static_cast<double>(sample_size_) : 1.0;
+
+  if (!options_->frequency_estimation) {
+    for (const auto& [word, obs] : words_) {
+      s.SetWord(word, summary::WordStats{
+                          static_cast<double>(obs.df) * scale,
+                          static_cast<double>(obs.ctf) * scale});
+    }
+    return result;
+  }
+
+  // Deterministic sample ranking: df desc, then word asc.
+  std::vector<const std::string*> ranked;
+  ranked.reserve(words_.size());
+  for (const auto& [word, obs] : words_) ranked.push_back(&word);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const std::string* a, const std::string* b) {
+              const size_t da = words_.at(*a).df;
+              const size_t db = words_.at(*b).df;
+              if (da != db) return da > db;
+              return *a < *b;
+            });
+
+  // Calibrate the curve's level on the probe words' true database
+  // frequencies (their match counts ARE database-level df values,
+  // Appendix A): with the slope α̂ fixed, solve log β̂ from the anchors.
+  // This tames the (4a)/(4b) extrapolation for small samples.
+  if (!probe_matches.empty()) {
+    std::unordered_map<std::string, size_t> rank_of;
+    for (size_t r = 0; r < ranked.size(); ++r) rank_of[*ranked[r]] = r + 1;
+    double log_beta_sum = 0.0;
+    size_t anchors = 0;
+    for (const auto& [word, matches] : probe_matches) {
+      auto it = rank_of.find(word);
+      if (it == rank_of.end() || matches <= 0.0) continue;
+      log_beta_sum += std::log(matches) -
+                      db_fit.alpha * std::log(static_cast<double>(it->second));
+      ++anchors;
+    }
+    if (anchors > 0) {
+      result.mandelbrot_log_beta = log_beta_sum / static_cast<double>(anchors);
+      db_fit.log_beta = result.mandelbrot_log_beta;
+    }
+  }
+
+  for (size_t r = 0; r < ranked.size(); ++r) {
+    const WordObs& obs = words_.at(*ranked[r]);
+    double df = db_fit.Frequency(static_cast<double>(r + 1));
+    if (!std::isfinite(df)) df = static_cast<double>(obs.df) * scale;
+    // A sampled word is known to appear in at least one database document,
+    // so the curve estimate is floored at 1 (the extrapolated tail can
+    // otherwise dive below the round(df) >= 1 presence threshold for small
+    // databases).
+    df = std::clamp(df, 1.0, db_size);
+    s.SetWord(*ranked[r],
+              summary::WordStats{df, static_cast<double>(obs.ctf) * scale});
+  }
+  return result;
+}
+
+}  // namespace fedsearch::sampling

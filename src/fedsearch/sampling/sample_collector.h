@@ -1,0 +1,95 @@
+#ifndef FEDSEARCH_SAMPLING_SAMPLE_COLLECTOR_H_
+#define FEDSEARCH_SAMPLING_SAMPLE_COLLECTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fedsearch/index/text_database.h"
+#include "fedsearch/sampling/freq_estimator.h"
+#include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::sampling {
+
+// Options shared by all samplers for turning a document sample into an
+// approximate content summary.
+struct SummaryBuildOptions {
+  // Apply the Appendix A Mandelbrot-law frequency estimation (the
+  // "Freq. Est." dimension of Tables 4-9). Database size estimation via
+  // sample-resample is always on — it is part of both pipelines.
+  bool frequency_estimation = false;
+  // Number of single-word sample-resample probe queries [27].
+  size_t resample_probes = 5;
+  // Checkpoint cadence (in sampled documents) for the scaling-model fit.
+  size_t checkpoint_every = 50;
+  // Retain the analyzed sampled documents in the SampleResult (costs
+  // memory; needed by ReDDE-style selection over a centralized sample
+  // index).
+  bool keep_documents = false;
+};
+
+// Accumulates the documents a sampler downloads and derives the sample
+// statistics, size estimate, and final content summary. Shared by QBS and
+// FPS, which differ only in how they choose queries (Section 5.2).
+class SampleCollector {
+ public:
+  // `db` and `options` must outlive the collector.
+  SampleCollector(const index::TextDatabase* db,
+                  const SummaryBuildOptions* options);
+
+  // Ingests query results: fetches, analyzes and accounts each previously
+  // unseen document. Returns how many documents were new.
+  size_t AddDocuments(const std::vector<index::DocId>& docs);
+
+  size_t sample_size() const { return sample_size_; }
+  const std::unordered_set<index::DocId>& seen() const { return seen_; }
+
+  // Distinct words observed so far (for query-word selection). Order is
+  // deterministic (first-seen).
+  const std::vector<std::string>& observed_words() const {
+    return observed_words_;
+  }
+
+  // Finishes the run: estimates |D| with `resample_probes` extra single-word
+  // queries, optionally recalibrates word frequencies (Appendix A), and
+  // assembles the SampleResult. `queries_sent` is the count of sampling
+  // queries issued so far (the resample probes are added to it).
+  SampleResult Finalize(size_t queries_sent, util::Rng& rng) const;
+
+ private:
+  struct WordObs {
+    size_t df = 0;     // sample document frequency
+    uint64_t ctf = 0;  // sample collection term frequency
+  };
+
+  void MaybeCheckpoint();
+
+  // Fits Mandelbrot's law on the current sample document frequencies.
+  MandelbrotFit FitCurrent() const;
+
+  // Sample-resample size estimation [27]: probes the database with words
+  // from the sample and scales their sample df by the reported match count.
+  // The probed (word, true match count) pairs are appended to
+  // `probe_matches`; they double as calibration anchors for the frequency
+  // estimation curve (the matches ARE database-level frequencies,
+  // Appendix A).
+  double EstimateDatabaseSize(
+      size_t probes, util::Rng& rng, size_t& queries_used,
+      std::vector<std::pair<std::string, double>>& probe_matches) const;
+
+  const index::TextDatabase* db_;
+  const SummaryBuildOptions* options_;
+  size_t sample_size_ = 0;
+  std::unordered_set<index::DocId> seen_;
+  std::unordered_map<std::string, WordObs> words_;
+  std::vector<std::string> observed_words_;
+  std::vector<Checkpoint> checkpoints_;
+  std::vector<std::vector<std::string>> kept_documents_;
+  size_t last_checkpoint_size_ = 0;
+};
+
+}  // namespace fedsearch::sampling
+
+#endif  // FEDSEARCH_SAMPLING_SAMPLE_COLLECTOR_H_

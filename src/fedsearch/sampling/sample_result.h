@@ -1,0 +1,51 @@
+#ifndef FEDSEARCH_SAMPLING_SAMPLE_RESULT_H_
+#define FEDSEARCH_SAMPLING_SAMPLE_RESULT_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "fedsearch/corpus/topic_hierarchy.h"
+#include "fedsearch/summary/content_summary.h"
+
+namespace fedsearch::sampling {
+
+// Everything a sampler learns about one database. This is the input to
+// shrinkage (Section 3), adaptive selection (Section 4 / Appendix B), and
+// the evaluation metrics.
+struct SampleResult {
+  // Approximate content summary S(D) of Definition 2, with database-scaled
+  // df/ctf estimates and num_documents() == estimated |D|.
+  summary::ContentSummary summary;
+
+  // Number of documents in the sample, |S|.
+  size_t sample_size = 0;
+
+  // Estimated database size |D̂| (sample-resample method [27]).
+  double estimated_db_size = 0.0;
+
+  // Raw per-word sample document frequencies s_k (Appendix B needs these
+  // alongside |S|).
+  std::unordered_map<std::string, size_t> sample_df;
+
+  // Mandelbrot rank-frequency fit extrapolated to the database
+  // (Appendix A): df(r) ≈ beta · r^alpha with alpha < 0.
+  double mandelbrot_alpha = -1.0;
+  double mandelbrot_log_beta = 0.0;
+
+  // Category assigned by the sampler, if it classifies (FPS does; QBS
+  // leaves kInvalidCategory and relies on an external directory).
+  corpus::CategoryId classification = corpus::kInvalidCategory;
+
+  // Cost accounting: queries issued against the database's interface.
+  size_t queries_sent = 0;
+
+  // Analyzed term vectors of the sampled documents, retained only when
+  // SummaryBuildOptions::keep_documents is set (needed by sample-document
+  // based selection such as ReDDE [27]).
+  std::vector<std::vector<std::string>> sampled_documents;
+};
+
+}  // namespace fedsearch::sampling
+
+#endif  // FEDSEARCH_SAMPLING_SAMPLE_RESULT_H_

@@ -1,0 +1,20 @@
+#include "fedsearch/selection/bgloss.h"
+
+namespace fedsearch::selection {
+
+double BglossScorer::Score(const Query& query, const summary::SummaryView& db,
+                           const ScoringContext&) const {
+  double score = db.num_documents();
+  for (const std::string& w : query.terms) {
+    score *= db.ProbDoc(w);
+    if (score == 0.0) return 0.0;
+  }
+  return score;
+}
+
+double BglossScorer::DefaultScore(const Query&, const summary::SummaryView&,
+                                  const ScoringContext&) const {
+  return 0.0;
+}
+
+}  // namespace fedsearch::selection

@@ -1,0 +1,66 @@
+#include "fedsearch/selection/cori.h"
+
+#include <cmath>
+
+namespace fedsearch::selection {
+namespace {
+
+constexpr double kBeliefFloor = 0.4;
+
+double MeanCollectionWords(const ScoringContext& context) {
+  if (context.has_cached_statistics) return context.cached_mean_cw;
+  if (context.ranked_summaries.empty()) return 1.0;
+  double total = 0.0;
+  for (const summary::SummaryView* s : context.ranked_summaries) {
+    total += s->total_tokens();
+  }
+  const double mean =
+      total / static_cast<double>(context.ranked_summaries.size());
+  return mean > 0.0 ? mean : 1.0;
+}
+
+size_t CollectionFrequency(const std::string& word,
+                           const ScoringContext& context) {
+  if (context.has_cached_statistics) {
+    auto it = context.cached_cf.find(word);
+    if (it != context.cached_cf.end()) return it->second;
+  }
+  size_t cf = 0;
+  for (const summary::SummaryView* s : context.ranked_summaries) {
+    if (s->ContainsRounded(word)) ++cf;
+  }
+  return cf;
+}
+
+}  // namespace
+
+double CoriScorer::Score(const Query& query, const summary::SummaryView& db,
+                         const ScoringContext& context) const {
+  if (query.terms.empty()) return kBeliefFloor;
+  const double m =
+      static_cast<double>(std::max<size_t>(1, context.ranked_summaries.size()));
+  const double mcw = MeanCollectionWords(context);
+  const double cw = db.total_tokens();
+
+  double score = 0.0;
+  for (const std::string& w : query.terms) {
+    double belief = kBeliefFloor;
+    if (db.ContainsRounded(w)) {
+      const double df = db.ProbDoc(w) * db.num_documents();
+      const double t = df / (df + 50.0 + 150.0 * cw / mcw);
+      const size_t cf = std::max<size_t>(1, CollectionFrequency(w, context));
+      const double i =
+          std::log((m + 0.5) / static_cast<double>(cf)) / std::log(m + 1.0);
+      belief += 0.6 * t * i;
+    }
+    score += belief;
+  }
+  return score / static_cast<double>(query.terms.size());
+}
+
+double CoriScorer::DefaultScore(const Query&, const summary::SummaryView&,
+                                const ScoringContext&) const {
+  return kBeliefFloor;
+}
+
+}  // namespace fedsearch::selection

@@ -1,0 +1,30 @@
+#include "fedsearch/selection/flat_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedsearch::selection {
+
+std::vector<RankedDatabase> RankDatabases(
+    const Query& query,
+    const std::vector<const summary::SummaryView*>& summaries,
+    const ScoringFunction& scorer, const ScoringContext& context) {
+  std::vector<RankedDatabase> ranking;
+  ranking.reserve(summaries.size());
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    const double score = scorer.Score(query, *summaries[i], context);
+    const double fallback = scorer.DefaultScore(query, *summaries[i], context);
+    // "Default" scores mean the summary contributed no query-specific
+    // evidence; such databases are not selected.
+    if (score <= fallback * (1.0 + 1e-12) || !std::isfinite(score)) continue;
+    ranking.push_back(RankedDatabase{i, score});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const RankedDatabase& a, const RankedDatabase& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.database < b.database;
+            });
+  return ranking;
+}
+
+}  // namespace fedsearch::selection

@@ -1,0 +1,29 @@
+#ifndef FEDSEARCH_SELECTION_FLAT_RANKER_H_
+#define FEDSEARCH_SELECTION_FLAT_RANKER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fedsearch/selection/scoring.h"
+
+namespace fedsearch::selection {
+
+// One entry of a database ranking.
+struct RankedDatabase {
+  size_t database = 0;  // index into the ranked summary list
+  double score = 0.0;
+};
+
+// Scores every summary with `scorer` and returns them ordered by
+// decreasing score (ties broken by ascending index for determinism).
+// Databases whose score equals the scorer's default — i.e. databases for
+// which the summary provides no query-specific evidence — are omitted, so
+// the ranking may contain fewer databases than were given (Section 6.2).
+std::vector<RankedDatabase> RankDatabases(
+    const Query& query,
+    const std::vector<const summary::SummaryView*>& summaries,
+    const ScoringFunction& scorer, const ScoringContext& context);
+
+}  // namespace fedsearch::selection
+
+#endif  // FEDSEARCH_SELECTION_FLAT_RANKER_H_

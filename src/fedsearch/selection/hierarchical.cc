@@ -1,0 +1,116 @@
+#include "fedsearch/selection/hierarchical.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fedsearch/selection/flat_ranker.h"
+
+namespace fedsearch::selection {
+
+HierarchicalSelector::HierarchicalSelector(
+    const corpus::TopicHierarchy* hierarchy,
+    std::vector<const summary::ContentSummary*> summaries,
+    std::vector<corpus::CategoryId> classifications)
+    : hierarchy_(hierarchy),
+      summaries_(std::move(summaries)),
+      classifications_(std::move(classifications)) {
+  const size_t nodes = hierarchy_->size();
+  databases_at_.resize(nodes);
+  subtree_database_count_.assign(nodes, 0);
+  for (size_t i = 0; i < classifications_.size(); ++i) {
+    databases_at_[static_cast<size_t>(classifications_[i])].push_back(i);
+  }
+  category_summaries_.resize(nodes);
+  // Nodes are created parents-first, so a reverse scan aggregates leaves
+  // before their parents.
+  for (size_t n = nodes; n-- > 0;) {
+    std::vector<const summary::ContentSummary*> parts;
+    for (size_t db : databases_at_[n]) parts.push_back(summaries_[db]);
+    // Children aggregates are already built; merge them in by value.
+    summary::ContentSummary agg = summary::ContentSummary::AggregateCategory(parts);
+    size_t count = databases_at_[n].size();
+    for (corpus::CategoryId c :
+         hierarchy_->node(static_cast<corpus::CategoryId>(n)).children) {
+      const summary::ContentSummary& child =
+          category_summaries_[static_cast<size_t>(c)];
+      child.ForEachWord(
+          [&](const std::string& w, const summary::WordStats& stats) {
+            agg.AddWord(w, stats);
+          });
+      agg.set_num_documents(agg.num_documents() + child.num_documents());
+      count += subtree_database_count_[static_cast<size_t>(c)];
+    }
+    category_summaries_[n] = std::move(agg);
+    subtree_database_count_[n] = count;
+  }
+}
+
+void HierarchicalSelector::SelectUnder(const Query& query,
+                                       corpus::CategoryId node, size_t k,
+                                       const ScoringFunction& scorer,
+                                       const ScoringContext& context,
+                                       std::vector<RankedDatabase>& out) const {
+  if (k == 0) return;
+  const auto& children = hierarchy_->node(node).children;
+
+  // Rank this node's candidate units: child categories (by their category
+  // summaries) and databases classified directly at this node.
+  struct Unit {
+    bool is_category;
+    size_t id;  // child category id or database index
+    double score;
+  };
+  std::vector<Unit> units;
+  for (corpus::CategoryId c : children) {
+    if (subtree_database_count_[static_cast<size_t>(c)] == 0) continue;
+    const summary::ContentSummary& cs =
+        category_summaries_[static_cast<size_t>(c)];
+    const double score = scorer.Score(query, cs, context);
+    const double fallback = scorer.DefaultScore(query, cs, context);
+    if (score <= fallback * (1.0 + 1e-12)) continue;
+    units.push_back(Unit{true, static_cast<size_t>(c), score});
+  }
+  for (size_t db : databases_at_[static_cast<size_t>(node)]) {
+    const double score = scorer.Score(query, *summaries_[db], context);
+    const double fallback =
+        scorer.DefaultScore(query, *summaries_[db], context);
+    if (score <= fallback * (1.0 + 1e-12)) continue;
+    units.push_back(Unit{false, db, score});
+  }
+  std::sort(units.begin(), units.end(), [](const Unit& a, const Unit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.is_category != b.is_category) return !a.is_category;
+    return a.id < b.id;
+  });
+
+  // Irreversible commitment: take as much of the budget as each unit can
+  // absorb, in score order.
+  for (const Unit& u : units) {
+    if (out.size() >= k) break;
+    if (u.is_category) {
+      SelectUnder(query, static_cast<corpus::CategoryId>(u.id),
+                  k, scorer, context, out);
+    } else {
+      out.push_back(RankedDatabase{u.id, u.score});
+    }
+  }
+}
+
+std::vector<RankedDatabase> HierarchicalSelector::Select(
+    const Query& query, size_t k, const ScoringFunction& scorer) const {
+  // Context for base scoring within the hierarchy: category and database
+  // summaries compete locally; corpus statistics use all database summaries.
+  ScoringContext context;
+  context.ranked_summaries.reserve(summaries_.size());
+  for (const summary::ContentSummary* s : summaries_) {
+    context.ranked_summaries.push_back(s);
+  }
+  context.global_summary = &category_summaries_[0];
+
+  std::vector<RankedDatabase> out;
+  SelectUnder(query, hierarchy_->root(), k, scorer, context, out);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace fedsearch::selection

@@ -1,0 +1,31 @@
+#include "fedsearch/selection/lm.h"
+
+namespace fedsearch::selection {
+
+double LmScorer::Score(const Query& query, const summary::SummaryView& db,
+                       const ScoringContext& context) const {
+  double score = 1.0;
+  for (const std::string& w : query.terms) {
+    const double global = context.global_summary != nullptr
+                              ? context.global_summary->ProbToken(w)
+                              : 0.0;
+    score *= lambda_ * db.ProbToken(w) + (1.0 - lambda_) * global;
+  }
+  return score;
+}
+
+double LmScorer::DefaultScore(const Query& query, const summary::SummaryView&,
+                              const ScoringContext& context) const {
+  // What the database would score if it contained none of the query words:
+  // only the global smoothing component survives.
+  double score = 1.0;
+  for (const std::string& w : query.terms) {
+    const double global = context.global_summary != nullptr
+                              ? context.global_summary->ProbToken(w)
+                              : 0.0;
+    score *= (1.0 - lambda_) * global;
+  }
+  return score;
+}
+
+}  // namespace fedsearch::selection

@@ -1,0 +1,63 @@
+#include "fedsearch/selection/redde.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedsearch::selection {
+
+ReddeSelector::ReddeSelector(
+    const std::vector<const sampling::SampleResult*>& samples,
+    Options options)
+    : options_(options) {
+  scale_factor_.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const sampling::SampleResult& s = *samples[i];
+    const size_t docs = s.sampled_documents.size();
+    const double scale =
+        docs > 0 ? s.estimated_db_size / static_cast<double>(docs) : 0.0;
+    scale_factor_.push_back(std::max(1.0, scale));
+    total_estimated_documents_ += s.estimated_db_size;
+    for (const std::vector<std::string>& doc : s.sampled_documents) {
+      central_index_.AddDocument(doc);
+      doc_source_.push_back(i);
+    }
+  }
+}
+
+std::vector<RankedDatabase> ReddeSelector::Select(const Query& query,
+                                                  size_t k) const {
+  std::vector<RankedDatabase> ranking;
+  if (query.terms.empty() || doc_source_.empty()) return ranking;
+
+  // How many of the federation's documents count as "relevant" proxies.
+  // Each retrieved sample document stands for scale_factor_ database
+  // documents, so the sample-document budget is derived conservatively
+  // from the per-database mean scale.
+  const double mean_scale =
+      total_estimated_documents_ / static_cast<double>(doc_source_.size());
+  const double wanted =
+      options_.relevant_ratio * total_estimated_documents_ / mean_scale;
+  const size_t top = std::clamp<size_t>(
+      static_cast<size_t>(std::lround(wanted)), options_.min_top_documents,
+      options_.max_top_documents);
+
+  std::vector<double> votes(scale_factor_.size(), 0.0);
+  for (const index::SearchHit& hit :
+       central_index_.SearchTopKDisjunctive(query.terms, top)) {
+    const size_t db = doc_source_[hit.doc];
+    votes[db] += scale_factor_[db];
+  }
+
+  for (size_t i = 0; i < votes.size(); ++i) {
+    if (votes[i] > 0.0) ranking.push_back(RankedDatabase{i, votes[i]});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const RankedDatabase& a, const RankedDatabase& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.database < b.database;
+            });
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+}  // namespace fedsearch::selection

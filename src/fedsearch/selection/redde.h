@@ -1,0 +1,62 @@
+#ifndef FEDSEARCH_SELECTION_REDDE_H_
+#define FEDSEARCH_SELECTION_REDDE_H_
+
+#include <vector>
+
+#include "fedsearch/index/inverted_index.h"
+#include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/selection/flat_ranker.h"
+#include "fedsearch/selection/scoring.h"
+
+namespace fedsearch::selection {
+
+// ReDDE resource selection (Si & Callan, "Relevant document distribution
+// estimation method for resource selection", SIGIR 2003 [27]) — the
+// algorithm the paper's footnote 9 names as future work to combine with
+// shrinkage; implemented here as an extension baseline.
+//
+// All sampled documents are merged into one centralized sample index. For
+// a query, the top-ranked sample documents act as proxies for the relevant
+// documents of the federation: each one votes for its source database with
+// weight |D̂|/|S| (every sample document represents that many database
+// documents). Databases are ranked by their estimated share of relevant
+// documents.
+struct ReddeOptions {
+  // Fraction of the federation's (estimated) total documents whose
+  // highest-ranked sample proxies are counted as "relevant". Si & Callan
+  // use a small ratio of the collection.
+  double relevant_ratio = 0.003;
+  // Bounds on the number of top sample documents examined.
+  size_t min_top_documents = 10;
+  size_t max_top_documents = 1000;
+};
+
+class ReddeSelector {
+ public:
+  using Options = ReddeOptions;
+
+  // Builds the centralized sample index. samples[i] must have been
+  // collected with SummaryBuildOptions::keep_documents = true; its
+  // sampled_documents and estimated_db_size feed the vote weights. The
+  // SampleResult objects are copied from; they need not outlive this.
+  explicit ReddeSelector(
+      const std::vector<const sampling::SampleResult*>& samples,
+      Options options = {});
+
+  // Ranks the databases for the query, best first; databases with no
+  // estimated relevant documents are omitted.
+  std::vector<RankedDatabase> Select(const Query& query, size_t k) const;
+
+  size_t total_sample_documents() const { return doc_source_.size(); }
+
+ private:
+  Options options_;
+  index::InvertedIndex central_index_;
+  std::vector<size_t> doc_source_;    // central doc id -> database index
+  std::vector<double> scale_factor_;  // per database: |D̂| / |S|
+  double total_estimated_documents_ = 0.0;
+};
+
+}  // namespace fedsearch::selection
+
+#endif  // FEDSEARCH_SELECTION_REDDE_H_

@@ -1,0 +1,26 @@
+#include "fedsearch/selection/rk_metric.h"
+
+#include <algorithm>
+
+namespace fedsearch::selection {
+
+double RkScore(const std::vector<RankedDatabase>& ranking,
+               const std::vector<size_t>& relevant_by_database, size_t k) {
+  if (k == 0) return 0.0;
+
+  size_t achieved = 0;
+  const size_t take = std::min(k, ranking.size());
+  for (size_t i = 0; i < take; ++i) {
+    achieved += relevant_by_database[ranking[i].database];
+  }
+
+  std::vector<size_t> best = relevant_by_database;
+  std::sort(best.begin(), best.end(), std::greater<size_t>());
+  size_t ideal = 0;
+  for (size_t i = 0; i < std::min(k, best.size()); ++i) ideal += best[i];
+
+  if (ideal == 0) return 0.0;  // query with no relevant documents anywhere
+  return static_cast<double>(achieved) / static_cast<double>(ideal);
+}
+
+}  // namespace fedsearch::selection

@@ -1,0 +1,26 @@
+#ifndef FEDSEARCH_SELECTION_RK_METRIC_H_
+#define FEDSEARCH_SELECTION_RK_METRIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fedsearch/selection/flat_ranker.h"
+
+namespace fedsearch::selection {
+
+// The R_k rank-quality metric of Section 6.2:
+//   R_k = A(q, D⃗, k) / A(q, D⃗_H, k)
+// where A sums the number of relevant documents r(q, D_i) over the top-k
+// databases of the evaluated ranking D⃗, and D⃗_H is the hypothetical
+// perfect ranking (databases ordered by decreasing r). A ranking that
+// selected fewer than k databases contributes only what it selected,
+// exactly as in the paper.
+//
+// `relevant_by_database[i]` is r(q, D_i) for every database i (ranked or
+// not); `ranking` holds the databases actually selected, best first.
+double RkScore(const std::vector<RankedDatabase>& ranking,
+               const std::vector<size_t>& relevant_by_database, size_t k);
+
+}  // namespace fedsearch::selection
+
+#endif  // FEDSEARCH_SELECTION_RK_METRIC_H_

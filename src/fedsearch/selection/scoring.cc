@@ -1,0 +1,28 @@
+#include "fedsearch/selection/scoring.h"
+
+namespace fedsearch::selection {
+
+void PrepareContextForQuery(const Query& query, ScoringContext& context) {
+  context.cached_cf.clear();
+  double total_cw = 0.0;
+  for (const summary::SummaryView* s : context.ranked_summaries) {
+    total_cw += s->total_tokens();
+  }
+  context.cached_mean_cw =
+      context.ranked_summaries.empty()
+          ? 1.0
+          : total_cw / static_cast<double>(context.ranked_summaries.size());
+  if (context.cached_mean_cw <= 0.0) context.cached_mean_cw = 1.0;
+
+  for (const std::string& w : query.terms) {
+    if (context.cached_cf.count(w)) continue;
+    size_t cf = 0;
+    for (const summary::SummaryView* s : context.ranked_summaries) {
+      if (s->ContainsRounded(w)) ++cf;
+    }
+    context.cached_cf.emplace(w, cf);
+  }
+  context.has_cached_statistics = true;
+}
+
+}  // namespace fedsearch::selection

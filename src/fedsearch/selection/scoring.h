@@ -1,0 +1,71 @@
+#ifndef FEDSEARCH_SELECTION_SCORING_H_
+#define FEDSEARCH_SELECTION_SCORING_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "fedsearch/summary/content_summary.h"
+
+namespace fedsearch::selection {
+
+// A database selection query: a bag of analyzed terms.
+struct Query {
+  std::vector<std::string> terms;
+};
+
+// Corpus-wide inputs a scorer may need beyond the single database summary:
+// CORI uses statistics over all databases being ranked (cf(w), mean cw);
+// LM smoothes with a "global" category summary (Section 5.3).
+struct ScoringContext {
+  // All summaries participating in the ranking (indexed like the databases).
+  // May be empty for scorers that do not need corpus statistics.
+  std::vector<const summary::SummaryView*> ranked_summaries;
+
+  // Summary of the "global" category G (the Root category summary in our
+  // experiments); required by LM.
+  const summary::SummaryView* global_summary = nullptr;
+
+  // Optional corpus-statistic caches, filled by PrepareContextForQuery.
+  // Without them CORI computes cf(w) and the mean collection size on the
+  // fly (O(#databases) per word); with them repeated scoring — the
+  // adaptive Monte-Carlo in particular — is O(1) per word.
+  bool has_cached_statistics = false;
+  std::unordered_map<std::string, size_t> cached_cf;
+  double cached_mean_cw = 0.0;
+};
+
+// Precomputes cf(w) for the query's terms and the mean collection word
+// count over context.ranked_summaries. Call once per (query, summary set).
+void PrepareContextForQuery(const Query& query, ScoringContext& context);
+
+// A database selection algorithm: assigns s(q, D) from D's content summary
+// (Section 2.1). Implementations must be stateless so one instance can be
+// shared across threads and experiments.
+class ScoringFunction {
+ public:
+  virtual ~ScoringFunction() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Score of database `db` for `query`. Higher is better.
+  virtual double Score(const Query& query, const summary::SummaryView& db,
+                       const ScoringContext& context) const = 0;
+
+  // The "default" score: what `db` would score if it contained none of the
+  // query words. A database whose score equals this value is considered not
+  // selected (Section 6.2's R_k discussion).
+  virtual double DefaultScore(const Query& query,
+                              const summary::SummaryView& db,
+                              const ScoringContext& context) const = 0;
+
+  // True if the scorer treats query words independently (enables the
+  // factored uncertainty computation of Section 4). All three paper
+  // algorithms qualify.
+  virtual bool independent_terms() const { return true; }
+};
+
+}  // namespace fedsearch::selection
+
+#endif  // FEDSEARCH_SELECTION_SCORING_H_

@@ -1,0 +1,103 @@
+#include "fedsearch/summary/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include "fedsearch/util/math.h"
+
+namespace fedsearch::summary {
+
+double WeightedRecall(const ContentSummary& approx,
+                      const ContentSummary& truth) {
+  double common = 0.0;
+  double total = 0.0;
+  truth.ForEachWord([&](const std::string& word, const WordStats&) {
+    const double p = truth.ProbDoc(word);
+    total += p;
+    if (approx.DocFrequency(word) > 0.0) common += p;
+  });
+  return total > 0.0 ? common / total : 0.0;
+}
+
+double UnweightedRecall(const ContentSummary& approx,
+                        const ContentSummary& truth) {
+  if (truth.vocabulary_size() == 0) return 0.0;
+  size_t common = 0;
+  truth.ForEachWord([&](const std::string& word, const WordStats&) {
+    if (approx.DocFrequency(word) > 0.0) ++common;
+  });
+  return static_cast<double>(common) /
+         static_cast<double>(truth.vocabulary_size());
+}
+
+double WeightedPrecision(const ContentSummary& approx,
+                         const ContentSummary& truth) {
+  double common = 0.0;
+  double total = 0.0;
+  approx.ForEachWord([&](const std::string& word, const WordStats&) {
+    const double p = approx.ProbDoc(word);
+    total += p;
+    if (truth.DocFrequency(word) > 0.0) common += p;
+  });
+  return total > 0.0 ? common / total : 0.0;
+}
+
+double UnweightedPrecision(const ContentSummary& approx,
+                           const ContentSummary& truth) {
+  if (approx.vocabulary_size() == 0) return 0.0;
+  size_t common = 0;
+  approx.ForEachWord([&](const std::string& word, const WordStats&) {
+    if (truth.DocFrequency(word) > 0.0) ++common;
+  });
+  return static_cast<double>(common) /
+         static_cast<double>(approx.vocabulary_size());
+}
+
+double SpearmanCorrelation(const ContentSummary& approx,
+                           const ContentSummary& truth) {
+  std::vector<double> a;
+  std::vector<double> t;
+  truth.ForEachWord([&](const std::string& word, const WordStats& stats) {
+    const double ap = approx.DocFrequency(word);
+    if (ap > 0.0) {
+      a.push_back(ap / std::max(1.0, approx.num_documents()));
+      t.push_back(stats.df / std::max(1.0, truth.num_documents()));
+    }
+  });
+  return util::SpearmanRankCorrelation(a, t);
+}
+
+double KlDivergence(const ContentSummary& approx,
+                    const ContentSummary& truth) {
+  // The true token distribution restricted to the common vocabulary is
+  // renormalized before the divergence is computed. Since the approximate
+  // distribution sums to at most one over that set, Gibbs' inequality then
+  // guarantees KL >= 0 (the raw restricted sum of the paper's formula can
+  // dip below zero when the sample matches the truth closely).
+  double common_mass = 0.0;
+  truth.ForEachWord([&](const std::string& word, const WordStats&) {
+    if (approx.TokenFrequency(word) > 0.0) common_mass += truth.ProbToken(word);
+  });
+  if (common_mass <= 0.0) return 0.0;
+  double kl = 0.0;
+  truth.ForEachWord([&](const std::string& word, const WordStats&) {
+    const double p = truth.ProbToken(word) / common_mass;
+    const double q = approx.ProbToken(word);
+    if (p > 0.0 && q > 0.0) kl += p * std::log(p / q);
+  });
+  return std::max(0.0, kl);
+}
+
+SummaryQuality EvaluateSummary(const ContentSummary& approx,
+                               const ContentSummary& truth) {
+  SummaryQuality q;
+  q.weighted_recall = WeightedRecall(approx, truth);
+  q.unweighted_recall = UnweightedRecall(approx, truth);
+  q.weighted_precision = WeightedPrecision(approx, truth);
+  q.unweighted_precision = UnweightedPrecision(approx, truth);
+  q.spearman = SpearmanCorrelation(approx, truth);
+  q.kl_divergence = KlDivergence(approx, truth);
+  return q;
+}
+
+}  // namespace fedsearch::summary

@@ -1,0 +1,56 @@
+#ifndef FEDSEARCH_SUMMARY_METRICS_H_
+#define FEDSEARCH_SUMMARY_METRICS_H_
+
+#include "fedsearch/summary/content_summary.h"
+
+namespace fedsearch::summary {
+
+// Content-summary quality metrics of Section 6.1. In all of them, `approx`
+// is the summary under evaluation A(D) (already trimmed per the
+// round(|D|·p̂) >= 1 rule if it is a shrunk summary) and `truth` is the
+// perfect summary S(D) computed from the full database.
+
+// Weighted recall (the ctf ratio of [2]):
+//   wr = Σ_{w ∈ WA ∩ WS} p(w|D) / Σ_{w ∈ WS} p(w|D).   (Table 4)
+double WeightedRecall(const ContentSummary& approx,
+                      const ContentSummary& truth);
+
+// Unweighted recall ur = |WA ∩ WS| / |WS|.              (Table 5)
+double UnweightedRecall(const ContentSummary& approx,
+                        const ContentSummary& truth);
+
+// Weighted precision
+//   wp = Σ_{w ∈ WA ∩ WS} p̂(w|D) / Σ_{w ∈ WA} p̂(w|D).  (Table 6)
+double WeightedPrecision(const ContentSummary& approx,
+                         const ContentSummary& truth);
+
+// Unweighted precision up = |WA ∩ WS| / |WA|.           (Table 7)
+double UnweightedPrecision(const ContentSummary& approx,
+                           const ContentSummary& truth);
+
+// Spearman rank correlation coefficient between the word rankings (by
+// p̂(w|D) in A and p(w|D) in S) over the common vocabulary.  (Table 8)
+double SpearmanCorrelation(const ContentSummary& approx,
+                           const ContentSummary& truth);
+
+// KL-divergence over the common vocabulary with LM-style token
+// probabilities:
+//   KL = Σ_{w ∈ WA ∩ WS} p(w|D) · log(p(w|D) / p̂(w|D)).  (Table 9)
+double KlDivergence(const ContentSummary& approx, const ContentSummary& truth);
+
+// Convenience bundle for the per-table benches.
+struct SummaryQuality {
+  double weighted_recall = 0.0;
+  double unweighted_recall = 0.0;
+  double weighted_precision = 0.0;
+  double unweighted_precision = 0.0;
+  double spearman = 0.0;
+  double kl_divergence = 0.0;
+};
+
+SummaryQuality EvaluateSummary(const ContentSummary& approx,
+                               const ContentSummary& truth);
+
+}  // namespace fedsearch::summary
+
+#endif  // FEDSEARCH_SUMMARY_METRICS_H_

@@ -1,0 +1,85 @@
+#include "fedsearch/summary/summary_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace fedsearch::summary {
+namespace {
+
+constexpr char kMagic[] = "fedsearch-summary";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+util::Status WriteSummary(const SummaryView& summary, std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kMagic << ' ' << kVersion << ' ' << summary.num_documents() << ' '
+      << summary.vocabulary_size() << '\n';
+  bool bad_word = false;
+  summary.ForEachWord([&](const std::string& word, const WordStats& stats) {
+    if (word.empty() ||
+        word.find_first_of(" \t\n\r") != std::string::npos) {
+      bad_word = true;
+      return;
+    }
+    out << word << ' ' << stats.df << ' ' << stats.ctf << '\n';
+  });
+  if (bad_word) {
+    return util::Status::InvalidArgument(
+        "summary contains words with whitespace");
+  }
+  if (!out) return util::Status::Internal("write failed");
+  return util::Status::Ok();
+}
+
+util::StatusOr<ContentSummary> ReadSummary(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  double num_documents = 0.0;
+  size_t word_count = 0;
+  if (!(in >> magic >> version >> num_documents >> word_count)) {
+    return util::Status::InvalidArgument("malformed summary header");
+  }
+  if (magic != kMagic) {
+    return util::Status::InvalidArgument("not a fedsearch summary: " + magic);
+  }
+  if (version != kVersion) {
+    return util::Status::InvalidArgument("unsupported summary version");
+  }
+  if (num_documents < 0.0) {
+    return util::Status::InvalidArgument("negative document count");
+  }
+  ContentSummary summary;
+  summary.set_num_documents(num_documents);
+  for (size_t i = 0; i < word_count; ++i) {
+    std::string word;
+    WordStats stats;
+    if (!(in >> word >> stats.df >> stats.ctf)) {
+      return util::Status::InvalidArgument(
+          "truncated summary: expected " + std::to_string(word_count) +
+          " words, got " + std::to_string(i));
+    }
+    if (stats.df < 0.0 || stats.ctf < 0.0) {
+      return util::Status::InvalidArgument("negative statistics for " + word);
+    }
+    summary.SetWord(word, stats);
+  }
+  return summary;
+}
+
+util::Status SaveSummaryToFile(const SummaryView& summary,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::NotFound("cannot open for write: " + path);
+  return WriteSummary(summary, out);
+}
+
+util::StatusOr<ContentSummary> LoadSummaryFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open: " + path);
+  return ReadSummary(in);
+}
+
+}  // namespace fedsearch::summary

@@ -1,0 +1,38 @@
+#ifndef FEDSEARCH_SUMMARY_SUMMARY_IO_H_
+#define FEDSEARCH_SUMMARY_SUMMARY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "fedsearch/summary/content_summary.h"
+#include "fedsearch/util/status.h"
+
+namespace fedsearch::summary {
+
+// Persistence for content summaries. Real metasearchers compute summaries
+// off-line and reload them at query time; the STARTS proposal [12] likewise
+// assumes summaries travel as documents. The format is a line-oriented
+// text file:
+//
+//   fedsearch-summary 1 <num_documents> <word_count>
+//   <word> <df> <ctf>
+//   ...
+//
+// Words are analyzer output (no whitespace). Doubles round-trip through
+// max_digits10 so Write/Read is lossless.
+
+// Writes `summary` to `out`. Any SummaryView works (shrunk summaries are
+// materialized on the fly by iteration).
+util::Status WriteSummary(const SummaryView& summary, std::ostream& out);
+
+// Parses a summary previously written by WriteSummary.
+util::StatusOr<ContentSummary> ReadSummary(std::istream& in);
+
+// File-path conveniences.
+util::Status SaveSummaryToFile(const SummaryView& summary,
+                               const std::string& path);
+util::StatusOr<ContentSummary> LoadSummaryFromFile(const std::string& path);
+
+}  // namespace fedsearch::summary
+
+#endif  // FEDSEARCH_SUMMARY_SUMMARY_IO_H_

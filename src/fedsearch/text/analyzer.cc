@@ -1,0 +1,21 @@
+#include "fedsearch/text/analyzer.h"
+
+namespace fedsearch::text {
+
+Analyzer::Analyzer(AnalyzerOptions options) : options_(options) {}
+
+std::vector<std::string> Analyzer::Analyze(std::string_view text) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (options_.remove_stopwords && stopwords_.Contains(token)) continue;
+    std::string term =
+        options_.stem ? stemmer_.Stem(token) : std::move(token);
+    if (term.size() < options_.min_token_length) continue;
+    out.push_back(std::move(term));
+  }
+  return out;
+}
+
+}  // namespace fedsearch::text

@@ -1,0 +1,45 @@
+#ifndef FEDSEARCH_TEXT_ANALYZER_H_
+#define FEDSEARCH_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fedsearch/text/porter_stemmer.h"
+#include "fedsearch/text/stopwords.h"
+#include "fedsearch/text/tokenizer.h"
+
+namespace fedsearch::text {
+
+// Options controlling the analysis pipeline. The paper reports results with
+// stopword elimination and stemming enabled (Section 6.2); both can be
+// switched off to reproduce the ablations it discusses.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  // Tokens shorter than this after analysis are dropped (1 = keep all).
+  size_t min_token_length = 2;
+};
+
+// Tokenize -> stopword-filter -> stem pipeline, the moral equivalent of a
+// Lucene Analyzer. Both documents and queries must pass through the same
+// analyzer so their terms agree.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  // Analyzes raw text into index/query terms.
+  std::vector<std::string> Analyze(std::string_view text) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopwordList stopwords_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace fedsearch::text
+
+#endif  // FEDSEARCH_TEXT_ANALYZER_H_

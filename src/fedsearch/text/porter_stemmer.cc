@@ -1,0 +1,291 @@
+#include "fedsearch/text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace fedsearch::text {
+namespace {
+
+// Working buffer for one stemming run. Follows the structure of Porter's
+// reference implementation: b is the word, k the offset of its last
+// character, and j the offset set by ends() to the end of the stem.
+struct Ctx {
+  std::string b;
+  int k = 0;  // index of last char
+  int j = 0;  // index of stem end for the current suffix
+
+  bool IsConsonant(int i) const {
+    switch (b[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b[static_cast<size_t>(i)] != b[static_cast<size_t>(i - 1)]) return false;
+    return IsConsonant(i);
+  }
+
+  // cvc at positions i-2, i-1, i where the final consonant is not w, x, y.
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char ch = b[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(const char* s) {
+    const int length = static_cast<int>(std::strlen(s));
+    if (length > k + 1) return false;
+    if (std::memcmp(b.data() + (k - length + 1), s,
+                    static_cast<size_t>(length)) != 0) {
+      return false;
+    }
+    j = k - length;
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    const int length = static_cast<int>(std::strlen(s));
+    b.resize(static_cast<size_t>(j + 1));
+    b.append(s);
+    k = j + length;
+  }
+
+  void ReplaceIfMeasurePositive(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+};
+
+// Step 1a: plurals. Step 1b: -ed, -ing. Step 1c: y -> i.
+void Step1ab(Ctx& z) {
+  if (z.b[static_cast<size_t>(z.k)] == 's') {
+    if (z.Ends("sses")) {
+      z.k -= 2;
+    } else if (z.Ends("ies")) {
+      z.SetTo("i");
+    } else if (z.b[static_cast<size_t>(z.k - 1)] != 's') {
+      --z.k;
+    }
+  }
+  if (z.Ends("eed")) {
+    if (z.Measure() > 0) --z.k;
+  } else if ((z.Ends("ed") || z.Ends("ing")) && z.VowelInStem()) {
+    z.k = z.j;
+    if (z.Ends("at")) {
+      z.SetTo("ate");
+    } else if (z.Ends("bl")) {
+      z.SetTo("ble");
+    } else if (z.Ends("iz")) {
+      z.SetTo("ize");
+    } else if (z.DoubleConsonant(z.k)) {
+      --z.k;
+      const char ch = z.b[static_cast<size_t>(z.k)];
+      if (ch == 'l' || ch == 's' || ch == 'z') ++z.k;
+    } else if (z.Measure() == 1 && z.Cvc(z.k)) {
+      z.j = z.k;
+      z.SetTo("e");
+    }
+  }
+}
+
+void Step1c(Ctx& z) {
+  if (z.Ends("y") && z.VowelInStem()) {
+    z.b[static_cast<size_t>(z.k)] = 'i';
+  }
+}
+
+void Step2(Ctx& z) {
+  switch (z.b[static_cast<size_t>(z.k - 1)]) {
+    case 'a':
+      if (z.Ends("ational")) { z.ReplaceIfMeasurePositive("ate"); break; }
+      if (z.Ends("tional")) { z.ReplaceIfMeasurePositive("tion"); }
+      break;
+    case 'c':
+      if (z.Ends("enci")) { z.ReplaceIfMeasurePositive("ence"); break; }
+      if (z.Ends("anci")) { z.ReplaceIfMeasurePositive("ance"); }
+      break;
+    case 'e':
+      if (z.Ends("izer")) { z.ReplaceIfMeasurePositive("ize"); }
+      break;
+    case 'l':
+      if (z.Ends("bli")) { z.ReplaceIfMeasurePositive("ble"); break; }
+      if (z.Ends("alli")) { z.ReplaceIfMeasurePositive("al"); break; }
+      if (z.Ends("entli")) { z.ReplaceIfMeasurePositive("ent"); break; }
+      if (z.Ends("eli")) { z.ReplaceIfMeasurePositive("e"); break; }
+      if (z.Ends("ousli")) { z.ReplaceIfMeasurePositive("ous"); }
+      break;
+    case 'o':
+      if (z.Ends("ization")) { z.ReplaceIfMeasurePositive("ize"); break; }
+      if (z.Ends("ation")) { z.ReplaceIfMeasurePositive("ate"); break; }
+      if (z.Ends("ator")) { z.ReplaceIfMeasurePositive("ate"); }
+      break;
+    case 's':
+      if (z.Ends("alism")) { z.ReplaceIfMeasurePositive("al"); break; }
+      if (z.Ends("iveness")) { z.ReplaceIfMeasurePositive("ive"); break; }
+      if (z.Ends("fulness")) { z.ReplaceIfMeasurePositive("ful"); break; }
+      if (z.Ends("ousness")) { z.ReplaceIfMeasurePositive("ous"); }
+      break;
+    case 't':
+      if (z.Ends("aliti")) { z.ReplaceIfMeasurePositive("al"); break; }
+      if (z.Ends("iviti")) { z.ReplaceIfMeasurePositive("ive"); break; }
+      if (z.Ends("biliti")) { z.ReplaceIfMeasurePositive("ble"); }
+      break;
+    case 'g':
+      if (z.Ends("logi")) { z.ReplaceIfMeasurePositive("log"); }
+      break;
+    default:
+      break;
+  }
+}
+
+void Step3(Ctx& z) {
+  switch (z.b[static_cast<size_t>(z.k)]) {
+    case 'e':
+      if (z.Ends("icate")) { z.ReplaceIfMeasurePositive("ic"); break; }
+      if (z.Ends("ative")) { z.ReplaceIfMeasurePositive(""); break; }
+      if (z.Ends("alize")) { z.ReplaceIfMeasurePositive("al"); }
+      break;
+    case 'i':
+      if (z.Ends("iciti")) { z.ReplaceIfMeasurePositive("ic"); }
+      break;
+    case 'l':
+      if (z.Ends("ical")) { z.ReplaceIfMeasurePositive("ic"); break; }
+      if (z.Ends("ful")) { z.ReplaceIfMeasurePositive(""); }
+      break;
+    case 's':
+      if (z.Ends("ness")) { z.ReplaceIfMeasurePositive(""); }
+      break;
+    default:
+      break;
+  }
+}
+
+void Step4(Ctx& z) {
+  switch (z.b[static_cast<size_t>(z.k - 1)]) {
+    case 'a':
+      if (z.Ends("al")) break;
+      return;
+    case 'c':
+      if (z.Ends("ance")) break;
+      if (z.Ends("ence")) break;
+      return;
+    case 'e':
+      if (z.Ends("er")) break;
+      return;
+    case 'i':
+      if (z.Ends("ic")) break;
+      return;
+    case 'l':
+      if (z.Ends("able")) break;
+      if (z.Ends("ible")) break;
+      return;
+    case 'n':
+      if (z.Ends("ant")) break;
+      if (z.Ends("ement")) break;
+      if (z.Ends("ment")) break;
+      if (z.Ends("ent")) break;
+      return;
+    case 'o':
+      if (z.Ends("ion") && z.j >= 0 &&
+          (z.b[static_cast<size_t>(z.j)] == 's' ||
+           z.b[static_cast<size_t>(z.j)] == 't')) {
+        break;
+      }
+      if (z.Ends("ou")) break;  // e.g. -ous via step 3 leftovers
+      return;
+    case 's':
+      if (z.Ends("ism")) break;
+      return;
+    case 't':
+      if (z.Ends("ate")) break;
+      if (z.Ends("iti")) break;
+      return;
+    case 'u':
+      if (z.Ends("ous")) break;
+      return;
+    case 'v':
+      if (z.Ends("ive")) break;
+      return;
+    case 'z':
+      if (z.Ends("ize")) break;
+      return;
+    default:
+      return;
+  }
+  if (z.Measure() > 1) z.k = z.j;
+}
+
+void Step5(Ctx& z) {
+  z.j = z.k;
+  if (z.b[static_cast<size_t>(z.k)] == 'e') {
+    const int a = z.Measure();
+    if (a > 1 || (a == 1 && !z.Cvc(z.k - 1))) --z.k;
+  }
+  if (z.b[static_cast<size_t>(z.k)] == 'l' && z.DoubleConsonant(z.k) &&
+      z.Measure() > 1) {
+    --z.k;
+  }
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() < 3) return std::string(word);
+  Ctx z;
+  z.b.assign(word);
+  z.k = static_cast<int>(z.b.size()) - 1;
+  Step1ab(z);
+  Step1c(z);
+  Step2(z);
+  Step3(z);
+  Step4(z);
+  Step5(z);
+  z.b.resize(static_cast<size_t>(z.k + 1));
+  return z.b;
+}
+
+}  // namespace fedsearch::text

@@ -1,0 +1,23 @@
+#ifndef FEDSEARCH_TEXT_PORTER_STEMMER_H_
+#define FEDSEARCH_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace fedsearch::text {
+
+// The original Porter stemming algorithm (M.F. Porter, "An algorithm for
+// suffix stripping", Program 14(3), 1980), steps 1a through 5b.
+//
+// Input is expected to be a lowercase ASCII word (as produced by Tokenizer);
+// words shorter than 3 characters are returned unchanged, matching the
+// reference implementation.
+class PorterStemmer {
+ public:
+  // Returns the stem of `word`.
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace fedsearch::text
+
+#endif  // FEDSEARCH_TEXT_PORTER_STEMMER_H_

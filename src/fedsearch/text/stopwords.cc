@@ -1,0 +1,45 @@
+#include "fedsearch/text/stopwords.h"
+
+#include <string>
+#include <utility>
+
+namespace fedsearch::text {
+namespace {
+
+const char* const kDefaultStopwords[] = {
+    "a",       "about",  "above",   "after",   "again",   "against", "all",
+    "also",    "am",     "an",      "and",     "any",     "are",     "as",
+    "at",      "be",     "because", "been",    "before",  "being",   "below",
+    "between", "both",   "but",     "by",      "can",     "cannot",  "could",
+    "did",     "do",     "does",    "doing",   "down",    "during",  "each",
+    "few",     "for",    "from",    "further", "had",     "has",     "have",
+    "having",  "he",     "her",     "here",    "hers",    "herself", "him",
+    "himself", "his",    "how",     "i",       "if",      "in",      "into",
+    "is",      "it",     "its",     "itself",  "just",    "me",      "more",
+    "most",    "my",     "myself",  "no",      "nor",     "not",     "now",
+    "of",      "off",    "on",      "once",    "only",    "or",      "other",
+    "ought",   "our",    "ours",    "out",     "over",    "own",     "same",
+    "she",     "should", "so",      "some",    "such",    "than",    "that",
+    "the",     "their",  "theirs",  "them",    "then",    "there",   "these",
+    "they",    "this",   "those",   "through", "to",      "too",     "under",
+    "until",   "up",     "upon",    "very",    "was",     "we",      "were",
+    "what",    "when",   "where",   "which",   "while",   "who",     "whom",
+    "why",     "will",   "with",    "would",   "you",     "your",    "yours",
+};
+
+}  // namespace
+
+StopwordList::StopwordList() {
+  for (const char* w : kDefaultStopwords) words_.insert(w);
+}
+
+StopwordList::StopwordList(std::unordered_set<std::string> words)
+    : words_(std::move(words)) {}
+
+bool StopwordList::Contains(std::string_view word) const {
+  // C++20 heterogeneous lookup on unordered_set<std::string> requires a
+  // transparent hash; keep it simple with a temporary string.
+  return words_.count(std::string(word)) > 0;
+}
+
+}  // namespace fedsearch::text

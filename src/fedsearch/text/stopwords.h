@@ -1,0 +1,30 @@
+#ifndef FEDSEARCH_TEXT_STOPWORDS_H_
+#define FEDSEARCH_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace fedsearch::text {
+
+// English stopword list (a subset of the SMART list commonly used in IR
+// systems, plus the function words that dominate generated text).
+class StopwordList {
+ public:
+  // Constructs the default English list.
+  StopwordList();
+
+  // Constructs from an explicit set of words.
+  explicit StopwordList(std::unordered_set<std::string> words);
+
+  bool Contains(std::string_view word) const;
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace fedsearch::text
+
+#endif  // FEDSEARCH_TEXT_STOPWORDS_H_

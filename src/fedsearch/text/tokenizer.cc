@@ -1,0 +1,35 @@
+#include "fedsearch/text/tokenizer.h"
+
+#include <cctype>
+
+namespace fedsearch::text {
+
+void Tokenizer::Tokenize(std::string_view text,
+                         std::vector<std::string>& out) const {
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      if (current.size() < kMaxTokenLength) {
+        current.push_back(static_cast<char>(std::tolower(uc)));
+      }
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  Tokenize(text, out);
+  return out;
+}
+
+}  // namespace fedsearch::text

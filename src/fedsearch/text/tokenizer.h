@@ -1,0 +1,26 @@
+#ifndef FEDSEARCH_TEXT_TOKENIZER_H_
+#define FEDSEARCH_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedsearch::text {
+
+// Splits text into lowercase word tokens. A token is a maximal run of ASCII
+// letters or digits; everything else is a separator. Tokens longer than
+// kMaxTokenLength are truncated (defensive bound against pathological input).
+class Tokenizer {
+ public:
+  static constexpr size_t kMaxTokenLength = 64;
+
+  // Appends the tokens of `text` to `out`.
+  void Tokenize(std::string_view text, std::vector<std::string>& out) const;
+
+  // Convenience overload returning a fresh vector.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+};
+
+}  // namespace fedsearch::text
+
+#endif  // FEDSEARCH_TEXT_TOKENIZER_H_

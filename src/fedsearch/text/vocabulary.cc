@@ -1,0 +1,19 @@
+#include "fedsearch/text/vocabulary.h"
+
+namespace fedsearch::text {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+}  // namespace fedsearch::text

@@ -1,0 +1,50 @@
+#ifndef FEDSEARCH_TEXT_VOCABULARY_H_
+#define FEDSEARCH_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fedsearch::text {
+
+// Dense integer id for an interned term.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+// Bidirectional string <-> TermId interning table. Ids are dense and
+// allocated in first-seen order, which makes them usable as vector indices
+// throughout the index and summary code.
+//
+// Not thread-safe; the library builds vocabularies single-threaded.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Vocabulary handles are shared widely; keep a single owner.
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  // Returns the id for `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  // Returns the id for `term`, or kInvalidTermId if it was never interned.
+  TermId Lookup(std::string_view term) const;
+
+  // Returns the term for a valid id. Precondition: id < size().
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace fedsearch::text
+
+#endif  // FEDSEARCH_TEXT_VOCABULARY_H_

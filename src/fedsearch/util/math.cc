@@ -1,0 +1,119 @@
+#include "fedsearch/util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fedsearch::util {
+
+LinearFit FitLine(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  LinearFit fit;
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n == 0) return fit;
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (n < 2 || sxx <= 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    const double ss_res = syy - fit.slope * sxy;
+    fit.r_squared = std::max(0.0, 1.0 - ss_res / syy);
+  } else {
+    fit.r_squared = 1.0;
+  }
+  return fit;
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j are tied; assign the mean 1-based rank.
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanRankCorrelation(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  std::vector<double> ra = AverageRanks({a.begin(), a.begin() + n});
+  std::vector<double> rb = AverageRanks({b.begin(), b.begin() + n});
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - ma;
+    const double db = rb[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+void RunningStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PairedTStatistic(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = (a[i] - b[i]) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 1);
+  if (var <= 0.0) return 0.0;
+  return mean / std::sqrt(var / static_cast<double>(n));
+}
+
+}  // namespace fedsearch::util

@@ -1,0 +1,57 @@
+#ifndef FEDSEARCH_UTIL_MATH_H_
+#define FEDSEARCH_UTIL_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedsearch::util {
+
+// Result of a simple least-squares line fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+};
+
+// Ordinary least squares over (x[i], y[i]). Requires xs.size() == ys.size().
+// With fewer than two points (or zero x-variance) the fit degenerates to a
+// horizontal line through the mean.
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Spearman rank correlation coefficient between two paired samples (average
+// ranks for ties, Pearson correlation of the rank vectors). Returns 0 when
+// either side has zero rank variance or fewer than two points.
+double SpearmanRankCorrelation(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Population variance; 0 with fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Average ranks (1-based) of the values, with ties assigned the mean of the
+// tied positions. Exposed for testing.
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+// Paired two-sided t-test on the per-pair differences a[i] - b[i].
+// Returns the t statistic; |t| > ~2.6 is significant at the 1% level for the
+// sample sizes used in the experiments. Returns 0 if the difference variance
+// is zero or fewer than two pairs are given.
+double PairedTStatistic(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace fedsearch::util
+
+#endif  // FEDSEARCH_UTIL_MATH_H_

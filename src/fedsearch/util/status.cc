@@ -1,0 +1,36 @@
+#include "fedsearch/util/status.h"
+
+namespace fedsearch::util {
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Status::Code::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace fedsearch::util

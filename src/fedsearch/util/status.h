@@ -1,0 +1,84 @@
+#ifndef FEDSEARCH_UTIL_STATUS_H_
+#define FEDSEARCH_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fedsearch::util {
+
+// Minimal Status / StatusOr pair in the style of absl. The library does not
+// use exceptions (per the project style guide); fallible operations return
+// Status or StatusOr<T>.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kFailedPrecondition,
+    kOutOfRange,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+// Value-or-error holder. Check ok() before calling value().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit from error status is intended
+      : payload_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT: implicit from value is intended
+      : payload_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace fedsearch::util
+
+#endif  // FEDSEARCH_UTIL_STATUS_H_

@@ -1,0 +1,214 @@
+#include "fedsearch/core/adaptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/selection/bgloss.h"
+
+namespace fedsearch::core {
+namespace {
+
+// ------------------------------------------------------------ OverrideSummary
+
+TEST(OverrideSummaryTest, OverridesDfAndScalesCtf) {
+  summary::ContentSummary base;
+  base.set_num_documents(100);
+  base.SetWord("w", summary::WordStats{10, 30});  // 3 occurrences per doc
+  std::unordered_map<std::string, double> overrides = {{"w", 20.0}};
+  OverrideSummary view(&base, &overrides);
+  EXPECT_DOUBLE_EQ(view.DocFrequency("w"), 20.0);
+  EXPECT_DOUBLE_EQ(view.TokenFrequency("w"), 60.0);  // ratio preserved
+  EXPECT_DOUBLE_EQ(view.num_documents(), 100.0);
+}
+
+TEST(OverrideSummaryTest, UnseenWordGetsOneOccurrencePerDoc) {
+  summary::ContentSummary base;
+  base.set_num_documents(100);
+  std::unordered_map<std::string, double> overrides = {{"new", 5.0}};
+  OverrideSummary view(&base, &overrides);
+  EXPECT_DOUBLE_EQ(view.DocFrequency("new"), 5.0);
+  EXPECT_DOUBLE_EQ(view.TokenFrequency("new"), 5.0);
+}
+
+TEST(OverrideSummaryTest, PassesThroughOtherWords) {
+  summary::ContentSummary base;
+  base.set_num_documents(100);
+  base.SetWord("kept", summary::WordStats{7, 9});
+  std::unordered_map<std::string, double> overrides;
+  OverrideSummary view(&base, &overrides);
+  EXPECT_DOUBLE_EQ(view.DocFrequency("kept"), 7.0);
+  EXPECT_DOUBLE_EQ(view.TokenFrequency("kept"), 9.0);
+}
+
+// ------------------------------------------------------ DocFrequencyPosterior
+
+TEST(DocFrequencyPosteriorTest, SupportSpansOneToDbSize) {
+  DocFrequencyPosterior post(/*sample_df=*/5, /*sample_size=*/100,
+                             /*db_size=*/10000, /*gamma=*/-2.0,
+                             /*grid_points=*/64);
+  ASSERT_FALSE(post.support().empty());
+  EXPECT_DOUBLE_EQ(post.support().front(), 1.0);
+  EXPECT_DOUBLE_EQ(post.support().back(), 10000.0);
+}
+
+TEST(DocFrequencyPosteriorTest, PosteriorPeaksNearScaledSampleFrequency) {
+  // s_k = 30 of |S| = 100 from |D| = 1000: the likelihood peaks near
+  // d = 300 (the prior pulls it somewhat lower).
+  DocFrequencyPosterior post(30, 100, 1000, -2.0, 128);
+  const auto& support = post.support();
+  const auto& weights = post.weights();
+  size_t argmax = 0;
+  for (size_t i = 1; i < weights.size(); ++i) {
+    if (weights[i] > weights[argmax]) argmax = i;
+  }
+  EXPECT_GT(support[argmax], 150.0);
+  EXPECT_LT(support[argmax], 400.0);
+}
+
+TEST(DocFrequencyPosteriorTest, UnseenWordsConcentrateOnSmallD) {
+  DocFrequencyPosterior post(/*sample_df=*/0, /*sample_size=*/300,
+                             /*db_size=*/100000, -2.0, 128);
+  // Expected d under the posterior must be a vanishing fraction of |D|.
+  double mean = 0.0, total = 0.0;
+  for (size_t i = 0; i < post.support().size(); ++i) {
+    mean += post.support()[i] * post.weights()[i];
+    total += post.weights()[i];
+  }
+  mean /= total;
+  EXPECT_LT(mean, 1000.0);
+}
+
+TEST(DocFrequencyPosteriorTest, SamplesStayInSupport) {
+  DocFrequencyPosterior post(10, 100, 5000, -1.8, 64);
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double d = post.Sample(rng);
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, 5000.0);
+  }
+}
+
+// --------------------------------------------------- AdaptiveSummarySelector
+
+sampling::SampleResult MakeSample(double db_size, size_t sample_size) {
+  sampling::SampleResult s;
+  s.sample_size = sample_size;
+  s.estimated_db_size = db_size;
+  s.mandelbrot_alpha = -1.2;
+  s.summary.set_num_documents(db_size);
+  return s;
+}
+
+TEST(AdaptiveSelectorTest, FullyCoveredDatabaseNeverShrinks) {
+  // Section 4: if the sample covered (almost) the whole database, the
+  // summary is already sufficiently complete.
+  sampling::SampleResult s = MakeSample(100, 100);
+  s.summary.SetWord("w", summary::WordStats{40, 40});
+  s.sample_df["w"] = 40;
+  AdaptiveSummarySelector selector;
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(1);
+  const auto u =
+      selector.Evaluate(selection::Query{{"w"}}, s, bgloss, ctx, rng);
+  EXPECT_FALSE(u.use_shrinkage);
+  EXPECT_EQ(u.draws, 0u);
+}
+
+TEST(AdaptiveSelectorTest, UnseenQueryWordTriggersShrinkage) {
+  // Mixed evidence — one query word solidly sampled, one absent — makes
+  // the bGlOSS score wildly uncertain: the absent word's true frequency
+  // could be anything small.
+  sampling::SampleResult s = MakeSample(50000, 300);
+  s.summary.SetWord("other", summary::WordStats{5000, 6000});
+  s.sample_df["other"] = 30;
+  AdaptiveSummarySelector selector;
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(2);
+  const auto u = selector.Evaluate(selection::Query{{"other", "missing"}}, s,
+                                   bgloss, ctx, rng);
+  EXPECT_GT(u.draws, 0u);
+  EXPECT_TRUE(u.use_shrinkage);
+}
+
+TEST(AdaptiveSelectorTest, AllWordsAbsentSkipsShrinkage) {
+  // Section 4: "every query word appears in close to no sample documents"
+  // -> the database is confidently a poor match; no shrinkage.
+  sampling::SampleResult s = MakeSample(50000, 300);
+  s.summary.SetWord("other", summary::WordStats{5000, 6000});
+  s.sample_df["other"] = 30;
+  AdaptiveSummarySelector selector;
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(2);
+  const auto u = selector.Evaluate(selection::Query{{"missing", "gone"}}, s,
+                                   bgloss, ctx, rng);
+  EXPECT_FALSE(u.use_shrinkage);
+  EXPECT_EQ(u.draws, 0u);
+}
+
+TEST(AdaptiveSelectorTest, GateCanBeDisabled) {
+  sampling::SampleResult s = MakeSample(50000, 300);
+  AdaptiveOptions options;
+  options.require_mixed_evidence = false;
+  AdaptiveSummarySelector selector(options);
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(2);
+  const auto u = selector.Evaluate(selection::Query{{"missing"}}, s, bgloss,
+                                   ctx, rng);
+  EXPECT_GT(u.draws, 0u);
+  EXPECT_TRUE(u.use_shrinkage);
+}
+
+TEST(AdaptiveSelectorTest, UbiquitousWordNeedsNoShrinkage) {
+  // "If every word in a query appears in close to all the sample
+  // documents ... there is little uncertainty" (Section 4). Checked with
+  // the evidence gate off so the score-distribution path runs.
+  sampling::SampleResult s = MakeSample(10000, 300);
+  s.summary.SetWord("always", summary::WordStats{9800, 20000});
+  s.sample_df["always"] = 297;
+  AdaptiveOptions options;
+  options.require_mixed_evidence = false;
+  AdaptiveSummarySelector selector(options);
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(3);
+  const auto u = selector.Evaluate(selection::Query{{"always"}}, s, bgloss,
+                                   ctx, rng);
+  EXPECT_FALSE(u.use_shrinkage);
+  EXPECT_GT(u.mean, 0.0);
+}
+
+TEST(AdaptiveSelectorTest, EmptyQueryNeverShrinks) {
+  sampling::SampleResult s = MakeSample(10000, 300);
+  AdaptiveSummarySelector selector;
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(4);
+  const auto u = selector.Evaluate(selection::Query{}, s, bgloss, ctx, rng);
+  EXPECT_FALSE(u.use_shrinkage);
+}
+
+TEST(AdaptiveSelectorTest, DrawCountBounded) {
+  sampling::SampleResult s = MakeSample(50000, 300);
+  s.summary.SetWord("w", summary::WordStats{300, 400});
+  s.sample_df["w"] = 2;
+  AdaptiveOptions options;
+  options.require_mixed_evidence = false;
+  options.min_draws = 50;
+  options.max_draws = 120;
+  AdaptiveSummarySelector selector(options);
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(5);
+  const auto u =
+      selector.Evaluate(selection::Query{{"w"}}, s, bgloss, ctx, rng);
+  EXPECT_GE(u.draws, 50u);
+  EXPECT_LE(u.draws, 120u);
+}
+
+}  // namespace
+}  // namespace fedsearch::core

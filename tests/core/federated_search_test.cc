@@ -1,0 +1,88 @@
+#include "fedsearch/core/federated_search.h"
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/text/analyzer.h"
+
+namespace fedsearch::core {
+namespace {
+
+class FederatedSearchTest : public ::testing::Test {
+ protected:
+  FederatedSearchTest()
+      : medical_("medical", &analyzer_), sports_("sports", &analyzer_) {
+    medical_.AddDocument("cardiac surgery outcome study");   // doc 0
+    medical_.AddDocument("cardiac rehabilitation program");  // doc 1
+    medical_.AddDocument("nutrition advice");                // doc 2
+    sports_.AddDocument("cardiac arrest during a match");    // doc 0
+    sports_.AddDocument("league standings");                 // doc 1
+    databases_ = {&medical_, &sports_};
+  }
+
+  text::Analyzer analyzer_;
+  index::TextDatabase medical_;
+  index::TextDatabase sports_;
+  std::vector<const index::TextDatabase*> databases_;
+};
+
+TEST_F(FederatedSearchTest, MergesAcrossDatabases) {
+  const std::vector<selection::RankedDatabase> ranking = {{0, 2.0}, {1, 1.0}};
+  const auto hits = SearchAndMerge(databases_, ranking, "cardiac");
+  ASSERT_EQ(hits.size(), 3u);  // two medical docs + one sports doc
+  bool saw_sports = false;
+  for (const FederatedHit& h : hits) saw_sports |= h.database == 1;
+  EXPECT_TRUE(saw_sports);
+  // The top hit comes from the higher-believed database.
+  EXPECT_EQ(hits[0].database, 0u);
+}
+
+TEST_F(FederatedSearchTest, DatabaseBeliefBreaksDocumentTies) {
+  // Both databases return a rank-1 document; the higher-scored database's
+  // document must be merged first.
+  const std::vector<selection::RankedDatabase> ranking = {{1, 5.0}, {0, 1.0}};
+  const auto hits = SearchAndMerge(databases_, ranking, "cardiac");
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].database, 1u);
+}
+
+TEST_F(FederatedSearchTest, HonorsDatabaseBudget) {
+  const std::vector<selection::RankedDatabase> ranking = {{0, 2.0}, {1, 1.0}};
+  FederatedSearchOptions options;
+  options.databases_to_search = 1;
+  const auto hits = SearchAndMerge(databases_, ranking, "cardiac", options);
+  for (const FederatedHit& h : hits) EXPECT_EQ(h.database, 0u);
+}
+
+TEST_F(FederatedSearchTest, HonorsMergedResultBudget) {
+  const std::vector<selection::RankedDatabase> ranking = {{0, 2.0}, {1, 1.0}};
+  FederatedSearchOptions options;
+  options.merged_results = 2;
+  const auto hits = SearchAndMerge(databases_, ranking, "cardiac", options);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(FederatedSearchTest, ScoresAreNonIncreasing) {
+  const std::vector<selection::RankedDatabase> ranking = {{0, 2.0}, {1, 1.0}};
+  const auto hits = SearchAndMerge(databases_, ranking, "cardiac");
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].score, hits[i - 1].score);
+  }
+}
+
+TEST_F(FederatedSearchTest, EmptyRankingOrNoMatches) {
+  EXPECT_TRUE(SearchAndMerge(databases_, {}, "cardiac").empty());
+  const std::vector<selection::RankedDatabase> ranking = {{0, 1.0}};
+  EXPECT_TRUE(SearchAndMerge(databases_, ranking, "nonexistent").empty());
+}
+
+TEST_F(FederatedSearchTest, SingleDatabaseGetsFullWeight) {
+  const std::vector<selection::RankedDatabase> ranking = {{0, 7.0}};
+  const auto hits = SearchAndMerge(databases_, ranking, "cardiac");
+  ASSERT_FALSE(hits.empty());
+  // With one database, normalization degenerates to weight 1: the top
+  // document keeps its reciprocal-rank score of 1.0.
+  EXPECT_DOUBLE_EQ(hits[0].score, 1.0);
+}
+
+}  // namespace
+}  // namespace fedsearch::core

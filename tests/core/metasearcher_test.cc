@@ -1,0 +1,139 @@
+#include "fedsearch/core/metasearcher.h"
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+#include "testing/small_testbed.h"
+
+namespace fedsearch::core {
+namespace {
+
+using fedsearch::testing::SharedSmallTestbed;
+
+// One sampled federation shared by the tests in this file.
+class MetasearcherTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const corpus::Testbed& bed = SharedSmallTestbed();
+    sampling::QbsOptions options;
+    options.target_documents = 80;
+    sampling::QbsSampler sampler(
+        options, corpus::BuildSamplerDictionary(bed.model(), 10));
+    std::vector<sampling::SampleResult> samples;
+    std::vector<corpus::CategoryId> classifications;
+    util::Rng rng(77);
+    for (size_t i = 0; i < bed.num_databases(); ++i) {
+      util::Rng db_rng = rng.Fork();
+      samples.push_back(sampler.Sample(bed.database(i), db_rng));
+      classifications.push_back(bed.category_of(i));
+    }
+    meta_ = new Metasearcher(&bed.hierarchy(), std::move(samples),
+                             std::move(classifications));
+  }
+
+  static Metasearcher* meta_;
+};
+
+Metasearcher* MetasearcherTest::meta_ = nullptr;
+
+TEST_F(MetasearcherTest, ExposesPerDatabaseArtifacts) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  ASSERT_EQ(meta_->num_databases(), bed.num_databases());
+  for (size_t i = 0; i < meta_->num_databases(); ++i) {
+    EXPECT_GT(meta_->plain_summary(i).vocabulary_size(), 0u);
+    EXPECT_GE(meta_->shrunk_summary(i).vocabulary_size(),
+              meta_->plain_summary(i).vocabulary_size());
+    const auto& lambdas = meta_->lambdas(i);
+    double sum = 0.0;
+    for (double l : lambdas) sum += l;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(MetasearcherTest, GlobalSummaryIsRootAggregate) {
+  EXPECT_DOUBLE_EQ(
+      meta_->global_summary().num_documents(),
+      meta_->hierarchy_summaries().root_aggregate().num_documents());
+  EXPECT_GT(meta_->global_summary().vocabulary_size(), 0u);
+}
+
+TEST_F(MetasearcherTest, PlainModeNeverAppliesShrinkage) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[0].text)};
+  const auto outcome = meta_->SelectDatabases(q, cori, SummaryMode::kPlain);
+  EXPECT_EQ(outcome.shrinkage_applied, 0u);
+  EXPECT_EQ(outcome.databases_considered, meta_->num_databases());
+}
+
+TEST_F(MetasearcherTest, UniversalModeAlwaysAppliesShrinkage) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[0].text)};
+  const auto outcome =
+      meta_->SelectDatabases(q, cori, SummaryMode::kUniversalShrinkage);
+  EXPECT_EQ(outcome.shrinkage_applied, meta_->num_databases());
+}
+
+TEST_F(MetasearcherTest, AdaptiveModeAppliesShrinkageSelectively) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  size_t total_applied = 0;
+  for (const corpus::TestQuery& tq : bed.queries()) {
+    const selection::Query q{bed.analyzer().Analyze(tq.text)};
+    const auto outcome =
+        meta_->SelectDatabases(q, cori, SummaryMode::kAdaptiveShrinkage);
+    total_applied += outcome.shrinkage_applied;
+    EXPECT_LE(outcome.shrinkage_applied, outcome.databases_considered);
+  }
+  // Across several queries, the adaptive rule should fire at least once
+  // and not for every single pair (Table 10 reports 11%-78%).
+  EXPECT_GT(total_applied, 0u);
+  EXPECT_LT(total_applied,
+            bed.queries().size() * meta_->num_databases());
+}
+
+TEST_F(MetasearcherTest, AdaptiveDecisionsAreDeterministic) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::BglossScorer bgloss;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[1].text)};
+  const auto a =
+      meta_->SelectDatabases(q, bgloss, SummaryMode::kAdaptiveShrinkage);
+  const auto b =
+      meta_->SelectDatabases(q, bgloss, SummaryMode::kAdaptiveShrinkage);
+  EXPECT_EQ(a.shrinkage_applied, b.shrinkage_applied);
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].database, b.ranking[i].database);
+  }
+}
+
+TEST_F(MetasearcherTest, RankingsAreSortedAndDeduplicated) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  for (const corpus::TestQuery& tq : bed.queries()) {
+    const selection::Query q{bed.analyzer().Analyze(tq.text)};
+    const auto outcome =
+        meta_->SelectDatabases(q, cori, SummaryMode::kAdaptiveShrinkage);
+    std::unordered_set<size_t> seen;
+    double prev = 1e300;
+    for (const auto& r : outcome.ranking) {
+      EXPECT_TRUE(seen.insert(r.database).second);
+      EXPECT_LE(r.score, prev);
+      prev = r.score;
+    }
+  }
+}
+
+TEST_F(MetasearcherTest, HierarchicalSelectionReturnsAtMostK) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[0].text)};
+  const auto ranking = meta_->SelectHierarchical(q, cori, 5);
+  EXPECT_LE(ranking.size(), 5u);
+}
+
+}  // namespace
+}  // namespace fedsearch::core

@@ -1,0 +1,159 @@
+#include "fedsearch/corpus/testbed.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "testing/small_testbed.h"
+
+namespace fedsearch::corpus {
+namespace {
+
+TEST(TestbedTest, BuildsRequestedDatabases) {
+  const Testbed& bed = fedsearch::testing::SharedSmallTestbed();
+  EXPECT_EQ(bed.num_databases(), 12u);
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    EXPECT_GE(bed.database(i).num_documents(), 120u);
+    EXPECT_LE(bed.database(i).num_documents(), 600u);
+    EXPECT_TRUE(bed.hierarchy().IsLeaf(bed.category_of(i)));
+  }
+}
+
+TEST(TestbedTest, DocTopicsMostlyMatchDatabaseCategory) {
+  const Testbed& bed = fedsearch::testing::SharedSmallTestbed();
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    const auto& topics = bed.doc_topics_of(i);
+    ASSERT_EQ(topics.size(), bed.database(i).num_documents());
+    size_t on_topic = 0;
+    for (CategoryId t : topics) {
+      if (t == bed.category_of(i)) ++on_topic;
+    }
+    const double fraction =
+        static_cast<double>(on_topic) / static_cast<double>(topics.size());
+    EXPECT_GT(fraction, 0.8) << "db " << i;
+  }
+}
+
+TEST(TestbedTest, QueriesHaveTopicsWithDatabases) {
+  // Query topics are populated leaves or (for "cuts across categories"
+  // queries) internal ancestors of populated leaves.
+  const Testbed& bed = fedsearch::testing::SharedSmallTestbed();
+  std::unordered_set<CategoryId> populated_or_ancestor;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    for (CategoryId c : bed.hierarchy().PathFromRoot(bed.category_of(i))) {
+      populated_or_ancestor.insert(c);
+    }
+  }
+  ASSERT_EQ(bed.queries().size(), 6u);
+  for (const TestQuery& q : bed.queries()) {
+    EXPECT_TRUE(populated_or_ancestor.count(q.topic));
+    EXPECT_GE(q.words.size(), 1u);
+    EXPECT_FALSE(q.text.empty());
+  }
+}
+
+TEST(TestbedTest, RelevanceConcentratesOnQueryTopicSubtree) {
+  const Testbed& bed = fedsearch::testing::SharedSmallTestbed();
+  for (size_t q = 0; q < bed.queries().size(); ++q) {
+    std::unordered_set<CategoryId> subtree;
+    for (CategoryId c : bed.hierarchy().Subtree(bed.queries()[q].topic)) {
+      subtree.insert(c);
+    }
+    size_t on_topic_relevant = 0;
+    size_t off_topic_relevant = 0;
+    for (size_t d = 0; d < bed.num_databases(); ++d) {
+      const size_t r = bed.CountRelevant(q, d);
+      if (subtree.count(bed.category_of(d)) > 0) {
+        on_topic_relevant += r;
+      } else {
+        off_topic_relevant += r;
+      }
+    }
+    EXPECT_GE(on_topic_relevant, off_topic_relevant) << "query " << q;
+  }
+}
+
+TEST(TestbedTest, RelevanceIsCachedAndStable) {
+  const Testbed& bed = fedsearch::testing::SharedSmallTestbed();
+  const size_t first = bed.CountRelevant(0, 0);
+  EXPECT_EQ(bed.CountRelevant(0, 0), first);
+}
+
+TEST(TestbedTest, SameSeedReproducesIdenticalCorpus) {
+  corpus::TestbedOptions o = fedsearch::testing::SmallTestbedOptions();
+  o.num_databases = 3;
+  o.num_queries = 2;
+  const Testbed a(o);
+  const Testbed b(o);
+  ASSERT_EQ(a.num_databases(), b.num_databases());
+  for (size_t i = 0; i < a.num_databases(); ++i) {
+    ASSERT_EQ(a.database(i).num_documents(), b.database(i).num_documents());
+    EXPECT_EQ(a.database(i).FetchDocument(0).text,
+              b.database(i).FetchDocument(0).text);
+    EXPECT_EQ(a.category_of(i), b.category_of(i));
+  }
+  for (size_t q = 0; q < a.queries().size(); ++q) {
+    EXPECT_EQ(a.queries()[q].text, b.queries()[q].text);
+  }
+}
+
+TEST(TestbedTest, WebLayoutPlacesFivePerLeaf) {
+  corpus::TestbedOptions o = corpus::Testbed::WebOptions(/*scale=*/0.02);
+  o.num_databases = 120;  // fewer than 54 * 5: truncated in order
+  o.databases_per_leaf = 2;
+  o.model.vocab_size_by_depth[0] = 2000;
+  o.model.vocab_size_by_depth[1] = 800;
+  o.model.vocab_size_by_depth[2] = 600;
+  o.model.vocab_size_by_depth[3] = 500;
+  o.model.database_vocab_size = 100;
+  const Testbed bed(o);
+  EXPECT_EQ(bed.num_databases(), 120u);
+  // 54 leaves x 2 + 12 extras; every leaf has at least two databases.
+  std::unordered_map<CategoryId, int> per_leaf;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    ++per_leaf[bed.category_of(i)];
+  }
+  for (CategoryId leaf : bed.hierarchy().Leaves()) {
+    EXPECT_GE(per_leaf[leaf], 2) << bed.hierarchy().PathString(leaf);
+  }
+}
+
+TEST(TestbedTest, DirectoryCategoriesMostlyMatchTruth) {
+  const Testbed& bed = fedsearch::testing::SharedSmallTestbed();
+  size_t matches = 0;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    const CategoryId dir = bed.directory_category_of(i);
+    EXPECT_TRUE(bed.hierarchy().IsLeaf(dir));
+    if (dir == bed.category_of(i)) ++matches;
+  }
+  // With 8% misclassification, the clear majority must match.
+  EXPECT_GE(matches * 10, bed.num_databases() * 7);
+}
+
+TEST(TestbedTest, MisclassificationCanBeDisabled) {
+  corpus::TestbedOptions o = fedsearch::testing::SmallTestbedOptions();
+  o.num_databases = 6;
+  o.num_queries = 0;
+  o.misclassified_fraction = 0.0;
+  const Testbed bed(o);
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    EXPECT_EQ(bed.directory_category_of(i), bed.category_of(i));
+  }
+}
+
+TEST(TestbedTest, TrecOptionsScaleDatabaseSizes) {
+  const TestbedOptions full = Testbed::Trec4Options(1.0);
+  const TestbedOptions half = Testbed::Trec4Options(0.5);
+  EXPECT_GT(full.max_db_docs, half.max_db_docs);
+  EXPECT_EQ(full.num_databases, 100u);
+  EXPECT_EQ(full.num_queries, 50u);
+}
+
+TEST(TestbedTest, Trec6QueriesAreShort) {
+  const TestbedOptions o = Testbed::Trec6Options(1.0);
+  EXPECT_GE(o.min_query_words, 2u);
+  EXPECT_LE(o.max_query_words, 5u);
+}
+
+}  // namespace
+}  // namespace fedsearch::corpus

@@ -1,0 +1,103 @@
+#include "fedsearch/corpus/topic_hierarchy.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::corpus {
+namespace {
+
+TEST(TopicHierarchyTest, DefaultMatchesPaperDimensions) {
+  const TopicHierarchy h = TopicHierarchy::BuildDefault();
+  // "72 nodes organized in a 4-level hierarchy" with "54 leaf categories"
+  // (Section 5.1).
+  EXPECT_EQ(h.size(), 72u);
+  EXPECT_EQ(h.Leaves().size(), 54u);
+  EXPECT_EQ(h.max_depth(), 3);  // root + 3 levels = 4 levels
+}
+
+TEST(TopicHierarchyTest, RootIsNodeZero) {
+  const TopicHierarchy h = TopicHierarchy::BuildDefault();
+  EXPECT_EQ(h.root(), 0);
+  EXPECT_EQ(h.node(0).name, "Root");
+  EXPECT_EQ(h.node(0).parent, kInvalidCategory);
+  EXPECT_EQ(h.node(0).depth, 0);
+}
+
+TEST(TopicHierarchyTest, ChildIdsAlwaysExceedParentIds) {
+  // Aggregation code relies on a reverse-id scan visiting children first.
+  const TopicHierarchy h = TopicHierarchy::BuildDefault();
+  for (CategoryId c = 1; c < static_cast<CategoryId>(h.size()); ++c) {
+    EXPECT_LT(h.node(c).parent, c);
+  }
+}
+
+TEST(TopicHierarchyTest, PaperExamplePathsExist) {
+  const TopicHierarchy h = TopicHierarchy::BuildDefault();
+  // Figure 1 / Table 2 / Table 3 categories.
+  EXPECT_NE(h.FindByPath("Root/Health/Diseases/Aids"), kInvalidCategory);
+  EXPECT_NE(h.FindByPath("Root/Health/Diseases/Heart"), kInvalidCategory);
+  EXPECT_NE(h.FindByPath("Root/Science/SocialSciences/Economics"),
+            kInvalidCategory);
+  EXPECT_NE(h.FindByPath("Root/Arts/Literature/Texts"), kInvalidCategory);
+  EXPECT_NE(h.FindByPath("Root/Computers/Programming/Java"),
+            kInvalidCategory);
+  EXPECT_NE(h.FindByPath("Root/Science/Mathematics"), kInvalidCategory);
+  EXPECT_NE(h.FindByPath("Root/Sports/Soccer"), kInvalidCategory);
+}
+
+TEST(TopicHierarchyTest, FindByPathRejectsBogusPaths) {
+  const TopicHierarchy h = TopicHierarchy::BuildDefault();
+  EXPECT_EQ(h.FindByPath("Root/Nonexistent"), kInvalidCategory);
+  EXPECT_EQ(h.FindByPath("NotRoot"), kInvalidCategory);
+  EXPECT_EQ(h.FindByPath("Root/Health/Soccer"), kInvalidCategory);
+}
+
+TEST(TopicHierarchyTest, PathFromRootIsRootFirstAndConsistent) {
+  const TopicHierarchy h = TopicHierarchy::BuildDefault();
+  const CategoryId aids = h.FindByPath("Root/Health/Diseases/Aids");
+  const std::vector<CategoryId> path = h.PathFromRoot(aids);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], h.root());
+  EXPECT_EQ(h.node(path[1]).name, "Health");
+  EXPECT_EQ(h.node(path[2]).name, "Diseases");
+  EXPECT_EQ(path[3], aids);
+  for (size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(h.node(path[i]).parent, path[i - 1]);
+  }
+}
+
+TEST(TopicHierarchyTest, SubtreeCoversDescendantsExactlyOnce) {
+  const TopicHierarchy h = TopicHierarchy::BuildDefault();
+  std::vector<CategoryId> root_subtree = h.Subtree(h.root());
+  std::sort(root_subtree.begin(), root_subtree.end());
+  ASSERT_EQ(root_subtree.size(), h.size());
+  for (size_t i = 0; i < root_subtree.size(); ++i) {
+    EXPECT_EQ(root_subtree[i], static_cast<CategoryId>(i));
+  }
+
+  const CategoryId diseases = h.FindByPath("Root/Health/Diseases");
+  const std::vector<CategoryId> sub = h.Subtree(diseases);
+  EXPECT_EQ(sub.size(), 5u);  // Diseases + Aids/Cancer/Diabetes/Heart
+}
+
+TEST(TopicHierarchyTest, PathStringFormatting) {
+  const TopicHierarchy h = TopicHierarchy::BuildDefault();
+  const CategoryId heart = h.FindByPath("Root/Health/Diseases/Heart");
+  EXPECT_EQ(h.PathString(heart), "Root -> Health -> Diseases -> Heart");
+}
+
+TEST(TopicHierarchyTest, AddCategoryTracksDepthAndChildren) {
+  TopicHierarchy h("Top");
+  const CategoryId a = h.AddCategory("A", h.root());
+  const CategoryId b = h.AddCategory("B", a);
+  EXPECT_EQ(h.node(b).depth, 2);
+  EXPECT_EQ(h.max_depth(), 2);
+  ASSERT_EQ(h.node(a).children.size(), 1u);
+  EXPECT_EQ(h.node(a).children[0], b);
+  EXPECT_TRUE(h.IsLeaf(b));
+  EXPECT_FALSE(h.IsLeaf(a));
+}
+
+}  // namespace
+}  // namespace fedsearch::corpus

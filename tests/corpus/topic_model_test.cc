@@ -1,0 +1,174 @@
+#include "fedsearch/corpus/topic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/corpus/topic_hierarchy.h"
+
+namespace fedsearch::corpus {
+namespace {
+
+class TopicModelTest : public ::testing::Test {
+ protected:
+  TopicModelTest() : hierarchy_(TopicHierarchy::BuildDefault()) {
+    options_.vocab_size_by_depth[0] = 3000;
+    options_.vocab_size_by_depth[1] = 1000;
+    options_.vocab_size_by_depth[2] = 800;
+    options_.vocab_size_by_depth[3] = 600;
+    util::Rng rng(7);
+    model_ = std::make_unique<TopicModel>(&hierarchy_, options_, rng);
+  }
+
+  TopicHierarchy hierarchy_;
+  TopicModelOptions options_;
+  std::unique_ptr<TopicModel> model_;
+};
+
+TEST_F(TopicModelTest, NodeVocabulariesHaveConfiguredSizes) {
+  EXPECT_EQ(model_->WordsOf(hierarchy_.root()).size(), 3000u);
+  const CategoryId health = hierarchy_.FindByPath("Root/Health");
+  const CategoryId diseases = hierarchy_.FindByPath("Root/Health/Diseases");
+  const CategoryId heart = hierarchy_.FindByPath("Root/Health/Diseases/Heart");
+  EXPECT_EQ(model_->WordsOf(health).size(), 1000u);
+  EXPECT_EQ(model_->WordsOf(diseases).size(), 800u);
+  EXPECT_EQ(model_->WordsOf(heart).size(), 600u);
+}
+
+TEST_F(TopicModelTest, NodeVocabulariesAreDisjoint) {
+  std::unordered_set<std::string> all;
+  size_t total = 0;
+  for (CategoryId c = 0; c < static_cast<CategoryId>(hierarchy_.size()); ++c) {
+    for (const std::string& w : model_->WordsOf(c)) {
+      all.insert(w);
+      ++total;
+    }
+  }
+  EXPECT_EQ(all.size(), total);
+}
+
+TEST_F(TopicModelTest, CuratedSeedsLandAtTopRanks) {
+  const CategoryId heart = hierarchy_.FindByPath("Root/Health/Diseases/Heart");
+  const std::vector<std::string> top = model_->CharacteristicWords(heart, 5);
+  EXPECT_NE(std::find(top.begin(), top.end(), "hypertension"), top.end());
+  EXPECT_NE(std::find(top.begin(), top.end(), "heart"), top.end());
+}
+
+TEST_F(TopicModelTest, NodeWordSamplingFollowsZipfShape) {
+  // The most frequent word should be sampled far more often than a
+  // mid-rank one.
+  const CategoryId root = hierarchy_.root();
+  util::Rng rng(11);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[model_->SampleNodeWord(root, rng)];
+  const std::string& top = model_->WordsOf(root)[0];
+  const std::string& mid = model_->WordsOf(root)[100];
+  EXPECT_GT(counts[top], 10 * std::max(1, counts[mid]));
+}
+
+TEST_F(TopicModelTest, DocumentsMixPathLevels) {
+  const CategoryId heart = hierarchy_.FindByPath("Root/Health/Diseases/Heart");
+  const CategoryId health = hierarchy_.FindByPath("Root/Health");
+  const CategoryId diseases = hierarchy_.FindByPath("Root/Health/Diseases");
+  std::unordered_set<std::string> root_words(
+      model_->WordsOf(hierarchy_.root()).begin(),
+      model_->WordsOf(hierarchy_.root()).end());
+  std::unordered_set<std::string> leaf_words(model_->WordsOf(heart).begin(),
+                                             model_->WordsOf(heart).end());
+  std::unordered_set<std::string> mid_words(model_->WordsOf(health).begin(),
+                                            model_->WordsOf(health).end());
+  for (const std::string& w : model_->WordsOf(diseases)) mid_words.insert(w);
+
+  util::Rng rng(13);
+  int from_root = 0, from_leaf = 0, from_mid = 0, other = 0;
+  for (int d = 0; d < 50; ++d) {
+    const std::string text = model_->GenerateDocumentText(heart, rng);
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find(' ', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string tok = text.substr(start, end - start);
+      start = end + 1;
+      if (root_words.count(tok)) ++from_root;
+      else if (leaf_words.count(tok)) ++from_leaf;
+      else if (mid_words.count(tok)) ++from_mid;
+      else ++other;  // function words
+    }
+  }
+  EXPECT_GT(from_root, 0);
+  EXPECT_GT(from_leaf, 0);
+  EXPECT_GT(from_mid, 0);
+  EXPECT_GT(other, 0);
+  // Leaf-specific mass should be substantial (0.30 of content tokens).
+  EXPECT_GT(from_leaf, from_mid / 3);
+}
+
+TEST_F(TopicModelTest, DocumentLengthRespectsBounds) {
+  util::Rng rng(17);
+  const CategoryId soccer = hierarchy_.FindByPath("Root/Sports/Soccer");
+  for (int i = 0; i < 100; ++i) {
+    const std::string text = model_->GenerateDocumentText(soccer, rng);
+    const size_t tokens =
+        static_cast<size_t>(std::count(text.begin(), text.end(), ' ')) + 1;
+    EXPECT_GE(tokens, options_.min_doc_tokens);
+    EXPECT_LE(tokens, options_.max_doc_tokens);
+  }
+}
+
+TEST_F(TopicModelTest, QueryTermsAreDistinctAndOnTopic) {
+  util::Rng rng(19);
+  const CategoryId econ =
+      hierarchy_.FindByPath("Root/Science/SocialSciences/Economics");
+  const std::vector<std::string> terms =
+      model_->GenerateQueryTerms(econ, 8, rng);
+  EXPECT_EQ(terms.size(), 8u);
+  std::unordered_set<std::string> unique(terms.begin(), terms.end());
+  EXPECT_EQ(unique.size(), terms.size());
+  // All terms must come from the query topic's path vocabularies.
+  std::unordered_set<std::string> path_words;
+  for (CategoryId c : hierarchy_.PathFromRoot(econ)) {
+    for (const std::string& w : model_->WordsOf(c)) path_words.insert(w);
+  }
+  for (const std::string& t : terms) {
+    EXPECT_TRUE(path_words.count(t)) << t;
+  }
+}
+
+TEST_F(TopicModelTest, DatabaseVocabularyIsPrivateAndZipfian) {
+  util::Rng rng(23);
+  DatabaseVocabulary v1 = model_->MakeDatabaseVocabulary(rng);
+  DatabaseVocabulary v2 = model_->MakeDatabaseVocabulary(rng);
+  EXPECT_EQ(v1.words.size(), options_.database_vocab_size);
+  std::unordered_set<std::string> w1(v1.words.begin(), v1.words.end());
+  for (const std::string& w : v2.words) EXPECT_FALSE(w1.count(w));
+  // Disjoint from every category vocabulary.
+  for (CategoryId c = 0; c < static_cast<CategoryId>(hierarchy_.size()); ++c) {
+    for (const std::string& w : model_->WordsOf(c)) {
+      ASSERT_FALSE(w1.count(w));
+    }
+  }
+}
+
+TEST_F(TopicModelTest, SamplerDictionaryCoversEveryCategory) {
+  const std::vector<std::string> dict =
+      BuildSamplerDictionary(*model_, /*per_node=*/3);
+  EXPECT_EQ(dict.size(), hierarchy_.size() * 3);
+  std::unordered_set<std::string> set(dict.begin(), dict.end());
+  for (CategoryId c = 0; c < static_cast<CategoryId>(hierarchy_.size()); ++c) {
+    EXPECT_TRUE(set.count(model_->WordsOf(c)[0]));
+  }
+}
+
+TEST_F(TopicModelTest, DeterministicAcrossRebuilds) {
+  util::Rng rng(7);
+  TopicModel other(&hierarchy_, options_, rng);
+  for (CategoryId c : {0, 5, 30}) {
+    EXPECT_EQ(model_->WordsOf(c), other.WordsOf(c));
+  }
+}
+
+}  // namespace
+}  // namespace fedsearch::corpus

@@ -1,0 +1,57 @@
+#include "fedsearch/corpus/word_factory.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::corpus {
+namespace {
+
+TEST(WordFactoryTest, WordsAreUnique) {
+  WordFactory factory;
+  util::Rng rng(1);
+  std::unordered_set<std::string> seen;
+  for (const std::string& w : factory.MakeWords(20000, rng)) {
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate: " << w;
+  }
+  EXPECT_EQ(factory.words_issued(), 20000u);
+}
+
+TEST(WordFactoryTest, WordsAreLowercaseAlpha) {
+  WordFactory factory;
+  util::Rng rng(2);
+  for (const std::string& w : factory.MakeWords(500, rng)) {
+    EXPECT_GE(w.size(), 4u);
+    EXPECT_LE(w.size(), 11u);
+    for (char c : w) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c))) << w;
+    }
+  }
+}
+
+TEST(WordFactoryTest, ClaimRegistersCuratedWords) {
+  WordFactory factory;
+  const auto claimed = factory.Claim({"hypertension", "cardiac"});
+  EXPECT_EQ(claimed.size(), 2u);
+  // Second claim of the same word yields nothing.
+  EXPECT_TRUE(factory.Claim({"cardiac"}).empty());
+}
+
+TEST(WordFactoryTest, GeneratedWordsAvoidClaimedOnes) {
+  WordFactory factory;
+  factory.Claim({"bobo"});  // a plausible generator output
+  util::Rng rng(3);
+  for (const std::string& w : factory.MakeWords(50000, rng)) {
+    EXPECT_NE(w, "bobo");
+  }
+}
+
+TEST(WordFactoryTest, DeterministicGivenSeed) {
+  WordFactory f1, f2;
+  util::Rng r1(99), r2(99);
+  EXPECT_EQ(f1.MakeWords(100, r1), f2.MakeWords(100, r2));
+}
+
+}  // namespace
+}  // namespace fedsearch::corpus

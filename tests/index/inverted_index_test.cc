@@ -1,0 +1,135 @@
+#include "fedsearch/index/inverted_index.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::index {
+namespace {
+
+InvertedIndex SmallIndex() {
+  InvertedIndex idx;
+  idx.AddDocument({"apple", "banana", "apple"});        // doc 0
+  idx.AddDocument({"banana", "cherry"});                // doc 1
+  idx.AddDocument({"apple", "cherry", "date", "date"});  // doc 2
+  return idx;
+}
+
+TEST(InvertedIndexTest, DocumentIdsAreDense) {
+  InvertedIndex idx;
+  EXPECT_EQ(idx.AddDocument({"a"}), 0u);
+  EXPECT_EQ(idx.AddDocument({"b"}), 1u);
+  EXPECT_EQ(idx.num_documents(), 2u);
+}
+
+TEST(InvertedIndexTest, DocumentFrequency) {
+  InvertedIndex idx = SmallIndex();
+  EXPECT_EQ(idx.DocumentFrequency("apple"), 2u);
+  EXPECT_EQ(idx.DocumentFrequency("banana"), 2u);
+  EXPECT_EQ(idx.DocumentFrequency("cherry"), 2u);
+  EXPECT_EQ(idx.DocumentFrequency("date"), 1u);
+  EXPECT_EQ(idx.DocumentFrequency("absent"), 0u);
+}
+
+TEST(InvertedIndexTest, CollectionFrequencyCountsOccurrences) {
+  InvertedIndex idx = SmallIndex();
+  EXPECT_EQ(idx.CollectionFrequency("apple"), 3u);
+  EXPECT_EQ(idx.CollectionFrequency("date"), 2u);
+  EXPECT_EQ(idx.total_term_occurrences(), 9u);
+}
+
+TEST(InvertedIndexTest, ConjunctiveMatchCount) {
+  InvertedIndex idx = SmallIndex();
+  EXPECT_EQ(idx.CountConjunctiveMatches({"apple"}), 2u);
+  EXPECT_EQ(idx.CountConjunctiveMatches({"apple", "cherry"}), 1u);
+  EXPECT_EQ(idx.CountConjunctiveMatches({"apple", "banana"}), 1u);
+  EXPECT_EQ(idx.CountConjunctiveMatches({"banana", "date"}), 0u);
+  EXPECT_EQ(idx.CountConjunctiveMatches({"apple", "absent"}), 0u);
+  EXPECT_EQ(idx.CountConjunctiveMatches({}), 0u);
+}
+
+TEST(InvertedIndexTest, DuplicateQueryTermsDoNotOverCount) {
+  InvertedIndex idx = SmallIndex();
+  EXPECT_EQ(idx.CountConjunctiveMatches({"apple", "apple"}), 2u);
+}
+
+TEST(InvertedIndexTest, SearchTopKReturnsOnlyConjunctiveMatches) {
+  InvertedIndex idx = SmallIndex();
+  const auto hits = idx.SearchTopK({"apple", "cherry"}, 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 2u);
+}
+
+TEST(InvertedIndexTest, SearchTopKHonorsK) {
+  InvertedIndex idx = SmallIndex();
+  EXPECT_EQ(idx.SearchTopK({"apple"}, 1).size(), 1u);
+  EXPECT_EQ(idx.SearchTopK({"apple"}, 0).size(), 0u);
+  EXPECT_EQ(idx.SearchTopK({"apple"}, 10).size(), 2u);
+}
+
+TEST(InvertedIndexTest, SearchTopKExcludesSeenDocuments) {
+  InvertedIndex idx = SmallIndex();
+  std::unordered_set<DocId> exclude = {0};
+  const auto hits = idx.SearchTopK({"apple"}, 10, &exclude);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 2u);
+}
+
+TEST(InvertedIndexTest, SearchScoresFavorHigherTfShorterDocs) {
+  InvertedIndex idx;
+  idx.AddDocument({"target", "target", "x"});              // doc 0: dense
+  idx.AddDocument({"target", "a", "b", "c", "d", "e"});    // doc 1: sparse
+  const auto hits = idx.SearchTopK({"target"}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(InvertedIndexTest, SearchDeterministicTieBreakByDocId) {
+  InvertedIndex idx;
+  idx.AddDocument({"same", "pad"});
+  idx.AddDocument({"same", "pad"});
+  idx.AddDocument({"same", "pad"});
+  const auto hits = idx.SearchTopK({"same"}, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_EQ(hits[1].doc, 1u);
+  EXPECT_EQ(hits[2].doc, 2u);
+}
+
+TEST(InvertedIndexTest, ForEachTermVisitsEveryTermOnce) {
+  InvertedIndex idx = SmallIndex();
+  std::map<std::string, std::pair<size_t, uint64_t>> seen;
+  idx.ForEachTerm([&](const std::string& term, size_t df, uint64_t ctf) {
+    EXPECT_TRUE(seen.emplace(term, std::make_pair(df, ctf)).second);
+  });
+  EXPECT_EQ(seen.size(), 4u);
+  const auto apple = std::make_pair<size_t, uint64_t>(2, 3);
+  const auto date = std::make_pair<size_t, uint64_t>(1, 2);
+  EXPECT_EQ(seen["apple"], apple);
+  EXPECT_EQ(seen["date"], date);
+}
+
+TEST(InvertedIndexTest, ForEachPostingVisitsDocsWithTf) {
+  InvertedIndex idx = SmallIndex();
+  std::map<DocId, uint32_t> postings;
+  idx.ForEachPosting("apple",
+                     [&](DocId doc, uint32_t tf) { postings[doc] = tf; });
+  EXPECT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0], 2u);
+  EXPECT_EQ(postings[2], 1u);
+  // Unknown term: no calls.
+  idx.ForEachPosting("absent", [&](DocId, uint32_t) { FAIL(); });
+}
+
+TEST(InvertedIndexTest, EmptyDocumentIsAllowed) {
+  InvertedIndex idx;
+  idx.AddDocument({});
+  EXPECT_EQ(idx.num_documents(), 1u);
+  EXPECT_EQ(idx.vocabulary_size(), 0u);
+}
+
+}  // namespace
+}  // namespace fedsearch::index

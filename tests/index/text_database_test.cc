@@ -1,0 +1,69 @@
+#include "fedsearch/index/text_database.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::index {
+namespace {
+
+class TextDatabaseTest : public ::testing::Test {
+ protected:
+  TextDatabaseTest() : db_("testdb", &analyzer_) {
+    db_.AddDocument("The patient showed hypertension and cardiac symptoms");
+    db_.AddDocument("Cardiac surgery outcomes in hypertension patients");
+    db_.AddDocument("Soccer league results and transfers");
+  }
+
+  text::Analyzer analyzer_;
+  TextDatabase db_;
+};
+
+TEST_F(TextDatabaseTest, ReportsMatchesThroughAnalyzer) {
+  // "hypertension" appears in docs 0 and 1.
+  const QueryResult r = db_.Query("hypertension", 10);
+  EXPECT_EQ(r.num_matches, 2u);
+  EXPECT_EQ(r.docs.size(), 2u);
+}
+
+TEST_F(TextDatabaseTest, QueryIsConjunctive) {
+  EXPECT_EQ(db_.Query("hypertension cardiac", 10).num_matches, 2u);
+  EXPECT_EQ(db_.Query("hypertension soccer", 10).num_matches, 0u);
+}
+
+TEST_F(TextDatabaseTest, QueryMatchesStemVariants) {
+  // "patients" stems to the same term as "patient".
+  EXPECT_EQ(db_.Query("patients", 10).num_matches, 2u);
+}
+
+TEST_F(TextDatabaseTest, StopwordOnlyQueryMatchesNothing) {
+  const QueryResult r = db_.Query("the and of", 10);
+  EXPECT_EQ(r.num_matches, 0u);
+  EXPECT_TRUE(r.docs.empty());
+}
+
+TEST_F(TextDatabaseTest, ExcludeSetSkipsResultsButKeepsCount) {
+  std::unordered_set<DocId> seen = {0, 1};
+  const QueryResult r = db_.Query("hypertension", 10, &seen);
+  EXPECT_EQ(r.num_matches, 2u);  // count reflects the whole database
+  EXPECT_TRUE(r.docs.empty());   // but nothing new to download
+}
+
+TEST_F(TextDatabaseTest, TopKZeroGivesCountOnly) {
+  const QueryResult r = db_.Query("cardiac", 0);
+  EXPECT_EQ(r.num_matches, 2u);
+  EXPECT_TRUE(r.docs.empty());
+}
+
+TEST_F(TextDatabaseTest, FetchDocumentReturnsOriginalText) {
+  const Document& d = db_.FetchDocument(2);
+  EXPECT_EQ(d.id, 2u);
+  EXPECT_NE(d.text.find("Soccer"), std::string::npos);
+}
+
+TEST_F(TextDatabaseTest, EvaluationAccessors) {
+  EXPECT_EQ(db_.num_documents(), 3u);
+  EXPECT_EQ(db_.name(), "testdb");
+  EXPECT_GT(db_.index().vocabulary_size(), 0u);
+}
+
+}  // namespace
+}  // namespace fedsearch::index

@@ -1,0 +1,141 @@
+// Failure-injection and degenerate-federation tests: configurations a
+// production deployment will eventually meet (empty databases, everything
+// classified at the root, a single database, queries with no analyzable
+// terms) must degrade gracefully, never crash.
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/summary/metrics.h"
+
+namespace fedsearch {
+namespace {
+
+sampling::SampleResult MakeSyntheticSample(
+    double db_size, std::vector<std::tuple<std::string, double, double>> words,
+    const std::string& filler_prefix = "filler") {
+  sampling::SampleResult s;
+  s.estimated_db_size = db_size;
+  s.sample_size = static_cast<size_t>(db_size / 10);
+  s.summary.set_num_documents(db_size);
+  for (const auto& [w, df, ctf] : words) {
+    s.summary.SetWord(w, summary::WordStats{df, ctf});
+    s.sample_df[w] = static_cast<size_t>(df / 10);
+  }
+  // Pad the vocabulary so the uniform category's 1/|V| stays small, as it
+  // is in any real federation.
+  for (int i = 0; i < 30; ++i) {
+    const std::string w = filler_prefix + std::to_string(i);
+    s.summary.SetWord(w, summary::WordStats{2, 3});
+    s.sample_df[w] = 1;
+  }
+  return s;
+}
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  EdgeCaseTest() : hierarchy_(corpus::TopicHierarchy::BuildDefault()) {}
+
+  corpus::TopicHierarchy hierarchy_;
+};
+
+TEST_F(EdgeCaseTest, FederationWithEmptySample) {
+  // One database's sampling produced nothing (e.g. its interface returned
+  // no documents); the federation must still build and rank.
+  std::vector<sampling::SampleResult> samples;
+  samples.push_back(MakeSyntheticSample(100, {{"cardiac", 40, 60}}));
+  samples.push_back(sampling::SampleResult{});  // empty
+  const corpus::CategoryId heart =
+      hierarchy_.FindByPath("Root/Health/Diseases/Heart");
+  core::Metasearcher meta(&hierarchy_, std::move(samples), {heart, heart});
+
+  selection::BglossScorer bgloss;
+  const auto outcome = meta.SelectDatabases(
+      selection::Query{{"cardiac"}}, bgloss, core::SummaryMode::kPlain);
+  ASSERT_EQ(outcome.ranking.size(), 1u);
+  EXPECT_EQ(outcome.ranking[0].database, 0u);
+
+  // The empty database's shrunk summary still exists and is well-formed.
+  const auto& lambdas = meta.lambdas(1);
+  double sum = 0.0;
+  for (double l : lambdas) sum += l;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(EdgeCaseTest, AllDatabasesClassifiedAtRoot) {
+  // Degenerate classification (a directory with no depth): shrinkage
+  // reduces to database + root + uniform components.
+  std::vector<sampling::SampleResult> samples;
+  samples.push_back(MakeSyntheticSample(200, {{"alpha", 50, 80}}, "f0x"));
+  samples.push_back(MakeSyntheticSample(300, {{"beta", 60, 90}}, "f1x"));
+  core::Metasearcher meta(&hierarchy_, std::move(samples),
+                          {hierarchy_.root(), hierarchy_.root()});
+  EXPECT_EQ(meta.lambdas(0).size(), 3u);  // uniform, Root, database
+  selection::CoriScorer cori;
+  const auto outcome =
+      meta.SelectDatabases(selection::Query{{"alpha"}}, cori,
+                           core::SummaryMode::kUniversalShrinkage);
+  ASSERT_FALSE(outcome.ranking.empty());
+  EXPECT_EQ(outcome.ranking[0].database, 0u);
+}
+
+TEST_F(EdgeCaseTest, SingleDatabaseFederation) {
+  std::vector<sampling::SampleResult> samples;
+  samples.push_back(MakeSyntheticSample(500, {{"gamma", 100, 200}}));
+  const corpus::CategoryId soccer = hierarchy_.FindByPath("Root/Sports/Soccer");
+  core::Metasearcher meta(&hierarchy_, std::move(samples), {soccer});
+  // With one database, every exclusive category component is empty, so
+  // EM must push the weight to the database and uniform components.
+  const auto& lambdas = meta.lambdas(0);
+  EXPECT_GT(lambdas.back() + lambdas.front(), 0.9);
+  selection::BglossScorer bgloss;
+  const auto outcome = meta.SelectDatabases(
+      selection::Query{{"gamma"}}, bgloss, core::SummaryMode::kAdaptiveShrinkage);
+  EXPECT_EQ(outcome.ranking.size(), 1u);
+}
+
+TEST_F(EdgeCaseTest, QueryWithNoTermsSelectsNothing) {
+  std::vector<sampling::SampleResult> samples;
+  samples.push_back(MakeSyntheticSample(100, {{"word", 10, 10}}));
+  core::Metasearcher meta(&hierarchy_, std::move(samples),
+                          {hierarchy_.root()});
+  selection::CoriScorer cori;
+  const auto outcome = meta.SelectDatabases(selection::Query{}, cori,
+                                            core::SummaryMode::kPlain);
+  EXPECT_TRUE(outcome.ranking.empty());
+}
+
+TEST_F(EdgeCaseTest, MetricsAgainstEmptyTruth) {
+  // An empty database has an empty perfect summary; all metrics must be
+  // well-defined (0) rather than dividing by zero.
+  index::InvertedIndex empty_index;
+  const summary::ContentSummary truth =
+      summary::ContentSummary::FromIndex(empty_index);
+  summary::ContentSummary approx;
+  approx.set_num_documents(10);
+  approx.SetWord("ghost", summary::WordStats{1, 1});
+  const summary::SummaryQuality q = summary::EvaluateSummary(approx, truth);
+  EXPECT_EQ(q.weighted_recall, 0.0);
+  EXPECT_EQ(q.unweighted_recall, 0.0);
+  EXPECT_EQ(q.weighted_precision, 0.0);
+  EXPECT_EQ(q.unweighted_precision, 0.0);
+  EXPECT_EQ(q.kl_divergence, 0.0);
+}
+
+TEST_F(EdgeCaseTest, HierarchicalSelectionOverRootOnlyFederation) {
+  std::vector<sampling::SampleResult> samples;
+  samples.push_back(MakeSyntheticSample(100, {{"alpha", 30, 40}}));
+  core::Metasearcher meta(&hierarchy_, std::move(samples),
+                          {hierarchy_.root()});
+  selection::BglossScorer bgloss;
+  const auto ranking =
+      meta.SelectHierarchical(selection::Query{{"alpha"}}, bgloss, 3);
+  ASSERT_EQ(ranking.size(), 1u);
+  EXPECT_EQ(ranking[0].database, 0u);
+}
+
+}  // namespace
+}  // namespace fedsearch

@@ -1,0 +1,192 @@
+// End-to-end pipeline tests: generate corpus -> sample -> shrink -> select,
+// asserting the paper's headline directional results on a reduced testbed.
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/sampling/fps_sampler.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/selection/lm.h"
+#include "fedsearch/selection/rk_metric.h"
+#include "fedsearch/summary/metrics.h"
+#include "testing/small_testbed.h"
+
+namespace fedsearch {
+namespace {
+
+using fedsearch::testing::SharedSmallTestbed;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const corpus::Testbed& bed = SharedSmallTestbed();
+    sampling::QbsOptions options;
+    options.target_documents = 100;
+    sampling::QbsSampler sampler(
+        options, corpus::BuildSamplerDictionary(bed.model(), 10));
+    std::vector<sampling::SampleResult> samples;
+    std::vector<corpus::CategoryId> classifications;
+    util::Rng rng(2024);
+    for (size_t i = 0; i < bed.num_databases(); ++i) {
+      util::Rng db_rng = rng.Fork();
+      samples.push_back(sampler.Sample(bed.database(i), db_rng));
+      classifications.push_back(bed.category_of(i));
+    }
+    meta_ = new core::Metasearcher(&bed.hierarchy(), std::move(samples),
+                                   std::move(classifications));
+  }
+
+  static core::Metasearcher* meta_;
+};
+
+core::Metasearcher* EndToEndTest::meta_ = nullptr;
+
+TEST_F(EndToEndTest, ShrinkageImprovesAverageRecall) {
+  // The paper's central content-summary result (Tables 4-5): shrunk
+  // summaries have higher weighted and unweighted recall on average.
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  double wr_plain = 0, wr_shrunk = 0, ur_plain = 0, ur_shrunk = 0;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    const summary::ContentSummary truth =
+        summary::ContentSummary::FromIndex(bed.database(i).index());
+    const summary::ContentSummary shrunk =
+        summary::ContentSummary::Materialize(meta_->shrunk_summary(i),
+                                             /*trim=*/true);
+    wr_plain += summary::WeightedRecall(meta_->plain_summary(i), truth);
+    wr_shrunk += summary::WeightedRecall(shrunk, truth);
+    ur_plain += summary::UnweightedRecall(meta_->plain_summary(i), truth);
+    ur_shrunk += summary::UnweightedRecall(shrunk, truth);
+  }
+  EXPECT_GT(wr_shrunk, wr_plain);
+  EXPECT_GT(ur_shrunk, ur_plain);
+}
+
+TEST_F(EndToEndTest, ShrinkageTradesSomePrecision) {
+  // Tables 6-7: unshrunk summaries have perfect precision by construction;
+  // shrinkage trades a little of it for recall but keeps it high.
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  double up_plain = 0, up_shrunk = 0;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    const summary::ContentSummary truth =
+        summary::ContentSummary::FromIndex(bed.database(i).index());
+    const summary::ContentSummary shrunk =
+        summary::ContentSummary::Materialize(meta_->shrunk_summary(i), true);
+    up_plain += summary::UnweightedPrecision(meta_->plain_summary(i), truth);
+    up_shrunk += summary::UnweightedPrecision(shrunk, truth);
+  }
+  const double n = static_cast<double>(bed.num_databases());
+  EXPECT_NEAR(up_plain / n, 1.0, 1e-9);
+  EXPECT_LT(up_shrunk / n, 1.0);
+  EXPECT_GT(up_shrunk / n, 0.5);
+}
+
+TEST_F(EndToEndTest, AdaptiveShrinkageDoesNotHurtSelectionOnAverage) {
+  // Figure 4's directional claim at reduced scale: averaged over queries
+  // and k, the adaptive shrinkage ranking is at least as good as plain.
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  double rk_plain = 0, rk_shrunk = 0;
+  int measurements = 0;
+  for (size_t qi = 0; qi < bed.queries().size(); ++qi) {
+    const selection::Query q{
+        bed.analyzer().Analyze(bed.queries()[qi].text)};
+    std::vector<size_t> relevant(bed.num_databases());
+    size_t total_relevant = 0;
+    for (size_t d = 0; d < bed.num_databases(); ++d) {
+      relevant[d] = bed.CountRelevant(qi, d);
+      total_relevant += relevant[d];
+    }
+    if (total_relevant == 0) continue;
+    const auto plain =
+        meta_->SelectDatabases(q, cori, core::SummaryMode::kPlain);
+    const auto shrunk =
+        meta_->SelectDatabases(q, cori, core::SummaryMode::kAdaptiveShrinkage);
+    for (size_t k = 1; k <= 5; ++k) {
+      rk_plain += selection::RkScore(plain.ranking, relevant, k);
+      rk_shrunk += selection::RkScore(shrunk.ranking, relevant, k);
+      ++measurements;
+    }
+  }
+  ASSERT_GT(measurements, 0);
+  EXPECT_GE(rk_shrunk, rk_plain * 0.95);
+}
+
+TEST_F(EndToEndTest, AllScorersProduceUsableRankings) {
+  // LM's product form zeroes out when any query word is absent from every
+  // sample (the database then keeps its default score) — on this tiny
+  // testbed that hits every long query, so LM is exercised over shrunk
+  // summaries, whose uniform floor removes the zero products.
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  const selection::CoriScorer cori;
+  const selection::LmScorer lm;
+  size_t usable_cori = 0;
+  size_t usable_lm = 0;
+  for (const corpus::TestQuery& tq : bed.queries()) {
+    const selection::Query q{bed.analyzer().Analyze(tq.text)};
+    usable_cori +=
+        meta_->SelectDatabases(q, cori, core::SummaryMode::kPlain)
+                .ranking.empty()
+            ? 0
+            : 1;
+    usable_lm +=
+        meta_->SelectDatabases(q, lm, core::SummaryMode::kUniversalShrinkage)
+                .ranking.empty()
+            ? 0
+            : 1;
+  }
+  EXPECT_GT(usable_cori, 0u);
+  EXPECT_GT(usable_lm, 0u);
+}
+
+TEST_F(EndToEndTest, UniversalShrinkageRescuesBglossFromZeroScores) {
+  // Section 6.2: bGlOSS has no smoothing, so one missing query word zeroes
+  // a database's score; shrinkage fills the gap. On incomplete plain
+  // summaries bGlOSS selects few or no databases for a long query; with
+  // shrunk summaries it selects at least as many.
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  const selection::BglossScorer bgloss;
+  size_t plain_selected = 0;
+  size_t shrunk_selected = 0;
+  for (const corpus::TestQuery& tq : bed.queries()) {
+    const selection::Query q{bed.analyzer().Analyze(tq.text)};
+    plain_selected +=
+        meta_->SelectDatabases(q, bgloss, core::SummaryMode::kPlain)
+            .ranking.size();
+    shrunk_selected +=
+        meta_->SelectDatabases(q, bgloss,
+                               core::SummaryMode::kUniversalShrinkage)
+            .ranking.size();
+  }
+  EXPECT_GE(shrunk_selected, plain_selected);
+  EXPECT_GT(shrunk_selected, 0u);
+}
+
+TEST_F(EndToEndTest, FpsPipelineProducesClassifiedFederation) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  const sampling::ProbeRuleSet rules =
+      sampling::ProbeRuleSet::FromTopicModel(bed.model());
+  sampling::FpsOptions options;
+  options.coverage_threshold = 5;
+  sampling::FpsSampler sampler(options, &rules);
+  std::vector<sampling::SampleResult> samples;
+  std::vector<corpus::CategoryId> classifications;
+  util::Rng rng(99);
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    util::Rng db_rng = rng.Fork();
+    samples.push_back(sampler.Sample(bed.database(i), db_rng));
+    classifications.push_back(samples.back().classification);
+  }
+  core::Metasearcher meta(&bed.hierarchy(), std::move(samples),
+                          std::move(classifications));
+  // The FPS-derived classification feeds shrinkage end to end.
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[2].text)};
+  const auto outcome =
+      meta.SelectDatabases(q, cori, core::SummaryMode::kAdaptiveShrinkage);
+  EXPECT_EQ(outcome.databases_considered, bed.num_databases());
+}
+
+}  // namespace
+}  // namespace fedsearch

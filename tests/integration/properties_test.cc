@@ -1,0 +1,152 @@
+// Parameterized property sweeps over seeds and sampler configurations:
+// invariants that must hold for ANY run of the pipeline.
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/summary/metrics.h"
+#include "testing/small_testbed.h"
+
+namespace fedsearch {
+namespace {
+
+using fedsearch::testing::SharedSmallTestbed;
+
+// ------------------------------------------------ sampling invariants sweep
+
+class SamplingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t, bool>> {};
+
+TEST_P(SamplingPropertyTest, SampleInvariantsHold) {
+  const auto [seed, target_docs, freq_est] = GetParam();
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  sampling::QbsOptions options;
+  options.target_documents = target_docs;
+  options.build.frequency_estimation = freq_est;
+  sampling::QbsSampler sampler(
+      options, corpus::BuildSamplerDictionary(bed.model(), 10));
+  util::Rng rng(seed);
+  const size_t db_index = seed % bed.num_databases();
+  const sampling::SampleResult r =
+      sampler.Sample(bed.database(db_index), rng);
+
+  // |S| is bounded by the target (plus one final batch) and the database.
+  EXPECT_LE(r.sample_size,
+            std::min(target_docs + options.docs_per_query,
+                     bed.database(db_index).num_documents()));
+  // |D̂| >= |S| always.
+  EXPECT_GE(r.estimated_db_size, static_cast<double>(r.sample_size));
+  // Summary df estimates are positive and bounded by |D̂|.
+  r.summary.ForEachWord(
+      [&](const std::string& w, const summary::WordStats& stats) {
+        EXPECT_GE(stats.df, 0.0) << w;
+        EXPECT_LE(stats.df, r.estimated_db_size + 1e-6) << w;
+        EXPECT_GE(stats.ctf + 1e-12, stats.df * 0.0) << w;
+      });
+  // Every sampled word has a sample df in [1, |S|].
+  for (const auto& [w, df] : r.sample_df) {
+    EXPECT_GE(df, 1u) << w;
+    EXPECT_LE(df, r.sample_size) << w;
+  }
+  // The Mandelbrot exponent of a Zipfian corpus is negative.
+  EXPECT_LT(r.mandelbrot_alpha, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndConfigs, SamplingPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(40u, 80u),
+                       ::testing::Bool()));
+
+// ------------------------------------------------ shrinkage invariants sweep
+
+class ShrinkagePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShrinkagePropertyTest, ShrunkSummaryInvariantsHold) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  sampling::QbsOptions options;
+  options.target_documents = 60;
+  sampling::QbsSampler sampler(
+      options, corpus::BuildSamplerDictionary(bed.model(), 10));
+  std::vector<sampling::SampleResult> samples;
+  std::vector<corpus::CategoryId> classifications;
+  util::Rng rng(GetParam());
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    util::Rng db_rng = rng.Fork();
+    samples.push_back(sampler.Sample(bed.database(i), db_rng));
+    classifications.push_back(bed.category_of(i));
+  }
+  core::Metasearcher meta(&bed.hierarchy(), std::move(samples),
+                          classifications);
+
+  for (size_t i = 0; i < meta.num_databases(); ++i) {
+    // λ is a probability distribution with m+2 components.
+    const auto& lambdas = meta.lambdas(i);
+    EXPECT_EQ(lambdas.size(),
+              bed.hierarchy().PathFromRoot(classifications[i]).size() + 2);
+    EXPECT_NEAR(std::accumulate(lambdas.begin(), lambdas.end(), 0.0), 1.0,
+                1e-9);
+    for (double l : lambdas) EXPECT_GE(l, 0.0);
+
+    // Shrinkage never removes a word: p̂_R > 0 wherever p̂ > 0, and the
+    // mixture stays a probability.
+    const auto& shrunk = meta.shrunk_summary(i);
+    meta.plain_summary(i).ForEachWord(
+        [&](const std::string& w, const summary::WordStats&) {
+          const double p = shrunk.MixtureProbDoc(w);
+          EXPECT_GT(p, 0.0) << w;
+          EXPECT_LE(p, 1.0) << w;
+        });
+
+    // The shrunk vocabulary is a superset of the plain one.
+    EXPECT_GE(shrunk.vocabulary_size(),
+              meta.plain_summary(i).vocabulary_size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShrinkagePropertyTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+// ------------------------------------------------ metric invariants sweep
+
+class MetricPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MetricPropertyTest, MetricsStayInRange) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  const size_t db = GetParam();
+  sampling::QbsOptions options;
+  options.target_documents = 50;
+  sampling::QbsSampler sampler(
+      options, corpus::BuildSamplerDictionary(bed.model(), 10));
+  util::Rng rng(db + 1);
+  const sampling::SampleResult r = sampler.Sample(bed.database(db), rng);
+  const summary::ContentSummary truth =
+      summary::ContentSummary::FromIndex(bed.database(db).index());
+  const summary::SummaryQuality q = summary::EvaluateSummary(r.summary, truth);
+  EXPECT_GE(q.weighted_recall, 0.0);
+  EXPECT_LE(q.weighted_recall, 1.0);
+  EXPECT_GE(q.unweighted_recall, 0.0);
+  EXPECT_LE(q.unweighted_recall, 1.0);
+  EXPECT_GE(q.weighted_precision, 0.0);
+  EXPECT_LE(q.weighted_precision, 1.0);
+  EXPECT_GE(q.unweighted_precision, 0.0);
+  EXPECT_LE(q.unweighted_precision, 1.0);
+  EXPECT_GE(q.spearman, -1.0);
+  EXPECT_LE(q.spearman, 1.0);
+  EXPECT_GE(q.kl_divergence, 0.0);
+  // Weighted recall dominates unweighted recall under Zipf: samples catch
+  // the frequent words first.
+  EXPECT_GE(q.weighted_recall, q.unweighted_recall);
+  // A sampled (unshrunk) summary has perfect precision by construction.
+  EXPECT_DOUBLE_EQ(q.unweighted_precision, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Databases, MetricPropertyTest,
+                         ::testing::Values(0u, 3u, 7u, 11u));
+
+}  // namespace
+}  // namespace fedsearch

@@ -1,0 +1,113 @@
+#include "fedsearch/sampling/fps_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/small_testbed.h"
+
+namespace fedsearch::sampling {
+namespace {
+
+using fedsearch::testing::SharedSmallTestbed;
+
+TEST(ProbeRuleSetTest, FromTopicModelBuildsRulesForEveryCategory) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  const ProbeRuleSet rules =
+      ProbeRuleSet::FromTopicModel(bed.model(), /*single_word_rules=*/3,
+                                   /*pair_rules=*/2);
+  const corpus::TopicHierarchy& h = bed.hierarchy();
+  for (corpus::CategoryId c = 0; c < static_cast<corpus::CategoryId>(h.size());
+       ++c) {
+    const auto& r = rules.RulesFor(c);
+    ASSERT_EQ(r.size(), 5u) << h.PathString(c);
+    for (size_t i = 0; i < 3; ++i) EXPECT_EQ(r[i].terms.size(), 1u);
+    for (size_t i = 3; i < 5; ++i) EXPECT_EQ(r[i].terms.size(), 2u);
+    for (const ProbeRule& rule : r) EXPECT_EQ(rule.category, c);
+  }
+}
+
+TEST(ProbeRuleSetTest, RulesUseCharacteristicWords) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  const ProbeRuleSet rules = ProbeRuleSet::FromTopicModel(bed.model(), 2, 0);
+  const corpus::CategoryId heart =
+      bed.hierarchy().FindByPath("Root/Health/Diseases/Heart");
+  const auto top = bed.model().CharacteristicWords(heart, 2);
+  EXPECT_EQ(rules.RulesFor(heart)[0].terms[0], top[0]);
+  EXPECT_EQ(rules.RulesFor(heart)[1].terms[0], top[1]);
+}
+
+class FpsSamplerTest : public ::testing::Test {
+ protected:
+  FpsSamplerTest()
+      : rules_(ProbeRuleSet::FromTopicModel(SharedSmallTestbed().model())) {}
+
+  ProbeRuleSet rules_;
+};
+
+TEST_F(FpsSamplerTest, ClassifiesDatabasesIntoTheirTopicSubtree) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  FpsOptions options;
+  options.coverage_threshold = 5;
+  FpsSampler sampler(options, &rules_);
+  size_t in_subtree = 0;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    util::Rng rng(100 + i);
+    const SampleResult r = sampler.Sample(bed.database(i), rng);
+    ASSERT_NE(r.classification, corpus::kInvalidCategory);
+    // The classification should land on the database's true root-to-leaf
+    // path (possibly at an ancestor of the true leaf).
+    const auto path = bed.hierarchy().PathFromRoot(bed.category_of(i));
+    for (corpus::CategoryId c : path) {
+      if (c == r.classification) {
+        ++in_subtree;
+        break;
+      }
+    }
+  }
+  // Probing is noisy, but the vast majority must be on-path.
+  EXPECT_GE(in_subtree, bed.num_databases() - 2);
+}
+
+TEST_F(FpsSamplerTest, CollectsDocumentsWhileProbing) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  FpsSampler sampler(FpsOptions{}, &rules_);
+  util::Rng rng(1);
+  const SampleResult r = sampler.Sample(bed.database(0), rng);
+  EXPECT_GT(r.sample_size, 10u);
+  EXPECT_GT(r.queries_sent, 10u);
+  EXPECT_GT(r.summary.vocabulary_size(), 100u);
+  EXPECT_GE(r.estimated_db_size, static_cast<double>(r.sample_size));
+}
+
+TEST_F(FpsSamplerTest, DeterministicGivenSeed) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  FpsSampler sampler(FpsOptions{}, &rules_);
+  util::Rng r1(9), r2(9);
+  const SampleResult a = sampler.Sample(bed.database(4), r1);
+  const SampleResult b = sampler.Sample(bed.database(4), r2);
+  EXPECT_EQ(a.classification, b.classification);
+  EXPECT_EQ(a.sample_size, b.sample_size);
+  EXPECT_EQ(a.summary.vocabulary_size(), b.summary.vocabulary_size());
+}
+
+TEST_F(FpsSamplerTest, HighThresholdsKeepClassificationShallow) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  FpsOptions options;
+  options.coverage_threshold = 1000000;  // nothing qualifies
+  FpsSampler sampler(options, &rules_);
+  util::Rng rng(2);
+  const SampleResult r = sampler.Sample(bed.database(0), rng);
+  EXPECT_EQ(r.classification, bed.hierarchy().root());
+}
+
+TEST_F(FpsSamplerTest, EmptyDatabaseClassifiesAtRoot) {
+  text::Analyzer analyzer;
+  index::TextDatabase empty("empty", &analyzer);
+  FpsSampler sampler(FpsOptions{}, &rules_);
+  util::Rng rng(3);
+  const SampleResult r = sampler.Sample(empty, rng);
+  EXPECT_EQ(r.classification, rules_.hierarchy().root());
+  EXPECT_EQ(r.sample_size, 0u);
+}
+
+}  // namespace
+}  // namespace fedsearch::sampling

@@ -1,0 +1,87 @@
+#include "fedsearch/sampling/freq_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::sampling {
+namespace {
+
+std::vector<double> SyntheticZipf(size_t n, double alpha, double beta) {
+  std::vector<double> freqs;
+  for (size_t r = 1; r <= n; ++r) {
+    freqs.push_back(beta * std::pow(static_cast<double>(r), alpha));
+  }
+  return freqs;
+}
+
+TEST(FitMandelbrotTest, RecoversExactPowerLaw) {
+  const MandelbrotFit fit = FitMandelbrot(SyntheticZipf(500, -1.2, 900.0));
+  EXPECT_NEAR(fit.alpha, -1.2, 1e-9);
+  EXPECT_NEAR(std::exp(fit.log_beta), 900.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitMandelbrotTest, FrequencyPredictsAtRank) {
+  const MandelbrotFit fit = FitMandelbrot(SyntheticZipf(200, -1.0, 100.0));
+  EXPECT_NEAR(fit.Frequency(1), 100.0, 1e-6);
+  EXPECT_NEAR(fit.Frequency(10), 10.0, 1e-6);
+}
+
+TEST(FitMandelbrotTest, IgnoresZeroFrequencies) {
+  std::vector<double> freqs = SyntheticZipf(100, -1.0, 50.0);
+  freqs.push_back(0.0);
+  freqs.push_back(0.0);
+  const MandelbrotFit fit = FitMandelbrot(freqs);
+  EXPECT_NEAR(fit.alpha, -1.0, 1e-9);
+}
+
+TEST(FitMandelbrotTest, DegenerateInputsGiveDefault) {
+  EXPECT_EQ(FitMandelbrot({}).alpha, -1.0);
+  EXPECT_EQ(FitMandelbrot({5.0}).alpha, -1.0);
+  EXPECT_EQ(FitMandelbrot({0.0, 0.0}).alpha, -1.0);
+}
+
+TEST(ScalingModelTest, RecoversLinearScaling) {
+  // alpha(|S|) = 0.05 log|S| - 1.4, log beta(|S|) = 0.9 log|S| + 0.3
+  // (Equations 4a/4b).
+  std::vector<Checkpoint> checkpoints;
+  for (size_t s : {50u, 100u, 150u, 200u, 300u}) {
+    Checkpoint c;
+    c.sample_size = s;
+    c.fit.alpha = 0.05 * std::log(static_cast<double>(s)) - 1.4;
+    c.fit.log_beta = 0.9 * std::log(static_cast<double>(s)) + 0.3;
+    checkpoints.push_back(c);
+  }
+  const ScalingModel model = FitScalingModel(checkpoints);
+  EXPECT_NEAR(model.a1, 0.05, 1e-9);
+  EXPECT_NEAR(model.a2, -1.4, 1e-9);
+  EXPECT_NEAR(model.b1, 0.9, 1e-9);
+  EXPECT_NEAR(model.b2, 0.3, 1e-9);
+
+  // Extrapolation to a database of 10000 documents (Equation 5).
+  const MandelbrotFit db = model.ExtrapolateTo(10000);
+  EXPECT_NEAR(db.alpha, 0.05 * std::log(10000.0) - 1.4, 1e-9);
+  EXPECT_NEAR(db.log_beta, 0.9 * std::log(10000.0) + 0.3, 1e-9);
+}
+
+TEST(ScalingModelTest, SingleCheckpointDegeneratesToConstant) {
+  Checkpoint c;
+  c.sample_size = 300;
+  c.fit.alpha = -1.1;
+  c.fit.log_beta = 4.0;
+  const ScalingModel model = FitScalingModel({c});
+  const MandelbrotFit db = model.ExtrapolateTo(100000);
+  EXPECT_NEAR(db.alpha, -1.1, 1e-12);
+  EXPECT_NEAR(db.log_beta, 4.0, 1e-12);
+}
+
+TEST(ScalingModelTest, EmptyCheckpointsGiveDefaults) {
+  const ScalingModel model = FitScalingModel({});
+  const MandelbrotFit db = model.ExtrapolateTo(1000);
+  EXPECT_EQ(db.alpha, -1.0);
+  EXPECT_EQ(db.log_beta, 0.0);
+}
+
+}  // namespace
+}  // namespace fedsearch::sampling

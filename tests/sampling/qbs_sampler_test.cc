@@ -1,0 +1,123 @@
+#include "fedsearch/sampling/qbs_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/summary/metrics.h"
+#include "testing/small_testbed.h"
+
+namespace fedsearch::sampling {
+namespace {
+
+using fedsearch::testing::SharedSmallTestbed;
+
+QbsSampler MakeSampler(const corpus::Testbed& bed, QbsOptions options = {}) {
+  return QbsSampler(options, corpus::BuildSamplerDictionary(bed.model(), 10));
+}
+
+TEST(QbsSamplerTest, ReachesTargetSampleSizeOnLargeDatabase) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  QbsOptions options;
+  options.target_documents = 100;
+  QbsSampler sampler = MakeSampler(bed, options);
+  util::Rng rng(1);
+  const SampleResult r = sampler.Sample(bed.database(0), rng);
+  EXPECT_GE(r.sample_size, 100u);
+  EXPECT_LE(r.sample_size, 100u + options.docs_per_query);
+  EXPECT_GT(r.queries_sent, 100u / options.docs_per_query - 1);
+}
+
+TEST(QbsSamplerTest, SampleSummaryIsSubsetOfDatabaseVocabulary) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  QbsOptions options;
+  options.target_documents = 60;
+  QbsSampler sampler = MakeSampler(bed, options);
+  util::Rng rng(2);
+  const SampleResult r = sampler.Sample(bed.database(1), rng);
+  // Without shrinkage, a sampled summary contains only real database words
+  // (unweighted precision 1.0 by construction, Section 6.1).
+  const summary::ContentSummary truth =
+      summary::ContentSummary::FromIndex(bed.database(1).index());
+  r.summary.ForEachWord(
+      [&](const std::string& w, const summary::WordStats&) {
+        EXPECT_GT(truth.DocFrequency(w), 0.0) << w;
+      });
+}
+
+TEST(QbsSamplerTest, SampleDfNeverExceedsSampleSize) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  QbsOptions options;
+  options.target_documents = 50;
+  QbsSampler sampler = MakeSampler(bed, options);
+  util::Rng rng(3);
+  const SampleResult r = sampler.Sample(bed.database(2), rng);
+  for (const auto& [word, df] : r.sample_df) {
+    EXPECT_LE(df, r.sample_size) << word;
+    EXPECT_GE(df, 1u) << word;
+  }
+}
+
+TEST(QbsSamplerTest, DeterministicGivenSeed) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  QbsOptions options;
+  options.target_documents = 40;
+  QbsSampler sampler = MakeSampler(bed, options);
+  util::Rng rng1(7), rng2(7);
+  const SampleResult a = sampler.Sample(bed.database(3), rng1);
+  const SampleResult b = sampler.Sample(bed.database(3), rng2);
+  EXPECT_EQ(a.sample_size, b.sample_size);
+  EXPECT_EQ(a.queries_sent, b.queries_sent);
+  EXPECT_EQ(a.estimated_db_size, b.estimated_db_size);
+  EXPECT_EQ(a.summary.vocabulary_size(), b.summary.vocabulary_size());
+}
+
+TEST(QbsSamplerTest, DifferentRunsDiffer) {
+  // The paper averages five QBS runs per database precisely because runs
+  // vary; two different seeds should produce different samples.
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  QbsOptions options;
+  options.target_documents = 40;
+  QbsSampler sampler = MakeSampler(bed, options);
+  util::Rng rng1(7), rng2(8);
+  const SampleResult a = sampler.Sample(bed.database(3), rng1);
+  const SampleResult b = sampler.Sample(bed.database(3), rng2);
+  EXPECT_NE(a.sample_df, b.sample_df);
+}
+
+TEST(QbsSamplerTest, SamplesWholeTinyDatabaseAndStops) {
+  text::Analyzer analyzer;
+  index::TextDatabase tiny("tiny", &analyzer);
+  tiny.AddDocument("alpha beta gamma");
+  tiny.AddDocument("alpha delta");
+  QbsOptions options;
+  options.target_documents = 300;
+  options.max_consecutive_failures = 30;
+  QbsSampler sampler(options, {"alpha", "beta", "nomatch"});
+  util::Rng rng(1);
+  const SampleResult r = sampler.Sample(tiny, rng);
+  EXPECT_EQ(r.sample_size, 2u);
+  EXPECT_LE(r.estimated_db_size, 4.0);
+}
+
+TEST(QbsSamplerTest, EmptyDictionaryYieldsEmptySample) {
+  text::Analyzer analyzer;
+  index::TextDatabase db("db", &analyzer);
+  db.AddDocument("something here");
+  QbsSampler sampler(QbsOptions{}, {});
+  util::Rng rng(1);
+  const SampleResult r = sampler.Sample(db, rng);
+  EXPECT_EQ(r.sample_size, 0u);
+}
+
+TEST(QbsSamplerTest, ClassificationLeftUnset) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  QbsOptions options;
+  options.target_documents = 30;
+  QbsSampler sampler = MakeSampler(bed, options);
+  util::Rng rng(4);
+  const SampleResult r = sampler.Sample(bed.database(0), rng);
+  // QBS does not classify; the metasearcher uses the directory category.
+  EXPECT_EQ(r.classification, corpus::kInvalidCategory);
+}
+
+}  // namespace
+}  // namespace fedsearch::sampling

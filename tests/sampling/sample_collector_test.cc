@@ -1,0 +1,104 @@
+#include "fedsearch/sampling/sample_collector.h"
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/text/analyzer.h"
+
+namespace fedsearch::sampling {
+namespace {
+
+class SampleCollectorTest : public ::testing::Test {
+ protected:
+  SampleCollectorTest() : db_("db", &analyzer_) {
+    // 20 documents; "omnipresent" in all, "frequent" in half, "rare" in one.
+    for (int i = 0; i < 20; ++i) {
+      std::string text = "omnipresent filler" + std::to_string(i);
+      if (i % 2 == 0) text += " frequent";
+      if (i == 3) text += " rare";
+      db_.AddDocument(text);
+    }
+  }
+
+  text::Analyzer analyzer_;
+  index::TextDatabase db_;
+  SummaryBuildOptions options_;
+};
+
+TEST_F(SampleCollectorTest, AddDocumentsDeduplicates) {
+  SampleCollector collector(&db_, &options_);
+  EXPECT_EQ(collector.AddDocuments({0, 1, 2}), 3u);
+  EXPECT_EQ(collector.AddDocuments({2, 3}), 1u);
+  EXPECT_EQ(collector.sample_size(), 4u);
+  EXPECT_TRUE(collector.seen().count(0));
+}
+
+TEST_F(SampleCollectorTest, ObservedWordsAreFirstSeenOrderAndDistinct) {
+  SampleCollector collector(&db_, &options_);
+  collector.AddDocuments({0, 1});
+  const auto& words = collector.observed_words();
+  std::unordered_set<std::string> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), words.size());
+  EXPECT_TRUE(unique.count("omnipres"));  // stemmed form
+}
+
+TEST_F(SampleCollectorTest, FinalizeWithoutFreqEstimationScalesProportionally) {
+  SampleCollector collector(&db_, &options_);
+  std::vector<index::DocId> all;
+  for (index::DocId d = 0; d < 20; ++d) all.push_back(d);
+  collector.AddDocuments(all);
+
+  util::Rng rng(5);
+  const SampleResult result = collector.Finalize(/*queries_sent=*/7, rng);
+  EXPECT_EQ(result.sample_size, 20u);
+  EXPECT_GE(result.queries_sent, 7u);  // + resample probes
+  // Whole database sampled: estimate should equal the truth.
+  EXPECT_NEAR(result.estimated_db_size, 20.0, 1e-9);
+  // p̂(omnipresent) = 1.0 -> df estimate equals |D̂|.
+  EXPECT_NEAR(result.summary.DocFrequency("omnipres"), 20.0, 1e-9);
+  EXPECT_NEAR(result.summary.DocFrequency("frequent"), 10.0, 1e-9);
+  EXPECT_EQ(result.sample_df.at("rare"), 1u);
+}
+
+TEST_F(SampleCollectorTest, FinalizePartialSampleEstimatesSize) {
+  SampleCollector collector(&db_, &options_);
+  collector.AddDocuments({0, 2, 4, 6, 8, 10, 12, 14});  // 8 even docs
+  util::Rng rng(5);
+  const SampleResult result = collector.Finalize(0, rng);
+  EXPECT_EQ(result.sample_size, 8u);
+  // Size estimate must be at least the sample and in the ballpark of 20.
+  EXPECT_GE(result.estimated_db_size, 8.0);
+  EXPECT_LE(result.estimated_db_size, 60.0);
+}
+
+TEST_F(SampleCollectorTest, FrequencyEstimationUsesMandelbrotRanks) {
+  options_.frequency_estimation = true;
+  options_.checkpoint_every = 5;
+  SampleCollector collector(&db_, &options_);
+  std::vector<index::DocId> all;
+  for (index::DocId d = 0; d < 20; ++d) all.push_back(d);
+  collector.AddDocuments(all);
+  util::Rng rng(5);
+  const SampleResult result = collector.Finalize(0, rng);
+  EXPECT_LT(result.mandelbrot_alpha, 0.0);
+  // Frequencies decrease with rank: the most frequent sampled word must
+  // get a larger estimate than a singleton word.
+  EXPECT_GT(result.summary.DocFrequency("omnipres"),
+            result.summary.DocFrequency("rare"));
+  // All estimates bounded by the estimated size.
+  result.summary.ForEachWord(
+      [&](const std::string&, const summary::WordStats& stats) {
+        EXPECT_LE(stats.df, result.estimated_db_size + 1e-9);
+        EXPECT_GE(stats.df, 0.0);
+      });
+}
+
+TEST_F(SampleCollectorTest, EmptySampleFinalizesGracefully) {
+  SampleCollector collector(&db_, &options_);
+  util::Rng rng(5);
+  const SampleResult result = collector.Finalize(0, rng);
+  EXPECT_EQ(result.sample_size, 0u);
+  EXPECT_EQ(result.summary.vocabulary_size(), 0u);
+}
+
+}  // namespace
+}  // namespace fedsearch::sampling

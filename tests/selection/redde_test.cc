@@ -1,0 +1,95 @@
+#include "fedsearch/selection/redde.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::selection {
+namespace {
+
+sampling::SampleResult MakeSample(
+    double estimated_size, std::vector<std::vector<std::string>> docs) {
+  sampling::SampleResult s;
+  s.estimated_db_size = estimated_size;
+  s.sample_size = docs.size();
+  s.sampled_documents = std::move(docs);
+  return s;
+}
+
+class ReddeTest : public ::testing::Test {
+ protected:
+  ReddeTest() {
+    // db0: medical, large. db1: medical, small. db2: sports.
+    samples_.push_back(MakeSample(10000, {{"cardiac", "blood"},
+                                          {"cardiac", "patient"},
+                                          {"blood", "patient"}}));
+    samples_.push_back(MakeSample(500, {{"cardiac", "surgery"},
+                                        {"patient", "surgery"}}));
+    samples_.push_back(MakeSample(2000, {{"goal", "league"},
+                                         {"league", "match"}}));
+    for (const auto& s : samples_) ptrs_.push_back(&s);
+  }
+
+  std::vector<sampling::SampleResult> samples_;
+  std::vector<const sampling::SampleResult*> ptrs_;
+};
+
+TEST_F(ReddeTest, BuildsCentralizedSampleIndex) {
+  ReddeSelector redde(ptrs_);
+  EXPECT_EQ(redde.total_sample_documents(), 7u);
+}
+
+TEST_F(ReddeTest, RanksTopicalDatabasesFirst) {
+  ReddeSelector redde(ptrs_);
+  const auto medical = redde.Select(Query{{"cardiac", "patient"}}, 3);
+  ASSERT_GE(medical.size(), 2u);
+  // db0 has more matching proxies AND a much larger scale factor.
+  EXPECT_EQ(medical[0].database, 0u);
+  // The sports database gets no votes for a medical query.
+  for (const auto& r : medical) EXPECT_NE(r.database, 2u);
+
+  const auto sports = redde.Select(Query{{"league"}}, 3);
+  ASSERT_EQ(sports.size(), 1u);
+  EXPECT_EQ(sports[0].database, 2u);
+}
+
+TEST_F(ReddeTest, ScaleFactorWeighsVotes) {
+  // One matching proxy from a 10000-doc database must outweigh one from a
+  // 500-doc database.
+  ReddeSelector redde(ptrs_);
+  const auto ranking = redde.Select(Query{{"surgery", "blood"}}, 3);
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].database, 0u);  // blood proxies x (10000/3)
+  EXPECT_EQ(ranking[1].database, 1u);
+  EXPECT_GT(ranking[0].score, ranking[1].score);
+}
+
+TEST_F(ReddeTest, HonorsBudget) {
+  ReddeSelector redde(ptrs_);
+  EXPECT_EQ(redde.Select(Query{{"patient"}}, 1).size(), 1u);
+}
+
+TEST_F(ReddeTest, UnknownQueryWordsYieldEmptyRanking) {
+  ReddeSelector redde(ptrs_);
+  EXPECT_TRUE(redde.Select(Query{{"nonexistent"}}, 5).empty());
+  EXPECT_TRUE(redde.Select(Query{}, 5).empty());
+}
+
+TEST(ReddeEdgeTest, EmptyFederation) {
+  ReddeSelector redde({});
+  EXPECT_TRUE(redde.Select(Query{{"x"}}, 5).empty());
+}
+
+TEST(ReddeEdgeTest, DatabasesWithoutKeptDocumentsGetNoVotes) {
+  sampling::SampleResult no_docs;
+  no_docs.estimated_db_size = 1000;
+  sampling::SampleResult with_docs;
+  with_docs.estimated_db_size = 100;
+  with_docs.sampled_documents = {{"word"}};
+  std::vector<const sampling::SampleResult*> ptrs = {&no_docs, &with_docs};
+  ReddeSelector redde(ptrs);
+  const auto ranking = redde.Select(Query{{"word"}}, 5);
+  ASSERT_EQ(ranking.size(), 1u);
+  EXPECT_EQ(ranking[0].database, 1u);
+}
+
+}  // namespace
+}  // namespace fedsearch::selection

@@ -1,0 +1,71 @@
+#include "fedsearch/selection/rk_metric.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::selection {
+namespace {
+
+std::vector<RankedDatabase> Ranking(std::vector<size_t> order) {
+  std::vector<RankedDatabase> r;
+  double score = 100.0;
+  for (size_t db : order) {
+    r.push_back(RankedDatabase{db, score});
+    score -= 1.0;
+  }
+  return r;
+}
+
+TEST(RkMetricTest, PerfectRankingScoresOne) {
+  const std::vector<size_t> relevant = {50, 10, 30, 0};
+  const auto ranking = Ranking({0, 2, 1, 3});  // ordered by relevance
+  for (size_t k = 1; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(RkScore(ranking, relevant, k), 1.0) << "k=" << k;
+  }
+}
+
+TEST(RkMetricTest, WorstRankingScoresLow) {
+  const std::vector<size_t> relevant = {50, 10, 30, 0};
+  const auto ranking = Ranking({3, 1, 2, 0});
+  EXPECT_DOUBLE_EQ(RkScore(ranking, relevant, 1), 0.0);
+  EXPECT_DOUBLE_EQ(RkScore(ranking, relevant, 2), 10.0 / 80.0);
+}
+
+TEST(RkMetricTest, PartialRankingCountsOnlySelected) {
+  // A selection algorithm that chose fewer than k databases contributes
+  // only what it selected (Section 6.2).
+  const std::vector<size_t> relevant = {50, 40, 30};
+  const auto ranking = Ranking({0});  // selected a single database
+  EXPECT_DOUBLE_EQ(RkScore(ranking, relevant, 2), 50.0 / 90.0);
+}
+
+TEST(RkMetricTest, EmptyRankingScoresZero) {
+  const std::vector<size_t> relevant = {5, 5};
+  EXPECT_DOUBLE_EQ(RkScore({}, relevant, 2), 0.0);
+}
+
+TEST(RkMetricTest, QueryWithNoRelevantDocumentsScoresZero) {
+  const std::vector<size_t> relevant = {0, 0, 0};
+  const auto ranking = Ranking({0, 1, 2});
+  EXPECT_DOUBLE_EQ(RkScore(ranking, relevant, 2), 0.0);
+}
+
+TEST(RkMetricTest, KZeroIsZero) {
+  const std::vector<size_t> relevant = {5};
+  EXPECT_DOUBLE_EQ(RkScore(Ranking({0}), relevant, 0), 0.0);
+}
+
+TEST(RkMetricTest, MonotoneImprovementWhenPrefixGains) {
+  // Putting the best database first must never score worse than second.
+  const std::vector<size_t> relevant = {100, 1};
+  const double best_first = RkScore(Ranking({0, 1}), relevant, 1);
+  const double best_second = RkScore(Ranking({1, 0}), relevant, 1);
+  EXPECT_GT(best_first, best_second);
+}
+
+TEST(RkMetricTest, KBeyondDatabaseCountIsSafe) {
+  const std::vector<size_t> relevant = {4, 2};
+  EXPECT_DOUBLE_EQ(RkScore(Ranking({0, 1}), relevant, 10), 1.0);
+}
+
+}  // namespace
+}  // namespace fedsearch::selection

@@ -1,0 +1,159 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/selection/lm.h"
+
+namespace fedsearch::selection {
+namespace {
+
+summary::ContentSummary MakeSummary(double num_docs,
+                                    std::vector<std::tuple<std::string, double,
+                                                           double>> words) {
+  summary::ContentSummary s;
+  s.set_num_documents(num_docs);
+  for (const auto& [w, df, ctf] : words) {
+    s.SetWord(w, summary::WordStats{df, ctf});
+  }
+  return s;
+}
+
+class ScorersTest : public ::testing::Test {
+ protected:
+  ScorersTest()
+      : health_(MakeSummary(
+            1000, {{"blood", 420, 700}, {"hypertension", 320, 500}})),
+        cs_(MakeSummary(500, {{"algorithm", 300, 900}, {"blood", 1, 1}})),
+        global_(summary::ContentSummary::AggregateCategory({&health_, &cs_})) {
+    context_.ranked_summaries = {&health_, &cs_};
+    context_.global_summary = &global_;
+  }
+
+  summary::ContentSummary health_;
+  summary::ContentSummary cs_;
+  summary::ContentSummary global_;
+  ScoringContext context_;
+};
+
+// ---------------------------------------------------------------- bGlOSS --
+
+TEST_F(ScorersTest, BglossMatchesClosedForm) {
+  // s(q, D) = |D| · Π p̂(w|D)  [13].
+  BglossScorer bgloss;
+  const Query q{{"blood", "hypertension"}};
+  EXPECT_NEAR(bgloss.Score(q, health_, context_), 1000 * 0.42 * 0.32, 1e-9);
+}
+
+TEST_F(ScorersTest, BglossZeroOnAnyMissingWord) {
+  BglossScorer bgloss;
+  EXPECT_EQ(bgloss.Score(Query{{"algorithm", "hypertension"}}, health_,
+                         context_),
+            0.0);
+  EXPECT_EQ(bgloss.DefaultScore(Query{{"x"}}, health_, context_), 0.0);
+}
+
+TEST_F(ScorersTest, BglossPrefersTopicalDatabase) {
+  // The Example 2 scenario: [blood hypertension] should prefer the Health
+  // database over the CS one.
+  BglossScorer bgloss;
+  const Query q{{"blood", "hypertension"}};
+  EXPECT_GT(bgloss.Score(q, health_, context_),
+            bgloss.Score(q, cs_, context_));
+}
+
+// ------------------------------------------------------------------ CORI --
+
+TEST_F(ScorersTest, CoriMatchesClosedForm) {
+  CoriScorer cori;
+  const Query q{{"algorithm"}};
+  // df for "algorithm" in cs_: 300. cw = 901 tokens, mcw = (1200+901)/2.
+  const double m = 2.0;
+  const double cw = 901.0;
+  const double mcw = (1200.0 + 901.0) / 2.0;
+  const double t = 300.0 / (300.0 + 50.0 + 150.0 * cw / mcw);
+  const double cf = 1.0;  // only cs_ contains "algorithm"
+  const double i = std::log((m + 0.5) / cf) / std::log(m + 1.0);
+  EXPECT_NEAR(cori.Score(q, cs_, context_), 0.4 + 0.6 * t * i, 1e-9);
+}
+
+TEST_F(ScorersTest, CoriDefaultBeliefForMissingWords) {
+  CoriScorer cori;
+  const Query q{{"nonexistent"}};
+  EXPECT_NEAR(cori.Score(q, health_, context_), 0.4, 1e-12);
+  EXPECT_NEAR(cori.DefaultScore(q, health_, context_), 0.4, 1e-12);
+}
+
+TEST_F(ScorersTest, CoriRoundedPresenceRule) {
+  // Section 5.3: a word counts as present only if round(|D|·p̂) >= 1 —
+  // the guard that keeps shrunk summaries from saturating cf(w).
+  CoriScorer cori;
+  summary::ContentSummary shrunk = MakeSummary(1000, {{"ghost", 0.4, 1.0}});
+  ScoringContext ctx;
+  ctx.ranked_summaries = {&shrunk};
+  const Query q{{"ghost"}};
+  EXPECT_NEAR(cori.Score(q, shrunk, ctx), 0.4, 1e-12);  // treated as absent
+}
+
+TEST_F(ScorersTest, CoriRareWordsWeighMore) {
+  // I (the idf-like factor) favors words in fewer databases.
+  CoriScorer cori;
+  // "hypertension" occurs only in health_, "blood" in both (df 1 in cs_
+  // rounds to 1, so cf = 2).
+  const double s_rare = cori.Score(Query{{"hypertension"}}, health_, context_);
+  const double s_common = cori.Score(Query{{"blood"}}, health_, context_);
+  EXPECT_GT(s_rare, s_common);
+}
+
+TEST_F(ScorersTest, CoriAveragesOverQueryWords) {
+  CoriScorer cori;
+  const double one = cori.Score(Query{{"hypertension"}}, health_, context_);
+  const double with_miss =
+      cori.Score(Query{{"hypertension", "nonexistent"}}, health_, context_);
+  EXPECT_NEAR(with_miss, (one + 0.4) / 2.0, 1e-9);
+}
+
+// -------------------------------------------------------------------- LM --
+
+TEST_F(ScorersTest, LmMatchesClosedForm) {
+  LmScorer lm(0.5);
+  const Query q{{"blood"}};
+  const double p_db = health_.ProbToken("blood");
+  const double p_g = global_.ProbToken("blood");
+  EXPECT_NEAR(lm.Score(q, health_, context_), 0.5 * p_db + 0.5 * p_g, 1e-12);
+}
+
+TEST_F(ScorersTest, LmSmoothsMissingWordsWithGlobal) {
+  LmScorer lm(0.5);
+  const Query q{{"algorithm"}};  // absent from health_
+  const double expected = 0.5 * global_.ProbToken("algorithm");
+  EXPECT_NEAR(lm.Score(q, health_, context_), expected, 1e-12);
+  EXPECT_NEAR(lm.DefaultScore(q, health_, context_), expected, 1e-12);
+}
+
+TEST_F(ScorersTest, LmMultiWordProduct) {
+  LmScorer lm(0.5);
+  const Query q{{"blood", "hypertension"}};
+  const double w1 = lm.Score(Query{{"blood"}}, health_, context_);
+  const double w2 = lm.Score(Query{{"hypertension"}}, health_, context_);
+  EXPECT_NEAR(lm.Score(q, health_, context_), w1 * w2, 1e-15);
+}
+
+TEST_F(ScorersTest, LmWithoutGlobalSummary) {
+  LmScorer lm(0.5);
+  ScoringContext ctx;  // no global
+  const Query q{{"blood"}};
+  EXPECT_NEAR(lm.Score(q, health_, ctx), 0.5 * health_.ProbToken("blood"),
+              1e-12);
+  EXPECT_EQ(lm.DefaultScore(q, health_, ctx), 0.0);
+}
+
+TEST_F(ScorersTest, AllScorersDeclareIndependentTerms) {
+  EXPECT_TRUE(BglossScorer().independent_terms());
+  EXPECT_TRUE(CoriScorer().independent_terms());
+  EXPECT_TRUE(LmScorer().independent_terms());
+}
+
+}  // namespace
+}  // namespace fedsearch::selection

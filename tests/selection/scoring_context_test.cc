@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/selection/scoring.h"
+
+namespace fedsearch::selection {
+namespace {
+
+summary::ContentSummary MakeDb(double n,
+                               std::vector<std::pair<std::string, double>>
+                                   words) {
+  summary::ContentSummary s;
+  s.set_num_documents(n);
+  for (const auto& [w, df] : words) {
+    s.SetWord(w, summary::WordStats{df, df * 2});
+  }
+  return s;
+}
+
+TEST(ScoringContextTest, PreparedStatisticsMatchOnTheFlyComputation) {
+  const summary::ContentSummary a = MakeDb(100, {{"x", 40}, {"y", 3}});
+  const summary::ContentSummary b = MakeDb(300, {{"x", 10}});
+  const summary::ContentSummary c = MakeDb(50, {{"z", 5}});
+  ScoringContext plain;
+  plain.ranked_summaries = {&a, &b, &c};
+  ScoringContext cached = plain;
+  PrepareContextForQuery(Query{{"x", "y", "z", "missing"}}, cached);
+
+  CoriScorer cori;
+  for (const summary::ContentSummary* db : {&a, &b, &c}) {
+    for (const char* word : {"x", "y", "z", "missing"}) {
+      const Query q{{word}};
+      EXPECT_DOUBLE_EQ(cori.Score(q, *db, plain), cori.Score(q, *db, cached))
+          << word;
+    }
+  }
+}
+
+TEST(ScoringContextTest, CachedCfValues) {
+  const summary::ContentSummary a = MakeDb(100, {{"x", 40}});
+  const summary::ContentSummary b = MakeDb(300, {{"x", 10}, {"y", 2}});
+  ScoringContext ctx;
+  ctx.ranked_summaries = {&a, &b};
+  PrepareContextForQuery(Query{{"x", "y", "absent"}}, ctx);
+  EXPECT_TRUE(ctx.has_cached_statistics);
+  EXPECT_EQ(ctx.cached_cf.at("x"), 2u);
+  EXPECT_EQ(ctx.cached_cf.at("y"), 1u);
+  EXPECT_EQ(ctx.cached_cf.at("absent"), 0u);
+  // total_tokens: a = 80, b = 24; mean over the two summaries.
+  EXPECT_DOUBLE_EQ(ctx.cached_mean_cw, (80.0 + 24.0) / 2.0);
+}
+
+TEST(ScoringContextTest, EmptyRankedSetIsSafe) {
+  ScoringContext ctx;
+  PrepareContextForQuery(Query{{"x"}}, ctx);
+  EXPECT_EQ(ctx.cached_cf.at("x"), 0u);
+  EXPECT_EQ(ctx.cached_mean_cw, 1.0);
+}
+
+}  // namespace
+}  // namespace fedsearch::selection

@@ -1,0 +1,131 @@
+#include "fedsearch/summary/content_summary.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::summary {
+namespace {
+
+TEST(ContentSummaryTest, SetAndLookup) {
+  ContentSummary s;
+  s.set_num_documents(100);
+  s.SetWord("alpha", WordStats{10, 25});
+  EXPECT_EQ(s.DocFrequency("alpha"), 10.0);
+  EXPECT_EQ(s.TokenFrequency("alpha"), 25.0);
+  EXPECT_EQ(s.DocFrequency("missing"), 0.0);
+  EXPECT_EQ(s.vocabulary_size(), 1u);
+}
+
+TEST(ContentSummaryTest, SetWordReplacesAndTracksTotalTokens) {
+  ContentSummary s;
+  s.SetWord("w", WordStats{1, 5});
+  s.SetWord("v", WordStats{1, 3});
+  EXPECT_EQ(s.total_tokens(), 8.0);
+  s.SetWord("w", WordStats{2, 1});  // replace
+  EXPECT_EQ(s.total_tokens(), 4.0);
+  EXPECT_EQ(s.DocFrequency("w"), 2.0);
+}
+
+TEST(ContentSummaryTest, AddWordAccumulates) {
+  ContentSummary s;
+  s.AddWord("w", WordStats{1, 2});
+  s.AddWord("w", WordStats{3, 4});
+  EXPECT_EQ(s.DocFrequency("w"), 4.0);
+  EXPECT_EQ(s.TokenFrequency("w"), 6.0);
+  EXPECT_EQ(s.total_tokens(), 6.0);
+}
+
+TEST(ContentSummaryTest, ProbDocDefinition) {
+  // Definition 1: p(w|D) = |docs containing w| / |D|.
+  ContentSummary s;
+  s.set_num_documents(200);
+  s.SetWord("w", WordStats{50, 80});
+  EXPECT_DOUBLE_EQ(s.ProbDoc("w"), 0.25);
+  EXPECT_DOUBLE_EQ(s.ProbDoc("missing"), 0.0);
+}
+
+TEST(ContentSummaryTest, ProbDocClampedToOne) {
+  ContentSummary s;
+  s.set_num_documents(10);
+  s.SetWord("w", WordStats{15, 15});  // over-estimated df
+  EXPECT_DOUBLE_EQ(s.ProbDoc("w"), 1.0);
+}
+
+TEST(ContentSummaryTest, ProbTokenDefinition) {
+  // LM probabilities: p(w|D) = tf(w) / Σ tf (Section 5.3).
+  ContentSummary s;
+  s.set_num_documents(10);
+  s.SetWord("a", WordStats{1, 30});
+  s.SetWord("b", WordStats{1, 70});
+  EXPECT_DOUBLE_EQ(s.ProbToken("a"), 0.3);
+  EXPECT_DOUBLE_EQ(s.ProbToken("b"), 0.7);
+}
+
+TEST(ContentSummaryTest, ContainsRoundedRule) {
+  // Sections 5.3/6.1: w counts as present iff round(|D|·p̂(w|D)) >= 1.
+  ContentSummary s;
+  s.set_num_documents(1000);
+  s.SetWord("kept", WordStats{0.6, 1});     // rounds to 1
+  s.SetWord("dropped", WordStats{0.4, 1});  // rounds to 0
+  EXPECT_TRUE(s.ContainsRounded("kept"));
+  EXPECT_FALSE(s.ContainsRounded("dropped"));
+  EXPECT_FALSE(s.ContainsRounded("missing"));
+}
+
+TEST(ContentSummaryTest, MaterializeTrimsSubOneDocumentWords) {
+  ContentSummary s;
+  s.set_num_documents(1000);
+  s.SetWord("kept", WordStats{2.0, 4});
+  s.SetWord("dropped", WordStats{0.2, 1});
+  const ContentSummary trimmed = ContentSummary::Materialize(s, /*trim=*/true);
+  EXPECT_EQ(trimmed.vocabulary_size(), 1u);
+  EXPECT_EQ(trimmed.DocFrequency("kept"), 2.0);
+  const ContentSummary untrimmed =
+      ContentSummary::Materialize(s, /*trim=*/false);
+  EXPECT_EQ(untrimmed.vocabulary_size(), 2u);
+}
+
+TEST(ContentSummaryTest, FromIndexMatchesIndexStatistics) {
+  index::InvertedIndex idx;
+  idx.AddDocument({"x", "x", "y"});
+  idx.AddDocument({"y", "z"});
+  const ContentSummary s = ContentSummary::FromIndex(idx);
+  EXPECT_EQ(s.num_documents(), 2.0);
+  EXPECT_EQ(s.DocFrequency("x"), 1.0);
+  EXPECT_EQ(s.TokenFrequency("x"), 2.0);
+  EXPECT_EQ(s.DocFrequency("y"), 2.0);
+  EXPECT_EQ(s.total_tokens(), 5.0);
+}
+
+TEST(ContentSummaryTest, AggregateCategoryIsSizeWeighted) {
+  // Definition 3 / Equation 1: p̂(w|C) = Σ p̂(w|D)|D| / Σ |D|.
+  ContentSummary d1;
+  d1.set_num_documents(100);
+  d1.SetWord("w", WordStats{50, 60});  // p = 0.5
+  ContentSummary d2;
+  d2.set_num_documents(300);
+  d2.SetWord("w", WordStats{30, 40});  // p = 0.1
+  d2.SetWord("only2", WordStats{3, 3});
+  const ContentSummary c = ContentSummary::AggregateCategory({&d1, &d2});
+  EXPECT_EQ(c.num_documents(), 400.0);
+  // (0.5*100 + 0.1*300) / 400 = 80/400 = 0.2
+  EXPECT_DOUBLE_EQ(c.ProbDoc("w"), 0.2);
+  EXPECT_DOUBLE_EQ(c.DocFrequency("only2"), 3.0);
+}
+
+TEST(ContentSummaryTest, AggregateOfNothingIsEmpty) {
+  const ContentSummary c = ContentSummary::AggregateCategory({});
+  EXPECT_EQ(c.num_documents(), 0.0);
+  EXPECT_EQ(c.vocabulary_size(), 0u);
+}
+
+TEST(ContentSummaryTest, ForEachWordVisitsAll) {
+  ContentSummary s;
+  s.SetWord("a", WordStats{1, 1});
+  s.SetWord("b", WordStats{2, 2});
+  size_t count = 0;
+  s.ForEachWord([&](const std::string&, const WordStats&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace fedsearch::summary

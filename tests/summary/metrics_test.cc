@@ -1,0 +1,109 @@
+#include "fedsearch/summary/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::summary {
+namespace {
+
+ContentSummary MakeTruth() {
+  ContentSummary s;
+  s.set_num_documents(100);
+  s.SetWord("common", WordStats{80, 200});
+  s.SetWord("mid", WordStats{20, 40});
+  s.SetWord("rare", WordStats{2, 2});
+  return s;
+}
+
+TEST(MetricsTest, IdenticalSummariesArePerfect) {
+  const ContentSummary truth = MakeTruth();
+  EXPECT_DOUBLE_EQ(WeightedRecall(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(UnweightedRecall(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedPrecision(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(UnweightedPrecision(truth, truth), 1.0);
+  EXPECT_NEAR(SpearmanCorrelation(truth, truth), 1.0, 1e-12);
+  EXPECT_NEAR(KlDivergence(truth, truth), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, WeightedRecallWeighsByTruthProbability) {
+  const ContentSummary truth = MakeTruth();
+  ContentSummary approx;
+  approx.set_num_documents(100);
+  approx.SetWord("common", WordStats{80, 200});  // covers the heavy word only
+  // wr = p(common) / (p(common)+p(mid)+p(rare)) = 0.8 / 1.02
+  EXPECT_NEAR(WeightedRecall(approx, truth), 0.8 / 1.02, 1e-12);
+  // ur = 1/3
+  EXPECT_NEAR(UnweightedRecall(approx, truth), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, PrecisionPenalizesSpuriousWords) {
+  const ContentSummary truth = MakeTruth();
+  ContentSummary approx;
+  approx.set_num_documents(100);
+  approx.SetWord("common", WordStats{80, 200});
+  approx.SetWord("spurious", WordStats{20, 20});  // not in the database
+  // wp = 0.8 / (0.8 + 0.2) = 0.8; up = 1/2.
+  EXPECT_NEAR(WeightedPrecision(approx, truth), 0.8, 1e-12);
+  EXPECT_NEAR(UnweightedPrecision(approx, truth), 0.5, 1e-12);
+}
+
+TEST(MetricsTest, SpuriousWordsDoNotAffectRecall) {
+  const ContentSummary truth = MakeTruth();
+  ContentSummary approx = MakeTruth();
+  approx.SetWord("spurious", WordStats{50, 50});
+  EXPECT_DOUBLE_EQ(WeightedRecall(approx, truth), 1.0);
+  EXPECT_DOUBLE_EQ(UnweightedRecall(approx, truth), 1.0);
+}
+
+TEST(MetricsTest, SpearmanDetectsRankInversion) {
+  const ContentSummary truth = MakeTruth();
+  ContentSummary approx;
+  approx.set_num_documents(100);
+  // Reverse the frequency order.
+  approx.SetWord("common", WordStats{2, 2});
+  approx.SetWord("mid", WordStats{20, 40});
+  approx.SetWord("rare", WordStats{80, 200});
+  EXPECT_NEAR(SpearmanCorrelation(approx, truth), -1.0, 1e-12);
+}
+
+TEST(MetricsTest, KlGrowsWithDistributionDistortion) {
+  const ContentSummary truth = MakeTruth();
+  ContentSummary mild = MakeTruth();
+  mild.SetWord("common", WordStats{80, 150});  // slightly distorted tf
+
+  ContentSummary severe;
+  severe.set_num_documents(100);
+  severe.SetWord("common", WordStats{80, 2});
+  severe.SetWord("mid", WordStats{20, 40});
+  severe.SetWord("rare", WordStats{2, 200});
+
+  const double kl_mild = KlDivergence(mild, truth);
+  const double kl_severe = KlDivergence(severe, truth);
+  EXPECT_GT(kl_mild, 0.0);
+  EXPECT_GT(kl_severe, kl_mild);
+}
+
+TEST(MetricsTest, EmptyApproximationScoresZero) {
+  const ContentSummary truth = MakeTruth();
+  ContentSummary empty;
+  empty.set_num_documents(100);
+  EXPECT_EQ(WeightedRecall(empty, truth), 0.0);
+  EXPECT_EQ(UnweightedRecall(empty, truth), 0.0);
+  EXPECT_EQ(WeightedPrecision(empty, truth), 0.0);
+  EXPECT_EQ(UnweightedPrecision(empty, truth), 0.0);
+}
+
+TEST(MetricsTest, EvaluateSummaryBundlesAllSix) {
+  const ContentSummary truth = MakeTruth();
+  const SummaryQuality q = EvaluateSummary(truth, truth);
+  EXPECT_DOUBLE_EQ(q.weighted_recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.unweighted_recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.weighted_precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.unweighted_precision, 1.0);
+  EXPECT_NEAR(q.spearman, 1.0, 1e-12);
+  EXPECT_NEAR(q.kl_divergence, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedsearch::summary

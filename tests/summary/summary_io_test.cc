@@ -1,0 +1,90 @@
+#include "fedsearch/summary/summary_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::summary {
+namespace {
+
+ContentSummary MakeSummary() {
+  ContentSummary s;
+  s.set_num_documents(1234.5);  // fractional (estimated) sizes are legal
+  s.SetWord("alpha", WordStats{10.25, 30.75});
+  s.SetWord("beta", WordStats{1, 2});
+  s.SetWord("gamma", WordStats{0.125, 0.5});
+  return s;
+}
+
+TEST(SummaryIoTest, RoundTripIsLossless) {
+  const ContentSummary original = MakeSummary();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSummary(original, buffer).ok());
+  util::StatusOr<ContentSummary> loaded = ReadSummary(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ContentSummary& restored = loaded.value();
+  EXPECT_DOUBLE_EQ(restored.num_documents(), original.num_documents());
+  EXPECT_EQ(restored.vocabulary_size(), original.vocabulary_size());
+  original.ForEachWord([&](const std::string& w, const WordStats& stats) {
+    EXPECT_DOUBLE_EQ(restored.DocFrequency(w), stats.df) << w;
+    EXPECT_DOUBLE_EQ(restored.TokenFrequency(w), stats.ctf) << w;
+  });
+}
+
+TEST(SummaryIoTest, EmptySummaryRoundTrips) {
+  ContentSummary empty;
+  empty.set_num_documents(42);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSummary(empty, buffer).ok());
+  util::StatusOr<ContentSummary> loaded = ReadSummary(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().vocabulary_size(), 0u);
+  EXPECT_DOUBLE_EQ(loaded.value().num_documents(), 42.0);
+}
+
+TEST(SummaryIoTest, RejectsWrongMagic) {
+  std::stringstream buffer("other-format 1 10 0\n");
+  const auto loaded = ReadSummary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(SummaryIoTest, RejectsWrongVersion) {
+  std::stringstream buffer("fedsearch-summary 99 10 0\n");
+  EXPECT_FALSE(ReadSummary(buffer).ok());
+}
+
+TEST(SummaryIoTest, RejectsTruncatedBody) {
+  std::stringstream buffer("fedsearch-summary 1 10 2\nalpha 1 2\n");
+  const auto loaded = ReadSummary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(SummaryIoTest, RejectsNegativeStatistics) {
+  std::stringstream buffer("fedsearch-summary 1 10 1\nalpha -1 2\n");
+  EXPECT_FALSE(ReadSummary(buffer).ok());
+}
+
+TEST(SummaryIoTest, RejectsGarbageHeader) {
+  std::stringstream buffer("");
+  EXPECT_FALSE(ReadSummary(buffer).ok());
+}
+
+TEST(SummaryIoTest, FileRoundTrip) {
+  const ContentSummary original = MakeSummary();
+  const std::string path = ::testing::TempDir() + "/summary_io_test.fss";
+  ASSERT_TRUE(SaveSummaryToFile(original, path).ok());
+  const auto loaded = LoadSummaryFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().vocabulary_size(), 3u);
+}
+
+TEST(SummaryIoTest, MissingFileIsNotFound) {
+  const auto loaded = LoadSummaryFromFile("/nonexistent/path/summary.fss");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace fedsearch::summary

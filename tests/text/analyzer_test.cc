@@ -1,0 +1,54 @@
+#include "fedsearch/text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::text {
+namespace {
+
+TEST(AnalyzerTest, FullPipeline) {
+  Analyzer analyzer;
+  // "the" is a stopword; remaining words are stemmed.
+  EXPECT_EQ(analyzer.Analyze("The connected databases"),
+            (std::vector<std::string>{"connect", "databas"}));
+}
+
+TEST(AnalyzerTest, StemmingCanBeDisabled) {
+  Analyzer analyzer(AnalyzerOptions{.remove_stopwords = true, .stem = false});
+  EXPECT_EQ(analyzer.Analyze("the connected databases"),
+            (std::vector<std::string>{"connected", "databases"}));
+}
+
+TEST(AnalyzerTest, StopwordsCanBeKept) {
+  Analyzer analyzer(AnalyzerOptions{.remove_stopwords = false, .stem = false});
+  EXPECT_EQ(analyzer.Analyze("the cat"),
+            (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(AnalyzerTest, MinTokenLengthFilters) {
+  Analyzer analyzer(AnalyzerOptions{
+      .remove_stopwords = false, .stem = false, .min_token_length = 4});
+  EXPECT_EQ(analyzer.Analyze("a bb ccc dddd eeeee"),
+            (std::vector<std::string>{"dddd", "eeeee"}));
+}
+
+TEST(AnalyzerTest, QueryAndDocumentAgree) {
+  // The core invariant for the whole system: the same analyzer maps query
+  // words and document words to identical terms.
+  Analyzer analyzer;
+  const auto doc = analyzer.Analyze("Computing hypertension studies");
+  const auto query = analyzer.Analyze("computers hypertension study");
+  ASSERT_EQ(doc.size(), 3u);
+  ASSERT_EQ(query.size(), 3u);
+  EXPECT_EQ(doc[0], query[0]);
+  EXPECT_EQ(doc[1], query[1]);
+  EXPECT_EQ(doc[2], query[2]);
+}
+
+TEST(AnalyzerTest, EmptyInput) {
+  Analyzer analyzer;
+  EXPECT_TRUE(analyzer.Analyze("").empty());
+  EXPECT_TRUE(analyzer.Analyze("the of and").empty());
+}
+
+}  // namespace
+}  // namespace fedsearch::text

@@ -1,0 +1,108 @@
+#include "fedsearch/text/porter_stemmer.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::text {
+namespace {
+
+// Reference pairs from Porter's published vocabulary examples.
+struct Case {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemmerParamTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PorterStemmerParamTest, MatchesReferenceOutput) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem(GetParam().word), GetParam().stem)
+      << "input: " << GetParam().word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVocabulary, PorterStemmerParamTest,
+    ::testing::Values(
+        // Step 1a
+        Case{"caresses", "caress"}, Case{"ponies", "poni"},
+        Case{"ties", "ti"}, Case{"caress", "caress"}, Case{"cats", "cat"},
+        // Step 1b
+        Case{"feed", "feed"}, Case{"agreed", "agre"},
+        Case{"plastered", "plaster"}, Case{"bled", "bled"},
+        Case{"motoring", "motor"}, Case{"sing", "sing"},
+        Case{"conflated", "conflat"}, Case{"troubled", "troubl"},
+        Case{"sized", "size"}, Case{"hopping", "hop"},
+        Case{"tanned", "tan"}, Case{"falling", "fall"},
+        Case{"hissing", "hiss"}, Case{"fizzed", "fizz"},
+        Case{"failing", "fail"}, Case{"filing", "file"},
+        // Step 1c
+        Case{"happy", "happi"}, Case{"sky", "sky"},
+        // Step 2
+        Case{"relational", "relat"}, Case{"conditional", "condit"},
+        Case{"rational", "ration"}, Case{"valenci", "valenc"},
+        Case{"hesitanci", "hesit"}, Case{"digitizer", "digit"},
+        Case{"conformabli", "conform"}, Case{"radicalli", "radic"},
+        Case{"differentli", "differ"}, Case{"vileli", "vile"},
+        Case{"analogousli", "analog"}, Case{"vietnamization", "vietnam"},
+        Case{"predication", "predic"}, Case{"operator", "oper"},
+        Case{"feudalism", "feudal"}, Case{"decisiveness", "decis"},
+        Case{"hopefulness", "hope"}, Case{"callousness", "callous"},
+        Case{"formaliti", "formal"}, Case{"sensitiviti", "sensit"},
+        Case{"sensibiliti", "sensibl"},
+        // Step 3
+        Case{"triplicate", "triplic"}, Case{"formative", "form"},
+        Case{"formalize", "formal"}, Case{"electriciti", "electr"},
+        Case{"electrical", "electr"}, Case{"hopeful", "hope"},
+        Case{"goodness", "good"},
+        // Step 4
+        Case{"revival", "reviv"}, Case{"allowance", "allow"},
+        Case{"inference", "infer"}, Case{"airliner", "airlin"},
+        Case{"gyroscopic", "gyroscop"}, Case{"adjustable", "adjust"},
+        Case{"defensible", "defens"}, Case{"irritant", "irrit"},
+        Case{"replacement", "replac"}, Case{"adjustment", "adjust"},
+        Case{"dependent", "depend"}, Case{"adoption", "adopt"},
+        Case{"homologou", "homolog"}, Case{"communism", "commun"},
+        Case{"activate", "activ"}, Case{"angulariti", "angular"},
+        Case{"homologous", "homolog"}, Case{"effective", "effect"},
+        Case{"bowdlerize", "bowdler"},
+        // Step 5
+        Case{"probate", "probat"}, Case{"rate", "rate"},
+        Case{"cease", "ceas"}, Case{"controll", "control"},
+        Case{"roll", "roll"},
+        // General behavior
+        Case{"computers", "comput"}, Case{"computing", "comput"},
+        Case{"computation", "comput"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("a"), "a");
+  EXPECT_EQ(stemmer.Stem("is"), "is");
+  EXPECT_EQ(stemmer.Stem(""), "");
+}
+
+TEST(PorterStemmerTest, StemmingIsIdempotentOnCommonWords) {
+  PorterStemmer stemmer;
+  // Note: Porter is not idempotent for every word (e.g. "databases" ->
+  // "databas" -> "databa"), so this checks a set where it is.
+  const std::vector<std::string> words = {
+      "computers", "relational", "hoping",   "happiness", "nationality",
+      "selection", "sampling",   "shrinkage", "probabilistic"};
+  for (const std::string& w : words) {
+    const std::string once = stemmer.Stem(w);
+    EXPECT_EQ(stemmer.Stem(once), once) << "word: " << w;
+  }
+}
+
+TEST(PorterStemmerTest, RelatedFormsShareAStem) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("connect"), stemmer.Stem("connected"));
+  EXPECT_EQ(stemmer.Stem("connect"), stemmer.Stem("connecting"));
+  EXPECT_EQ(stemmer.Stem("connect"), stemmer.Stem("connection"));
+  EXPECT_EQ(stemmer.Stem("connect"), stemmer.Stem("connections"));
+}
+
+}  // namespace
+}  // namespace fedsearch::text

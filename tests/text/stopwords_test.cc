@@ -1,0 +1,36 @@
+#include "fedsearch/text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::text {
+namespace {
+
+TEST(StopwordListTest, ContainsCommonFunctionWords) {
+  StopwordList list;
+  for (const char* w : {"the", "and", "of", "is", "with", "they", "what"}) {
+    EXPECT_TRUE(list.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordListTest, DoesNotContainContentWords) {
+  StopwordList list;
+  for (const char* w : {"database", "hypertension", "algorithm", "soccer"}) {
+    EXPECT_FALSE(list.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordListTest, CaseSensitiveByDesign) {
+  // The analyzer lowercases before consulting the list.
+  StopwordList list;
+  EXPECT_FALSE(list.Contains("The"));
+}
+
+TEST(StopwordListTest, CustomList) {
+  StopwordList list(std::unordered_set<std::string>{"foo", "bar"});
+  EXPECT_TRUE(list.Contains("foo"));
+  EXPECT_FALSE(list.Contains("the"));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fedsearch::text

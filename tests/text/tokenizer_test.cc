@@ -1,0 +1,55 @@
+#include "fedsearch/text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Hello, world! foo-bar"),
+            (std::vector<std::string>{"hello", "world", "foo", "bar"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("MiXeD CASE"),
+            (std::vector<std::string>{"mixed", "case"}));
+}
+
+TEST(TokenizerTest, KeepsDigitsInsideTokens) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("covid19 2x4"),
+            (std::vector<std::string>{"covid19", "2x4"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnlyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  ... !!! \t\n").empty());
+}
+
+TEST(TokenizerTest, TruncatesPathologicallyLongTokens) {
+  Tokenizer t;
+  const std::string longword(500, 'a');
+  const std::vector<std::string> tokens = t.Tokenize(longword);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].size(), Tokenizer::kMaxTokenLength);
+}
+
+TEST(TokenizerTest, AppendOverloadAccumulates) {
+  Tokenizer t;
+  std::vector<std::string> out;
+  t.Tokenize("one two", out);
+  t.Tokenize("three", out);
+  EXPECT_EQ(out, (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(TokenizerTest, NonAsciiBytesActAsSeparators) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("caf\xc3\xa9 bar"),
+            (std::vector<std::string>{"caf", "bar"}));
+}
+
+}  // namespace
+}  // namespace fedsearch::text

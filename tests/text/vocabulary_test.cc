@@ -1,0 +1,48 @@
+#include "fedsearch/text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::text {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIdsInOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.Intern("alpha"), 0u);
+  EXPECT_EQ(v.Intern("beta"), 1u);
+  EXPECT_EQ(v.Intern("gamma"), 2u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  const TermId a = v.Intern("word");
+  EXPECT_EQ(v.Intern("word"), a);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupMissesReturnInvalid) {
+  Vocabulary v;
+  v.Intern("present");
+  EXPECT_EQ(v.Lookup("absent"), kInvalidTermId);
+  EXPECT_EQ(v.Lookup("present"), 0u);
+}
+
+TEST(VocabularyTest, TermOfRoundTrips) {
+  Vocabulary v;
+  const TermId id = v.Intern("roundtrip");
+  EXPECT_EQ(v.TermOf(id), "roundtrip");
+}
+
+TEST(VocabularyTest, ManyTermsKeepConsistency) {
+  Vocabulary v;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string term = "term" + std::to_string(i);
+    const TermId id = v.Intern(term);
+    ASSERT_EQ(v.TermOf(id), term);
+    ASSERT_EQ(v.Lookup(term), id);
+  }
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace fedsearch::text

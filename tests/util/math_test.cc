@@ -1,0 +1,114 @@
+#include "fedsearch/util/math.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::util {
+namespace {
+
+TEST(FitLineTest, RecoversExactLine) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineHasReasonableR2) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLineTest, DegenerateInputs) {
+  EXPECT_EQ(FitLine({}, {}).slope, 0.0);
+  const LinearFit single = FitLine({2.0}, {7.0});
+  EXPECT_EQ(single.slope, 0.0);
+  EXPECT_EQ(single.intercept, 7.0);
+  // Zero x-variance.
+  const LinearFit flat = FitLine({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(flat.slope, 0.0);
+  EXPECT_NEAR(flat.intercept, 2.0, 1e-12);
+}
+
+TEST(AverageRanksTest, SimpleOrdering) {
+  const std::vector<double> ranks = AverageRanks({30.0, 10.0, 20.0});
+  EXPECT_EQ(ranks, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(AverageRanksTest, TiesGetMeanRank) {
+  const std::vector<double> ranks = AverageRanks({5.0, 1.0, 5.0});
+  EXPECT_EQ(ranks[1], 1.0);
+  EXPECT_EQ(ranks[0], 2.5);
+  EXPECT_EQ(ranks[2], 2.5);
+}
+
+TEST(SpearmanTest, PerfectPositiveCorrelation) {
+  EXPECT_NEAR(SpearmanRankCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0,
+              1e-12);
+}
+
+TEST(SpearmanTest, PerfectNegativeCorrelation) {
+  EXPECT_NEAR(SpearmanRankCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0,
+              1e-12);
+}
+
+TEST(SpearmanTest, MonotoneTransformInvariance) {
+  std::vector<double> a = {0.1, 0.5, 0.2, 0.9, 0.7};
+  std::vector<double> b;
+  for (double x : a) b.push_back(std::exp(3.0 * x));  // monotone transform
+  EXPECT_NEAR(SpearmanRankCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, DegenerateInputsGiveZero) {
+  EXPECT_EQ(SpearmanRankCorrelation({}, {}), 0.0);
+  EXPECT_EQ(SpearmanRankCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(SpearmanRankCorrelation({1.0, 1.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats stats;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) stats.Add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(stats.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.Add(3.0);
+  EXPECT_EQ(stats.mean(), 3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(PairedTTest, ZeroForIdenticalSamples) {
+  EXPECT_EQ(PairedTStatistic({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(PairedTTest, LargeForConsistentImprovement) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(0.8 + 0.001 * (i % 5));
+    b.push_back(0.7 + 0.001 * ((i + 2) % 5));
+  }
+  EXPECT_GT(PairedTStatistic(a, b), 10.0);
+  EXPECT_LT(PairedTStatistic(b, a), -10.0);
+}
+
+}  // namespace
+}  // namespace fedsearch::util
