@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_universal_shrinkage.dir/bench_ablation_universal_shrinkage.cc.o"
+  "CMakeFiles/bench_ablation_universal_shrinkage.dir/bench_ablation_universal_shrinkage.cc.o.d"
+  "bench_ablation_universal_shrinkage"
+  "bench_ablation_universal_shrinkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_universal_shrinkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_redde.dir/bench_ext_redde.cc.o"
+  "CMakeFiles/bench_ext_redde.dir/bench_ext_redde.cc.o.d"
+  "bench_ext_redde"
+  "bench_ext_redde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_redde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_cori_rk.dir/bench_figure4_cori_rk.cc.o"
+  "CMakeFiles/bench_figure4_cori_rk.dir/bench_figure4_cori_rk.cc.o.d"
+  "bench_figure4_cori_rk"
+  "bench_figure4_cori_rk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_cori_rk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

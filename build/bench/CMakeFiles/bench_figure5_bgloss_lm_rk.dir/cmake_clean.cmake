@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_bgloss_lm_rk.dir/bench_figure5_bgloss_lm_rk.cc.o"
+  "CMakeFiles/bench_figure5_bgloss_lm_rk.dir/bench_figure5_bgloss_lm_rk.cc.o.d"
+  "bench_figure5_bgloss_lm_rk"
+  "bench_figure5_bgloss_lm_rk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_bgloss_lm_rk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

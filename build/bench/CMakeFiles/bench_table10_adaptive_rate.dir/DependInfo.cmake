@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table10_adaptive_rate.cc" "bench/CMakeFiles/bench_table10_adaptive_rate.dir/bench_table10_adaptive_rate.cc.o" "gcc" "bench/CMakeFiles/bench_table10_adaptive_rate.dir/bench_table10_adaptive_rate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fedsearch_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/core/CMakeFiles/fedsearch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/index/CMakeFiles/fedsearch_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/text/CMakeFiles/fedsearch_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/util/CMakeFiles/fedsearch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_adaptive_rate.dir/bench_table10_adaptive_rate.cc.o"
+  "CMakeFiles/bench_table10_adaptive_rate.dir/bench_table10_adaptive_rate.cc.o.d"
+  "bench_table10_adaptive_rate"
+  "bench_table10_adaptive_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_adaptive_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mixture_weights.dir/bench_table2_mixture_weights.cc.o"
+  "CMakeFiles/bench_table2_mixture_weights.dir/bench_table2_mixture_weights.cc.o.d"
+  "bench_table2_mixture_weights"
+  "bench_table2_mixture_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mixture_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_unweighted_recall.dir/bench_table5_unweighted_recall.cc.o"
+  "CMakeFiles/bench_table5_unweighted_recall.dir/bench_table5_unweighted_recall.cc.o.d"
+  "bench_table5_unweighted_recall"
+  "bench_table5_unweighted_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_unweighted_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

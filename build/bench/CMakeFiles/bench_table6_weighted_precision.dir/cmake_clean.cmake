@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_weighted_precision.dir/bench_table6_weighted_precision.cc.o"
+  "CMakeFiles/bench_table6_weighted_precision.dir/bench_table6_weighted_precision.cc.o.d"
+  "bench_table6_weighted_precision"
+  "bench_table6_weighted_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_weighted_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

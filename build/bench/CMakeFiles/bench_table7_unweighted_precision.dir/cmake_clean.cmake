@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_unweighted_precision.dir/bench_table7_unweighted_precision.cc.o"
+  "CMakeFiles/bench_table7_unweighted_precision.dir/bench_table7_unweighted_precision.cc.o.d"
+  "bench_table7_unweighted_precision"
+  "bench_table7_unweighted_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_unweighted_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

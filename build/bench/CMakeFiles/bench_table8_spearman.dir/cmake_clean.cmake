@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_spearman.dir/bench_table8_spearman.cc.o"
+  "CMakeFiles/bench_table8_spearman.dir/bench_table8_spearman.cc.o.d"
+  "bench_table8_spearman"
+  "bench_table8_spearman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_spearman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

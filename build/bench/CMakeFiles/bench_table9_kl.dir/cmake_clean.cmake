@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_kl.dir/bench_table9_kl.cc.o"
+  "CMakeFiles/bench_table9_kl.dir/bench_table9_kl.cc.o.d"
+  "bench_table9_kl"
+  "bench_table9_kl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libfedsearch_bench_harness.a"
+  "../lib/libfedsearch_bench_harness.pdb"
+  "CMakeFiles/fedsearch_bench_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/fedsearch_bench_harness.dir/harness/experiment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

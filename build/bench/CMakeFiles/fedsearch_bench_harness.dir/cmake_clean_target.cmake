@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfedsearch_bench_harness.a"
+)

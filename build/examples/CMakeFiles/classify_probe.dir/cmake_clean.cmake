@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_probe.dir/classify_probe.cpp.o"
+  "CMakeFiles/classify_probe.dir/classify_probe.cpp.o.d"
+  "classify_probe"
+  "classify_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

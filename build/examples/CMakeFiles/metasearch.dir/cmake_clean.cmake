@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metasearch.dir/metasearch.cpp.o"
+  "CMakeFiles/metasearch.dir/metasearch.cpp.o.d"
+  "metasearch"
+  "metasearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metasearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

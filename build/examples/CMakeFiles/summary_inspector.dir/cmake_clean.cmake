@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_inspector.dir/summary_inspector.cpp.o"
+  "CMakeFiles/summary_inspector.dir/summary_inspector.cpp.o.d"
+  "summary_inspector"
+  "summary_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("fedsearch/util")
+subdirs("fedsearch/text")
+subdirs("fedsearch/index")
+subdirs("fedsearch/corpus")
+subdirs("fedsearch/summary")
+subdirs("fedsearch/sampling")
+subdirs("fedsearch/selection")
+subdirs("fedsearch/core")

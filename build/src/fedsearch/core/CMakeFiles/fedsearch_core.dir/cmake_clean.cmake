@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsearch_core.dir/adaptive.cc.o"
+  "CMakeFiles/fedsearch_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/fedsearch_core.dir/federated_search.cc.o"
+  "CMakeFiles/fedsearch_core.dir/federated_search.cc.o.d"
+  "CMakeFiles/fedsearch_core.dir/hierarchy_summaries.cc.o"
+  "CMakeFiles/fedsearch_core.dir/hierarchy_summaries.cc.o.d"
+  "CMakeFiles/fedsearch_core.dir/metasearcher.cc.o"
+  "CMakeFiles/fedsearch_core.dir/metasearcher.cc.o.d"
+  "CMakeFiles/fedsearch_core.dir/shrinkage.cc.o"
+  "CMakeFiles/fedsearch_core.dir/shrinkage.cc.o.d"
+  "libfedsearch_core.a"
+  "libfedsearch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

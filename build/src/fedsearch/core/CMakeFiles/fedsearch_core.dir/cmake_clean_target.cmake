@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedsearch_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedsearch/corpus/testbed.cc" "src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/testbed.cc.o" "gcc" "src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/testbed.cc.o.d"
+  "/root/repo/src/fedsearch/corpus/topic_hierarchy.cc" "src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/topic_hierarchy.cc.o" "gcc" "src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/topic_hierarchy.cc.o.d"
+  "/root/repo/src/fedsearch/corpus/topic_model.cc" "src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/topic_model.cc.o" "gcc" "src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/topic_model.cc.o.d"
+  "/root/repo/src/fedsearch/corpus/word_factory.cc" "src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/word_factory.cc.o" "gcc" "src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/word_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedsearch/index/CMakeFiles/fedsearch_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/text/CMakeFiles/fedsearch_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/util/CMakeFiles/fedsearch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsearch_corpus.dir/testbed.cc.o"
+  "CMakeFiles/fedsearch_corpus.dir/testbed.cc.o.d"
+  "CMakeFiles/fedsearch_corpus.dir/topic_hierarchy.cc.o"
+  "CMakeFiles/fedsearch_corpus.dir/topic_hierarchy.cc.o.d"
+  "CMakeFiles/fedsearch_corpus.dir/topic_model.cc.o"
+  "CMakeFiles/fedsearch_corpus.dir/topic_model.cc.o.d"
+  "CMakeFiles/fedsearch_corpus.dir/word_factory.cc.o"
+  "CMakeFiles/fedsearch_corpus.dir/word_factory.cc.o.d"
+  "libfedsearch_corpus.a"
+  "libfedsearch_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

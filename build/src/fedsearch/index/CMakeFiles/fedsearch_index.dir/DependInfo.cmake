@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedsearch/index/inverted_index.cc" "src/fedsearch/index/CMakeFiles/fedsearch_index.dir/inverted_index.cc.o" "gcc" "src/fedsearch/index/CMakeFiles/fedsearch_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/fedsearch/index/text_database.cc" "src/fedsearch/index/CMakeFiles/fedsearch_index.dir/text_database.cc.o" "gcc" "src/fedsearch/index/CMakeFiles/fedsearch_index.dir/text_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedsearch/text/CMakeFiles/fedsearch_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/util/CMakeFiles/fedsearch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

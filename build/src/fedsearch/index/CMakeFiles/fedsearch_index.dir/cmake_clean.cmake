@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsearch_index.dir/inverted_index.cc.o"
+  "CMakeFiles/fedsearch_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/fedsearch_index.dir/text_database.cc.o"
+  "CMakeFiles/fedsearch_index.dir/text_database.cc.o.d"
+  "libfedsearch_index.a"
+  "libfedsearch_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

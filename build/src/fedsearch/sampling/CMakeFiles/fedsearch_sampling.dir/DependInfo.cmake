@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedsearch/sampling/fps_sampler.cc" "src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/fps_sampler.cc.o" "gcc" "src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/fps_sampler.cc.o.d"
+  "/root/repo/src/fedsearch/sampling/freq_estimator.cc" "src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/freq_estimator.cc.o" "gcc" "src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/freq_estimator.cc.o.d"
+  "/root/repo/src/fedsearch/sampling/qbs_sampler.cc" "src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/qbs_sampler.cc.o" "gcc" "src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/qbs_sampler.cc.o.d"
+  "/root/repo/src/fedsearch/sampling/sample_collector.cc" "src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/sample_collector.cc.o" "gcc" "src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/sample_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/index/CMakeFiles/fedsearch_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/util/CMakeFiles/fedsearch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/text/CMakeFiles/fedsearch_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsearch_sampling.dir/fps_sampler.cc.o"
+  "CMakeFiles/fedsearch_sampling.dir/fps_sampler.cc.o.d"
+  "CMakeFiles/fedsearch_sampling.dir/freq_estimator.cc.o"
+  "CMakeFiles/fedsearch_sampling.dir/freq_estimator.cc.o.d"
+  "CMakeFiles/fedsearch_sampling.dir/qbs_sampler.cc.o"
+  "CMakeFiles/fedsearch_sampling.dir/qbs_sampler.cc.o.d"
+  "CMakeFiles/fedsearch_sampling.dir/sample_collector.cc.o"
+  "CMakeFiles/fedsearch_sampling.dir/sample_collector.cc.o.d"
+  "libfedsearch_sampling.a"
+  "libfedsearch_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedsearch/selection/bgloss.cc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/bgloss.cc.o" "gcc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/bgloss.cc.o.d"
+  "/root/repo/src/fedsearch/selection/cori.cc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/cori.cc.o" "gcc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/cori.cc.o.d"
+  "/root/repo/src/fedsearch/selection/flat_ranker.cc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/flat_ranker.cc.o" "gcc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/flat_ranker.cc.o.d"
+  "/root/repo/src/fedsearch/selection/hierarchical.cc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/hierarchical.cc.o" "gcc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/hierarchical.cc.o.d"
+  "/root/repo/src/fedsearch/selection/lm.cc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/lm.cc.o" "gcc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/lm.cc.o.d"
+  "/root/repo/src/fedsearch/selection/redde.cc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/redde.cc.o" "gcc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/redde.cc.o.d"
+  "/root/repo/src/fedsearch/selection/rk_metric.cc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/rk_metric.cc.o" "gcc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/rk_metric.cc.o.d"
+  "/root/repo/src/fedsearch/selection/scoring.cc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/scoring.cc.o" "gcc" "src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/index/CMakeFiles/fedsearch_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/util/CMakeFiles/fedsearch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/text/CMakeFiles/fedsearch_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsearch_selection.dir/bgloss.cc.o"
+  "CMakeFiles/fedsearch_selection.dir/bgloss.cc.o.d"
+  "CMakeFiles/fedsearch_selection.dir/cori.cc.o"
+  "CMakeFiles/fedsearch_selection.dir/cori.cc.o.d"
+  "CMakeFiles/fedsearch_selection.dir/flat_ranker.cc.o"
+  "CMakeFiles/fedsearch_selection.dir/flat_ranker.cc.o.d"
+  "CMakeFiles/fedsearch_selection.dir/hierarchical.cc.o"
+  "CMakeFiles/fedsearch_selection.dir/hierarchical.cc.o.d"
+  "CMakeFiles/fedsearch_selection.dir/lm.cc.o"
+  "CMakeFiles/fedsearch_selection.dir/lm.cc.o.d"
+  "CMakeFiles/fedsearch_selection.dir/redde.cc.o"
+  "CMakeFiles/fedsearch_selection.dir/redde.cc.o.d"
+  "CMakeFiles/fedsearch_selection.dir/rk_metric.cc.o"
+  "CMakeFiles/fedsearch_selection.dir/rk_metric.cc.o.d"
+  "CMakeFiles/fedsearch_selection.dir/scoring.cc.o"
+  "CMakeFiles/fedsearch_selection.dir/scoring.cc.o.d"
+  "libfedsearch_selection.a"
+  "libfedsearch_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedsearch/summary/content_summary.cc" "src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/content_summary.cc.o" "gcc" "src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/content_summary.cc.o.d"
+  "/root/repo/src/fedsearch/summary/metrics.cc" "src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/metrics.cc.o" "gcc" "src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/metrics.cc.o.d"
+  "/root/repo/src/fedsearch/summary/summary_io.cc" "src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/summary_io.cc.o" "gcc" "src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/summary_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedsearch/index/CMakeFiles/fedsearch_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/util/CMakeFiles/fedsearch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/text/CMakeFiles/fedsearch_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsearch_summary.dir/content_summary.cc.o"
+  "CMakeFiles/fedsearch_summary.dir/content_summary.cc.o.d"
+  "CMakeFiles/fedsearch_summary.dir/metrics.cc.o"
+  "CMakeFiles/fedsearch_summary.dir/metrics.cc.o.d"
+  "CMakeFiles/fedsearch_summary.dir/summary_io.cc.o"
+  "CMakeFiles/fedsearch_summary.dir/summary_io.cc.o.d"
+  "libfedsearch_summary.a"
+  "libfedsearch_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedsearch/text/analyzer.cc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/analyzer.cc.o" "gcc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/analyzer.cc.o.d"
+  "/root/repo/src/fedsearch/text/porter_stemmer.cc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/porter_stemmer.cc.o" "gcc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/porter_stemmer.cc.o.d"
+  "/root/repo/src/fedsearch/text/stopwords.cc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/stopwords.cc.o" "gcc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/fedsearch/text/tokenizer.cc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/tokenizer.cc.o" "gcc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/fedsearch/text/vocabulary.cc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/vocabulary.cc.o" "gcc" "src/fedsearch/text/CMakeFiles/fedsearch_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedsearch/util/CMakeFiles/fedsearch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

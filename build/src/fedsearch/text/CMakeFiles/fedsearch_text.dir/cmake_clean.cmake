@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsearch_text.dir/analyzer.cc.o"
+  "CMakeFiles/fedsearch_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/fedsearch_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/fedsearch_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/fedsearch_text.dir/stopwords.cc.o"
+  "CMakeFiles/fedsearch_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/fedsearch_text.dir/tokenizer.cc.o"
+  "CMakeFiles/fedsearch_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/fedsearch_text.dir/vocabulary.cc.o"
+  "CMakeFiles/fedsearch_text.dir/vocabulary.cc.o.d"
+  "libfedsearch_text.a"
+  "libfedsearch_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedsearch_text.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsearch_util.dir/math.cc.o"
+  "CMakeFiles/fedsearch_util.dir/math.cc.o.d"
+  "CMakeFiles/fedsearch_util.dir/rng.cc.o"
+  "CMakeFiles/fedsearch_util.dir/rng.cc.o.d"
+  "CMakeFiles/fedsearch_util.dir/status.cc.o"
+  "CMakeFiles/fedsearch_util.dir/status.cc.o.d"
+  "libfedsearch_util.a"
+  "libfedsearch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsearch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

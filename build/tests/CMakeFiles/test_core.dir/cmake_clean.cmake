@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/adaptive_test.cc.o"
+  "CMakeFiles/test_core.dir/core/adaptive_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/federated_search_test.cc.o"
+  "CMakeFiles/test_core.dir/core/federated_search_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/hierarchy_summaries_test.cc.o"
+  "CMakeFiles/test_core.dir/core/hierarchy_summaries_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/metasearcher_test.cc.o"
+  "CMakeFiles/test_core.dir/core/metasearcher_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/shrinkage_test.cc.o"
+  "CMakeFiles/test_core.dir/core/shrinkage_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

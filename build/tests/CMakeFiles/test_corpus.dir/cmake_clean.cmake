@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus.dir/corpus/testbed_test.cc.o"
+  "CMakeFiles/test_corpus.dir/corpus/testbed_test.cc.o.d"
+  "CMakeFiles/test_corpus.dir/corpus/topic_hierarchy_test.cc.o"
+  "CMakeFiles/test_corpus.dir/corpus/topic_hierarchy_test.cc.o.d"
+  "CMakeFiles/test_corpus.dir/corpus/topic_model_test.cc.o"
+  "CMakeFiles/test_corpus.dir/corpus/topic_model_test.cc.o.d"
+  "CMakeFiles/test_corpus.dir/corpus/word_factory_test.cc.o"
+  "CMakeFiles/test_corpus.dir/corpus/word_factory_test.cc.o.d"
+  "test_corpus"
+  "test_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index.dir/index/inverted_index_test.cc.o"
+  "CMakeFiles/test_index.dir/index/inverted_index_test.cc.o.d"
+  "CMakeFiles/test_index.dir/index/text_database_test.cc.o"
+  "CMakeFiles/test_index.dir/index/text_database_test.cc.o.d"
+  "test_index"
+  "test_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/edge_cases_test.cc" "tests/CMakeFiles/test_integration.dir/integration/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/edge_cases_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/properties_test.cc" "tests/CMakeFiles/test_integration.dir/integration/properties_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/properties_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedsearch/core/CMakeFiles/fedsearch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/corpus/CMakeFiles/fedsearch_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/sampling/CMakeFiles/fedsearch_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/selection/CMakeFiles/fedsearch_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/summary/CMakeFiles/fedsearch_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/index/CMakeFiles/fedsearch_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/text/CMakeFiles/fedsearch_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedsearch/util/CMakeFiles/fedsearch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

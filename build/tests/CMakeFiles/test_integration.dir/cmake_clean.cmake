@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/edge_cases_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/edge_cases_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/properties_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/properties_test.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

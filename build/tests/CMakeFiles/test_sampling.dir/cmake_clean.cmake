@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling.dir/sampling/fps_sampler_test.cc.o"
+  "CMakeFiles/test_sampling.dir/sampling/fps_sampler_test.cc.o.d"
+  "CMakeFiles/test_sampling.dir/sampling/freq_estimator_test.cc.o"
+  "CMakeFiles/test_sampling.dir/sampling/freq_estimator_test.cc.o.d"
+  "CMakeFiles/test_sampling.dir/sampling/qbs_sampler_test.cc.o"
+  "CMakeFiles/test_sampling.dir/sampling/qbs_sampler_test.cc.o.d"
+  "CMakeFiles/test_sampling.dir/sampling/sample_collector_test.cc.o"
+  "CMakeFiles/test_sampling.dir/sampling/sample_collector_test.cc.o.d"
+  "test_sampling"
+  "test_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection.dir/selection/flat_ranker_test.cc.o"
+  "CMakeFiles/test_selection.dir/selection/flat_ranker_test.cc.o.d"
+  "CMakeFiles/test_selection.dir/selection/hierarchical_test.cc.o"
+  "CMakeFiles/test_selection.dir/selection/hierarchical_test.cc.o.d"
+  "CMakeFiles/test_selection.dir/selection/redde_test.cc.o"
+  "CMakeFiles/test_selection.dir/selection/redde_test.cc.o.d"
+  "CMakeFiles/test_selection.dir/selection/rk_metric_test.cc.o"
+  "CMakeFiles/test_selection.dir/selection/rk_metric_test.cc.o.d"
+  "CMakeFiles/test_selection.dir/selection/scorers_test.cc.o"
+  "CMakeFiles/test_selection.dir/selection/scorers_test.cc.o.d"
+  "CMakeFiles/test_selection.dir/selection/scoring_context_test.cc.o"
+  "CMakeFiles/test_selection.dir/selection/scoring_context_test.cc.o.d"
+  "test_selection"
+  "test_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summary.dir/summary/content_summary_test.cc.o"
+  "CMakeFiles/test_summary.dir/summary/content_summary_test.cc.o.d"
+  "CMakeFiles/test_summary.dir/summary/metrics_test.cc.o"
+  "CMakeFiles/test_summary.dir/summary/metrics_test.cc.o.d"
+  "CMakeFiles/test_summary.dir/summary/summary_io_test.cc.o"
+  "CMakeFiles/test_summary.dir/summary/summary_io_test.cc.o.d"
+  "test_summary"
+  "test_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text.dir/text/analyzer_test.cc.o"
+  "CMakeFiles/test_text.dir/text/analyzer_test.cc.o.d"
+  "CMakeFiles/test_text.dir/text/porter_stemmer_test.cc.o"
+  "CMakeFiles/test_text.dir/text/porter_stemmer_test.cc.o.d"
+  "CMakeFiles/test_text.dir/text/stopwords_test.cc.o"
+  "CMakeFiles/test_text.dir/text/stopwords_test.cc.o.d"
+  "CMakeFiles/test_text.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/test_text.dir/text/tokenizer_test.cc.o.d"
+  "CMakeFiles/test_text.dir/text/vocabulary_test.cc.o"
+  "CMakeFiles/test_text.dir/text/vocabulary_test.cc.o.d"
+  "test_text"
+  "test_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

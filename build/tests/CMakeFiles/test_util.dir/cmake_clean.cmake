@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/math_test.cc.o"
+  "CMakeFiles/test_util.dir/util/math_test.cc.o.d"
+  "CMakeFiles/test_util.dir/util/rng_test.cc.o"
+  "CMakeFiles/test_util.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/test_util.dir/util/status_test.cc.o"
+  "CMakeFiles/test_util.dir/util/status_test.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_text "/root/repo/build/tests/test_text")
+set_tests_properties(test_text PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_index "/root/repo/build/tests/test_index")
+set_tests_properties(test_index PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_corpus "/root/repo/build/tests/test_corpus")
+set_tests_properties(test_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;27;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_summary "/root/repo/build/tests/test_summary")
+set_tests_properties(test_summary PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;33;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sampling "/root/repo/build/tests/test_sampling")
+set_tests_properties(test_sampling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;38;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_selection "/root/repo/build/tests/test_selection")
+set_tests_properties(test_selection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;44;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;52;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;59;fedsearch_test;/root/repo/tests/CMakeLists.txt;0;")
