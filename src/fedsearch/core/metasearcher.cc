@@ -13,6 +13,12 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
       classifications_(std::move(classifications)),
       options_(options),
       adaptive_(options.adaptive) {
+  degraded_.reserve(samples_.size());
+  for (const sampling::SampleResult& s : samples_) {
+    degraded_.push_back(
+        s.sample_size == 0 || s.summary.vocabulary_size() == 0 ||
+        s.health.outcome == sampling::SamplingOutcome::kAborted);
+  }
   std::vector<const summary::ContentSummary*> summary_ptrs;
   summary_ptrs.reserve(samples_.size());
   for (const sampling::SampleResult& s : samples_) {
@@ -62,6 +68,13 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       util::Rng rng(options_.adaptive_seed);
       for (size_t i = 0; i < n; ++i) {
         util::Rng db_rng = rng.Fork();
+        if (degraded_[i]) {
+          // No sample to estimate uncertainty from; the fallback below
+          // supplies the summary. Fork anyway so the per-database RNG
+          // streams stay aligned with the fault-free run.
+          chosen[i] = &samples_[i].summary;
+          continue;
+        }
         const AdaptiveSummarySelector::Uncertainty u = adaptive_.Evaluate(
             query, samples_[i], scorer, decision_context, db_rng);
         if (u.use_shrinkage) {
@@ -73,6 +86,26 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       }
       break;
     }
+  }
+
+  // Graceful degradation (all modes): a database whose sampling run came
+  // back empty is scored from its category's aggregate summary — the
+  // shrinkage hierarchy used as a pure fallback — so remote faults can
+  // demote a database but never silently drop it from the federation. When
+  // the database is alone in its category the aggregate holds only its own
+  // empty summary, so walk up toward the root until an ancestor aggregate
+  // has actual content (the root aggregate pools every database).
+  for (size_t i = 0; i < n; ++i) {
+    if (!degraded_[i]) continue;
+    corpus::CategoryId category = classifications_[i];
+    while (
+        hierarchy_summaries_->aggregate(category).vocabulary_size() == 0 &&
+        category != hierarchy_->root()) {
+      category = hierarchy_->node(category).parent;
+    }
+    chosen[i] = &hierarchy_summaries_->aggregate(category);
+    ++outcome.category_fallbacks;
+    if (mode == SummaryMode::kUniversalShrinkage) --outcome.shrinkage_applied;
   }
 
   // Scoring + Ranking steps over the chosen summaries.

@@ -64,6 +64,11 @@ class Metasearcher {
   corpus::CategoryId classification(size_t i) const {
     return classifications_[i];
   }
+  // True when database i's sample is unusable (the sampler aborted or
+  // retrieved nothing). Selection scores such a database from its
+  // category's aggregate summary — the shrinkage story applied as a pure
+  // fallback — instead of dropping it from the federation.
+  bool degraded(size_t i) const { return degraded_[i]; }
   const HierarchySummaries& hierarchy_summaries() const {
     return *hierarchy_summaries_;
   }
@@ -78,6 +83,9 @@ class Metasearcher {
     // query, out of how many considered.
     size_t shrinkage_applied = 0;
     size_t databases_considered = 0;
+    // Databases scored from their category aggregate because their sample
+    // was unusable (see degraded()).
+    size_t category_fallbacks = 0;
   };
 
   // Ranks all databases for the query with the given base algorithm and
@@ -97,6 +105,7 @@ class Metasearcher {
   const corpus::TopicHierarchy* hierarchy_;
   std::vector<sampling::SampleResult> samples_;
   std::vector<corpus::CategoryId> classifications_;
+  std::vector<bool> degraded_;
   MetasearcherOptions options_;
   std::unique_ptr<HierarchySummaries> hierarchy_summaries_;
   std::unique_ptr<ShrinkageModel> shrinkage_;

@@ -1,0 +1,100 @@
+#include "fedsearch/index/flaky_database.h"
+
+#include <cmath>
+#include <utility>
+
+namespace fedsearch::index {
+
+FaultProfile FaultProfile::Mixed(double total_rate) {
+  FaultProfile p;
+  const double each = total_rate / 5.0;
+  p.unavailable_rate = each;
+  p.timeout_rate = each;
+  p.rate_limit_rate = each;
+  p.truncation_rate = each;
+  p.corruption_rate = each;
+  return p;
+}
+
+FlakyDatabase::FlakyDatabase(SearchInterface* base, FaultProfile profile,
+                             uint64_t seed)
+    : base_(base), profile_(profile), rng_(seed) {}
+
+FlakyDatabase::Fault FlakyDatabase::NextFault(double& aux) {
+  const double u = rng_.NextDouble();
+  aux = rng_.NextDouble();
+  ++stats_.calls;
+  double edge = profile_.unavailable_rate;
+  if (u < edge) return Fault::kUnavailable;
+  edge += profile_.timeout_rate;
+  if (u < edge) return Fault::kTimeout;
+  edge += profile_.rate_limit_rate;
+  if (u < edge) return Fault::kRateLimit;
+  edge += profile_.truncation_rate;
+  if (u < edge) return Fault::kTruncate;
+  edge += profile_.corruption_rate;
+  if (u < edge) return Fault::kCorrupt;
+  return Fault::kNone;
+}
+
+util::Status FlakyDatabase::HardFault(Fault fault) {
+  switch (fault) {
+    case Fault::kUnavailable:
+      ++stats_.unavailable;
+      return util::Status::Unavailable(std::string(name()) +
+                                       ": transiently unavailable");
+    case Fault::kTimeout:
+      ++stats_.timeouts;
+      return util::Status::DeadlineExceeded(std::string(name()) +
+                                            ": deadline exceeded");
+    case Fault::kRateLimit:
+      ++stats_.rate_limits;
+      return util::Status::ResourceExhausted(
+          std::string(name()) + ": rate limited; retry_after_ms=" +
+          std::to_string(profile_.retry_after_ms));
+    default:
+      return util::Status::Internal("not a hard fault");
+  }
+}
+
+util::StatusOr<QueryResult> FlakyDatabase::Search(
+    std::string_view query_text, size_t top_k,
+    const std::unordered_set<DocId>* exclude) {
+  double aux = 0.0;
+  const Fault fault = NextFault(aux);
+  if (fault == Fault::kUnavailable || fault == Fault::kTimeout ||
+      fault == Fault::kRateLimit) {
+    return HardFault(fault);
+  }
+  util::StatusOr<QueryResult> result = base_->Search(query_text, top_k, exclude);
+  if (!result.ok()) return result;
+  if (fault == Fault::kTruncate && !result.value().docs.empty()) {
+    ++stats_.truncations;
+    QueryResult& r = result.value();
+    r.docs.resize(static_cast<size_t>(aux * static_cast<double>(r.docs.size())));
+  } else if (fault == Fault::kCorrupt) {
+    ++stats_.corruptions;
+    QueryResult& r = result.value();
+    r.num_matches = static_cast<size_t>(
+        std::llround(static_cast<double>(r.num_matches) * aux * 2.5));
+  }
+  return result;
+}
+
+util::StatusOr<const Document*> FlakyDatabase::Fetch(DocId id) {
+  double aux = 0.0;
+  const Fault fault = NextFault(aux);
+  // Soft faults are payload damage on result *lists*; a fetch either
+  // completes or fails, so kTruncate/kCorrupt pass through untouched
+  // (keeping the two-draws-per-call determinism contract).
+  switch (fault) {
+    case Fault::kUnavailable:
+    case Fault::kTimeout:
+    case Fault::kRateLimit:
+      return HardFault(fault);
+    default:
+      return base_->Fetch(id);
+  }
+}
+
+}  // namespace fedsearch::index

@@ -1,0 +1,103 @@
+#ifndef FEDSEARCH_INDEX_FLAKY_DATABASE_H_
+#define FEDSEARCH_INDEX_FLAKY_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fedsearch/index/search_interface.h"
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::index {
+
+// Per-call fault rates of a FlakyDatabase. Rates are independent
+// probabilities summing to at most 1; on each incoming call at most one
+// fault fires. The first three are *hard* faults (the call fails with a
+// transient Status); the last two are *soft* faults (the call succeeds but
+// the payload is damaged — the silent failure mode of real search
+// frontends, which return truncated result pages and estimated match
+// counts under load).
+struct FaultProfile {
+  // Hard: transient unavailability (kUnavailable).
+  double unavailable_rate = 0.0;
+  // Hard: deadline exceeded (kDeadlineExceeded).
+  double timeout_rate = 0.0;
+  // Hard: rate-limited (kResourceExhausted) with a retry-after hint.
+  double rate_limit_rate = 0.0;
+  // Soft, Search only: the returned doc list is cut to a random prefix.
+  double truncation_rate = 0.0;
+  // Soft, Search only: num_matches is multiplied by a random factor in
+  // [0, 2.5), modelling the bogus estimated counts of Section 2.2 engines.
+  double corruption_rate = 0.0;
+
+  // Hint attached to rate-limit errors as "retry_after_ms=<n>".
+  double retry_after_ms = 250.0;
+
+  // An even mix: each of the five faults at total_rate / 5.
+  static FaultProfile Mixed(double total_rate);
+
+  double total_rate() const {
+    return unavailable_rate + timeout_rate + rate_limit_rate +
+           truncation_rate + corruption_rate;
+  }
+};
+
+// Counters of what a FlakyDatabase actually injected.
+struct FaultStats {
+  size_t calls = 0;  // Search + Fetch seen
+  size_t unavailable = 0;
+  size_t timeouts = 0;
+  size_t rate_limits = 0;
+  size_t truncations = 0;
+  size_t corruptions = 0;
+
+  size_t hard_faults() const { return unavailable + timeouts + rate_limits; }
+  size_t soft_faults() const { return truncations + corruptions; }
+};
+
+// Fault-injecting decorator over any SearchInterface. Injection is driven
+// by a private util::Rng seeded at construction and advanced a fixed two
+// draws per incoming call, so the fault sequence is a pure function of
+// (seed, call index): two runs issuing the same call sequence against the
+// same seed observe byte-identical faults. Decorators stack — wrap a
+// FlakyDatabase in another to compose fault regimes.
+class FlakyDatabase final : public SearchInterface {
+ public:
+  // `base` must outlive the decorator.
+  FlakyDatabase(SearchInterface* base, FaultProfile profile, uint64_t seed);
+
+  std::string_view name() const override { return base_->name(); }
+
+  util::StatusOr<QueryResult> Search(
+      std::string_view query_text, size_t top_k,
+      const std::unordered_set<DocId>* exclude = nullptr) override;
+
+  util::StatusOr<const Document*> Fetch(DocId id) override;
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  enum class Fault {
+    kNone,
+    kUnavailable,
+    kTimeout,
+    kRateLimit,
+    kTruncate,
+    kCorrupt,
+  };
+
+  // Draws the fault for the current call plus the auxiliary uniform used
+  // by soft faults. Always two draws, fault or not (see class comment).
+  Fault NextFault(double& aux);
+
+  // Materializes a hard fault as its transient Status.
+  util::Status HardFault(Fault fault);
+
+  SearchInterface* base_;
+  FaultProfile profile_;
+  util::Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace fedsearch::index
+
+#endif  // FEDSEARCH_INDEX_FLAKY_DATABASE_H_

@@ -1,0 +1,68 @@
+#ifndef FEDSEARCH_INDEX_SEARCH_INTERFACE_H_
+#define FEDSEARCH_INDEX_SEARCH_INTERFACE_H_
+
+#include <string_view>
+#include <unordered_set>
+
+#include "fedsearch/index/text_database.h"
+#include "fedsearch/util/status.h"
+
+namespace fedsearch::index {
+
+// The remote-access contract of Section 2.2: an autonomous, uncooperative
+// database reached over its public search interface. Exactly two
+// operations exist — run a query, download a returned document — and both
+// can fail the way real remote endpoints fail (unavailable, timed out,
+// throttled). Samplers and the metasearcher are written against this
+// interface; TextDatabase is only ever reached through an adapter.
+//
+// Calls are non-const: a remote interaction is not a logically-const
+// operation (decorators keep per-call state, real transports keep
+// connections).
+class SearchInterface {
+ public:
+  virtual ~SearchInterface() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Evaluates `query_text` conjunctively; at most `top_k` hits, documents
+  // in `exclude` (may be null) skipped but still counted in num_matches.
+  virtual util::StatusOr<QueryResult> Search(
+      std::string_view query_text, size_t top_k,
+      const std::unordered_set<DocId>* exclude = nullptr) = 0;
+
+  // Downloads one result document. The pointer stays valid for the
+  // lifetime of the underlying database.
+  virtual util::StatusOr<const Document*> Fetch(DocId id) = 0;
+};
+
+// Fault-free in-process adapter over a TextDatabase — the cooperative
+// local case, and the innermost layer under fault-injecting decorators.
+class LocalDatabase final : public SearchInterface {
+ public:
+  // `db` must outlive the adapter.
+  explicit LocalDatabase(const TextDatabase* db) : db_(db) {}
+
+  std::string_view name() const override { return db_->name(); }
+
+  util::StatusOr<QueryResult> Search(
+      std::string_view query_text, size_t top_k,
+      const std::unordered_set<DocId>* exclude = nullptr) override {
+    return db_->Query(query_text, top_k, exclude);
+  }
+
+  util::StatusOr<const Document*> Fetch(DocId id) override {
+    if (static_cast<size_t>(id) >= db_->num_documents()) {
+      return util::Status::NotFound("no document with id " +
+                                    std::to_string(id));
+    }
+    return &db_->FetchDocument(id);
+  }
+
+ private:
+  const TextDatabase* db_;
+};
+
+}  // namespace fedsearch::index
+
+#endif  // FEDSEARCH_INDEX_SEARCH_INTERFACE_H_

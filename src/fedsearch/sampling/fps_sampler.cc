@@ -35,25 +35,29 @@ ProbeRuleSet ProbeRuleSet::FromTopicModel(const corpus::TopicModel& model,
 FpsSampler::FpsSampler(FpsOptions options, const ProbeRuleSet* rules)
     : options_(options), rules_(rules) {}
 
-std::vector<size_t> FpsSampler::ProbeChildren(const index::TextDatabase& db,
+std::vector<size_t> FpsSampler::ProbeChildren(index::SearchInterface& db,
                                               corpus::CategoryId node,
                                               SampleCollector& collector,
+                                              util::RetryController& retry,
                                               size_t& queries_sent) const {
   const corpus::TopicHierarchy& h = rules_->hierarchy();
   const std::vector<corpus::CategoryId>& children = h.node(node).children;
   std::vector<size_t> coverage(children.size(), 0);
   for (size_t i = 0; i < children.size(); ++i) {
     for (const ProbeRule& rule : rules_->RulesFor(children[i])) {
+      if (retry.exhausted()) return coverage;
       std::string query;
       for (const std::string& t : rule.terms) {
         if (!query.empty()) query.push_back(' ');
         query += t;
       }
-      const index::QueryResult result =
-          db.Query(query, options_.docs_per_query, &collector.seen());
+      const util::StatusOr<index::QueryResult> result = retry.Run([&] {
+        return db.Search(query, options_.docs_per_query, &collector.seen());
+      });
       ++queries_sent;
-      coverage[i] += result.num_matches;
-      collector.AddDocuments(result.docs);
+      if (!result.ok()) continue;  // probe lost: no coverage evidence
+      coverage[i] += result.value().num_matches;
+      collector.AddDocuments(result.value().docs);
     }
   }
   return coverage;
@@ -61,8 +65,16 @@ std::vector<size_t> FpsSampler::ProbeChildren(const index::TextDatabase& db,
 
 SampleResult FpsSampler::Sample(const index::TextDatabase& db,
                                 util::Rng& rng) const {
+  index::LocalDatabase local(&db);
+  return Sample(local, db.analyzer(), rng);
+}
+
+SampleResult FpsSampler::Sample(index::SearchInterface& db,
+                                const text::Analyzer& analyzer,
+                                util::Rng& rng) const {
   const corpus::TopicHierarchy& h = rules_->hierarchy();
-  SampleCollector collector(&db, &options_.build);
+  util::RetryController retry(options_.retry);
+  SampleCollector collector(&db, &analyzer, &options_.build, &retry);
   size_t queries_sent = 0;
 
   // Walk the hierarchy, probing the children of every qualified node.
@@ -70,14 +82,14 @@ SampleResult FpsSampler::Sample(const index::TextDatabase& db,
   corpus::CategoryId classification = h.root();
   std::vector<std::pair<corpus::CategoryId, bool>> frontier = {
       {h.root(), /*on_best_path=*/true}};
-  while (!frontier.empty()) {
+  while (!frontier.empty() && !retry.exhausted()) {
     const auto [node, on_best_path] = frontier.back();
     frontier.pop_back();
     const std::vector<corpus::CategoryId>& children = h.node(node).children;
     if (children.empty()) continue;
 
     const std::vector<size_t> coverage =
-        ProbeChildren(db, node, collector, queries_sent);
+        ProbeChildren(db, node, collector, retry, queries_sent);
     size_t total = 0;
     for (size_t c : coverage) total += c;
     if (total == 0) continue;

@@ -6,9 +6,11 @@
 
 #include "fedsearch/corpus/topic_hierarchy.h"
 #include "fedsearch/corpus/topic_model.h"
+#include "fedsearch/index/search_interface.h"
 #include "fedsearch/index/text_database.h"
 #include "fedsearch/sampling/sample_collector.h"
 #include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/util/retry.h"
 #include "fedsearch/util/rng.h"
 
 namespace fedsearch::sampling {
@@ -54,6 +56,8 @@ struct FpsOptions {
   // ...and at least this fraction of all matches at its level.
   double specificity_threshold = 0.25;
   SummaryBuildOptions build;
+  // Fault tolerance against a remote interface (see QbsOptions::retry).
+  util::RetryOptions retry;
 };
 
 // Focused Probing: classifier-derived queries walk the topic hierarchy,
@@ -67,11 +71,19 @@ class FpsSampler {
 
   SampleResult Sample(const index::TextDatabase& db, util::Rng& rng) const;
 
+  // Remote variant over an unreliable search interface (see
+  // QbsSampler::Sample for the degradation contract). A probe whose query
+  // keeps failing contributes zero coverage — the hierarchy walk simply
+  // does not descend on evidence it never got.
+  SampleResult Sample(index::SearchInterface& db,
+                      const text::Analyzer& analyzer, util::Rng& rng) const;
+
  private:
   // Probes the children of `node`; returns per-child total match counts.
-  std::vector<size_t> ProbeChildren(const index::TextDatabase& db,
+  std::vector<size_t> ProbeChildren(index::SearchInterface& db,
                                     corpus::CategoryId node,
                                     SampleCollector& collector,
+                                    util::RetryController& retry,
                                     size_t& queries_sent) const;
 
   FpsOptions options_;

@@ -10,7 +10,15 @@ QbsSampler::QbsSampler(QbsOptions options, std::vector<std::string> dictionary)
 
 SampleResult QbsSampler::Sample(const index::TextDatabase& db,
                                 util::Rng& rng) const {
-  SampleCollector collector(&db, &options_.build);
+  index::LocalDatabase local(&db);
+  return Sample(local, db.analyzer(), rng);
+}
+
+SampleResult QbsSampler::Sample(index::SearchInterface& db,
+                                const text::Analyzer& analyzer,
+                                util::Rng& rng) const {
+  util::RetryController retry(options_.retry);
+  SampleCollector collector(&db, &analyzer, &options_.build, &retry);
   std::unordered_set<std::string> used_queries;
   size_t queries_sent = 0;
   size_t consecutive_failures = 0;
@@ -22,7 +30,7 @@ SampleResult QbsSampler::Sample(const index::TextDatabase& db,
 
   while (collector.sample_size() < options_.target_documents &&
          consecutive_failures < options_.max_consecutive_failures &&
-         queries_sent < max_queries) {
+         queries_sent < max_queries && !retry.exhausted()) {
     // Pick the next single-word query: from the dictionary while the sample
     // is empty, from the sampled documents' vocabulary afterwards.
     const std::vector<std::string>& pool = collector.sample_size() == 0
@@ -41,10 +49,18 @@ SampleResult QbsSampler::Sample(const index::TextDatabase& db,
       continue;
     }
 
-    const index::QueryResult result =
-        db.Query(*query, options_.docs_per_query, &collector.seen());
+    const util::StatusOr<index::QueryResult> result = retry.Run([&] {
+      return db.Search(*query, options_.docs_per_query, &collector.seen());
+    });
     ++queries_sent;
-    const size_t added = collector.AddDocuments(result.docs);
+    if (!result.ok()) {
+      // Persistently failing query: spend one failure tick so a database
+      // that only ever errors still terminates via the failure cap, and
+      // loop back (the budget check above bounds the worst case).
+      ++consecutive_failures;
+      continue;
+    }
+    const size_t added = collector.AddDocuments(result.value().docs);
     if (added == 0) {
       ++consecutive_failures;
     } else {

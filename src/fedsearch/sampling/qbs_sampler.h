@@ -4,9 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "fedsearch/index/search_interface.h"
 #include "fedsearch/index/text_database.h"
 #include "fedsearch/sampling/sample_collector.h"
 #include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/util/retry.h"
 #include "fedsearch/util/rng.h"
 
 namespace fedsearch::sampling {
@@ -20,6 +22,10 @@ struct QbsOptions {
   // Documents retrieved per query ("at most four previously unseen").
   size_t docs_per_query = 4;
   SummaryBuildOptions build;
+  // Fault tolerance against a remote interface: per-call retries and the
+  // per-run failure budget. A run that exhausts the budget finalizes a
+  // *partial* sample (see SamplingHealth) instead of looping forever.
+  util::RetryOptions retry;
 };
 
 // Query-Based Sampling (Callan & Connell [2]): random single-word queries
@@ -36,6 +42,14 @@ class QbsSampler {
   // averages five QBS runs per database, which the harness reproduces by
   // calling this with five forked generators.
   SampleResult Sample(const index::TextDatabase& db, util::Rng& rng) const;
+
+  // Remote variant: samples through an unreliable search interface,
+  // analyzing downloaded documents with the metasearcher's own `analyzer`.
+  // Transient faults are retried under options().retry; a run that spends
+  // its failure budget stops early and returns a sample flagged kPartial
+  // (or kAborted if nothing was retrieved).
+  SampleResult Sample(index::SearchInterface& db,
+                      const text::Analyzer& analyzer, util::Rng& rng) const;
 
  private:
   QbsOptions options_;

@@ -5,18 +5,40 @@
 
 namespace fedsearch::sampling {
 
+SampleCollector::SampleCollector(index::SearchInterface* db,
+                                 const text::Analyzer* analyzer,
+                                 const SummaryBuildOptions* options,
+                                 util::RetryController* retry)
+    : db_(db), analyzer_(analyzer), options_(options), retry_(retry) {}
+
 SampleCollector::SampleCollector(const index::TextDatabase* db,
                                  const SummaryBuildOptions* options)
-    : db_(db), options_(options) {}
+    : owned_db_(std::make_unique<index::LocalDatabase>(db)),
+      owned_retry_(std::make_unique<util::RetryController>()),
+      db_(owned_db_.get()),
+      analyzer_(&db->analyzer()),
+      options_(options),
+      retry_(owned_retry_.get()) {}
 
 size_t SampleCollector::AddDocuments(const std::vector<index::DocId>& docs) {
   size_t added = 0;
   for (index::DocId doc : docs) {
-    if (!seen_.insert(doc).second) continue;
+    if (seen_.count(doc) != 0) continue;
+    const util::StatusOr<const index::Document*> fetched =
+        retry_->Run([&] { return db_->Fetch(doc); });
+    if (!fetched.ok()) {
+      // The document stays outside seen_ so a later query result can give
+      // it another chance; a dead interface stops the whole loop via the
+      // shared budget.
+      ++documents_lost_;
+      if (retry_->exhausted()) break;
+      continue;
+    }
+    seen_.insert(doc);
     ++added;
     ++sample_size_;
-    const index::Document& d = db_->FetchDocument(doc);
-    const std::vector<std::string> terms = db_->analyzer().Analyze(d.text);
+    const std::vector<std::string> terms =
+        analyzer_->Analyze(fetched.value()->text);
     // Per-document distinct terms for df; all occurrences for ctf.
     std::unordered_map<std::string, uint32_t> counts;
     for (const std::string& t : terms) ++counts[t];
@@ -74,13 +96,16 @@ double SampleCollector::EstimateDatabaseSize(
 
   std::vector<double> estimates;
   for (size_t i = 0; i < candidates.size() && estimates.size() < probes; ++i) {
+    if (retry_->exhausted()) break;
     const std::string& w = *candidates[i];
-    const index::QueryResult r = db_->Query(w, /*top_k=*/0);
+    const util::StatusOr<index::QueryResult> r =
+        retry_->Run([&] { return db_->Search(w, /*top_k=*/0); });
     ++queries_used;
+    if (!r.ok()) continue;
     const size_t sample_df = words_.at(w).df;
-    if (r.num_matches == 0 || sample_df == 0) continue;
-    probe_matches.emplace_back(w, static_cast<double>(r.num_matches));
-    estimates.push_back(static_cast<double>(r.num_matches) *
+    if (r.value().num_matches == 0 || sample_df == 0) continue;
+    probe_matches.emplace_back(w, static_cast<double>(r.value().num_matches));
+    estimates.push_back(static_cast<double>(r.value().num_matches) *
                         static_cast<double>(sample_size_) /
                         static_cast<double>(sample_df));
   }
@@ -107,6 +132,27 @@ SampleResult SampleCollector::Finalize(size_t queries_sent,
   db_size = std::max(db_size, static_cast<double>(sample_size_));
   result.queries_sent = queries;
   result.estimated_db_size = db_size;
+
+  // Stamp the run's fault accounting (the resample probes above are part
+  // of the run, so this happens after them).
+  SamplingHealth& health = result.health;
+  health.transient_failures = retry_->failed_attempts();
+  health.queries_abandoned = retry_->abandoned_calls();
+  health.documents_lost = documents_lost_;
+  health.simulated_backoff_ms = retry_->simulated_backoff_ms();
+  health.budget_exhausted = retry_->exhausted();
+  const bool faulted = health.budget_exhausted ||
+                       health.queries_abandoned > 0 ||
+                       health.documents_lost > 0;
+  if (faulted && sample_size_ == 0) {
+    // Nothing retrieved and the run saw remote faults — whether the budget
+    // ran dry or the query pool did first, there is no sample to trust.
+    health.outcome = SamplingOutcome::kAborted;
+  } else if (faulted) {
+    health.outcome = SamplingOutcome::kPartial;
+  } else {
+    health.outcome = SamplingOutcome::kComplete;
+  }
 
   // Scaling model over the checkpoints plus the final sample state
   // (Appendix A), extrapolated to the estimated database size.

@@ -1,14 +1,17 @@
 #ifndef FEDSEARCH_SAMPLING_SAMPLE_COLLECTOR_H_
 #define FEDSEARCH_SAMPLING_SAMPLE_COLLECTOR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "fedsearch/index/search_interface.h"
 #include "fedsearch/index/text_database.h"
 #include "fedsearch/sampling/freq_estimator.h"
 #include "fedsearch/sampling/sample_result.h"
+#include "fedsearch/util/retry.h"
 #include "fedsearch/util/rng.h"
 
 namespace fedsearch::sampling {
@@ -33,18 +36,39 @@ struct SummaryBuildOptions {
 // Accumulates the documents a sampler downloads and derives the sample
 // statistics, size estimate, and final content summary. Shared by QBS and
 // FPS, which differ only in how they choose queries (Section 5.2).
+//
+// All database access flows through a SearchInterface and a
+// RetryController, so the collector tolerates a faulty remote end: a
+// document whose download keeps failing is recorded as lost and skipped,
+// and Finalize() stamps the run's SamplingHealth into the result instead
+// of aborting.
 class SampleCollector {
  public:
-  // `db` and `options` must outlive the collector.
+  // Remote pipeline. `db`, `analyzer`, `options`, and `retry` must outlive
+  // the collector; `analyzer` is the *metasearcher's* analyzer (an
+  // uncooperative database exports no analysis chain), and `retry` is the
+  // run-wide controller shared with the sampler's own query loop.
+  SampleCollector(index::SearchInterface* db, const text::Analyzer* analyzer,
+                  const SummaryBuildOptions* options,
+                  util::RetryController* retry);
+
+  // Local fault-free convenience: wraps `db` in a LocalDatabase with a
+  // collector-owned RetryController. `db` and `options` must outlive the
+  // collector.
   SampleCollector(const index::TextDatabase* db,
                   const SummaryBuildOptions* options);
 
   // Ingests query results: fetches, analyzes and accounts each previously
-  // unseen document. Returns how many documents were new.
+  // unseen document. Returns how many documents were new. Documents whose
+  // download fails persistently are counted lost, not added; they stay out
+  // of seen() so a later query can retry them.
   size_t AddDocuments(const std::vector<index::DocId>& docs);
 
   size_t sample_size() const { return sample_size_; }
   const std::unordered_set<index::DocId>& seen() const { return seen_; }
+
+  // Result documents abandoned after retries.
+  size_t documents_lost() const { return documents_lost_; }
 
   // Distinct words observed so far (for query-word selection). Order is
   // deterministic (first-seen).
@@ -79,9 +103,16 @@ class SampleCollector {
       size_t probes, util::Rng& rng, size_t& queries_used,
       std::vector<std::pair<std::string, double>>& probe_matches) const;
 
-  const index::TextDatabase* db_;
+  // Set only by the local-convenience constructor.
+  std::unique_ptr<index::LocalDatabase> owned_db_;
+  std::unique_ptr<util::RetryController> owned_retry_;
+
+  index::SearchInterface* db_;
+  const text::Analyzer* analyzer_;
   const SummaryBuildOptions* options_;
+  util::RetryController* retry_;
   size_t sample_size_ = 0;
+  size_t documents_lost_ = 0;
   std::unordered_set<index::DocId> seen_;
   std::unordered_map<std::string, WordObs> words_;
   std::vector<std::string> observed_words_;

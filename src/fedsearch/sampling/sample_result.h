@@ -10,6 +10,37 @@
 
 namespace fedsearch::sampling {
 
+// How a sampling run against a remote database ended.
+enum class SamplingOutcome {
+  // The run finished on its own terms (target reached or vocabulary dry).
+  kComplete,
+  // The run hit remote faults — lost documents, abandoned queries, or an
+  // exhausted failure budget — but still collected a usable sample.
+  kPartial,
+  // The run saw remote faults and ended without a single retrieved
+  // document (the failure budget — or the query pool — ran dry against a
+  // failing interface).
+  kAborted,
+};
+
+// Fault accounting for one sampling run, filled in by SampleCollector from
+// the run's RetryController. This is the sampler-side half of the
+// degradation story: a partial sample is finalized and *flagged* rather
+// than discarded, and the metasearcher decides how much to trust it.
+struct SamplingHealth {
+  SamplingOutcome outcome = SamplingOutcome::kComplete;
+  // Failed attempts absorbed by retries across the run.
+  size_t transient_failures = 0;
+  // Calls abandoned after exhausting their per-call attempts.
+  size_t queries_abandoned = 0;
+  // Result documents whose download never succeeded.
+  size_t documents_lost = 0;
+  // Backoff the retry policy would have slept (no real clock here).
+  double simulated_backoff_ms = 0.0;
+  // The per-run failure budget ran dry and sampling stopped early.
+  bool budget_exhausted = false;
+};
+
 // Everything a sampler learns about one database. This is the input to
 // shrinkage (Section 3), adaptive selection (Section 4 / Appendix B), and
 // the evaluation metrics.
@@ -39,6 +70,9 @@ struct SampleResult {
 
   // Cost accounting: queries issued against the database's interface.
   size_t queries_sent = 0;
+
+  // Fault accounting: how the run interacted with an unreliable interface.
+  SamplingHealth health;
 
   // Analyzed term vectors of the sampled documents, retained only when
   // SummaryBuildOptions::keep_documents is set (needed by sample-document

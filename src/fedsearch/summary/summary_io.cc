@@ -1,15 +1,34 @@
 #include "fedsearch/summary/summary_io.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <unordered_set>
 
 namespace fedsearch::summary {
 namespace {
 
 constexpr char kMagic[] = "fedsearch-summary";
 constexpr int kVersion = 1;
+
+// Strict statistic parser for hostile input: the whole token must be a
+// finite, non-negative number. istream's operator>> is too lenient here —
+// depending on the library it accepts partial tokens ("1x2") or leaves an
+// overflowed value implementation-defined.
+bool ParseNonNegativeFinite(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end != begin + token.size()) return false;  // trailing garbage
+  if (!std::isfinite(value)) return false;        // overflow / inf / nan
+  if (value < 0.0) return false;
+  out = value;
+  return true;
+}
 
 }  // namespace
 
@@ -37,9 +56,9 @@ util::Status WriteSummary(const SummaryView& summary, std::ostream& out) {
 util::StatusOr<ContentSummary> ReadSummary(std::istream& in) {
   std::string magic;
   int version = 0;
-  double num_documents = 0.0;
-  size_t word_count = 0;
-  if (!(in >> magic >> version >> num_documents >> word_count)) {
+  std::string num_documents_tok;
+  long long word_count_signed = 0;
+  if (!(in >> magic >> version >> num_documents_tok >> word_count_signed)) {
     return util::Status::InvalidArgument("malformed summary header");
   }
   if (magic != kMagic) {
@@ -48,23 +67,44 @@ util::StatusOr<ContentSummary> ReadSummary(std::istream& in) {
   if (version != kVersion) {
     return util::Status::InvalidArgument("unsupported summary version");
   }
-  if (num_documents < 0.0) {
-    return util::Status::InvalidArgument("negative document count");
+  double num_documents = 0.0;
+  if (!ParseNonNegativeFinite(num_documents_tok, num_documents)) {
+    return util::Status::InvalidArgument("bad document count: " +
+                                         num_documents_tok);
   }
+  if (word_count_signed < 0) {
+    return util::Status::InvalidArgument("negative word count in header");
+  }
+  const size_t word_count = static_cast<size_t>(word_count_signed);
   ContentSummary summary;
   summary.set_num_documents(num_documents);
+  std::unordered_set<std::string> seen_words;
   for (size_t i = 0; i < word_count; ++i) {
-    std::string word;
-    WordStats stats;
-    if (!(in >> word >> stats.df >> stats.ctf)) {
+    std::string word, df_tok, ctf_tok;
+    if (!(in >> word >> df_tok >> ctf_tok)) {
       return util::Status::InvalidArgument(
           "truncated summary: expected " + std::to_string(word_count) +
           " words, got " + std::to_string(i));
     }
-    if (stats.df < 0.0 || stats.ctf < 0.0) {
-      return util::Status::InvalidArgument("negative statistics for " + word);
+    WordStats stats;
+    if (!ParseNonNegativeFinite(df_tok, stats.df) ||
+        !ParseNonNegativeFinite(ctf_tok, stats.ctf)) {
+      return util::Status::InvalidArgument("bad statistics for " + word +
+                                           ": " + df_tok + " " + ctf_tok);
+    }
+    if (!seen_words.insert(word).second) {
+      return util::Status::InvalidArgument("duplicate word: " + word);
     }
     summary.SetWord(word, stats);
+  }
+  // Word-count mismatch the other way: the header promised fewer entries
+  // than the body holds. Reading a short count silently would truncate the
+  // vocabulary, so any trailing token is an error.
+  std::string extra;
+  if (in >> extra) {
+    return util::Status::InvalidArgument(
+        "summary body continues past the declared word count of " +
+        std::to_string(word_count));
   }
   return summary;
 }

@@ -1,0 +1,41 @@
+#include "fedsearch/util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace fedsearch::util {
+
+namespace {
+constexpr char kRetryAfterKey[] = "retry_after_ms=";
+}  // namespace
+
+double ParseRetryAfterMs(const Status& status) {
+  const std::string& msg = status.message();
+  const size_t pos = msg.find(kRetryAfterKey);
+  if (pos == std::string::npos) return 0.0;
+  const char* begin = msg.c_str() + pos + sizeof(kRetryAfterKey) - 1;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || !std::isfinite(value) || value < 0.0) return 0.0;
+  return value;
+}
+
+RetryController::RetryController(RetryOptions options)
+    : options_(options), jitter_rng_(options.jitter_seed) {}
+
+void RetryController::RecordFailure(const Status& status, size_t attempt) {
+  ++failed_attempts_;
+  double backoff = options_.base_backoff_ms *
+                   std::pow(options_.backoff_multiplier,
+                            static_cast<double>(attempt - 1));
+  backoff = std::min(backoff, options_.max_backoff_ms);
+  const double j = std::clamp(options_.jitter_fraction, 0.0, 1.0);
+  backoff *= 1.0 - j + 2.0 * j * jitter_rng_.NextDouble();
+  // A throttling server's hint is a floor on the wait, not a suggestion.
+  backoff = std::max(backoff, ParseRetryAfterMs(status));
+  simulated_backoff_ms_ += backoff;
+}
+
+}  // namespace fedsearch::util

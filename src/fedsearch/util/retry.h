@@ -1,0 +1,98 @@
+#ifndef FEDSEARCH_UTIL_RETRY_H_
+#define FEDSEARCH_UTIL_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "fedsearch/util/rng.h"
+#include "fedsearch/util/status.h"
+
+namespace fedsearch::util {
+
+// Retry policy for calls against an unreliable remote interface: bounded
+// exponential backoff with jitter per call, plus a per-run failure budget
+// shared by every call routed through one RetryController. The budget is
+// what guarantees that no sampling run loops forever against a dead
+// database — once it is spent, Run() refuses further work and the caller
+// must finalize with whatever it has (graceful degradation).
+struct RetryOptions {
+  // Attempts per call, including the first (1 disables retrying).
+  size_t max_attempts = 4;
+  // Total failed attempts tolerated across the run before the controller
+  // reports exhaustion. Every failed attempt — retried or not — counts.
+  size_t failure_budget = 96;
+  // Backoff schedule: base · multiplier^(attempt-1), capped at max, then
+  // jittered by ±jitter_fraction. A rate-limit retry-after hint (see
+  // ParseRetryAfterMs) raises the wait to at least the hinted value.
+  double base_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+  double jitter_fraction = 0.5;
+  // Seed of the jitter stream. Kept separate from the sampler RNGs so that
+  // retry timing never perturbs the sampling decisions themselves.
+  uint64_t jitter_seed = 0x5EEDBACC0FFEEULL;
+};
+
+// Extracts a "retry_after_ms=<n>" hint from a status message (the way a
+// rate-limiting server communicates Retry-After). Returns 0 when absent or
+// unparseable.
+double ParseRetryAfterMs(const Status& status);
+
+// Per-run retry state. Create one per (database, sampling run) and route
+// every Query/Fetch through Run(). There is no real network here, so the
+// controller does not sleep; it accrues the waits it *would* have made in
+// simulated_backoff_ms(), which benches report as the latency cost of the
+// fault rate.
+class RetryController {
+ public:
+  explicit RetryController(RetryOptions options = {});
+
+  const RetryOptions& options() const { return options_; }
+
+  // True once the failure budget is spent. Callers must stop issuing
+  // requests and finalize a partial result.
+  bool exhausted() const { return failed_attempts_ >= options_.failure_budget; }
+
+  // Failed attempts observed so far (across all calls).
+  size_t failed_attempts() const { return failed_attempts_; }
+  // Calls abandoned after max_attempts (or budget exhaustion mid-call).
+  size_t abandoned_calls() const { return abandoned_calls_; }
+  // Total simulated backoff wait accumulated by retries.
+  double simulated_backoff_ms() const { return simulated_backoff_ms_; }
+
+  // Invokes `call` (returning a StatusOr<T>) until it succeeds, fails with
+  // a non-transient error, or runs out of attempts/budget. Returns the last
+  // result; when the budget is already spent, returns kResourceExhausted
+  // without invoking `call` at all.
+  template <typename Fn>
+  auto Run(Fn&& call) -> decltype(call()) {
+    if (exhausted()) {
+      return Status::ResourceExhausted("per-run failure budget exhausted");
+    }
+    for (size_t attempt = 1;; ++attempt) {
+      auto result = call();
+      if (result.ok() || !IsTransient(result.status())) return result;
+      RecordFailure(result.status(), attempt);
+      if (attempt >= options_.max_attempts || exhausted()) {
+        ++abandoned_calls_;
+        return result;
+      }
+    }
+  }
+
+ private:
+  // Accounts one failed attempt: spends budget and accrues the (jittered,
+  // hint-respecting) backoff wait.
+  void RecordFailure(const Status& status, size_t attempt);
+
+  RetryOptions options_;
+  Rng jitter_rng_;
+  size_t failed_attempts_ = 0;
+  size_t abandoned_calls_ = 0;
+  double simulated_backoff_ms_ = 0.0;
+};
+
+}  // namespace fedsearch::util
+
+#endif  // FEDSEARCH_UTIL_RETRY_H_

@@ -17,6 +17,12 @@ const char* CodeName(Status::Code code) {
       return "OUT_OF_RANGE";
     case Status::Code::kInternal:
       return "INTERNAL";
+    case Status::Code::kUnavailable:
+      return "UNAVAILABLE";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Status::Code::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

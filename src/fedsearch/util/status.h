@@ -19,6 +19,13 @@ class Status {
     kFailedPrecondition,
     kOutOfRange,
     kInternal,
+    // Transient remote-interaction failures (see IsTransient below). These
+    // model the fault taxonomy of an uncooperative search interface: the
+    // database is down, the call timed out, or the caller is being
+    // throttled. They are retryable; the codes above are not.
+    kUnavailable,
+    kDeadlineExceeded,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -41,6 +48,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -53,6 +69,20 @@ class Status {
   Code code_;
   std::string message_;
 };
+
+// Whether `status` describes a transient condition of a remote interaction
+// (unavailable / timed out / throttled) that a retry with backoff may
+// resolve, as opposed to a programming or data error that will fail again.
+inline bool IsTransient(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kUnavailable:
+    case Status::Code::kDeadlineExceeded:
+    case Status::Code::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
 
 // Value-or-error holder. Check ok() before calling value().
 template <typename T>

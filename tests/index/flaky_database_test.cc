@@ -1,0 +1,206 @@
+#include "fedsearch/index/flaky_database.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/index/search_interface.h"
+#include "fedsearch/text/analyzer.h"
+#include "fedsearch/util/retry.h"
+
+namespace fedsearch::index {
+namespace {
+
+class FlakyDatabaseTest : public ::testing::Test {
+ protected:
+  FlakyDatabaseTest() : db_("flaky-under-test", &analyzer_) {
+    // 40 documents; "common" in all, "half" in every other one.
+    for (int i = 0; i < 40; ++i) {
+      std::string text = "common payload" + std::to_string(i);
+      if (i % 2 == 0) text += " half";
+      db_.AddDocument(text);
+    }
+  }
+
+  // One deterministic probe script: alternating queries and fetches.
+  struct CallRecord {
+    bool ok = false;
+    util::Status::Code code = util::Status::Code::kOk;
+    size_t num_matches = 0;
+    std::vector<DocId> docs;
+  };
+
+  std::vector<CallRecord> RunScript(FlakyDatabase& flaky, size_t calls) {
+    std::vector<CallRecord> records;
+    for (size_t i = 0; i < calls; ++i) {
+      CallRecord rec;
+      if (i % 3 == 2) {
+        const auto fetched = flaky.Fetch(static_cast<DocId>(i % 40));
+        rec.ok = fetched.ok();
+        rec.code = fetched.status().code();
+      } else {
+        const auto result = flaky.Search(i % 2 == 0 ? "common" : "half", 8);
+        rec.ok = result.ok();
+        rec.code = result.status().code();
+        if (result.ok()) {
+          rec.num_matches = result.value().num_matches;
+          rec.docs = result.value().docs;
+        }
+      }
+      records.push_back(std::move(rec));
+    }
+    return records;
+  }
+
+  text::Analyzer analyzer_;
+  TextDatabase db_;
+};
+
+TEST_F(FlakyDatabaseTest, SameSeedProducesIdenticalFaultSequence) {
+  LocalDatabase local_a(&db_), local_b(&db_);
+  const FaultProfile profile = FaultProfile::Mixed(0.5);
+  FlakyDatabase a(&local_a, profile, /*seed=*/1234);
+  FlakyDatabase b(&local_b, profile, /*seed=*/1234);
+  const auto ra = RunScript(a, 300);
+  const auto rb = RunScript(b, 300);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].ok, rb[i].ok) << i;
+    EXPECT_EQ(ra[i].code, rb[i].code) << i;
+    EXPECT_EQ(ra[i].num_matches, rb[i].num_matches) << i;
+    EXPECT_EQ(ra[i].docs, rb[i].docs) << i;
+  }
+  EXPECT_EQ(a.stats().unavailable, b.stats().unavailable);
+  EXPECT_EQ(a.stats().timeouts, b.stats().timeouts);
+  EXPECT_EQ(a.stats().rate_limits, b.stats().rate_limits);
+  EXPECT_EQ(a.stats().truncations, b.stats().truncations);
+  EXPECT_EQ(a.stats().corruptions, b.stats().corruptions);
+}
+
+TEST_F(FlakyDatabaseTest, DifferentSeedsProduceDifferentFaultSequences) {
+  LocalDatabase local_a(&db_), local_b(&db_);
+  const FaultProfile profile = FaultProfile::Mixed(0.5);
+  FlakyDatabase a(&local_a, profile, /*seed=*/1);
+  FlakyDatabase b(&local_b, profile, /*seed=*/2);
+  const auto ra = RunScript(a, 300);
+  const auto rb = RunScript(b, 300);
+  size_t differing = 0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].ok != rb[i].ok || ra[i].code != rb[i].code) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST_F(FlakyDatabaseTest, FaultMixMatchesConfiguredRates) {
+  LocalDatabase local(&db_);
+  const double total_rate = 0.5;
+  FlakyDatabase flaky(&local, FaultProfile::Mixed(total_rate), /*seed=*/99);
+  const size_t calls = 6000;
+  // Search-only script so every fault class can fire on every call.
+  for (size_t i = 0; i < calls; ++i) flaky.Search("common", 8);
+  const FaultStats& s = flaky.stats();
+  EXPECT_EQ(s.calls, calls);
+  const double expected = total_rate / 5.0 * static_cast<double>(calls);
+  for (const size_t count : {s.unavailable, s.timeouts, s.rate_limits,
+                             s.truncations, s.corruptions}) {
+    EXPECT_GT(static_cast<double>(count), expected * 0.7);
+    EXPECT_LT(static_cast<double>(count), expected * 1.3);
+  }
+}
+
+TEST_F(FlakyDatabaseTest, HardFaultsCarryTransientCodes) {
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.rate_limit_rate = 1.0;
+  FlakyDatabase flaky(&local, profile, /*seed=*/7);
+  const auto result = flaky.Search("common", 4);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(),
+            util::Status::Code::kResourceExhausted);
+  EXPECT_TRUE(util::IsTransient(result.status()));
+  // The retry-after hint travels inside the status message.
+  EXPECT_DOUBLE_EQ(util::ParseRetryAfterMs(result.status()), 250.0);
+}
+
+TEST_F(FlakyDatabaseTest, TruncationKeepsAPrefixOfTheCleanResult) {
+  LocalDatabase clean(&db_);
+  const auto reference = clean.Search("common", 16);
+  ASSERT_TRUE(reference.ok());
+
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.truncation_rate = 1.0;
+  FlakyDatabase flaky(&local, profile, /*seed=*/11);
+  bool saw_truncation = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto result = flaky.Search("common", 16);
+    ASSERT_TRUE(result.ok());
+    const auto& docs = result.value().docs;
+    ASSERT_LE(docs.size(), reference.value().docs.size());
+    for (size_t j = 0; j < docs.size(); ++j) {
+      EXPECT_EQ(docs[j], reference.value().docs[j]);
+    }
+    // num_matches is untouched by truncation.
+    EXPECT_EQ(result.value().num_matches, reference.value().num_matches);
+    saw_truncation |= docs.size() < reference.value().docs.size();
+  }
+  EXPECT_TRUE(saw_truncation);
+}
+
+TEST_F(FlakyDatabaseTest, CorruptionPerturbsMatchCounts) {
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.corruption_rate = 1.0;
+  FlakyDatabase flaky(&local, profile, /*seed=*/13);
+  size_t differing = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto result = flaky.Search("common", 0);
+    ASSERT_TRUE(result.ok());
+    if (result.value().num_matches != 40u) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST_F(FlakyDatabaseTest, ZeroRateProfileIsTransparent) {
+  LocalDatabase clean(&db_);
+  LocalDatabase local(&db_);
+  FlakyDatabase flaky(&local, FaultProfile{}, /*seed=*/5);
+  const auto reference = clean.Search("half", 8);
+  const auto result = flaky.Search("half", 8);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_matches, reference.value().num_matches);
+  EXPECT_EQ(result.value().docs, reference.value().docs);
+  EXPECT_EQ(flaky.stats().hard_faults(), 0u);
+  EXPECT_EQ(flaky.stats().soft_faults(), 0u);
+
+  const auto fetched = flaky.Fetch(3);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value()->id, 3u);
+}
+
+TEST_F(FlakyDatabaseTest, DecoratorsStack) {
+  LocalDatabase local(&db_);
+  FaultProfile inner_profile;
+  inner_profile.corruption_rate = 1.0;
+  FlakyDatabase inner(&local, inner_profile, /*seed=*/17);
+  FaultProfile outer_profile;
+  outer_profile.unavailable_rate = 1.0;
+  FlakyDatabase outer(&inner, outer_profile, /*seed=*/19);
+  // The outer decorator fails before the inner one is ever consulted.
+  const auto result = outer.Search("common", 4);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kUnavailable);
+  EXPECT_EQ(inner.stats().calls, 0u);
+}
+
+TEST_F(FlakyDatabaseTest, LocalDatabaseRejectsUnknownDocId) {
+  LocalDatabase local(&db_);
+  const auto fetched = local.Fetch(static_cast<DocId>(10000));
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), util::Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace fedsearch::index

@@ -43,19 +43,25 @@ class EdgeCaseTest : public ::testing::Test {
 };
 
 TEST_F(EdgeCaseTest, FederationWithEmptySample) {
-  // One database's sampling produced nothing (e.g. its interface returned
-  // no documents); the federation must still build and rank.
+  // One database's sampling produced nothing (e.g. its interface was down
+  // for the whole run); the federation must still build, and the empty
+  // database must be scored from its category's aggregate summary instead
+  // of silently dropping out of the ranking.
   std::vector<sampling::SampleResult> samples;
   samples.push_back(MakeSyntheticSample(100, {{"cardiac", 40, 60}}));
   samples.push_back(sampling::SampleResult{});  // empty
   const corpus::CategoryId heart =
       hierarchy_.FindByPath("Root/Health/Diseases/Heart");
   core::Metasearcher meta(&hierarchy_, std::move(samples), {heart, heart});
+  EXPECT_FALSE(meta.degraded(0));
+  EXPECT_TRUE(meta.degraded(1));
 
   selection::BglossScorer bgloss;
   const auto outcome = meta.SelectDatabases(
       selection::Query{{"cardiac"}}, bgloss, core::SummaryMode::kPlain);
-  ASSERT_EQ(outcome.ranking.size(), 1u);
+  EXPECT_EQ(outcome.category_fallbacks, 1u);
+  ASSERT_EQ(outcome.ranking.size(), 2u);
+  // The database with real evidence outranks (or ties with) the fallback.
   EXPECT_EQ(outcome.ranking[0].database, 0u);
 
   // The empty database's shrunk summary still exists and is well-formed.

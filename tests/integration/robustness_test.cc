@@ -1,0 +1,175 @@
+// End-to-end fault tolerance: every database is sampled through a
+// FlakyDatabase decorator, two of them are completely dead, and the
+// pipeline must (a) terminate, (b) finalize partial samples with honest
+// health metadata, (c) stay deterministic per seed, and (d) still rank
+// every database in every summary mode.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/corpus/topic_model.h"
+#include "fedsearch/index/flaky_database.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/cori.h"
+#include "testing/small_testbed.h"
+
+namespace fedsearch {
+namespace {
+
+using testing::SharedSmallTestbed;
+
+constexpr size_t kDeadDatabases = 2;  // databases 0 and 1 never answer
+constexpr double kFaultRate = 0.2;    // mixed faults for the rest
+constexpr uint64_t kRunSeed = 20040613;
+
+struct FaultyFederation {
+  std::vector<sampling::SampleResult> samples;
+  std::vector<corpus::CategoryId> classifications;
+};
+
+FaultyFederation SampleThroughFaults(uint64_t seed) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  sampling::QbsOptions options;
+  options.target_documents = 150;
+  sampling::QbsSampler qbs(options,
+                           corpus::BuildSamplerDictionary(bed.model(), 20));
+  util::Rng rng(seed);
+  FaultyFederation federation;
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    index::LocalDatabase local(&bed.database(i));
+    index::FaultProfile profile;
+    if (i < kDeadDatabases) {
+      profile.unavailable_rate = 1.0;
+    } else {
+      profile = index::FaultProfile::Mixed(kFaultRate);
+    }
+    index::FlakyDatabase flaky(&local, profile, seed * 7919 + i);
+    util::Rng db_rng = rng.Fork();
+    federation.samples.push_back(
+        qbs.Sample(flaky, bed.analyzer(), db_rng));
+    federation.classifications.push_back(bed.directory_category_of(i));
+  }
+  return federation;
+}
+
+// Built once: QBS over 12 databases under faults is the expensive part.
+const FaultyFederation& SharedFaultyFederation() {
+  static const FaultyFederation* federation =
+      new FaultyFederation(SampleThroughFaults(kRunSeed));
+  return *federation;
+}
+
+TEST(RobustnessTest, DeadDatabasesAbortWithoutLooping) {
+  const FaultyFederation& federation = SharedFaultyFederation();
+  for (size_t i = 0; i < kDeadDatabases; ++i) {
+    const sampling::SampleResult& s = federation.samples[i];
+    EXPECT_EQ(s.sample_size, 0u) << i;
+    EXPECT_EQ(s.summary.vocabulary_size(), 0u) << i;
+    EXPECT_EQ(s.health.outcome, sampling::SamplingOutcome::kAborted) << i;
+    EXPECT_TRUE(s.health.budget_exhausted) << i;
+    EXPECT_GT(s.health.transient_failures, 0u) << i;
+  }
+}
+
+TEST(RobustnessTest, FlakyDatabasesStillYieldUsableSamples) {
+  const FaultyFederation& federation = SharedFaultyFederation();
+  for (size_t i = kDeadDatabases; i < federation.samples.size(); ++i) {
+    const sampling::SampleResult& s = federation.samples[i];
+    EXPECT_GT(s.sample_size, 0u) << i;
+    EXPECT_GT(s.summary.vocabulary_size(), 0u) << i;
+    EXPECT_NE(s.health.outcome, sampling::SamplingOutcome::kAborted) << i;
+    // 20% fault rate must leave scars in the health metadata somewhere.
+  }
+  size_t total_failures = 0;
+  for (const sampling::SampleResult& s : federation.samples) {
+    total_failures += s.health.transient_failures;
+  }
+  EXPECT_GT(total_failures, 0u);
+}
+
+TEST(RobustnessTest, SamplingUnderFaultsIsDeterministicPerSeed) {
+  const FaultyFederation& a = SharedFaultyFederation();
+  const FaultyFederation b = SampleThroughFaults(kRunSeed);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (size_t i = 0; i < a.samples.size(); ++i) {
+    const sampling::SampleResult& sa = a.samples[i];
+    const sampling::SampleResult& sb = b.samples[i];
+    EXPECT_EQ(sa.sample_size, sb.sample_size) << i;
+    EXPECT_EQ(sa.summary.vocabulary_size(), sb.summary.vocabulary_size())
+        << i;
+    EXPECT_DOUBLE_EQ(sa.estimated_db_size, sb.estimated_db_size) << i;
+    EXPECT_EQ(sa.health.outcome, sb.health.outcome) << i;
+    EXPECT_EQ(sa.health.transient_failures, sb.health.transient_failures)
+        << i;
+    EXPECT_EQ(sa.health.queries_abandoned, sb.health.queries_abandoned) << i;
+    EXPECT_EQ(sa.health.documents_lost, sb.health.documents_lost) << i;
+    EXPECT_DOUBLE_EQ(sa.health.simulated_backoff_ms,
+                     sb.health.simulated_backoff_ms)
+        << i;
+    sa.summary.ForEachWord([&](const std::string& w,
+                               const summary::WordStats& stats) {
+      EXPECT_DOUBLE_EQ(sb.summary.DocFrequency(w), stats.df) << i << " " << w;
+      EXPECT_DOUBLE_EQ(sb.summary.TokenFrequency(w), stats.ctf)
+          << i << " " << w;
+    });
+  }
+}
+
+TEST(RobustnessTest, MetasearcherRanksEveryDatabaseInEveryMode) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  const FaultyFederation& federation = SharedFaultyFederation();
+  std::vector<sampling::SampleResult> samples = federation.samples;
+  core::Metasearcher meta(&bed.hierarchy(), std::move(samples),
+                          federation.classifications);
+  for (size_t i = 0; i < kDeadDatabases; ++i) EXPECT_TRUE(meta.degraded(i));
+  for (size_t i = kDeadDatabases; i < bed.num_databases(); ++i) {
+    EXPECT_FALSE(meta.degraded(i)) << i;
+  }
+
+  selection::CoriScorer cori;
+  std::vector<size_t> dead_appearances(kDeadDatabases, 0);
+  for (const core::SummaryMode mode :
+       {core::SummaryMode::kPlain, core::SummaryMode::kUniversalShrinkage,
+        core::SummaryMode::kAdaptiveShrinkage}) {
+    for (const corpus::TestQuery& tq : bed.queries()) {
+      const selection::Query q{bed.analyzer().Analyze(tq.text)};
+      const auto outcome = meta.SelectDatabases(q, cori, mode);
+      EXPECT_EQ(outcome.category_fallbacks, kDeadDatabases);
+      std::vector<bool> ranked(bed.num_databases(), false);
+      for (const selection::RankedDatabase& r : outcome.ranking) {
+        ranked[r.database] = true;
+      }
+      // Graceful degradation: a dead database is demoted, never dropped.
+      // Its fallback summary is the aggregate of its category, so whenever
+      // a healthy same-category database has query evidence (it is ranked),
+      // the aggregate has that evidence too and the dead database must
+      // appear in the ranking as well.
+      for (size_t dead = 0; dead < kDeadDatabases; ++dead) {
+        bool sibling_ranked = false;
+        for (size_t i = kDeadDatabases; i < bed.num_databases(); ++i) {
+          if (federation.classifications[i] ==
+                  federation.classifications[dead] &&
+              ranked[i]) {
+            sibling_ranked = true;
+          }
+        }
+        if (sibling_ranked) {
+          EXPECT_TRUE(ranked[dead])
+              << "dead db " << dead << " dropped, mode="
+              << static_cast<int>(mode) << " query=" << tq.text;
+        }
+        if (ranked[dead]) ++dead_appearances[dead];
+      }
+    }
+  }
+  // Across the workload the fallback must actually fire: each dead
+  // database surfaces in at least one ranking.
+  for (size_t dead = 0; dead < kDeadDatabases; ++dead) {
+    EXPECT_GT(dead_appearances[dead], 0u) << dead;
+  }
+}
+
+}  // namespace
+}  // namespace fedsearch

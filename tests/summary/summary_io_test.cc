@@ -71,6 +71,58 @@ TEST(SummaryIoTest, RejectsGarbageHeader) {
   EXPECT_FALSE(ReadSummary(buffer).ok());
 }
 
+TEST(SummaryIoTest, RejectsNonNumericStatistics) {
+  std::stringstream buffer("fedsearch-summary 1 10 1\nalpha 1x2 3\n");
+  const auto loaded = ReadSummary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(SummaryIoTest, RejectsOverflowingStatistics) {
+  // 1e999 overflows double to inf; a summary must never carry it.
+  std::stringstream buffer("fedsearch-summary 1 10 1\nalpha 1e999 3\n");
+  const auto loaded = ReadSummary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(SummaryIoTest, RejectsNanStatistics) {
+  std::stringstream buffer("fedsearch-summary 1 10 1\nalpha nan 3\n");
+  EXPECT_FALSE(ReadSummary(buffer).ok());
+}
+
+TEST(SummaryIoTest, RejectsDuplicateWords) {
+  std::stringstream buffer(
+      "fedsearch-summary 1 10 2\nalpha 1 2\nalpha 3 4\n");
+  const auto loaded = ReadSummary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(SummaryIoTest, RejectsBodyLongerThanDeclared) {
+  std::stringstream buffer(
+      "fedsearch-summary 1 10 1\nalpha 1 2\nbeta 3 4\n");
+  const auto loaded = ReadSummary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(SummaryIoTest, RejectsNegativeWordCount) {
+  std::stringstream buffer("fedsearch-summary 1 10 -5\n");
+  const auto loaded = ReadSummary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("word count"), std::string::npos);
+}
+
+TEST(SummaryIoTest, RejectsBadDocumentCount) {
+  std::stringstream buffer("fedsearch-summary 1 -10 0\n");
+  EXPECT_FALSE(ReadSummary(buffer).ok());
+  std::stringstream inf_buffer("fedsearch-summary 1 1e999 0\n");
+  EXPECT_FALSE(ReadSummary(inf_buffer).ok());
+  std::stringstream garbage_buffer("fedsearch-summary 1 10abc 0\n");
+  EXPECT_FALSE(ReadSummary(garbage_buffer).ok());
+}
+
 TEST(SummaryIoTest, FileRoundTrip) {
   const ContentSummary original = MakeSummary();
   const std::string path = ::testing::TempDir() + "/summary_io_test.fss";

@@ -1,0 +1,140 @@
+#include "fedsearch/util/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::util {
+namespace {
+
+StatusOr<int> OkCall() { return 42; }
+
+TEST(RetryControllerTest, SuccessPassesThroughWithoutAccounting) {
+  RetryController retry;
+  const StatusOr<int> r = retry.Run(OkCall);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(retry.failed_attempts(), 0u);
+  EXPECT_EQ(retry.abandoned_calls(), 0u);
+  EXPECT_DOUBLE_EQ(retry.simulated_backoff_ms(), 0.0);
+  EXPECT_FALSE(retry.exhausted());
+}
+
+TEST(RetryControllerTest, RetriesTransientFailuresUntilSuccess) {
+  RetryController retry;
+  size_t invocations = 0;
+  const StatusOr<int> r = retry.Run([&]() -> StatusOr<int> {
+    if (++invocations < 3) return Status::Unavailable("down");
+    return 7;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(invocations, 3u);
+  EXPECT_EQ(retry.failed_attempts(), 2u);
+  EXPECT_EQ(retry.abandoned_calls(), 0u);
+  EXPECT_GT(retry.simulated_backoff_ms(), 0.0);
+}
+
+TEST(RetryControllerTest, NonTransientErrorsAreNotRetried) {
+  RetryController retry;
+  size_t invocations = 0;
+  const StatusOr<int> r = retry.Run([&]() -> StatusOr<int> {
+    ++invocations;
+    return Status::InvalidArgument("bad query");
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(invocations, 1u);
+  EXPECT_EQ(retry.failed_attempts(), 0u);
+}
+
+TEST(RetryControllerTest, AbandonsAfterMaxAttempts) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryController retry(options);
+  size_t invocations = 0;
+  const StatusOr<int> r = retry.Run([&]() -> StatusOr<int> {
+    ++invocations;
+    return Status::DeadlineExceeded("slow");
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(invocations, 3u);
+  EXPECT_EQ(retry.failed_attempts(), 3u);
+  EXPECT_EQ(retry.abandoned_calls(), 1u);
+}
+
+TEST(RetryControllerTest, BudgetExhaustionStopsIssuingCalls) {
+  RetryOptions options;
+  options.max_attempts = 2;
+  options.failure_budget = 5;
+  RetryController retry(options);
+  size_t invocations = 0;
+  const auto failing = [&]() -> StatusOr<int> {
+    ++invocations;
+    return Status::Unavailable("down");
+  };
+  // Each call burns up to max_attempts failures; the budget caps the total.
+  while (!retry.exhausted()) retry.Run(failing);
+  EXPECT_GE(retry.failed_attempts(), options.failure_budget);
+  // Every path observes the budget: once exhausted, Run refuses to invoke.
+  const size_t invocations_before = invocations;
+  const StatusOr<int> refused = retry.Run(failing);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(invocations, invocations_before);
+}
+
+TEST(RetryControllerTest, BackoffGrowsAndIsBounded) {
+  RetryOptions options;
+  options.max_attempts = 20;
+  options.failure_budget = 100;
+  options.base_backoff_ms = 10.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 100.0;
+  options.jitter_fraction = 0.0;  // deterministic schedule for the bound
+  RetryController retry(options);
+  retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+  // 20 attempts: 10+20+40+80 then 16 x 100 (capped) = 1750.
+  EXPECT_DOUBLE_EQ(retry.simulated_backoff_ms(), 1750.0);
+}
+
+TEST(RetryControllerTest, RespectsRetryAfterHint) {
+  RetryOptions options;
+  options.max_attempts = 2;
+  options.base_backoff_ms = 1.0;
+  options.max_backoff_ms = 2.0;
+  RetryController retry(options);
+  retry.Run([&]() -> StatusOr<int> {
+    return Status::ResourceExhausted("throttled; retry_after_ms=500");
+  });
+  // Two failed attempts, each waiting at least the hinted 500ms.
+  EXPECT_GE(retry.simulated_backoff_ms(), 1000.0);
+}
+
+TEST(RetryControllerTest, JitterIsDeterministicPerSeed) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  const auto run_once = [&options] {
+    RetryController retry(options);
+    retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+    return retry.simulated_backoff_ms();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(ParseRetryAfterTest, ParsesHintAndRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(
+      ParseRetryAfterMs(Status::ResourceExhausted("x; retry_after_ms=250")),
+      250.0);
+  EXPECT_DOUBLE_EQ(
+      ParseRetryAfterMs(Status::ResourceExhausted("retry_after_ms=1.5 more")),
+      1.5);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterMs(Status::Unavailable("no hint here")),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      ParseRetryAfterMs(Status::ResourceExhausted("retry_after_ms=oops")),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      ParseRetryAfterMs(Status::ResourceExhausted("retry_after_ms=-3")), 0.0);
+}
+
+}  // namespace
+}  // namespace fedsearch::util

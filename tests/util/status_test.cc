@@ -25,6 +25,32 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
             Status::Code::kFailedPrecondition);
   EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), Status::Code::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+}
+
+TEST(StatusTest, TransientCodesRenderDistinctNames) {
+  EXPECT_EQ(Status::Unavailable("db down").ToString(),
+            "UNAVAILABLE: db down");
+  EXPECT_EQ(Status::DeadlineExceeded("slow").ToString(),
+            "DEADLINE_EXCEEDED: slow");
+  EXPECT_EQ(Status::ResourceExhausted("throttled").ToString(),
+            "RESOURCE_EXHAUSTED: throttled");
+}
+
+TEST(StatusTest, IsTransientCoversExactlyTheRetryableCodes) {
+  EXPECT_TRUE(IsTransient(Status::Unavailable("x")));
+  EXPECT_TRUE(IsTransient(Status::DeadlineExceeded("x")));
+  EXPECT_TRUE(IsTransient(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsTransient(Status::Ok()));
+  EXPECT_FALSE(IsTransient(Status::NotFound("x")));
+  EXPECT_FALSE(IsTransient(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransient(Status::FailedPrecondition("x")));
+  EXPECT_FALSE(IsTransient(Status::OutOfRange("x")));
+  EXPECT_FALSE(IsTransient(Status::Internal("x")));
 }
 
 TEST(StatusOrTest, HoldsValue) {
