@@ -1,0 +1,185 @@
+// Serving-layer throughput: queries/sec of Metasearcher::SelectDatabases
+// with one thread versus the auto-detected thread count, for each summary
+// mode, plus posterior-cache hit rates. Before timing anything the bench
+// verifies the parallel rankings are bit-identical to the serial ones —
+// a speedup that changes results would be a bug, not a feature.
+//
+// Usage:
+//   bench_serving_throughput [--smoke] [--threads N]
+//
+// --smoke runs one timing repetition (CI sanity check); --threads overrides
+// the parallel thread count (default: FEDSEARCH_THREADS, else hardware
+// concurrency). FEDSEARCH_SCALE / FEDSEARCH_SEED apply as in every bench.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/util/thread_pool.h"
+#include "harness/experiment.h"
+
+using namespace fedsearch;
+
+namespace {
+
+struct TimingResult {
+  double qps = 0.0;
+  size_t queries = 0;
+};
+
+TimingResult TimeSelection(const core::Metasearcher& meta,
+                           const std::vector<selection::Query>& queries,
+                           const selection::ScoringFunction& scorer,
+                           core::SummaryMode mode, size_t repetitions) {
+  // One untimed pass warms the posterior cache the way a serving process
+  // would be warm after its first few requests.
+  for (const selection::Query& q : queries) {
+    meta.SelectDatabases(q, scorer, mode);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  size_t served = 0;
+  for (size_t rep = 0; rep < repetitions; ++rep) {
+    for (const selection::Query& q : queries) {
+      const auto outcome = meta.SelectDatabases(q, scorer, mode);
+      if (outcome.databases_considered == 0) std::abort();  // keep it live
+      ++served;
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  TimingResult r;
+  r.queries = served;
+  r.qps = elapsed.count() > 0.0 ? static_cast<double>(served) / elapsed.count()
+                                : 0.0;
+  return r;
+}
+
+bool VerifyBitIdentical(const core::Metasearcher& serial,
+                        const core::Metasearcher& parallel,
+                        const std::vector<selection::Query>& queries,
+                        const selection::ScoringFunction& scorer,
+                        core::SummaryMode mode) {
+  for (const selection::Query& q : queries) {
+    const auto a = serial.SelectDatabases(q, scorer, mode);
+    const auto b = parallel.SelectDatabases(q, scorer, mode);
+    if (a.shrinkage_applied != b.shrinkage_applied ||
+        a.category_fallbacks != b.category_fallbacks ||
+        a.ranking.size() != b.ranking.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.ranking.size(); ++i) {
+      if (a.ranking[i].database != b.ranking[i].database ||
+          a.ranking[i].score != b.ranking[i].score) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+const char* Name(core::SummaryMode mode) {
+  switch (mode) {
+    case core::SummaryMode::kPlain:
+      return "plain";
+    case core::SummaryMode::kAdaptiveShrinkage:
+      return "adaptive";
+    case core::SummaryMode::kUniversalShrinkage:
+      return "universal";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t threads = util::ThreadPool::DefaultThreadCount();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (threads < 1) threads = 1;
+  const size_t repetitions = smoke ? 1 : 5;
+
+  const bench::ExperimentConfig config = bench::ConfigFromEnv();
+  const bench::DataSet dataset = bench::DataSet::kTrec4;
+  const corpus::Testbed& bed = bench::GetTestbed(dataset, config);
+
+  std::vector<selection::Query> queries;
+  for (const corpus::TestQuery& tq : bed.queries()) {
+    queries.push_back(selection::Query{bed.analyzer().Analyze(tq.text)});
+  }
+
+  core::MetasearcherOptions serial_options;
+  serial_options.num_threads = 1;
+  auto serial = bench::BuildMetasearcher(
+      dataset,
+      bench::SampleFederation(dataset, bench::SamplerKind::kQbs,
+                              /*frequency_estimation=*/true, 0, config),
+      config, serial_options);
+  core::MetasearcherOptions parallel_options;
+  parallel_options.num_threads = threads;
+  auto parallel = bench::BuildMetasearcher(
+      dataset,
+      bench::SampleFederation(dataset, bench::SamplerKind::kQbs,
+                              /*frequency_estimation=*/true, 0, config),
+      config, parallel_options);
+
+  std::printf("Serving throughput: %s, %zu databases, %zu queries, "
+              "%zu repetitions\n",
+              Name(dataset), serial->num_databases(), queries.size(),
+              repetitions);
+  std::printf("Threads: serial=1, parallel=%zu\n\n", parallel->num_threads());
+
+  const selection::CoriScorer cori;
+  const selection::BglossScorer bgloss;
+
+  for (core::SummaryMode mode :
+       {core::SummaryMode::kPlain, core::SummaryMode::kUniversalShrinkage,
+        core::SummaryMode::kAdaptiveShrinkage}) {
+    for (const selection::ScoringFunction* scorer :
+         std::initializer_list<const selection::ScoringFunction*>{&cori,
+                                                                  &bgloss}) {
+      if (!VerifyBitIdentical(*serial, *parallel, queries, *scorer, mode)) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s parallel ranking differs from serial\n",
+                     Name(mode), std::string(scorer->name()).c_str());
+        return 1;
+      }
+      const TimingResult one =
+          TimeSelection(*serial, queries, *scorer, mode, repetitions);
+      const TimingResult many =
+          TimeSelection(*parallel, queries, *scorer, mode, repetitions);
+      std::printf("%-9s %-7s %10.1f qps (1 thread) %10.1f qps (%zu threads)"
+                  "  speedup %.2fx  [bit-identical]\n",
+                  Name(mode), std::string(scorer->name()).c_str(), one.qps,
+                  many.qps, parallel->num_threads(),
+                  one.qps > 0.0 ? many.qps / one.qps : 0.0);
+      std::fflush(stdout);
+    }
+  }
+
+  const auto serial_stats = serial->posterior_cache_stats();
+  const auto parallel_stats = parallel->posterior_cache_stats();
+  std::printf("\nPosterior cache: serial %llu hits / %llu misses "
+              "(%.1f%% hit rate), parallel %llu hits / %llu misses "
+              "(%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(serial_stats.hits),
+              static_cast<unsigned long long>(serial_stats.misses),
+              100.0 * serial_stats.hit_rate(),
+              static_cast<unsigned long long>(parallel_stats.hits),
+              static_cast<unsigned long long>(parallel_stats.misses),
+              100.0 * parallel_stats.hit_rate());
+  return 0;
+}

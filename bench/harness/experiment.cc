@@ -135,11 +135,12 @@ Federation SampleFederation(DataSet dataset, SamplerKind sampler,
 }
 
 std::unique_ptr<core::Metasearcher> BuildMetasearcher(
-    DataSet dataset, Federation federation, const ExperimentConfig& config) {
+    DataSet dataset, Federation federation, const ExperimentConfig& config,
+    core::MetasearcherOptions options) {
   const corpus::Testbed& bed = GetTestbed(dataset, config);
   return std::make_unique<core::Metasearcher>(
       &bed.hierarchy(), std::move(federation.samples),
-      std::move(federation.classifications));
+      std::move(federation.classifications), options);
 }
 
 void RunQualityTable(const std::string& title,

@@ -58,9 +58,9 @@ Federation SampleFederation(DataSet dataset, SamplerKind sampler,
                             const ExperimentConfig& config,
                             bool keep_documents = false);
 
-std::unique_ptr<core::Metasearcher> BuildMetasearcher(DataSet dataset,
-                                                      Federation federation,
-                                                      const ExperimentConfig& config);
+std::unique_ptr<core::Metasearcher> BuildMetasearcher(
+    DataSet dataset, Federation federation, const ExperimentConfig& config,
+    core::MetasearcherOptions options = {});
 
 // ---------------------------------------------------------------- tables --
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite in a Debug+ASan tree and a
+# Release tree, plus a smoke run of the serving-throughput bench (which
+# exits non-zero if parallel rankings ever diverge from serial).
+#
+# Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+run() {
+  echo "+ $*"
+  "$@"
+}
+
+# --- Debug + AddressSanitizer -------------------------------------------
+run cmake -B build-ci-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=address
+run cmake --build build-ci-asan -j "$JOBS"
+run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+
+# --- Release -------------------------------------------------------------
+run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build-ci-release -j "$JOBS"
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+# --- Serving-layer smoke -------------------------------------------------
+# Verifies bit-identical serial-vs-parallel rankings on the TREC4 testbed
+# and prints qps + posterior-cache hit rates.
+run ./build-ci-release/bench/bench_serving_throughput --smoke
+
+echo "ci.sh: all green"

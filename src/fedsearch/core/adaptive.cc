@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fedsearch/core/posterior_cache.h"
 #include "fedsearch/util/math.h"
 
 namespace fedsearch::core {
+
+double PowerLawGamma(double mandelbrot_alpha) {
+  // α must be safely negative: γ = 1/α − 1 diverges as α → 0⁻, and a
+  // degenerate fit (two usable rank points, a near-flat slope) would turn
+  // into an overwhelming d^γ prior that no binomial evidence can offset.
+  constexpr double kMinNegativeAlpha = -0.25;
+  double alpha = mandelbrot_alpha;
+  if (!std::isfinite(alpha) || alpha > kMinNegativeAlpha) alpha = -1.0;
+  return 1.0 / alpha - 1.0;
+}
 
 OverrideSummary::OverrideSummary(
     const summary::SummaryView* base,
@@ -32,11 +43,45 @@ double OverrideSummary::TokenFrequency(const std::string& word) const {
 void OverrideSummary::ForEachWord(
     const std::function<void(const std::string&, const summary::WordStats&)>&
         fn) const {
-  base_->ForEachWord(fn);
+  // The perturbation must be visible to vocabulary-iterating consumers
+  // too, not just to point lookups: overridden words are emitted with the
+  // overridden df and the proportionally-scaled ctf (the same values
+  // DocFrequency/TokenFrequency report), and overridden words absent from
+  // the base vocabulary are appended afterwards.
+  base_->ForEachWord(
+      [&](const std::string& word, const summary::WordStats& stats) {
+        auto it = df_override_->find(word);
+        if (it == df_override_->end()) {
+          fn(word, stats);
+          return;
+        }
+        summary::WordStats overridden;
+        overridden.df = it->second;
+        overridden.ctf = stats.df > 0.0
+                             ? it->second * stats.ctf / stats.df
+                             : it->second;
+        fn(word, overridden);
+      });
+  for (const auto& [word, df] : *df_override_) {
+    if (df <= 0.0 || base_->DocFrequency(word) > 0.0 ||
+        base_->TokenFrequency(word) > 0.0) {
+      continue;
+    }
+    // Word unseen in the sample: one occurrence per containing doc,
+    // matching TokenFrequency.
+    fn(word, summary::WordStats{df, df});
+  }
 }
 
 size_t OverrideSummary::vocabulary_size() const {
-  return base_->vocabulary_size();
+  size_t extra = 0;
+  for (const auto& [word, df] : *df_override_) {
+    if (df > 0.0 && base_->DocFrequency(word) <= 0.0 &&
+        base_->TokenFrequency(word) <= 0.0) {
+      ++extra;
+    }
+  }
+  return base_->vocabulary_size() + extra;
 }
 
 DocFrequencyPosterior::DocFrequencyPosterior(size_t sample_df,
@@ -100,7 +145,8 @@ AdaptiveSummarySelector::AdaptiveSummarySelector(AdaptiveOptions options)
 AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     const selection::Query& query, const sampling::SampleResult& sample,
     const selection::ScoringFunction& scorer,
-    const selection::ScoringContext& context, util::Rng& rng) const {
+    const selection::ScoringContext& context, util::Rng& rng,
+    PosteriorCache* cache, size_t database_index) const {
   Uncertainty result;
   const double db_size = std::max(1.0, sample.estimated_db_size);
 
@@ -130,20 +176,28 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     if (!any_present || !any_absent) return result;
   }
 
-  // γ = 1/α − 1 from the rank-frequency exponent (Appendix B; [1]).
-  const double alpha = sample.mandelbrot_alpha < 0.0
-                           ? sample.mandelbrot_alpha
-                           : -1.0;
-  const double gamma = 1.0 / alpha - 1.0;
+  // γ = 1/α − 1 from the rank-frequency exponent (Appendix B; [1]),
+  // with degenerate fits falling back to the Zipf default (PowerLawGamma).
+  const double gamma = PowerLawGamma(sample.mandelbrot_alpha);
 
-  // Per-word posteriors p(d_k | s_k).
-  std::vector<DocFrequencyPosterior> posteriors;
+  // Per-word posteriors p(d_k | s_k) — memoized per (database, s_k) when a
+  // cache is supplied, since all other posterior parameters are fixed per
+  // database.
+  std::vector<const DocFrequencyPosterior*> posteriors;
   posteriors.reserve(query.terms.size());
+  std::vector<DocFrequencyPosterior> owned;
+  owned.reserve(cache == nullptr ? query.terms.size() : 0);
   for (const std::string& w : query.terms) {
     auto it = sample.sample_df.find(w);
     const size_t sk = it != sample.sample_df.end() ? it->second : 0;
-    posteriors.emplace_back(sk, sample.sample_size, db_size, gamma,
-                            options_.grid_points);
+    if (cache != nullptr) {
+      posteriors.push_back(&cache->Get(database_index, sk, sample.sample_size,
+                                       db_size, gamma, options_.grid_points));
+    } else {
+      owned.emplace_back(sk, sample.sample_size, db_size, gamma,
+                         options_.grid_points);
+      posteriors.push_back(&owned.back());
+    }
   }
 
   // Monte-Carlo over (d1, ..., dn) combinations.
@@ -152,10 +206,11 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
   util::RunningStats stats;
   double last_mean = 0.0;
   double last_std = 0.0;
+  bool have_baseline = false;
   for (size_t draw = 0; draw < options_.max_draws; ++draw) {
     overrides.clear();
     for (size_t i = 0; i < query.terms.size(); ++i) {
-      overrides[query.terms[i]] = posteriors[i].Sample(rng);
+      overrides[query.terms[i]] = posteriors[i]->Sample(rng);
     }
     stats.Add(scorer.Score(query, perturbed, context));
 
@@ -163,10 +218,16 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
       const double mean = stats.mean();
       const double stddev = stats.stddev();
       const double scale = std::max({std::fabs(mean), stddev, 1e-12});
-      if (std::fabs(mean - last_mean) < options_.convergence_tolerance * scale &&
+      // The first check only seeds the baselines: comparing against the
+      // zero initializers would spuriously pass at min_draws whenever the
+      // true score mean and stddev are themselves near zero, so an early
+      // exit requires a full check interval of observed stability.
+      if (have_baseline &&
+          std::fabs(mean - last_mean) < options_.convergence_tolerance * scale &&
           std::fabs(stddev - last_std) < options_.convergence_tolerance * scale) {
         break;
       }
+      have_baseline = true;
       last_mean = mean;
       last_std = stddev;
     }

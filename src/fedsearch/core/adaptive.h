@@ -43,11 +43,22 @@ struct AdaptiveOptions {
   size_t present_min_df = 2;
 };
 
+// γ = 1/α − 1, the power-law prior exponent of Appendix B, from a
+// database's Mandelbrot rank-frequency exponent α. Degenerate fits are
+// clamped: a near-zero α (e.g. −0.01 from a two-point fit over a tiny
+// sample) would yield γ ≈ −101 and collapse the posterior p(d|s) onto
+// d = 1 regardless of the binomial evidence, so any α that is not safely
+// negative (α > −0.25, including non-negative and non-finite values)
+// falls back to the pure-Zipf default α = −1 (γ = −2), the same default
+// used when no fit is available. Exposed for testing.
+double PowerLawGamma(double mandelbrot_alpha);
+
 // A summary view that overrides the document frequencies of a few words —
 // the "assume w_k appears in exactly d_k documents" counterfactual of the
 // Content Summary Selection step (Figure 3). Token frequencies of
 // overridden words are scaled proportionally so LM-style scorers respond
-// to the perturbation too.
+// to the perturbation too — both for point lookups and for ForEachWord
+// vocabulary iteration.
 class OverrideSummary : public summary::SummaryView {
  public:
   // Both referents must outlive this object.
@@ -90,6 +101,8 @@ class DocFrequencyPosterior {
   util::DiscreteSampler sampler_;
 };
 
+class PosteriorCache;
+
 // Decides — per query and database — whether the sample summary is
 // trustworthy or shrinkage should be applied: the Content Summary Selection
 // step of Figure 3. Stateless apart from options.
@@ -114,7 +127,22 @@ class AdaptiveSummarySelector {
                        const sampling::SampleResult& sample,
                        const selection::ScoringFunction& scorer,
                        const selection::ScoringContext& context,
-                       util::Rng& rng) const;
+                       util::Rng& rng) const {
+    return Evaluate(query, sample, scorer, context, rng, nullptr, 0);
+  }
+
+  // Same, but memoizing the per-word posteriors in `cache` under
+  // `database_index` (see PosteriorCache). The posterior for a word
+  // depends only on (s_k, |S|, |D̂|, γ, grid_points) — everything except
+  // s_k is fixed per database — so across a query workload the cache
+  // converges to one entry per distinct sample frequency and the hit rate
+  // approaches 100%. Results are bit-identical to the uncached overload.
+  Uncertainty Evaluate(const selection::Query& query,
+                       const sampling::SampleResult& sample,
+                       const selection::ScoringFunction& scorer,
+                       const selection::ScoringContext& context,
+                       util::Rng& rng, PosteriorCache* cache,
+                       size_t database_index) const;
 
  private:
   AdaptiveOptions options_;

@@ -35,6 +35,27 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
       hierarchy_summaries_.get(), std::move(sample_sizes), options_.shrinkage);
   hierarchical_ = std::make_unique<selection::HierarchicalSelector>(
       hierarchy_, summary_ptrs, classifications_);
+
+  // Serving-layer state: the samples and shrunk summaries are immutable
+  // from here on, so the corpus statistics are computed once (off the
+  // per-query hot path) and the posterior cache never invalidates.
+  std::vector<const summary::SummaryView*> plain_views;
+  std::vector<const summary::SummaryView*> shrunk_views;
+  plain_views.reserve(samples_.size());
+  shrunk_views.reserve(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    plain_views.push_back(&samples_[i].summary);
+    shrunk_views.push_back(&shrinkage_->shrunk(i));
+  }
+  plain_statistics_ = selection::ScoringStatisticsCache(plain_views);
+  shrunk_statistics_ = selection::ScoringStatisticsCache(shrunk_views);
+  posterior_cache_.Reset(samples_.size());
+  num_threads_ = options_.num_threads > 0
+                     ? options_.num_threads
+                     : util::ThreadPool::DefaultThreadCount();
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(num_threads_);
+  }
 }
 
 Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
@@ -64,26 +85,43 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       }
       decision_context.global_summary =
           &hierarchy_summaries_->root_aggregate();
-      selection::PrepareContextForQuery(query, decision_context);
+      plain_statistics_.FillContext(query, decision_context);
+
+      // Every database gets its own deterministically-forked RNG stream,
+      // pre-forked in index order so the streams — and therefore the
+      // rankings — are identical for any thread count (and to the serial
+      // fork-inside-the-loop layout this replaces). Degraded databases
+      // still consume a fork to keep fault-free and faulty runs aligned.
       util::Rng rng(options_.adaptive_seed);
-      for (size_t i = 0; i < n; ++i) {
-        util::Rng db_rng = rng.Fork();
+      std::vector<util::Rng> db_rngs;
+      db_rngs.reserve(n);
+      for (size_t i = 0; i < n; ++i) db_rngs.push_back(rng.Fork());
+
+      std::vector<uint8_t> applied(n, 0);
+      const auto evaluate_one = [&](size_t i) {
         if (degraded_[i]) {
           // No sample to estimate uncertainty from; the fallback below
-          // supplies the summary. Fork anyway so the per-database RNG
-          // streams stay aligned with the fault-free run.
+          // supplies the summary.
           chosen[i] = &samples_[i].summary;
-          continue;
+          return;
         }
-        const AdaptiveSummarySelector::Uncertainty u = adaptive_.Evaluate(
-            query, samples_[i], scorer, decision_context, db_rng);
-        if (u.use_shrinkage) {
-          chosen[i] = &shrinkage_->shrunk(i);
-          ++outcome.shrinkage_applied;
-        } else {
-          chosen[i] = &samples_[i].summary;
-        }
+        const AdaptiveSummarySelector::Uncertainty u =
+            adaptive_.Evaluate(query, samples_[i], scorer, decision_context,
+                               db_rngs[i], &posterior_cache_, i);
+        applied[i] = u.use_shrinkage ? 1 : 0;
+        chosen[i] =
+            u.use_shrinkage
+                ? static_cast<const summary::SummaryView*>(
+                      &shrinkage_->shrunk(i))
+                : static_cast<const summary::SummaryView*>(
+                      &samples_[i].summary);
+      };
+      if (pool_ != nullptr) {
+        pool_->ParallelFor(n, evaluate_one);
+      } else {
+        for (size_t i = 0; i < n; ++i) evaluate_one(i);
       }
+      for (size_t i = 0; i < n; ++i) outcome.shrinkage_applied += applied[i];
       break;
     }
   }
@@ -112,9 +150,62 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
   selection::ScoringContext context;
   context.ranked_summaries = chosen;
   context.global_summary = &hierarchy_summaries_->root_aggregate();
-  selection::PrepareContextForQuery(query, context);
-  outcome.ranking = selection::RankDatabases(query, chosen, scorer, context);
+  FillContextForChosen(query, chosen, mode, context);
+  outcome.ranking =
+      selection::RankDatabases(query, chosen, scorer, context, pool_.get());
   return outcome;
+}
+
+void Metasearcher::FillContextForChosen(
+    const selection::Query& query,
+    const std::vector<const summary::SummaryView*>& chosen, SummaryMode mode,
+    selection::ScoringContext& context) const {
+  const size_t n = chosen.size();
+  const bool universal = mode == SummaryMode::kUniversalShrinkage;
+  const selection::ScoringStatisticsCache& base =
+      universal ? shrunk_statistics_ : plain_statistics_;
+
+  // Databases whose chosen summary differs from the precomputed base set
+  // (adaptive shrinkage decisions and category fallbacks). Typically a
+  // small fraction of the federation.
+  std::vector<size_t> changed;
+  for (size_t i = 0; i < n; ++i) {
+    const summary::SummaryView* base_view =
+        universal ? static_cast<const summary::SummaryView*>(
+                        &shrinkage_->shrunk(i))
+                  : static_cast<const summary::SummaryView*>(
+                        &samples_[i].summary);
+    if (chosen[i] != base_view) changed.push_back(i);
+  }
+
+  if (changed.empty()) {
+    context.cached_mean_cw = base.mean_cw();
+  } else {
+    // Same ordered reduction as PrepareContextForQuery, over the actual
+    // chosen set.
+    double total_cw = 0.0;
+    for (const summary::SummaryView* s : chosen) total_cw += s->total_tokens();
+    context.cached_mean_cw =
+        n == 0 ? 1.0 : total_cw / static_cast<double>(n);
+    if (context.cached_mean_cw <= 0.0) context.cached_mean_cw = 1.0;
+  }
+
+  context.cached_cf.clear();
+  for (const std::string& w : query.terms) {
+    if (context.cached_cf.count(w)) continue;
+    long long cf = static_cast<long long>(base.CollectionFrequency(w));
+    for (size_t i : changed) {
+      const summary::SummaryView* base_view =
+          universal ? static_cast<const summary::SummaryView*>(
+                          &shrinkage_->shrunk(i))
+                    : static_cast<const summary::SummaryView*>(
+                          &samples_[i].summary);
+      if (chosen[i]->ContainsRounded(w)) ++cf;
+      if (base_view->ContainsRounded(w)) --cf;
+    }
+    context.cached_cf.emplace(w, cf > 0 ? static_cast<size_t>(cf) : 0);
+  }
+  context.has_cached_statistics = true;
 }
 
 std::vector<selection::RankedDatabase> Metasearcher::SelectHierarchical(

@@ -6,12 +6,14 @@
 
 #include "fedsearch/core/adaptive.h"
 #include "fedsearch/core/hierarchy_summaries.h"
+#include "fedsearch/core/posterior_cache.h"
 #include "fedsearch/core/shrinkage.h"
 #include "fedsearch/corpus/topic_hierarchy.h"
 #include "fedsearch/sampling/sample_result.h"
 #include "fedsearch/selection/flat_ranker.h"
 #include "fedsearch/selection/hierarchical.h"
 #include "fedsearch/selection/scoring.h"
+#include "fedsearch/util/thread_pool.h"
 
 namespace fedsearch::core {
 
@@ -31,6 +33,13 @@ struct MetasearcherOptions {
   AdaptiveOptions adaptive;
   // Seed for the adaptive Monte-Carlo draws (forked per query/database).
   uint64_t adaptive_seed = 0xADA9715EULL;
+  // Worker threads for SelectDatabases (the per-database fan-out of the
+  // adaptive evaluation and the scoring). 0 = auto: the FEDSEARCH_THREADS
+  // environment variable if set, else the hardware concurrency. Rankings
+  // are bit-identical for every thread count — each database's work runs
+  // on its own deterministically-forked RNG stream and reductions happen
+  // in index order on the calling thread.
+  size_t num_threads = 0;
 };
 
 // End-to-end federation layer: owns the per-database sample results and
@@ -76,6 +85,21 @@ class Metasearcher {
   const summary::ContentSummary& global_summary() const {
     return hierarchy_summaries_->root_aggregate();
   }
+  // Threads SelectDatabases fans out over (resolved from the options).
+  size_t num_threads() const { return num_threads_; }
+  // Hit/miss counters of the per-(database, sample_df) posterior cache the
+  // adaptive path draws from; serving-layer instrumentation.
+  PosteriorCache::Stats posterior_cache_stats() const {
+    return posterior_cache_.stats();
+  }
+  // Precomputed corpus statistics (cf(w) over the full vocabulary, mean
+  // collection word count) for the unshrunk / shrunk summary sets.
+  const selection::ScoringStatisticsCache& plain_statistics() const {
+    return plain_statistics_;
+  }
+  const selection::ScoringStatisticsCache& shrunk_statistics() const {
+    return shrunk_statistics_;
+  }
 
   struct SelectionOutcome {
     std::vector<selection::RankedDatabase> ranking;
@@ -102,6 +126,17 @@ class Metasearcher {
       size_t k) const;
 
  private:
+  // Fills the scoring context for the chosen summary set: mean cw by the
+  // same ordered reduction PrepareContextForQuery uses, cf(w) from the
+  // mode's precomputed statistics plus a per-term delta for the databases
+  // whose chosen summary differs from that base set (shrinkage applied or
+  // category fallback) — O(terms × changed databases) instead of
+  // O(terms × databases).
+  void FillContextForChosen(
+      const selection::Query& query,
+      const std::vector<const summary::SummaryView*>& chosen,
+      SummaryMode mode, selection::ScoringContext& context) const;
+
   const corpus::TopicHierarchy* hierarchy_;
   std::vector<sampling::SampleResult> samples_;
   std::vector<corpus::CategoryId> classifications_;
@@ -111,6 +146,11 @@ class Metasearcher {
   std::unique_ptr<ShrinkageModel> shrinkage_;
   std::unique_ptr<selection::HierarchicalSelector> hierarchical_;
   AdaptiveSummarySelector adaptive_;
+  selection::ScoringStatisticsCache plain_statistics_;
+  selection::ScoringStatisticsCache shrunk_statistics_;
+  mutable PosteriorCache posterior_cache_;
+  size_t num_threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when serving serially
 };
 
 }  // namespace fedsearch::core

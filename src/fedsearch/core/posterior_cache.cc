@@ -1,0 +1,56 @@
+#include "fedsearch/core/posterior_cache.h"
+
+namespace fedsearch::core {
+
+PosteriorCache::PosteriorCache(size_t num_databases) {
+  Reset(num_databases);
+}
+
+void PosteriorCache::Reset(size_t num_databases) {
+  shards_.clear();
+  shards_.reserve(num_databases);
+  for (size_t i = 0; i < num_databases; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+const DocFrequencyPosterior& PosteriorCache::Get(size_t database,
+                                                 size_t sample_df,
+                                                 size_t sample_size,
+                                                 double db_size, double gamma,
+                                                 size_t grid_points) {
+  Shard& shard = *shards_[database];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_df.find(sample_df);
+  if (it != shard.by_df.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return *it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Building under the shard lock keeps the invariant "one grid per key"
+  // without a second lookup; construction is O(grid_points) and rare.
+  auto posterior = std::make_unique<DocFrequencyPosterior>(
+      sample_df, sample_size, db_size, gamma, grid_points);
+  return *shard.by_df.emplace(sample_df, std::move(posterior))
+              .first->second;
+}
+
+PosteriorCache::Stats PosteriorCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t PosteriorCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->by_df.size();
+  }
+  return total;
+}
+
+}  // namespace fedsearch::core

@@ -1,0 +1,78 @@
+#ifndef FEDSEARCH_CORE_POSTERIOR_CACHE_H_
+#define FEDSEARCH_CORE_POSTERIOR_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "fedsearch/core/adaptive.h"
+
+namespace fedsearch::core {
+
+// Memoizes DocFrequencyPosterior grids by (database, sample_df).
+//
+// The posterior p(d_k | s_k) of Appendix B is a function of
+// (s_k, |S|, |D̂|, γ, grid_points) only. For a fixed database, everything
+// but the sample frequency s_k is a constant of its sample, so the key
+// space per database is the handful of distinct s_k values its vocabulary
+// exhibits — across a query workload the hit rate approaches 100%, and
+// rebuilding the grid (64+ log-weight evaluations plus a CDF) leaves the
+// Monte-Carlo hot path.
+//
+// Thread-safety: one mutex-guarded shard per database. The parallel
+// serving layer partitions work per database, so within one
+// SelectDatabases call each shard is touched by exactly one worker and
+// the locks are uncontended; they exist so concurrent SelectDatabases
+// calls on one Metasearcher remain safe. Entries are node-allocated and
+// never evicted (the samples are immutable for the cache's lifetime), so
+// returned references stay valid until Reset.
+class PosteriorCache {
+ public:
+  explicit PosteriorCache(size_t num_databases = 0);
+
+  // Drops all entries and counters and resizes to `num_databases` shards.
+  void Reset(size_t num_databases);
+
+  size_t num_databases() const { return shards_.size(); }
+
+  // The posterior for word sample frequency `sample_df` in `database`,
+  // built on first use from the given sample parameters. The caller must
+  // pass the same (sample_size, db_size, gamma, grid_points) for every
+  // call with the same database — they are properties of the database's
+  // sample, not of the query.
+  const DocFrequencyPosterior& Get(size_t database, size_t sample_df,
+                                   size_t sample_size, double db_size,
+                                   double gamma, size_t grid_points);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  // Total posterior grids currently materialized (across all databases).
+  size_t size() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<size_t, std::unique_ptr<DocFrequencyPosterior>> by_df;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace fedsearch::core
+
+#endif  // FEDSEARCH_CORE_POSTERIOR_CACHE_H_

@@ -17,7 +17,10 @@ MandelbrotFit FitMandelbrot(const std::vector<double>& frequencies_desc) {
   log_freqs.reserve(frequencies_desc.size());
   for (size_t i = 0; i < frequencies_desc.size(); ++i) {
     if (frequencies_desc[i] <= 0.0) continue;
-    log_ranks.push_back(std::log(static_cast<double>(i + 1)));
+    // Rank over the retained entries, not the original index: skipped
+    // non-positive frequencies must not leave rank gaps, which would bias
+    // the fitted slope whenever zeros are interleaved mid-list.
+    log_ranks.push_back(std::log(static_cast<double>(log_ranks.size() + 1)));
     log_freqs.push_back(std::log(frequencies_desc[i]));
   }
   MandelbrotFit fit;

@@ -8,16 +8,31 @@ namespace fedsearch::selection {
 std::vector<RankedDatabase> RankDatabases(
     const Query& query,
     const std::vector<const summary::SummaryView*>& summaries,
-    const ScoringFunction& scorer, const ScoringContext& context) {
+    const ScoringFunction& scorer, const ScoringContext& context,
+    util::ThreadPool* pool) {
+  const size_t n = summaries.size();
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> fallbacks(n, 0.0);
+  const auto score_one = [&](size_t i) {
+    scores[i] = scorer.Score(query, *summaries[i], context);
+    fallbacks[i] = scorer.DefaultScore(query, *summaries[i], context);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, score_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) score_one(i);
+  }
+
   std::vector<RankedDatabase> ranking;
-  ranking.reserve(summaries.size());
-  for (size_t i = 0; i < summaries.size(); ++i) {
-    const double score = scorer.Score(query, *summaries[i], context);
-    const double fallback = scorer.DefaultScore(query, *summaries[i], context);
+  ranking.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     // "Default" scores mean the summary contributed no query-specific
     // evidence; such databases are not selected.
-    if (score <= fallback * (1.0 + 1e-12) || !std::isfinite(score)) continue;
-    ranking.push_back(RankedDatabase{i, score});
+    if (scores[i] <= fallbacks[i] * (1.0 + 1e-12) ||
+        !std::isfinite(scores[i])) {
+      continue;
+    }
+    ranking.push_back(RankedDatabase{i, scores[i]});
   }
   std::sort(ranking.begin(), ranking.end(),
             [](const RankedDatabase& a, const RankedDatabase& b) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fedsearch/selection/scoring.h"
+#include "fedsearch/util/thread_pool.h"
 
 namespace fedsearch::selection {
 
@@ -19,10 +20,16 @@ struct RankedDatabase {
 // Databases whose score equals the scorer's default — i.e. databases for
 // which the summary provides no query-specific evidence — are omitted, so
 // the ranking may contain fewer databases than were given (Section 6.2).
+//
+// With a non-null `pool`, per-database scoring fans out over the pool's
+// workers; the filter and sort still run on the caller in index order, so
+// the ranking is bit-identical to the serial one (scorers are stateless
+// and each database's score is written to its own slot).
 std::vector<RankedDatabase> RankDatabases(
     const Query& query,
     const std::vector<const summary::SummaryView*>& summaries,
-    const ScoringFunction& scorer, const ScoringContext& context);
+    const ScoringFunction& scorer, const ScoringContext& context,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace fedsearch::selection
 

@@ -25,4 +25,42 @@ void PrepareContextForQuery(const Query& query, ScoringContext& context) {
   context.has_cached_statistics = true;
 }
 
+ScoringStatisticsCache::ScoringStatisticsCache(
+    const std::vector<const summary::SummaryView*>& summaries)
+    : num_summaries_(summaries.size()) {
+  double total_cw = 0.0;
+  for (const summary::SummaryView* s : summaries) {
+    total_cw += s->total_tokens();
+  }
+  mean_cw_ = summaries.empty()
+                 ? 1.0
+                 : total_cw / static_cast<double>(summaries.size());
+  if (mean_cw_ <= 0.0) mean_cw_ = 1.0;
+
+  for (const summary::SummaryView* s : summaries) {
+    // ContainsRounded (not the raw enumerated df) so trimming semantics —
+    // CORI's cf(w) fix for shrunk summaries — match query-time checks.
+    s->ForEachWord([&](const std::string& word, const summary::WordStats&) {
+      if (s->ContainsRounded(word)) ++cf_[word];
+    });
+  }
+}
+
+size_t ScoringStatisticsCache::CollectionFrequency(
+    const std::string& word) const {
+  auto it = cf_.find(word);
+  return it != cf_.end() ? it->second : 0;
+}
+
+void ScoringStatisticsCache::FillContext(const Query& query,
+                                         ScoringContext& context) const {
+  context.cached_cf.clear();
+  context.cached_mean_cw = mean_cw_;
+  for (const std::string& w : query.terms) {
+    if (context.cached_cf.count(w)) continue;
+    context.cached_cf.emplace(w, CollectionFrequency(w));
+  }
+  context.has_cached_statistics = true;
+}
+
 }  // namespace fedsearch::selection

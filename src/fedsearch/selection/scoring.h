@@ -40,6 +40,43 @@ struct ScoringContext {
 // count over context.ranked_summaries. Call once per (query, summary set).
 void PrepareContextForQuery(const Query& query, ScoringContext& context);
 
+// Corpus statistics of one FIXED summary set, precomputed over the full
+// vocabulary so that per-query context preparation is O(query terms)
+// instead of O(query terms × databases). A Metasearcher builds one cache
+// per summary set it serves (plain, shrunk) at construction time — the
+// summaries are immutable afterwards, so the cache never invalidates.
+//
+// The values are defined to match PrepareContextForQuery over the same
+// summary vector exactly: cf(w) counts summaries with ContainsRounded(w)
+// (integer, hence identical), and mean_cw sums total_tokens() in index
+// order (the same floating-point reduction order, hence bit-identical).
+class ScoringStatisticsCache {
+ public:
+  ScoringStatisticsCache() = default;
+
+  // Scans every summary's vocabulary once: O(databases × vocabulary).
+  explicit ScoringStatisticsCache(
+      const std::vector<const summary::SummaryView*>& summaries);
+
+  // cf(w) over the cached set; 0 for words no summary contains.
+  size_t CollectionFrequency(const std::string& word) const;
+
+  double mean_cw() const { return mean_cw_; }
+  size_t num_summaries() const { return num_summaries_; }
+  size_t vocabulary_size() const { return cf_.size(); }
+
+  // Fills context.cached_cf / cached_mean_cw for the query's terms and
+  // sets has_cached_statistics, assuming context.ranked_summaries is
+  // exactly the summary set this cache was built from. Equivalent to (and
+  // interchangeable with) PrepareContextForQuery, in O(query terms).
+  void FillContext(const Query& query, ScoringContext& context) const;
+
+ private:
+  std::unordered_map<std::string, size_t> cf_;
+  double mean_cw_ = 1.0;
+  size_t num_summaries_ = 0;
+};
+
 // A database selection algorithm: assigns s(q, D) from D's content summary
 // (Section 2.1). Implementations must be stateless so one instance can be
 // shared across threads and experiments.

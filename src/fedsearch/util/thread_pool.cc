@@ -1,0 +1,83 @@
+#include "fedsearch/util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace fedsearch::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Drain() {
+  while (true) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    (*fn_)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    Drain();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  Drain();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+  fn_ = nullptr;
+  count_ = 0;
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("FEDSEARCH_THREADS")) {
+    const long value = std::atol(env);
+    if (value > 0) return static_cast<size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+}  // namespace fedsearch::util

@@ -1,0 +1,77 @@
+#ifndef FEDSEARCH_UTIL_THREAD_POOL_H_
+#define FEDSEARCH_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedsearch::util {
+
+// Fixed-size pool of worker threads for data-parallel loops over database
+// indices (the query-serving fan-out). The design constraints, in order:
+//
+//  1. Determinism. ParallelFor partitions work dynamically (an atomic index
+//     counter), but callers must only write to per-index slots and reduce
+//     after the join, so results are independent of the work/thread
+//     assignment. The serving layer's bit-identical serial/parallel
+//     guarantee rests on this contract.
+//  2. No queue allocation per task. One loop is one "generation": workers
+//     park on a condition variable between loops and chase a shared atomic
+//     counter during one, so per-call overhead is two lock acquisitions,
+//     not one allocation per index.
+//  3. The calling thread participates, so ThreadPool(1) spawns no workers
+//     and ParallelFor degenerates to the plain serial loop.
+//
+// ParallelFor is not reentrant and the pool must not be shared by
+// concurrent ParallelFor callers; the Metasearcher serializes access.
+class ThreadPool {
+ public:
+  // `num_threads` counts the calling thread: the pool spawns
+  // max(num_threads, 1) - 1 workers.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total threads that execute a ParallelFor (workers + caller).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Runs fn(i) for every i in [0, count), distributed over the pool, and
+  // blocks until all indices completed. fn must not throw, must not call
+  // back into this pool, and must only touch per-index state (see class
+  // comment). With no workers (or count <= 1) the loop runs inline.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  // Thread count to use when the caller does not specify one: the
+  // FEDSEARCH_THREADS environment variable if set to a positive integer,
+  // otherwise the hardware concurrency (at least 1).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+  void Drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current generation's loop, guarded by mu_ for publication; workers read
+  // it only after observing the generation bump under mu_.
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t pending_workers_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fedsearch::util
+
+#endif  // FEDSEARCH_UTIL_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "fedsearch/core/adaptive.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -39,6 +40,68 @@ TEST(OverrideSummaryTest, PassesThroughOtherWords) {
   OverrideSummary view(&base, &overrides);
   EXPECT_DOUBLE_EQ(view.DocFrequency("kept"), 7.0);
   EXPECT_DOUBLE_EQ(view.TokenFrequency("kept"), 9.0);
+}
+
+// A scorer that sees the database only through ForEachWord vocabulary
+// iteration (the way coverage-style scorers consume summaries). Used to pin
+// the regression where OverrideSummary::ForEachWord leaked the unperturbed
+// base statistics.
+class VocabularyIteratingScorer : public selection::ScoringFunction {
+ public:
+  std::string_view name() const override { return "vocab-sum"; }
+  double Score(const selection::Query& query, const summary::SummaryView& db,
+               const selection::ScoringContext&) const override {
+    double total = 0.0;
+    db.ForEachWord(
+        [&](const std::string& word, const summary::WordStats& stats) {
+          for (const std::string& term : query.terms) {
+            if (term == word) total += stats.df + stats.ctf;
+          }
+        });
+    return total;
+  }
+  double DefaultScore(const selection::Query&, const summary::SummaryView&,
+                      const selection::ScoringContext&) const override {
+    return 0.0;
+  }
+};
+
+TEST(OverrideSummaryTest, ForEachWordAppliesOverrides) {
+  summary::ContentSummary base;
+  base.set_num_documents(100);
+  base.SetWord("w", summary::WordStats{10, 30});  // 3 occurrences per doc
+  base.SetWord("kept", summary::WordStats{7, 9});
+  std::unordered_map<std::string, double> overrides = {{"w", 20.0},
+                                                       {"new", 5.0}};
+  OverrideSummary view(&base, &overrides);
+  std::unordered_map<std::string, summary::WordStats> seen;
+  view.ForEachWord([&](const std::string& word,
+                       const summary::WordStats& stats) {
+    EXPECT_TRUE(seen.emplace(word, stats).second) << word << " emitted twice";
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  // Iteration must report the same perturbed values as point lookups.
+  EXPECT_DOUBLE_EQ(seen.at("w").df, 20.0);
+  EXPECT_DOUBLE_EQ(seen.at("w").ctf, 60.0);  // per-doc ratio preserved
+  EXPECT_DOUBLE_EQ(seen.at("kept").df, 7.0);
+  EXPECT_DOUBLE_EQ(seen.at("kept").ctf, 9.0);
+  // Overridden word unseen in the base vocabulary is emitted too.
+  EXPECT_DOUBLE_EQ(seen.at("new").df, 5.0);
+  EXPECT_DOUBLE_EQ(seen.at("new").ctf, 5.0);
+  EXPECT_EQ(view.vocabulary_size(), 3u);
+}
+
+TEST(OverrideSummaryTest, VocabularyIteratingScorerSeesPerturbedValues) {
+  summary::ContentSummary base;
+  base.set_num_documents(100);
+  base.SetWord("w", summary::WordStats{10, 30});
+  std::unordered_map<std::string, double> overrides = {{"w", 20.0}};
+  OverrideSummary view(&base, &overrides);
+  VocabularyIteratingScorer scorer;
+  selection::ScoringContext ctx;
+  const selection::Query query{{"w"}};
+  // df 20 + ctf 60, not the base's df 10 + ctf 30.
+  EXPECT_DOUBLE_EQ(scorer.Score(query, view, ctx), 80.0);
 }
 
 // ------------------------------------------------------ DocFrequencyPosterior
@@ -87,6 +150,26 @@ TEST(DocFrequencyPosteriorTest, SamplesStayInSupport) {
     EXPECT_GE(d, 1.0);
     EXPECT_LE(d, 5000.0);
   }
+}
+
+// -------------------------------------------------------------- PowerLawGamma
+
+TEST(PowerLawGammaTest, HealthyFitsPassThrough) {
+  EXPECT_DOUBLE_EQ(PowerLawGamma(-1.0), -2.0);
+  EXPECT_DOUBLE_EQ(PowerLawGamma(-1.2), 1.0 / -1.2 - 1.0);
+  EXPECT_DOUBLE_EQ(PowerLawGamma(-0.5), -3.0);
+}
+
+TEST(PowerLawGammaTest, DegenerateFitsFallBackToZipfDefault) {
+  // A near-zero slope (e.g. a two-point fit over a flat tail) would give
+  // γ ≈ −101 and collapse the posterior onto d = 1.
+  EXPECT_DOUBLE_EQ(PowerLawGamma(-0.01), -2.0);
+  EXPECT_DOUBLE_EQ(PowerLawGamma(-0.1), -2.0);
+  EXPECT_DOUBLE_EQ(PowerLawGamma(0.0), -2.0);
+  EXPECT_DOUBLE_EQ(PowerLawGamma(0.7), -2.0);
+  EXPECT_DOUBLE_EQ(PowerLawGamma(std::nan("")), -2.0);
+  EXPECT_DOUBLE_EQ(PowerLawGamma(-std::numeric_limits<double>::infinity()),
+                   -2.0);
 }
 
 // --------------------------------------------------- AdaptiveSummarySelector
@@ -190,6 +273,62 @@ TEST(AdaptiveSelectorTest, EmptyQueryNeverShrinks) {
   util::Rng rng(4);
   const auto u = selector.Evaluate(selection::Query{}, s, bgloss, ctx, rng);
   EXPECT_FALSE(u.use_shrinkage);
+}
+
+TEST(AdaptiveSelectorTest, DegenerateMandelbrotFitDoesNotCollapsePosterior) {
+  // With γ computed naively from α = −0.01 (γ ≈ −101) the d^γ prior
+  // overwhelms the binomial likelihood and every Monte-Carlo draw lands on
+  // d = 1, so a word sampled in 30% of the sample documents would score as
+  // if it occurred in ~1 of 1000 documents.
+  sampling::SampleResult s = MakeSample(1000, 100);
+  s.mandelbrot_alpha = -0.01;  // degenerate two-point fit
+  s.summary.SetWord("w", summary::WordStats{300, 400});
+  s.sample_df["w"] = 30;
+  AdaptiveOptions options;
+  options.require_mixed_evidence = false;
+  AdaptiveSummarySelector selector(options);
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(6);
+  const auto u =
+      selector.Evaluate(selection::Query{{"w"}}, s, bgloss, ctx, rng);
+  // bGlOSS scores |D| · d/|D| = d; the posterior for s=30/|S|=100 must put
+  // its mass near d ≈ 300, far above the collapsed d = 1.
+  EXPECT_GT(u.mean, 50.0);
+}
+
+// Scores every database identically at (numerically) zero — the regime
+// where comparing the first convergence check against the 0.0 baseline
+// initializers spuriously terminates the Monte-Carlo at min_draws.
+class NearZeroScorer : public selection::ScoringFunction {
+ public:
+  std::string_view name() const override { return "near-zero"; }
+  double Score(const selection::Query&, const summary::SummaryView&,
+               const selection::ScoringContext&) const override {
+    return 0.0;
+  }
+  double DefaultScore(const selection::Query&, const summary::SummaryView&,
+                      const selection::ScoringContext&) const override {
+    return -1.0;  // keep mean − default positive so the rule still runs
+  }
+};
+
+TEST(AdaptiveSelectorTest, NearZeroMeanStillRunsFullCheckInterval) {
+  sampling::SampleResult s = MakeSample(50000, 300);
+  s.summary.SetWord("w", summary::WordStats{300, 400});
+  s.sample_df["w"] = 2;
+  AdaptiveOptions options;
+  options.require_mixed_evidence = false;
+  AdaptiveSummarySelector selector(options);
+  NearZeroScorer scorer;
+  selection::ScoringContext ctx;
+  util::Rng rng(7);
+  const auto u =
+      selector.Evaluate(selection::Query{{"w"}}, s, scorer, ctx, rng);
+  // The first check (at min_draws) may only seed the convergence
+  // baselines; the earliest legitimate exit is one full check interval
+  // later.
+  EXPECT_GE(u.draws, options.min_draws + 50);
 }
 
 TEST(AdaptiveSelectorTest, DrawCountBounded) {

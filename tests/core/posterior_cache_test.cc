@@ -1,0 +1,100 @@
+#include "fedsearch/core/posterior_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+
+namespace fedsearch::core {
+namespace {
+
+TEST(PosteriorCacheTest, MissThenHitPerKey) {
+  PosteriorCache cache(3);
+  const DocFrequencyPosterior& a =
+      cache.Get(/*database=*/0, /*sample_df=*/5, /*sample_size=*/100,
+                /*db_size=*/10000, /*gamma=*/-2.0, /*grid_points=*/64);
+  const DocFrequencyPosterior& b = cache.Get(0, 5, 100, 10000, -2.0, 64);
+  EXPECT_EQ(&a, &b);  // one grid per key, reference-stable
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PosteriorCacheTest, KeysAreScopedPerDatabase) {
+  PosteriorCache cache(2);
+  const DocFrequencyPosterior& a = cache.Get(0, 5, 100, 10000, -2.0, 64);
+  const DocFrequencyPosterior& b = cache.Get(1, 5, 200, 50000, -3.0, 64);
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PosteriorCacheTest, CachedGridMatchesDirectConstruction) {
+  PosteriorCache cache(1);
+  const DocFrequencyPosterior& cached =
+      cache.Get(0, 30, 100, 1000, -2.0, 128);
+  const DocFrequencyPosterior direct(30, 100, 1000, -2.0, 128);
+  ASSERT_EQ(cached.support().size(), direct.support().size());
+  for (size_t i = 0; i < cached.support().size(); ++i) {
+    EXPECT_EQ(cached.support()[i], direct.support()[i]);
+    EXPECT_EQ(cached.weights()[i], direct.weights()[i]);
+  }
+}
+
+TEST(PosteriorCacheTest, ResetDropsEntriesAndCounters) {
+  PosteriorCache cache(1);
+  cache.Get(0, 1, 10, 100, -2.0, 16);
+  cache.Get(0, 1, 10, 100, -2.0, 16);
+  cache.Reset(4);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.num_databases(), 4u);
+}
+
+TEST(PosteriorCacheTest, HitRate) {
+  PosteriorCache cache(1);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+  cache.Get(0, 2, 10, 100, -2.0, 16);
+  cache.Get(0, 2, 10, 100, -2.0, 16);
+  cache.Get(0, 2, 10, 100, -2.0, 16);
+  cache.Get(0, 3, 10, 100, -2.0, 16);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+// The serving-layer guarantee: Evaluate through the cache is bit-identical
+// to Evaluate without it.
+TEST(PosteriorCacheTest, CachedEvaluateIsBitIdenticalToUncached) {
+  sampling::SampleResult s;
+  s.sample_size = 300;
+  s.estimated_db_size = 50000;
+  s.mandelbrot_alpha = -1.2;
+  s.summary.set_num_documents(50000);
+  s.summary.SetWord("present", summary::WordStats{5000, 6000});
+  s.sample_df["present"] = 30;
+
+  AdaptiveSummarySelector selector;
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  const selection::Query query{{"present", "missing"}};
+
+  PosteriorCache cache(1);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng_cached(seed);
+    util::Rng rng_plain(seed);
+    const auto cached = selector.Evaluate(query, s, bgloss, ctx, rng_cached,
+                                          &cache, 0);
+    const auto plain = selector.Evaluate(query, s, bgloss, ctx, rng_plain);
+    EXPECT_EQ(cached.mean, plain.mean);
+    EXPECT_EQ(cached.stddev, plain.stddev);
+    EXPECT_EQ(cached.draws, plain.draws);
+    EXPECT_EQ(cached.use_shrinkage, plain.use_shrinkage);
+  }
+  // Two words per evaluation, five evaluations: after the first, every
+  // lookup hits.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 8u);
+}
+
+}  // namespace
+}  // namespace fedsearch::core

@@ -1,0 +1,118 @@
+// Serving-layer determinism contract: SelectDatabases with one thread and
+// with many threads must produce byte-identical SelectionOutcomes. The
+// parallel path pre-forks one RNG stream per database in index order (the
+// same layout the serial loop produced), writes per-index slots, and
+// reduces on the calling thread — so there is nothing for a scheduler to
+// perturb.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+#include "testing/small_testbed.h"
+
+namespace fedsearch::core {
+namespace {
+
+using fedsearch::testing::SharedSmallTestbed;
+
+std::vector<sampling::SampleResult> CollectSamples(
+    const corpus::Testbed& bed, std::vector<corpus::CategoryId>* classes) {
+  sampling::QbsOptions options;
+  options.target_documents = 80;
+  sampling::QbsSampler sampler(
+      options, corpus::BuildSamplerDictionary(bed.model(), 10));
+  std::vector<sampling::SampleResult> samples;
+  util::Rng rng(2024);
+  for (size_t i = 0; i < bed.num_databases(); ++i) {
+    util::Rng db_rng = rng.Fork();
+    samples.push_back(sampler.Sample(bed.database(i), db_rng));
+    classes->push_back(bed.category_of(i));
+  }
+  return samples;
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const corpus::Testbed& bed = SharedSmallTestbed();
+    // Two metasearchers over identical federations, differing only in
+    // thread count.
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      std::vector<corpus::CategoryId> classes;
+      std::vector<sampling::SampleResult> samples =
+          CollectSamples(bed, &classes);
+      MetasearcherOptions options;
+      options.num_threads = threads;
+      auto* meta = new Metasearcher(&bed.hierarchy(), std::move(samples),
+                                    std::move(classes), options);
+      (threads == 1 ? serial_ : parallel_) = meta;
+    }
+    ASSERT_EQ(serial_->num_threads(), 1u);
+    ASSERT_EQ(parallel_->num_threads(), 4u);
+  }
+
+  static void ExpectIdenticalOutcomes(const selection::ScoringFunction& scorer,
+                                      SummaryMode mode) {
+    const corpus::Testbed& bed = SharedSmallTestbed();
+    for (const corpus::TestQuery& tq : bed.queries()) {
+      const selection::Query q{bed.analyzer().Analyze(tq.text)};
+      const auto a = serial_->SelectDatabases(q, scorer, mode);
+      const auto b = parallel_->SelectDatabases(q, scorer, mode);
+      EXPECT_EQ(a.shrinkage_applied, b.shrinkage_applied);
+      EXPECT_EQ(a.databases_considered, b.databases_considered);
+      EXPECT_EQ(a.category_fallbacks, b.category_fallbacks);
+      ASSERT_EQ(a.ranking.size(), b.ranking.size());
+      for (size_t i = 0; i < a.ranking.size(); ++i) {
+        EXPECT_EQ(a.ranking[i].database, b.ranking[i].database);
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(a.ranking[i].score, b.ranking[i].score);
+      }
+    }
+  }
+
+  static Metasearcher* serial_;
+  static Metasearcher* parallel_;
+};
+
+Metasearcher* ParallelDeterminismTest::serial_ = nullptr;
+Metasearcher* ParallelDeterminismTest::parallel_ = nullptr;
+
+TEST_F(ParallelDeterminismTest, PlainModeCori) {
+  ExpectIdenticalOutcomes(selection::CoriScorer(), SummaryMode::kPlain);
+}
+
+TEST_F(ParallelDeterminismTest, PlainModeBgloss) {
+  ExpectIdenticalOutcomes(selection::BglossScorer(), SummaryMode::kPlain);
+}
+
+TEST_F(ParallelDeterminismTest, UniversalModeCori) {
+  ExpectIdenticalOutcomes(selection::CoriScorer(),
+                          SummaryMode::kUniversalShrinkage);
+}
+
+TEST_F(ParallelDeterminismTest, AdaptiveModeCori) {
+  ExpectIdenticalOutcomes(selection::CoriScorer(),
+                          SummaryMode::kAdaptiveShrinkage);
+}
+
+TEST_F(ParallelDeterminismTest, AdaptiveModeBgloss) {
+  ExpectIdenticalOutcomes(selection::BglossScorer(),
+                          SummaryMode::kAdaptiveShrinkage);
+}
+
+// The posterior cache is shared across modes and thread counts by design;
+// after the adaptive runs above it must have absorbed repeat lookups.
+TEST_F(ParallelDeterminismTest, PosteriorCacheCollectsHits) {
+  const auto serial_stats = serial_->posterior_cache_stats();
+  const auto parallel_stats = parallel_->posterior_cache_stats();
+  EXPECT_GT(serial_stats.hits + serial_stats.misses, 0u);
+  // Identical federations + identical query streams -> identical key sets.
+  EXPECT_EQ(serial_stats.misses, parallel_stats.misses);
+}
+
+}  // namespace
+}  // namespace fedsearch::core

@@ -36,6 +36,19 @@ TEST(FitMandelbrotTest, IgnoresZeroFrequencies) {
   EXPECT_NEAR(fit.alpha, -1.0, 1e-9);
 }
 
+TEST(FitMandelbrotTest, InterleavedZerosDoNotShiftRanks) {
+  // Retained entries must be ranked 1..k, not by their original index.
+  // Ranking {64,32,0,16,0,8} as ranks {1,2,4,6} instead of {1,2,3,4}
+  // stretches the log-rank axis and flattens the fitted slope.
+  const std::vector<double> dense = {64.0, 32.0, 16.0, 8.0};
+  const std::vector<double> gappy = {64.0, 32.0, 0.0, 16.0, 0.0, 8.0};
+  const MandelbrotFit clean = FitMandelbrot(dense);
+  const MandelbrotFit fit = FitMandelbrot(gappy);
+  EXPECT_DOUBLE_EQ(fit.alpha, clean.alpha);
+  EXPECT_DOUBLE_EQ(fit.log_beta, clean.log_beta);
+  EXPECT_DOUBLE_EQ(fit.r_squared, clean.r_squared);
+}
+
 TEST(FitMandelbrotTest, DegenerateInputsGiveDefault) {
   EXPECT_EQ(FitMandelbrot({}).alpha, -1.0);
   EXPECT_EQ(FitMandelbrot({5.0}).alpha, -1.0);
