@@ -1,33 +1,132 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full test suite in a Debug+ASan tree and a
-# Release tree, plus a smoke run of the serving-throughput bench (which
-# exits non-zero if parallel rankings ever diverge from serial).
+# CI matrix, selectable per job:
 #
-# Usage: ./ci.sh [jobs]
+#   ./ci.sh                                  # all jobs, cheap ones first
+#   ./ci.sh --jobs lint,tidy                 # fast static tier only
+#   ./ci.sh --jobs asan,tsan,ubsan           # sanitizer matrix
+#   ./ci.sh --jobs fuzz-regression -j 4      # corpus replay, 4-way builds
+#
+# Jobs (run in the order listed, regardless of --jobs order):
+#   lint            determinism lint over src/ + lint self-test (python3)
+#   tidy            clang-tidy over src/ (skipped if clang-tidy missing)
+#   asan            Debug + AddressSanitizer, full ctest suite
+#   ubsan           Debug + UndefinedBehaviorSanitizer, full ctest suite
+#   tsan            Debug + ThreadSanitizer, concurrency tests only
+#                   (labels: stress + threads) to bound runtime
+#   release         Release tree, full ctest suite
+#   fuzz-regression corpus replay + bounded deterministic mutations
+#   smoke           serving-throughput bench smoke (serial==parallel check)
+#
+# Every tree builds with -DFEDSEARCH_DCHECK=ON so debug-only invariants
+# (lambda simplex, finite gamma, cache-key bounds) are checked in CI even
+# in the Release job.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-JOBS="${1:-$(nproc)}"
+ALL_JOBS="lint tidy asan ubsan tsan release fuzz-regression smoke"
+SELECTED="$ALL_JOBS"
+JOBS="$(nproc)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs)   SELECTED="${2//,/ }"; shift 2 ;;
+    --jobs=*) SELECTED="${1#--jobs=}"; SELECTED="${SELECTED//,/ }"; shift ;;
+    -j)       JOBS="$2"; shift 2 ;;
+    -j*)      JOBS="${1#-j}"; shift ;;
+    *) echo "ci.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+for job in $SELECTED; do
+  case " $ALL_JOBS " in
+    *" $job "*) ;;
+    *) echo "ci.sh: unknown job: $job (known: $ALL_JOBS)" >&2; exit 2 ;;
+  esac
+done
+
+selected() { case " $SELECTED " in *" $1 "*) return 0 ;; *) return 1 ;; esac; }
 
 run() {
   echo "+ $*"
   "$@"
 }
 
-# --- Debug + AddressSanitizer -------------------------------------------
-run cmake -B build-ci-asan -S . \
-  -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=address
-run cmake --build build-ci-asan -j "$JOBS"
-run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+# Configure + build a tree once per invocation, even if several jobs use it.
+declare -A BUILT=()
+ensure_tree() {
+  local dir="$1"; shift
+  [[ -n "${BUILT[$dir]:-}" ]] && return 0
+  run cmake -B "$dir" -S . -DFEDSEARCH_DCHECK=ON "$@"
+  run cmake --build "$dir" -j "$JOBS"
+  BUILT[$dir]=1
+}
 
-# --- Release -------------------------------------------------------------
-run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
-run cmake --build build-ci-release -j "$JOBS"
-run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+# --- Static tier: fail fast before any compilation -----------------------
+if selected lint; then
+  echo "=== job: lint ==="
+  run python3 tools/lint_determinism.py src
+  run python3 tools/lint_determinism_selftest.py
+fi
 
-# --- Serving-layer smoke -------------------------------------------------
-# Verifies bit-identical serial-vs-parallel rankings on the TREC4 testbed
-# and prints qps + posterior-cache hit rates.
-run ./build-ci-release/bench/bench_serving_throughput --smoke
+if selected tidy; then
+  echo "=== job: tidy ==="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    run cmake -B build-ci-tidy -S . -DCMAKE_BUILD_TYPE=Debug
+    mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+    run clang-tidy -p build-ci-tidy --quiet --warnings-as-errors='*' \
+      "${TIDY_SOURCES[@]}"
+  else
+    echo "ci.sh: clang-tidy not installed; skipping tidy job"
+  fi
+fi
 
-echo "ci.sh: all green"
+# --- Sanitizer matrix ----------------------------------------------------
+if selected asan; then
+  echo "=== job: asan ==="
+  ensure_tree build-ci-asan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=address
+  run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+fi
+
+if selected ubsan; then
+  echo "=== job: ubsan ==="
+  ensure_tree build-ci-ubsan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=undefined
+  run ctest --test-dir build-ci-ubsan --output-on-failure -j "$JOBS"
+fi
+
+if selected tsan; then
+  echo "=== job: tsan ==="
+  ensure_tree build-ci-tsan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=thread
+  # Stress + thread-touching unit tests only: TSan's ~10x slowdown makes the
+  # full suite blow the CI budget, and single-threaded tests add no signal.
+  run ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+    -L 'stress|threads'
+fi
+
+# --- Release + dynamic regression tiers ----------------------------------
+if selected release || selected fuzz-regression || selected smoke; then
+  ensure_tree build-ci-release -DCMAKE_BUILD_TYPE=Release
+fi
+
+if selected release; then
+  echo "=== job: release ==="
+  run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+fi
+
+if selected fuzz-regression; then
+  echo "=== job: fuzz-regression ==="
+  # The ctest fuzz label replays corpora with the default mutation budget;
+  # CI adds a deeper deterministic mutation pass on top.
+  run ctest --test-dir build-ci-release --output-on-failure -L fuzz
+  run ./build-ci-release/tests/fuzz_summary_io_replay \
+    --mutate 512 --seed 7 tests/fuzz/corpus/summary_io
+  run ./build-ci-release/tests/fuzz_analyzer_replay \
+    --mutate 512 --seed 7 tests/fuzz/corpus/analyzer
+fi
+
+if selected smoke; then
+  echo "=== job: smoke ==="
+  # Exits non-zero if parallel rankings ever diverge from serial.
+  run ./build-ci-release/bench/bench_serving_throughput --smoke
+fi
+
+echo "ci.sh: all green ($SELECTED)"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fedsearch/core/posterior_cache.h"
+#include "fedsearch/util/check.h"
 #include "fedsearch/util/math.h"
 
 namespace fedsearch::core {
@@ -15,7 +16,11 @@ double PowerLawGamma(double mandelbrot_alpha) {
   constexpr double kMinNegativeAlpha = -0.25;
   double alpha = mandelbrot_alpha;
   if (!std::isfinite(alpha) || alpha > kMinNegativeAlpha) alpha = -1.0;
-  return 1.0 / alpha - 1.0;
+  const double gamma = 1.0 / alpha - 1.0;
+  // Post-condition of the clamp above: γ stays finite (α ≤ -0.25 bounds it
+  // to [-5, -1)), so the posterior's d^γ prior can never overflow.
+  FEDSEARCH_CHECK(std::isfinite(gamma)) << " gamma from alpha " << alpha;
+  return gamma;
 }
 
 OverrideSummary::OverrideSummary(
@@ -25,7 +30,10 @@ OverrideSummary::OverrideSummary(
 
 double OverrideSummary::DocFrequency(const std::string& word) const {
   auto it = df_override_->find(word);
-  return it != df_override_->end() ? it->second : base_->DocFrequency(word);
+  if (it == df_override_->end()) return base_->DocFrequency(word);
+  FEDSEARCH_DCHECK(it->second >= 0.0 && std::isfinite(it->second))
+      << " df override " << it->second << " for " << word;
+  return it->second;
 }
 
 double OverrideSummary::TokenFrequency(const std::string& word) const {
@@ -62,6 +70,9 @@ void OverrideSummary::ForEachWord(
                              : it->second;
         fn(word, overridden);
       });
+  // ORDER-INDEPENDENT: the override map is private to one database's
+  // evaluation (its contents never depend on the thread schedule), and
+  // appended words only feed per-word accumulation downstream.
   for (const auto& [word, df] : *df_override_) {
     if (df <= 0.0 || base_->DocFrequency(word) > 0.0 ||
         base_->TokenFrequency(word) > 0.0) {
@@ -75,6 +86,7 @@ void OverrideSummary::ForEachWord(
 
 size_t OverrideSummary::vocabulary_size() const {
   size_t extra = 0;
+  // ORDER-INDEPENDENT: pure count; no per-element output.
   for (const auto& [word, df] : *df_override_) {
     if (df > 0.0 && base_->DocFrequency(word) <= 0.0 &&
         base_->TokenFrequency(word) <= 0.0) {
@@ -89,6 +101,10 @@ DocFrequencyPosterior::DocFrequencyPosterior(size_t sample_df,
                                              double db_size, double gamma,
                                              size_t grid_points)
     : sampler_({}) {
+  FEDSEARCH_CHECK(grid_points > 0);
+  FEDSEARCH_CHECK(std::isfinite(gamma)) << " non-finite gamma";
+  FEDSEARCH_DCHECK(sample_df <= sample_size)
+      << " sample_df " << sample_df << " > sample size " << sample_size;
   const double n = std::max(1.0, db_size);
   // Log-spaced integer grid over [1, |D|].
   support_.reserve(grid_points);
@@ -127,9 +143,14 @@ DocFrequencyPosterior::DocFrequencyPosterior(size_t sample_df,
     log_w[i] = lw;
     max_log = std::max(max_log, lw);
   }
+  // The grid always retains d = 1 (frac = 0), so the posterior support is
+  // never empty and Sample() below always has mass to draw from.
+  FEDSEARCH_DCHECK(!support_.empty());
   weights_.resize(support_.size());
   for (size_t i = 0; i < support_.size(); ++i) {
     weights_[i] = std::exp(log_w[i] - max_log);
+    FEDSEARCH_DCHECK(std::isfinite(weights_[i]) && weights_[i] >= 0.0)
+        << " posterior weight " << weights_[i] << " at grid point " << i;
   }
   sampler_ = util::DiscreteSampler(weights_);
 }

@@ -115,6 +115,13 @@ class Metasearcher {
   // Ranks all databases for the query with the given base algorithm and
   // summary mode (the full pipeline of Figure 3). The ranking is a total
   // order over the selected databases; callers take prefixes for any k.
+  //
+  // Thread-safe: concurrent calls on one Metasearcher are supported. The
+  // posterior cache shards its locks per database, the scoring statistics
+  // are immutable after construction, and the shared thread pool
+  // serializes concurrent ParallelFor loops internally; each call's result
+  // stays bit-identical to a serial run (pinned by
+  // tests/stress/parallel_select_stress_test.cc).
   SelectionOutcome SelectDatabases(const selection::Query& query,
                                    const selection::ScoringFunction& scorer,
                                    SummaryMode mode) const;

@@ -1,5 +1,9 @@
 #include "fedsearch/core/posterior_cache.h"
 
+#include <cmath>
+
+#include "fedsearch/util/check.h"
+
 namespace fedsearch::core {
 
 PosteriorCache::PosteriorCache(size_t num_databases) {
@@ -21,6 +25,15 @@ const DocFrequencyPosterior& PosteriorCache::Get(size_t database,
                                                  size_t sample_size,
                                                  double db_size, double gamma,
                                                  size_t grid_points) {
+  // Cache-key validity: a bad database index would silently alias another
+  // shard's grids (and a different-keyed rebuild would corrupt the "one
+  // grid per (database, sample_df)" invariant the references depend on).
+  FEDSEARCH_CHECK(database < shards_.size())
+      << " database " << database << " of " << shards_.size();
+  FEDSEARCH_CHECK(grid_points > 0);
+  FEDSEARCH_DCHECK(sample_df <= sample_size)
+      << " sample_df " << sample_df << " > sample size " << sample_size;
+  FEDSEARCH_DCHECK(std::isfinite(gamma) && std::isfinite(db_size));
   Shard& shard = *shards_[database];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.by_df.find(sample_df);

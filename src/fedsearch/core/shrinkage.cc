@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "fedsearch/util/check.h"
+
 namespace fedsearch::core {
 
 ShrunkSummary::ShrunkSummary(
@@ -12,7 +14,24 @@ ShrunkSummary::ShrunkSummary(
     std::vector<double> lambdas, double uniform_probability)
     : components_(std::move(components)),
       lambdas_(std::move(lambdas)),
-      uniform_probability_(uniform_probability) {}
+      uniform_probability_(uniform_probability) {
+  // Definition 4 mixture shape: one λ for C0 plus one per component, all
+  // on the probability simplex. A violation here poisons every score this
+  // summary ever produces, so it is checked in all builds.
+  FEDSEARCH_CHECK(!components_.empty());
+  FEDSEARCH_CHECK(lambdas_.size() == components_.size() + 1)
+      << " got " << lambdas_.size() << " lambdas for "
+      << components_.size() << " components";
+  double sum = 0.0;
+  for (double l : lambdas_) {
+    FEDSEARCH_CHECK(l >= 0.0 && l <= 1.0 + 1e-9) << " lambda " << l;
+    sum += l;
+  }
+  FEDSEARCH_CHECK(std::fabs(sum - 1.0) < 1e-6)
+      << " lambdas sum to " << sum << " after EM";
+  FEDSEARCH_CHECK(uniform_probability_ >= 0.0 &&
+                  uniform_probability_ <= 1.0);
+}
 
 double ShrunkSummary::num_documents() const {
   return components_.back()->num_documents();
@@ -27,6 +46,8 @@ double ShrunkSummary::MixtureProbDoc(const std::string& word) const {
   for (size_t i = 0; i < components_.size(); ++i) {
     p += lambdas_[i + 1] * components_[i]->ProbDoc(word);
   }
+  FEDSEARCH_DCHECK(p >= 0.0 && std::isfinite(p))
+      << " mixture doc probability " << p << " for " << word;
   return std::min(1.0, p);
 }
 
@@ -35,6 +56,8 @@ double ShrunkSummary::MixtureProbToken(const std::string& word) const {
   for (size_t i = 0; i < components_.size(); ++i) {
     p += lambdas_[i + 1] * components_[i]->ProbToken(word);
   }
+  FEDSEARCH_DCHECK(p >= 0.0 && std::isfinite(p))
+      << " mixture token probability " << p << " for " << word;
   return std::min(1.0, p);
 }
 
@@ -77,6 +100,9 @@ void ShrunkSummary::ForEachWord(
   const double uniform = lambdas_[0] * uniform_probability_;
   const double n = num_documents();
   const double tokens = total_tokens();
+  // ORDER-INDEPENDENT: emission order is a function of `acc`'s contents,
+  // which are schedule-independent; consumers (summary builders, metrics)
+  // accumulate per-word state, not order-sensitive float reductions.
   for (const auto& [word, probs] : acc) {
     fn(word, summary::WordStats{std::min(1.0, probs.doc + uniform) * n,
                                 std::min(1.0, probs.token + uniform) * tokens});
@@ -155,6 +181,15 @@ std::vector<double> FitMixtureWeights(
     }
     if (max_delta < options.epsilon) break;
   }
+  // Figure 2 post-condition: the M-step renormalizes every iteration, so
+  // the returned weights must still lie on the simplex.
+  double sum = 0.0;
+  for (double l : lambdas) {
+    FEDSEARCH_DCHECK(l >= 0.0 && l <= 1.0 + 1e-9) << " lambda " << l;
+    sum += l;
+  }
+  FEDSEARCH_DCHECK(std::fabs(sum - 1.0) < 1e-6)
+      << " EM weights sum to " << sum;
   return lambdas;
 }
 

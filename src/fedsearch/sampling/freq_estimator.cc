@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fedsearch/util/check.h"
 #include "fedsearch/util/math.h"
 
 namespace fedsearch::sampling {
@@ -16,7 +17,9 @@ MandelbrotFit FitMandelbrot(const std::vector<double>& frequencies_desc) {
   log_ranks.reserve(frequencies_desc.size());
   log_freqs.reserve(frequencies_desc.size());
   for (size_t i = 0; i < frequencies_desc.size(); ++i) {
-    if (frequencies_desc[i] <= 0.0) continue;
+    if (frequencies_desc[i] <= 0.0 || !std::isfinite(frequencies_desc[i])) {
+      continue;
+    }
     // Rank over the retained entries, not the original index: skipped
     // non-positive frequencies must not leave rank gaps, which would bias
     // the fitted slope whenever zeros are interleaved mid-list.
@@ -29,6 +32,12 @@ MandelbrotFit FitMandelbrot(const std::vector<double>& frequencies_desc) {
   fit.alpha = line.slope;
   fit.log_beta = line.intercept;
   fit.r_squared = line.r_squared;
+  // Finite inputs (positive finite frequencies, log-ranks) through least
+  // squares give finite coefficients; a non-finite α here would later turn
+  // into a non-finite γ prior exponent.
+  FEDSEARCH_DCHECK(std::isfinite(fit.alpha) && std::isfinite(fit.log_beta))
+      << " degenerate Mandelbrot fit: alpha " << fit.alpha << " log_beta "
+      << fit.log_beta;
   return fit;
 }
 
@@ -37,6 +46,8 @@ MandelbrotFit ScalingModel::ExtrapolateTo(double size) const {
   const double log_size = std::log(std::max(1.0, size));
   fit.alpha = a1 * log_size + a2;
   fit.log_beta = b1 * log_size + b2;
+  FEDSEARCH_DCHECK(std::isfinite(fit.alpha) && std::isfinite(fit.log_beta))
+      << " scaling-model extrapolation diverged at size " << size;
   return fit;
 }
 

@@ -1,0 +1,26 @@
+#include "fedsearch/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fedsearch::util::internal {
+
+CheckFailureStream::CheckFailureStream(const char* kind,
+                                       const char* condition,
+                                       const char* file, int line) {
+  stream_ << file << ':' << line << ": " << kind << " failed: " << condition;
+  prefix_size_ = stream_.str().size();
+}
+
+CheckFailureStream::~CheckFailureStream() {
+  std::string message = stream_.str();
+  if (message.size() > prefix_size_) message.insert(prefix_size_, ": ");
+  // fwrite + fflush rather than iostreams: the process is about to abort
+  // and stderr must carry the message even if cerr is in a broken state.
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fedsearch::util::internal

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "fedsearch/util/check.h"
+
 namespace fedsearch::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -50,11 +52,16 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
+  FEDSEARCH_CHECK(fn != nullptr) << "ParallelFor requires a callable";
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
+    // Inline path touches no shared pool state, so it needs no run lock.
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  // One worker-assisted loop at a time (see header): later callers block
+  // here until the current loop fully drains and resets fn_/count_.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;

@@ -27,8 +27,11 @@ namespace fedsearch::util {
 //  3. The calling thread participates, so ThreadPool(1) spawns no workers
 //     and ParallelFor degenerates to the plain serial loop.
 //
-// ParallelFor is not reentrant and the pool must not be shared by
-// concurrent ParallelFor callers; the Metasearcher serializes access.
+// Concurrent ParallelFor calls from distinct threads are safe: a run lock
+// serializes them, so each loop runs exclusively and callers simply queue.
+// (Concurrent SelectDatabases calls on one Metasearcher share its pool and
+// rely on this.) ParallelFor is still not reentrant — fn must not call
+// back into the same pool, which would self-deadlock on the run lock.
 class ThreadPool {
  public:
   // `num_threads` counts the calling thread: the pool spawns
@@ -58,6 +61,12 @@ class ThreadPool {
   void Drain();
 
   std::vector<std::thread> workers_;
+
+  // Held for the whole of a worker-assisted ParallelFor: one loop at a
+  // time owns fn_/count_/next_/generation_. Without it, concurrent callers
+  // would race on the generation handshake (and workers could observe one
+  // caller's fn_ reset while draining another's loop).
+  std::mutex run_mu_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;

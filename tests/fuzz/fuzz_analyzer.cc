@@ -1,0 +1,54 @@
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fedsearch/text/analyzer.h"
+#include "fedsearch/text/tokenizer.h"
+#include "fedsearch/util/check.h"
+
+// libFuzzer entry point for the text pipeline: Tokenizer and the full
+// Analyzer (tokenize -> stopwords -> Porter stemmer) over arbitrary bytes.
+// Documents flow in from remote databases, so the pipeline must hold its
+// contracts on any input:
+//
+//  - tokens are non-empty, at most kMaxTokenLength bytes, lowercase ASCII
+//    alphanumerics only;
+//  - analyzed terms additionally respect min_token_length and never grow
+//    past the tokenizer bound (the stemmer only shortens);
+//  - analysis is deterministic (same bytes -> same terms).
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace text = fedsearch::text;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  text::Tokenizer tokenizer;
+  const std::vector<std::string> tokens = tokenizer.Tokenize(input);
+  for (const std::string& token : tokens) {
+    FEDSEARCH_CHECK(!token.empty());
+    FEDSEARCH_CHECK(token.size() <= text::Tokenizer::kMaxTokenLength)
+        << " oversized token of " << token.size() << " bytes";
+    for (const char c : token) {
+      FEDSEARCH_CHECK((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+          << " non-lowercase-alnum byte " << static_cast<int>(c)
+          << " in token";
+    }
+  }
+
+  static const text::Analyzer analyzer;  // stateless across inputs
+  const std::vector<std::string> terms = analyzer.Analyze(input);
+  const size_t min_len = analyzer.options().min_token_length;
+  for (const std::string& term : terms) {
+    FEDSEARCH_CHECK(term.size() >= min_len)
+        << " term below min_token_length: " << term;
+    FEDSEARCH_CHECK(term.size() <= text::Tokenizer::kMaxTokenLength);
+  }
+  FEDSEARCH_CHECK(terms.size() <= tokens.size())
+      << " analysis produced more terms than tokens";
+
+  FEDSEARCH_CHECK(analyzer.Analyze(input) == terms)
+      << " analysis is nondeterministic for this input";
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "fedsearch/summary/summary_io.h"
+#include "fedsearch/util/check.h"
+
+// libFuzzer entry point for summary::ReadSummary, the one parser in the
+// system that consumes bytes from outside the process (summary files are
+// exchanged between metasearcher deployments). Properties enforced:
+//
+//  1. No crash / sanitizer report on arbitrary input — ReadSummary either
+//     returns a ContentSummary or a Status error.
+//  2. Accepted inputs round-trip: Write(Read(x)) must itself parse, and
+//     the re-parse must agree on the header statistics and vocabulary.
+//
+// Built as a real fuzzer when the compiler supports -fsanitize=fuzzer
+// (clang); always built into the *_replay driver that runs the seed corpus
+// plus bounded deterministic mutations as a ctest case (label "fuzz").
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace summary = fedsearch::summary;
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(input);
+  fedsearch::util::StatusOr<summary::ContentSummary> parsed =
+      summary::ReadSummary(in);
+  if (!parsed.ok()) return 0;  // rejected cleanly: fine
+
+  const summary::ContentSummary& first = parsed.value();
+  std::ostringstream out;
+  const fedsearch::util::Status written = summary::WriteSummary(first, out);
+  // ReadSummary tokenizes on whitespace, so no accepted word can contain
+  // whitespace and the writer must always succeed on a parsed summary.
+  FEDSEARCH_CHECK(written.ok())
+      << " write-after-read failed: " << written.ToString();
+
+  std::istringstream in2(out.str());
+  fedsearch::util::StatusOr<summary::ContentSummary> reparsed =
+      summary::ReadSummary(in2);
+  FEDSEARCH_CHECK(reparsed.ok())
+      << " round-trip re-parse failed: " << reparsed.status().ToString();
+  const summary::ContentSummary& second = reparsed.value();
+  FEDSEARCH_CHECK(second.vocabulary_size() == first.vocabulary_size())
+      << " vocabulary changed in round-trip: " << first.vocabulary_size()
+      << " -> " << second.vocabulary_size();
+  FEDSEARCH_CHECK(second.num_documents() == first.num_documents())
+      << " document count changed in round-trip";
+  return 0;
+}

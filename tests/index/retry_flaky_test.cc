@@ -1,0 +1,149 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fedsearch/index/flaky_database.h"
+#include "fedsearch/index/search_interface.h"
+#include "fedsearch/text/analyzer.h"
+#include "fedsearch/util/check.h"
+#include "fedsearch/util/retry.h"
+
+// Interplay coverage for util::RetryController driving a FlakyDatabase —
+// the exact sampling-pipeline shape — with the FEDSEARCH_DCHECK invariants
+// active (Debug and -DFEDSEARCH_DCHECK=ON builds). The individual units
+// have their own tests; these pin the accounting invariants that only hold
+// across the pair.
+
+namespace fedsearch::index {
+namespace {
+
+class RetryFlakyTest : public ::testing::Test {
+ protected:
+  RetryFlakyTest() : db_("retry-flaky", &analyzer_) {
+    for (int i = 0; i < 30; ++i) {
+      db_.AddDocument("common text payload" + std::to_string(i));
+    }
+  }
+
+  text::Analyzer analyzer_;
+  TextDatabase db_;
+};
+
+TEST_F(RetryFlakyTest, ControllerAccountsEveryHardFaultExactlyOnce) {
+  // Hard faults only: every fault the decorator injects must surface as
+  // exactly one failed attempt in the controller — no double counting, no
+  // swallowed failures.
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.unavailable_rate = 0.2;
+  profile.timeout_rate = 0.15;
+  FlakyDatabase flaky(&local, profile, /*seed=*/11);
+  util::RetryController retry;
+  size_t successes = 0;
+  for (size_t i = 0; i < 60 && !retry.exhausted(); ++i) {
+    const auto result =
+        retry.Run([&] { return flaky.Search("common", 5); });
+    if (result.ok()) ++successes;
+  }
+  EXPECT_GT(successes, 0u);
+  EXPECT_EQ(retry.failed_attempts(), flaky.stats().hard_faults());
+}
+
+TEST_F(RetryFlakyTest, BudgetExhaustionStopsReachingTheDatabase) {
+  // A dead database (100% unavailable) must not be hammered forever: once
+  // the budget is spent, Run() short-circuits and the base sees no more
+  // traffic — the invariant that bounds every sampling run.
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.unavailable_rate = 1.0;
+  FlakyDatabase flaky(&local, profile, /*seed=*/7);
+  util::RetryOptions options;
+  options.max_attempts = 3;
+  options.failure_budget = 8;
+  util::RetryController retry(options);
+
+  while (!retry.exhausted()) {
+    const auto result =
+        retry.Run([&] { return flaky.Search("common", 5); });
+    EXPECT_FALSE(result.ok());
+  }
+  EXPECT_EQ(retry.failed_attempts(), options.failure_budget);
+  const size_t calls_at_exhaustion = flaky.stats().calls;
+  EXPECT_EQ(calls_at_exhaustion, options.failure_budget);
+
+  for (size_t i = 0; i < 10; ++i) {
+    const auto result =
+        retry.Run([&] { return flaky.Search("common", 5); });
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              util::Status::Code::kResourceExhausted);
+  }
+  EXPECT_EQ(flaky.stats().calls, calls_at_exhaustion);
+}
+
+TEST_F(RetryFlakyTest, RateLimitHintRaisesSimulatedBackoff) {
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.rate_limit_rate = 1.0;
+  profile.retry_after_ms = 500.0;
+  FlakyDatabase flaky(&local, profile, /*seed=*/3);
+  util::RetryOptions options;
+  options.max_attempts = 2;
+  options.failure_budget = 4;
+  options.base_backoff_ms = 1.0;  // far below the hint
+  util::RetryController retry(options);
+  const auto result = retry.Run([&] { return flaky.Search("common", 5); });
+  EXPECT_FALSE(result.ok());
+  // Each accounted failure waits at least the server's hint.
+  EXPECT_GE(retry.simulated_backoff_ms(),
+            profile.retry_after_ms *
+                static_cast<double>(retry.failed_attempts()));
+}
+
+TEST_F(RetryFlakyTest, SoftFaultsAreInvisibleToTheController) {
+  // Truncation/corruption return ok() payloads: the controller must not
+  // burn budget on them (detecting damaged payloads is the caller's job).
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.truncation_rate = 0.5;
+  profile.corruption_rate = 0.5;
+  FlakyDatabase flaky(&local, profile, /*seed=*/23);
+  util::RetryController retry;
+  for (size_t i = 0; i < 40; ++i) {
+    const auto result =
+        retry.Run([&] { return flaky.Search("common", 5); });
+    EXPECT_TRUE(result.ok());
+  }
+  EXPECT_EQ(retry.failed_attempts(), 0u);
+  EXPECT_EQ(retry.abandoned_calls(), 0u);
+  EXPECT_GT(flaky.stats().soft_faults(), 0u);
+}
+
+TEST_F(RetryFlakyTest, FaultSequenceDeterministicAcrossRetryRuns) {
+  // The retry loop re-issues calls; with identical seeds the (controller,
+  // decorator) pair must replay the identical fault/success transcript —
+  // the property the robustness benches and CI determinism rest on.
+  const auto transcript = [&](uint64_t seed) {
+    LocalDatabase local(&db_);
+    FaultProfile profile = FaultProfile::Mixed(0.4);
+    FlakyDatabase flaky(&local, profile, seed);
+    util::RetryController retry;
+    std::vector<int> codes;
+    for (size_t i = 0; i < 30 && !retry.exhausted(); ++i) {
+      const auto result =
+          retry.Run([&] { return flaky.Search("common", 5); });
+      codes.push_back(result.ok()
+                          ? -1
+                          : static_cast<int>(result.status().code()));
+    }
+    codes.push_back(static_cast<int>(retry.failed_attempts()));
+    codes.push_back(static_cast<int>(flaky.stats().soft_faults()));
+    return codes;
+  };
+  EXPECT_EQ(transcript(99), transcript(99));
+  EXPECT_NE(transcript(99), transcript(100));
+}
+
+}  // namespace
+}  // namespace fedsearch::index

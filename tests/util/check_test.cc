@@ -1,0 +1,55 @@
+#include "fedsearch/util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::util {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilentAndEvaluatesOnce) {
+  int evaluations = 0;
+  FEDSEARCH_CHECK([&] {
+    ++evaluations;
+    return true;
+  }()) << "never rendered";
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, MessageOperandsNotEvaluatedOnSuccess) {
+  int renders = 0;
+  const auto render = [&] {
+    ++renders;
+    return "boom";
+  };
+  FEDSEARCH_CHECK(1 + 1 == 2) << render();
+  EXPECT_EQ(renders, 0);
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsWithConditionAndLocation) {
+  EXPECT_DEATH(FEDSEARCH_CHECK(2 + 2 == 5),
+               "check_test.cc.*CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailedCheckCarriesStreamedMessage) {
+  const int df = -3;
+  EXPECT_DEATH(FEDSEARCH_CHECK(df >= 0) << "df was " << df,
+               "CHECK failed: df >= 0: df was -3");
+}
+
+#if FEDSEARCH_DCHECK_IS_ON
+TEST(CheckDeathTest, DcheckActiveInThisBuild) {
+  EXPECT_DEATH(FEDSEARCH_DCHECK(false) << "dcheck message",
+               "CHECK failed: false.*dcheck message");
+}
+#else
+TEST(CheckTest, DisabledDcheckEvaluatesNothing) {
+  int evaluations = 0;
+  FEDSEARCH_DCHECK([&] {
+    ++evaluations;
+    return false;  // would abort if evaluated with DCHECKs on
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace fedsearch::util

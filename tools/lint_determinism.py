@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Determinism lint for the fedsearch C++ tree.
+
+The reproduction pipeline promises bit-identical results for a fixed seed,
+across serial and parallel runs. Two classes of C++ quietly break that
+promise, so this lint bans them at review time:
+
+1. Ambient randomness (all of src/):
+   - std::rand / srand / rand()
+   - std::random_device (hardware entropy; different every run)
+   - std::mt19937 / std::minstd_rand / std::default_random_engine
+     (raw engines bypass the forkable util::Rng streams)
+   - time-seeded RNGs: time(nullptr)-style seeds, clock(), or a
+     <chrono> ::now() feeding anything seed/rng/engine-like
+   The only file allowed to own a raw engine is src/fedsearch/util/rng.cc
+   (and its header), which wraps it behind deterministic seeding.
+
+2. Order-dependent iteration (restricted TUs only: selection/*,
+   core/adaptive.cc, core/shrinkage.cc):
+   Range-for over a std::unordered_map / std::unordered_set makes
+   floating-point accumulation order depend on hash layout, which varies
+   across standard libraries and element insertion histories. Scoring and
+   shrinkage math must iterate in a defined order (sort first, or iterate
+   an ordered sibling container).
+
+Escape hatch: a line (or the line directly above it) containing
+    // ORDER-INDEPENDENT: <why the result does not depend on order>
+suppresses rule 2 for that loop. There is deliberately no escape hatch
+for rule 1; plumb util::Rng through instead.
+
+Usage: lint_determinism.py ROOT [ROOT...]
+Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cc", ".h"}
+
+# Files allowed to hold a raw random engine.
+RNG_ALLOWLIST = ("util/rng.cc", "util/rng.h")
+
+# TUs where unordered iteration is banned without justification.
+RESTRICTED_DIRS = ("/selection/",)
+RESTRICTED_FILES = ("core/adaptive.cc", "core/shrinkage.cc")
+
+ESCAPE_HATCH = "ORDER-INDEPENDENT:"
+
+BANNED_RANDOMNESS = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\(|(?<![:\w])rand\s*\("),
+     "std::rand/srand is not seedable per-stream; use util::Rng"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device draws ambient entropy; use util::Rng with a fixed seed"),
+    (re.compile(r"\b(mt19937(_64)?|minstd_rand0?|default_random_engine|"
+                r"ranlux\d+(_base)?|knuth_b)\b"),
+     "raw <random> engines bypass util::Rng's deterministic fork streams"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)|\bclock\s*\(\s*\)"),
+     "wall-clock values must not influence computation; results must replay"),
+]
+
+TIME_SEED = re.compile(r"::now\s*\(\s*\)")
+SEEDY_CONTEXT = re.compile(r"seed|rng|engine|random", re.IGNORECASE)
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>[\s*&]*(\w+)\s*[;,={(]")
+RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*\*?([A-Za-z_]\w*(?:[.\->\w]|::)*)\s*\)")
+UNORDERED_INLINE = re.compile(r"\bfor\s*\([^;]*:\s*[^;]*unordered_(?:map|set)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def is_restricted(rel: str) -> bool:
+    return any(d in rel for d in RESTRICTED_DIRS) or rel.endswith(RESTRICTED_FILES)
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    rel = path.relative_to(root.parent if root.is_file() else root).as_posix()
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    findings = []
+
+    rng_exempt = rel.endswith(RNG_ALLOWLIST)
+    if not rng_exempt:
+        for lineno, code in enumerate(code_lines, start=1):
+            for pattern, why in BANNED_RANDOMNESS:
+                if pattern.search(code):
+                    findings.append(f"{path}:{lineno}: {why}")
+            if TIME_SEED.search(code) and SEEDY_CONTEXT.search(code):
+                findings.append(
+                    f"{path}:{lineno}: time-seeded RNG; seeds must come from "
+                    "configuration, not the clock")
+
+    if is_restricted(rel):
+        unordered_vars: set[str] = set()
+        for code in code_lines:
+            for match in UNORDERED_DECL.finditer(code):
+                unordered_vars.add(match.group(1))
+        for lineno, code in enumerate(code_lines, start=1):
+            # Justified if the marker is on the loop line itself or anywhere
+            # in the contiguous //-comment block directly above it.
+            justified = ESCAPE_HATCH in raw_lines[lineno - 1]
+            k = lineno - 2
+            while not justified and k >= 0 and \
+                    raw_lines[k].lstrip().startswith("//"):
+                justified = ESCAPE_HATCH in raw_lines[k]
+                k -= 1
+            if justified:
+                continue
+            hit = UNORDERED_INLINE.search(code)
+            if not hit:
+                m = RANGE_FOR.search(code)
+                if m:
+                    # Match either the whole sequence expression or its last
+                    # member segment against known unordered declarations.
+                    seq = m.group(1)
+                    tail = re.split(r"[.\->]|::", seq)[-1]
+                    if seq in unordered_vars or tail in unordered_vars:
+                        hit = m
+            if hit:
+                findings.append(
+                    f"{path}:{lineno}: range-for over unordered container in a "
+                    f"determinism-critical TU; sort first or justify with "
+                    f"// {ESCAPE_HATCH} <reason>")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    findings = []
+    checked = 0
+    for root_arg in argv[1:]:
+        root = Path(root_arg)
+        if not root.exists():
+            print(f"lint_determinism: no such path: {root}", file=sys.stderr)
+            return 2
+        files = [root] if root.is_file() else sorted(
+            p for p in root.rglob("*") if p.suffix in CXX_SUFFIXES)
+        for path in files:
+            findings.extend(lint_file(path, root))
+            checked += 1
+    for finding in findings:
+        print(finding)
+    print(f"lint_determinism: {checked} file(s), {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

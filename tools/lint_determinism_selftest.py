@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Self-test for lint_determinism.py.
+
+Seeds a synthetic source tree with known violations and known-clean code,
+then asserts the linter flags exactly the lines it promises to flag. Run
+by ctest (label: lint) so a regression in the lint rules fails CI even
+when the real tree is clean.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SPEC = importlib.util.spec_from_file_location(
+    "lint_determinism", HERE / "lint_determinism.py")
+LINT = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(LINT)
+
+FAILURES: list[str] = []
+
+
+def run_lint(root: Path) -> tuple[int, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        status = LINT.main(["lint_determinism.py", str(root)])
+    return status, out.getvalue()
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    if condition:
+        print(f"  ok: {name}")
+    else:
+        FAILURES.append(name)
+        print(f"FAIL: {name} {detail}")
+
+
+def expect_findings(name: str, rel_path: str, code: str,
+                    expected_fragments: list[str]) -> None:
+    """Lint `code` at `rel_path` inside a scratch tree; expect each fragment
+    (and only as many findings as fragments)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "src"
+        target = src / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(code, encoding="utf-8")
+        status, output = run_lint(src)
+        want_status = 1 if expected_fragments else 0
+        check(f"{name}: exit status {want_status}", status == want_status,
+              f"(got {status}, output: {output!r})")
+        findings = [line for line in output.splitlines() if line.strip()]
+        check(f"{name}: {len(expected_fragments)} finding(s)",
+              len(findings) == len(expected_fragments),
+              f"(got {findings})")
+        for fragment in expected_fragments:
+            check(f"{name}: mentions {fragment!r}",
+                  any(fragment in f for f in findings), f"(got {findings})")
+
+
+# --- Rule 1: ambient randomness -------------------------------------------
+
+expect_findings(
+    "std::rand", "fedsearch/sampling/bad_rand.cc",
+    "int Draw() { return std::rand() % 6; }\n",
+    ["std::rand"])
+
+expect_findings(
+    "srand + time seed", "fedsearch/sampling/bad_seed.cc",
+    "void Init() { srand(time(nullptr)); }\n",
+    ["std::rand/srand", "wall-clock"])
+
+expect_findings(
+    "random_device", "fedsearch/core/bad_entropy.cc",
+    "std::random_device rd;\n",
+    ["random_device"])
+
+expect_findings(
+    "raw mt19937 engine", "fedsearch/text/bad_engine.cc",
+    "std::mt19937 gen(42);\n",
+    ["raw <random> engines"])
+
+expect_findings(
+    "chrono-seeded rng", "fedsearch/util/bad_clock_seed.cc",
+    "auto seed = std::chrono::steady_clock::now().time_since_epoch();\n",
+    ["time-seeded"])
+
+expect_findings(
+    "chrono now without rng context is fine", "fedsearch/util/latency.cc",
+    "auto t0 = std::chrono::steady_clock::now();\n",
+    [])
+
+expect_findings(
+    "util/rng.cc may own an engine", "fedsearch/util/rng.cc",
+    "std::mt19937_64 engine_;  // wrapped behind deterministic seeding\n",
+    [])
+
+expect_findings(
+    "violations inside comments are ignored", "fedsearch/core/commented.cc",
+    "// std::rand() would be wrong here; we use util::Rng instead\n"
+    "/* std::random_device is also banned */\n",
+    [])
+
+expect_findings(
+    "operand( does not trip the rand( pattern", "fedsearch/util/ops.cc",
+    "int x = operand(3);\n",
+    [])
+
+# --- Rule 2: order-dependent iteration ------------------------------------
+
+expect_findings(
+    "unannotated unordered range-for in selection/", "fedsearch/selection/bad.cc",
+    "std::unordered_map<std::string, double> weights_;\n"
+    "double Sum() {\n"
+    "  double total = 0.0;\n"
+    "  for (const auto& [w, v] : weights_) total += v;\n"
+    "  return total;\n"
+    "}\n",
+    ["range-for over unordered container"])
+
+expect_findings(
+    "ORDER-INDEPENDENT escape hatch suppresses", "fedsearch/selection/ok.cc",
+    "std::unordered_map<std::string, double> weights_;\n"
+    "double Sum() {\n"
+    "  double total = 0.0;\n"
+    "  // ORDER-INDEPENDENT: integer counts, addition is exact\n"
+    "  for (const auto& [w, v] : weights_) total += v;\n"
+    "  return total;\n"
+    "}\n",
+    [])
+
+expect_findings(
+    "marker anywhere in the comment block above counts",
+    "fedsearch/selection/block_comment.cc",
+    "std::unordered_map<std::string, double> weights_;\n"
+    "double Sum() {\n"
+    "  double total = 0.0;\n"
+    "  // ORDER-INDEPENDENT: the reduction below only counts entries,\n"
+    "  // and integer addition is exact regardless of visit order.\n"
+    "  for (const auto& [w, v] : weights_) total += 1.0;\n"
+    "  return total;\n"
+    "}\n",
+    [])
+
+expect_findings(
+    "core/shrinkage.cc is restricted", "fedsearch/core/shrinkage.cc",
+    "std::unordered_set<int> ids;\n"
+    "void Visit() { for (int id : ids) Use(id); }\n",
+    ["range-for over unordered container"])
+
+expect_findings(
+    "deref of unordered pointer is caught", "fedsearch/selection/deref.cc",
+    "std::unordered_map<int, int>* live_ = nullptr;\n"
+    "void Walk() { for (const auto& kv : *live_) Use(kv); }\n",
+    ["range-for over unordered container"])
+
+expect_findings(
+    "unrestricted TUs may iterate unordered", "fedsearch/summary/fine.cc",
+    "std::unordered_map<std::string, int> counts_;\n"
+    "void Dump() { for (const auto& kv : counts_) Use(kv); }\n",
+    [])
+
+expect_findings(
+    "ordered containers are fine in selection/", "fedsearch/selection/sorted.cc",
+    "std::map<std::string, double> weights_;\n"
+    "double Sum() {\n"
+    "  double total = 0.0;\n"
+    "  for (const auto& [w, v] : weights_) total += v;\n"
+    "  return total;\n"
+    "}\n",
+    [])
+
+# --- CLI behaviour --------------------------------------------------------
+
+status, _ = run_lint(Path(tempfile.gettempdir()) / "lint-selftest-missing")
+check("missing root exits 2", status == 2, f"(got {status})")
+
+print()
+if FAILURES:
+    print(f"lint_determinism_selftest: {len(FAILURES)} check(s) FAILED")
+    sys.exit(1)
+print("lint_determinism_selftest: all checks passed")
