@@ -1,14 +1,24 @@
 // Microbenchmarks (google-benchmark) for the performance-critical kernels:
 // index search, EM mixture-weight fitting, shrunk-summary lookups, the
 // document-frequency posterior, and QBS sampling throughput.
+//
+// In addition to the standard google-benchmark flags, the custom main
+// accepts:
+//   --smoke          one fast repetition per benchmark (CI sanity check)
+//   --json out.json  write a schema-versioned BENCH report (harness/report.h)
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "fedsearch/core/adaptive.h"
 #include "fedsearch/core/metasearcher.h"
 #include "fedsearch/corpus/testbed.h"
 #include "fedsearch/sampling/qbs_sampler.h"
 #include "fedsearch/selection/cori.h"
+#include "harness/report.h"
 
 namespace fedsearch {
 namespace {
@@ -155,7 +165,81 @@ void BM_SelectDatabasesCori(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectDatabasesCori)->Arg(0)->Arg(1);
 
+// Console output plus a machine-readable tally of every finished run:
+// (name, per-iteration real/cpu time in ns, iteration count).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Result {
+    std::string name;
+    double real_ns = 0.0;
+    double cpu_ns = 0.0;
+    double iterations = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type == Run::RT_Aggregate) continue;
+      Result r;
+      r.name = run.benchmark_name();
+      const double to_ns =
+          benchmark::GetTimeUnitMultiplier(run.time_unit) > 0
+              ? 1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit)
+              : 1.0;
+      r.real_ns = run.GetAdjustedRealTime() * to_ns;
+      r.cpu_ns = run.GetAdjustedCPUTime() * to_ns;
+      r.iterations = static_cast<double>(run.iterations);
+      results_.push_back(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Result>& results() const { return results_; }
+
+ private:
+  std::vector<Result> results_;
+};
+
 }  // namespace
 }  // namespace fedsearch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // benchmark 1.7 takes the min time as a plain float (no "s" suffix).
+  char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time_flag);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+
+  fedsearch::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    fedsearch::bench::BenchReport report("micro");
+    report.SetConfig(fedsearch::bench::ConfigFromEnv());
+    report.AddConfig("smoke", smoke ? 1.0 : 0.0);
+    for (const auto& result : reporter.results()) {
+      report.AddScenario(result.name)
+          .Add("real_time_ns", result.real_ns)
+          .Add("cpu_time_ns", result.cpu_ns)
+          .Add("iterations", result.iterations);
+    }
+    if (!report.WriteFile(json_path)) return 1;
+  }
+  return 0;
+}

@@ -8,8 +8,13 @@
 // hierarchy, so it should absorb sampling damage (lost documents, partial
 // samples, dead databases) far better than Plain summaries.
 
+// Usage:
+//   bench_robustness_degradation [--json out.json]
+
 #include <array>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "fedsearch/corpus/topic_model.h"
@@ -17,6 +22,7 @@
 #include "fedsearch/sampling/qbs_sampler.h"
 #include "fedsearch/selection/cori.h"
 #include "harness/experiment.h"
+#include "harness/report.h"
 
 using namespace fedsearch;
 
@@ -69,11 +75,25 @@ bench::Federation SampleThroughFaults(const corpus::Testbed& bed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      return 2;
+    }
+  }
   const bench::ExperimentConfig config = bench::ConfigFromEnv();
   const bench::DataSet dataset = bench::DataSet::kTrec4;
   const corpus::Testbed& bed = bench::GetTestbed(dataset, config);
   const selection::CoriScorer cori;
+
+  bench::BenchReport report("robustness_degradation");
+  report.SetConfig(config);
+  report.AddConfig("dataset", std::string(Name(dataset)));
+  report.AddConfig("databases", static_cast<double>(bed.num_databases()));
 
   std::printf(
       "Robustness sweep: QBS through fault-injected interfaces (TREC4, "
@@ -106,6 +126,19 @@ int main() {
                 tally.partial, tally.aborted, tally.transient_failures,
                 tally.documents_lost);
     std::fflush(stdout);
+
+    char scenario_name[32];
+    std::snprintf(scenario_name, sizeof(scenario_name), "faults_%.2f", rate);
+    report.AddScenario(scenario_name)
+        .Add("rk_plain", plain)
+        .Add("rk_adaptive", adaptive)
+        .Add("rk_universal", universal)
+        .Add("runs_complete", static_cast<double>(tally.complete))
+        .Add("runs_partial", static_cast<double>(tally.partial))
+        .Add("runs_aborted", static_cast<double>(tally.aborted))
+        .Add("transient_failures",
+             static_cast<double>(tally.transient_failures))
+        .Add("documents_lost", static_cast<double>(tally.documents_lost));
   }
 
   // Degradation relative to the fault-free run, at the 20% fault rate.
@@ -118,5 +151,7 @@ int main() {
       "\nAt 20%% faults: Plain loses %.1f%%, Adaptive loses %.1f%% of its "
       "fault-free quality.\n",
       100.0 * plain_drop, 100.0 * adaptive_drop);
+
+  if (!json_path.empty() && !report.WriteFile(json_path)) return 1;
   return 0;
 }

@@ -1,0 +1,113 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fedsearch/util/json_writer.h"
+
+namespace fedsearch::bench {
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchReport::SetConfig(const ExperimentConfig& config) {
+  AddConfig("scale", config.scale);
+  AddConfig("qbs_runs", static_cast<double>(config.qbs_runs));
+  AddConfig("seed", static_cast<double>(config.seed));
+}
+
+void BenchReport::AddConfig(std::string key, double value) {
+  config_numbers_.emplace_back(std::move(key), value);
+}
+
+void BenchReport::AddConfig(std::string key, std::string value) {
+  config_strings_.emplace_back(std::move(key), std::move(value));
+}
+
+BenchReport::Scenario& BenchReport::AddScenario(std::string name) {
+  scenarios_.push_back(Scenario{std::move(name), {}});
+  return scenarios_.back();
+}
+
+std::string BenchReport::ToJson() const {
+  util::JsonWriter writer(/*indent=*/2);
+  writer.BeginObject();
+  writer.Key("schema_version").Value(1);
+  writer.Key("bench").Value(bench_name_);
+  writer.Key("git_sha").Value(GitSha());
+  writer.Key("config").BeginObject();
+  for (const auto& [key, value] : config_numbers_) {
+    writer.Key(key).Value(value);
+  }
+  for (const auto& [key, value] : config_strings_) {
+    writer.Key(key).Value(value);
+  }
+  writer.EndObject();
+  writer.Key("scenarios").BeginArray();
+  for (const Scenario& scenario : scenarios_) {
+    writer.BeginObject();
+    writer.Key("name").Value(scenario.name);
+    writer.Key("values").BeginObject();
+    for (const auto& [key, value] : scenario.values) {
+      writer.Key(key).Value(value);
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("metrics");
+  util::GlobalMetrics().WriteJson(writer);
+  writer.EndObject();
+  return writer.str();
+}
+
+bool BenchReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "BenchReport: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+std::string GitSha() {
+  if (const char* env = std::getenv("FEDSEARCH_GIT_SHA")) {
+    if (env[0] != '\0') return env;
+  }
+#ifdef FEDSEARCH_SOURCE_DIR
+  const std::string command = std::string("git -C \"") + FEDSEARCH_SOURCE_DIR +
+                              "\" rev-parse --short HEAD 2>/dev/null";
+  if (std::FILE* pipe = ::popen(command.c_str(), "r")) {
+    char buf[64] = {0};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    ::pclose(pipe);
+    if (!sha.empty()) return sha;
+  }
+#endif
+  return "unknown";
+}
+
+void AppendLatencyPercentilesUs(BenchReport::Scenario& scenario,
+                                const util::Histogram& latency_ns) {
+  scenario.Add("p50_us", latency_ns.Percentile(50.0) / 1000.0);
+  scenario.Add("p95_us", latency_ns.Percentile(95.0) / 1000.0);
+  scenario.Add("p99_us", latency_ns.Percentile(99.0) / 1000.0);
+  scenario.Add("mean_us", latency_ns.mean() / 1000.0);
+  scenario.Add("max_us", static_cast<double>(latency_ns.max()) / 1000.0);
+}
+
+}  // namespace fedsearch::bench

@@ -1,0 +1,82 @@
+#ifndef FEDSEARCH_BENCH_HARNESS_REPORT_H_
+#define FEDSEARCH_BENCH_HARNESS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fedsearch/util/metrics.h"
+#include "harness/experiment.h"
+
+namespace fedsearch::bench {
+
+// Schema-versioned machine-readable bench result (the BENCH_*.json files).
+// Layout (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "serving_throughput",
+//     "git_sha": "36f7f57",
+//     "config": {"scale": 0.25, "seed": 7, ...},
+//     "scenarios": [
+//       {"name": "plain/cori", "values": {"qps_serial": ..., "p95_us": ...}},
+//       ...
+//     ],
+//     "metrics": { <GlobalMetrics snapshot> }
+//   }
+//
+// Scenario names and value keys carry the gate semantics used by
+// tools/check_bench_regression.py: keys starting with "qps" are
+// higher-is-better throughput, keys starting with "p95" are
+// lower-is-better latency (microseconds). Everything else is
+// informational — gated keys should be derived from CPU time, with
+// load-sensitive wall-clock variants under a "wall_" prefix.
+class BenchReport {
+ public:
+  struct Scenario {
+    std::string name;
+    std::vector<std::pair<std::string, double>> values;
+
+    Scenario& Add(std::string key, double value) {
+      values.emplace_back(std::move(key), value);
+      return *this;
+    }
+  };
+
+  explicit BenchReport(std::string bench_name);
+
+  // Records the harness environment knobs under "config".
+  void SetConfig(const ExperimentConfig& config);
+  void AddConfig(std::string key, double value);
+  void AddConfig(std::string key, std::string value);
+
+  Scenario& AddScenario(std::string name);
+
+  // Pretty-printed JSON document (indent 2); embeds the current
+  // GlobalMetrics snapshot under "metrics".
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path` (with a trailing newline). Returns false and
+  // prints to stderr on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, double>> config_numbers_;
+  std::vector<std::pair<std::string, std::string>> config_strings_;
+  std::vector<Scenario> scenarios_;
+};
+
+// Short git revision of the source tree: the FEDSEARCH_GIT_SHA environment
+// variable when set, otherwise `git rev-parse --short HEAD` run against
+// the configure-time source directory, otherwise "unknown".
+std::string GitSha();
+
+// Converts a nanosecond latency histogram into the standard per-scenario
+// latency keys: p50_us / p95_us / p99_us / mean_us / max_us.
+void AppendLatencyPercentilesUs(BenchReport::Scenario& scenario,
+                                const util::Histogram& latency_ns);
+
+}  // namespace fedsearch::bench
+
+#endif  // FEDSEARCH_BENCH_HARNESS_REPORT_H_

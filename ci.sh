@@ -5,17 +5,29 @@
 #   ./ci.sh --jobs lint,tidy                 # fast static tier only
 #   ./ci.sh --jobs asan,tsan,ubsan           # sanitizer matrix
 #   ./ci.sh --jobs fuzz-regression -j 4      # corpus replay, 4-way builds
+#   ./ci.sh --clean --jobs release           # rebuild the tree from scratch
 #
 # Jobs (run in the order listed, regardless of --jobs order):
 #   lint            determinism lint over src/ + lint self-test (python3)
 #   tidy            clang-tidy over src/ (skipped if clang-tidy missing)
-#   asan            Debug + AddressSanitizer, full ctest suite
-#   ubsan           Debug + UndefinedBehaviorSanitizer, full ctest suite
+#   asan            Debug + AddressSanitizer, full ctest suite (minus bench)
+#   ubsan           Debug + UndefinedBehaviorSanitizer, same suite as asan
 #   tsan            Debug + ThreadSanitizer, concurrency tests only
 #                   (labels: stress + threads) to bound runtime
-#   release         Release tree, full ctest suite
+#   release         Release tree, full ctest suite (minus bench)
 #   fuzz-regression corpus replay + bounded deterministic mutations
 #   smoke           serving-throughput bench smoke (serial==parallel check)
+#   perf-smoke      Release bench smoke with --json telemetry, gated against
+#                   the committed baseline in bench/baselines/ by
+#                   tools/check_bench_regression.py (>15% qps drop or
+#                   >25% p95 growth fails the job)
+#
+# All build trees live under build-ci/<name> and are reused across
+# invocations (configure+build runs at most once per tree per run);
+# --clean removes build-ci/ first for a from-scratch rebuild. The bench
+# label is excluded from the sanitizer/release ctest sweeps — perf numbers
+# from instrumented trees would gate on noise; perf-smoke owns the
+# telemetry run, against the Release tree.
 #
 # Every tree builds with -DFEDSEARCH_DCHECK=ON so debug-only invariants
 # (lambda simplex, finite gamma, cache-key bounds) are checked in CI even
@@ -23,9 +35,10 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_JOBS="lint tidy asan ubsan tsan release fuzz-regression smoke"
+ALL_JOBS="lint tidy asan ubsan tsan release fuzz-regression smoke perf-smoke"
 SELECTED="$ALL_JOBS"
 JOBS="$(nproc)"
+CLEAN=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -33,6 +46,7 @@ while [[ $# -gt 0 ]]; do
     --jobs=*) SELECTED="${1#--jobs=}"; SELECTED="${SELECTED//,/ }"; shift ;;
     -j)       JOBS="$2"; shift 2 ;;
     -j*)      JOBS="${1#-j}"; shift ;;
+    --clean)  CLEAN=1; shift ;;
     *) echo "ci.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -51,10 +65,19 @@ run() {
   "$@"
 }
 
+if [[ "$CLEAN" == 1 ]]; then
+  run rm -rf build-ci
+fi
+# Stray roots from the pre-build-ci/ layout; remove so they cannot be
+# mistaken for live trees (they are also .gitignored).
+for legacy in build-ci-*; do
+  if [[ -d "$legacy" ]]; then run rm -rf "$legacy"; fi
+done
+
 # Configure + build a tree once per invocation, even if several jobs use it.
 declare -A BUILT=()
 ensure_tree() {
-  local dir="$1"; shift
+  local dir="build-ci/$1"; shift
   [[ -n "${BUILT[$dir]:-}" ]] && return 0
   run cmake -B "$dir" -S . -DFEDSEARCH_DCHECK=ON "$@"
   run cmake --build "$dir" -j "$JOBS"
@@ -71,9 +94,9 @@ fi
 if selected tidy; then
   echo "=== job: tidy ==="
   if command -v clang-tidy >/dev/null 2>&1; then
-    run cmake -B build-ci-tidy -S . -DCMAKE_BUILD_TYPE=Debug
+    run cmake -B build-ci/tidy -S . -DCMAKE_BUILD_TYPE=Debug
     mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
-    run clang-tidy -p build-ci-tidy --quiet --warnings-as-errors='*' \
+    run clang-tidy -p build-ci/tidy --quiet --warnings-as-errors='*' \
       "${TIDY_SOURCES[@]}"
   else
     echo "ci.sh: clang-tidy not installed; skipping tidy job"
@@ -83,50 +106,64 @@ fi
 # --- Sanitizer matrix ----------------------------------------------------
 if selected asan; then
   echo "=== job: asan ==="
-  ensure_tree build-ci-asan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=address
-  run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+  ensure_tree asan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=address
+  run ctest --test-dir build-ci/asan --output-on-failure -j "$JOBS" -LE bench
 fi
 
 if selected ubsan; then
   echo "=== job: ubsan ==="
-  ensure_tree build-ci-ubsan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=undefined
-  run ctest --test-dir build-ci-ubsan --output-on-failure -j "$JOBS"
+  ensure_tree ubsan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=undefined
+  run ctest --test-dir build-ci/ubsan --output-on-failure -j "$JOBS" -LE bench
 fi
 
 if selected tsan; then
   echo "=== job: tsan ==="
-  ensure_tree build-ci-tsan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=thread
+  ensure_tree tsan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=thread
   # Stress + thread-touching unit tests only: TSan's ~10x slowdown makes the
   # full suite blow the CI budget, and single-threaded tests add no signal.
-  run ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+  run ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
     -L 'stress|threads'
 fi
 
 # --- Release + dynamic regression tiers ----------------------------------
-if selected release || selected fuzz-regression || selected smoke; then
-  ensure_tree build-ci-release -DCMAKE_BUILD_TYPE=Release
+if selected release || selected fuzz-regression || selected smoke || \
+    selected perf-smoke; then
+  ensure_tree release -DCMAKE_BUILD_TYPE=Release
 fi
 
 if selected release; then
   echo "=== job: release ==="
-  run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+  run ctest --test-dir build-ci/release --output-on-failure -j "$JOBS" \
+    -LE bench
 fi
 
 if selected fuzz-regression; then
   echo "=== job: fuzz-regression ==="
   # The ctest fuzz label replays corpora with the default mutation budget;
   # CI adds a deeper deterministic mutation pass on top.
-  run ctest --test-dir build-ci-release --output-on-failure -L fuzz
-  run ./build-ci-release/tests/fuzz_summary_io_replay \
+  run ctest --test-dir build-ci/release --output-on-failure -L fuzz
+  run ./build-ci/release/tests/fuzz_summary_io_replay \
     --mutate 512 --seed 7 tests/fuzz/corpus/summary_io
-  run ./build-ci-release/tests/fuzz_analyzer_replay \
+  run ./build-ci/release/tests/fuzz_analyzer_replay \
     --mutate 512 --seed 7 tests/fuzz/corpus/analyzer
 fi
 
 if selected smoke; then
   echo "=== job: smoke ==="
   # Exits non-zero if parallel rankings ever diverge from serial.
-  run ./build-ci-release/bench/bench_serving_throughput --smoke
+  run ./build-ci/release/bench/bench_serving_throughput --smoke
+fi
+
+if selected perf-smoke; then
+  echo "=== job: perf-smoke ==="
+  # Gate the telemetry first (a broken gate passes everything), then the
+  # numbers: a fresh Release smoke report against the committed baseline.
+  run python3 tools/check_bench_regression_selftest.py
+  run ./build-ci/release/bench/bench_serving_throughput --smoke \
+    --json build-ci/release/BENCH_serving_throughput.json
+  run python3 tools/check_bench_regression.py \
+    bench/baselines/BENCH_serving_throughput.json \
+    build-ci/release/BENCH_serving_throughput.json
 fi
 
 echo "ci.sh: all green ($SELECTED)"

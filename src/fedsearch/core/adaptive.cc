@@ -6,8 +6,38 @@
 #include "fedsearch/core/posterior_cache.h"
 #include "fedsearch/util/check.h"
 #include "fedsearch/util/math.h"
+#include "fedsearch/util/metrics.h"
 
 namespace fedsearch::core {
+
+namespace {
+
+struct AdaptiveMetrics {
+  util::Counter& evaluations =
+      util::GlobalMetrics().counter("adaptive.evaluations");
+  util::Counter& gate_complete_sample =
+      util::GlobalMetrics().counter("adaptive.gate_complete_sample");
+  util::Counter& gate_no_mixed_evidence =
+      util::GlobalMetrics().counter("adaptive.gate_no_mixed_evidence");
+  util::Counter& chose_shrunk =
+      util::GlobalMetrics().counter("adaptive.chose_shrunk");
+  util::Counter& chose_plain =
+      util::GlobalMetrics().counter("adaptive.chose_plain");
+  util::Histogram& draws = util::GlobalMetrics().histogram("adaptive.draws");
+  // σ / max(µ − floor) in integer milli-units; the decision threshold
+  // lives on this axis, so its distribution shows how close calls are.
+  util::Histogram& sigma_mu_ratio_e3 =
+      util::GlobalMetrics().histogram("adaptive.sigma_mu_ratio_e3");
+  util::Histogram& evaluate_ns =
+      util::GlobalMetrics().histogram("adaptive.evaluate_ns");
+};
+
+AdaptiveMetrics& Metrics() {
+  static AdaptiveMetrics* m = new AdaptiveMetrics();
+  return *m;
+}
+
+}  // namespace
 
 double PowerLawGamma(double mandelbrot_alpha) {
   // α must be safely negative: γ = 1/α − 1 diverges as α → 0⁻, and a
@@ -168,6 +198,8 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     const selection::ScoringFunction& scorer,
     const selection::ScoringContext& context, util::Rng& rng,
     PosteriorCache* cache, size_t database_index) const {
+  Metrics().evaluations.Add();
+  util::ScopedTimer evaluate_timer(Metrics().evaluate_ns);
   Uncertainty result;
   const double db_size = std::max(1.0, sample.estimated_db_size);
 
@@ -175,9 +207,14 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
   // "sufficiently complete"; shrinkage could only add spurious words
   // (Section 4).
   if (static_cast<double>(sample.sample_size) >= 0.9 * db_size) {
+    Metrics().gate_complete_sample.Add();
+    Metrics().chose_plain.Add();
     return result;
   }
-  if (query.terms.empty()) return result;
+  if (query.terms.empty()) {
+    Metrics().chose_plain.Add();
+    return result;
+  }
 
   // Section 4's boundary-case gate: all words present (summary already
   // trustworthy for this query) or all words absent (the database is
@@ -194,7 +231,11 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
       if (sk >= options_.present_min_df) any_present = true;
       if (sk == 0) any_absent = true;
     }
-    if (!any_present || !any_absent) return result;
+    if (!any_present || !any_absent) {
+      Metrics().gate_no_mixed_evidence.Add();
+      Metrics().chose_plain.Add();
+      return result;
+    }
   }
 
   // γ = 1/α − 1 from the rank-frequency exponent (Appendix B; [1]),
@@ -264,9 +305,16 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
   // the comparison uses the mean's excess over the scorer's default score,
   // scaled by the configured threshold (see AdaptiveOptions).
   const double floor = scorer.DefaultScore(query, sample.summary, context);
+  const double excess = std::max(0.0, result.mean - floor);
   result.use_shrinkage =
-      result.stddev >
-      options_.uncertainty_threshold * std::max(0.0, result.mean - floor);
+      result.stddev > options_.uncertainty_threshold * excess;
+  Metrics().draws.Record(result.draws);
+  if (excess > 0.0) {
+    Metrics().sigma_mu_ratio_e3.Record(
+        static_cast<uint64_t>(std::min(result.stddev / excess, 1e6) * 1e3));
+  }
+  (result.use_shrinkage ? Metrics().chose_shrunk : Metrics().chose_plain)
+      .Add();
   return result;
 }
 

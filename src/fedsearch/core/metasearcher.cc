@@ -2,7 +2,31 @@
 
 #include <utility>
 
+#include "fedsearch/util/metrics.h"
+#include "fedsearch/util/trace.h"
+
 namespace fedsearch::core {
+
+namespace {
+
+struct ServingMetrics {
+  util::Counter& queries = util::GlobalMetrics().counter("serving.queries");
+  util::Counter& category_fallbacks =
+      util::GlobalMetrics().counter("serving.category_fallbacks");
+  util::Counter& shrinkage_applied =
+      util::GlobalMetrics().counter("serving.shrinkage_applied");
+  util::Histogram& select_ns =
+      util::GlobalMetrics().histogram("serving.select_databases_ns");
+  util::Histogram& build_ns =
+      util::GlobalMetrics().histogram("serving.metasearcher_build_ns");
+};
+
+ServingMetrics& Metrics() {
+  static ServingMetrics* m = new ServingMetrics();
+  return *m;
+}
+
+}  // namespace
 
 Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
                            std::vector<sampling::SampleResult> samples,
@@ -13,6 +37,8 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
       classifications_(std::move(classifications)),
       options_(options),
       adaptive_(options.adaptive) {
+  FEDSEARCH_TRACE_SPAN("metasearcher_build");
+  util::ScopedTimer build_timer(Metrics().build_ns);
   degraded_.reserve(samples_.size());
   for (const sampling::SampleResult& s : samples_) {
     degraded_.push_back(
@@ -56,11 +82,18 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
   if (num_threads_ > 1) {
     pool_ = std::make_unique<util::ThreadPool>(num_threads_);
   }
+  util::GlobalMetrics().gauge("serving.threads").Set(
+      static_cast<double>(num_threads_));
+  util::GlobalMetrics().gauge("serving.databases").Set(
+      static_cast<double>(samples_.size()));
 }
 
 Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
     const selection::Query& query, const selection::ScoringFunction& scorer,
     SummaryMode mode) const {
+  FEDSEARCH_TRACE_SPAN("select_databases");
+  util::ScopedTimer select_timer(Metrics().select_ns);
+  Metrics().queries.Add();
   const size_t n = samples_.size();
   SelectionOutcome outcome;
   outcome.databases_considered = n;
@@ -153,6 +186,8 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
   FillContextForChosen(query, chosen, mode, context);
   outcome.ranking =
       selection::RankDatabases(query, chosen, scorer, context, pool_.get());
+  Metrics().category_fallbacks.Add(outcome.category_fallbacks);
+  Metrics().shrinkage_applied.Add(outcome.shrinkage_applied);
   return outcome;
 }
 

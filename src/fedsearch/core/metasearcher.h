@@ -92,6 +92,8 @@ class Metasearcher {
   PosteriorCache::Stats posterior_cache_stats() const {
     return posterior_cache_.stats();
   }
+  // Materialized posterior grids across all databases.
+  size_t posterior_cache_size() const { return posterior_cache_.size(); }
   // Precomputed corpus statistics (cf(w) over the full vocabulary, mean
   // collection word count) for the unshrunk / shrunk summary sets.
   const selection::ScoringStatisticsCache& plain_statistics() const {

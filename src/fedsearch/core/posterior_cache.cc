@@ -16,8 +16,8 @@ void PosteriorCache::Reset(size_t num_databases) {
   for (size_t i = 0; i < num_databases; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
+  hits_.Reset();
+  misses_.Reset();
 }
 
 const DocFrequencyPosterior& PosteriorCache::Get(size_t database,
@@ -36,12 +36,18 @@ const DocFrequencyPosterior& PosteriorCache::Get(size_t database,
   FEDSEARCH_DCHECK(std::isfinite(gamma) && std::isfinite(db_size));
   Shard& shard = *shards_[database];
   std::lock_guard<std::mutex> lock(shard.mu);
+  static util::Counter& global_hits =
+      util::GlobalMetrics().counter("posterior_cache.hits");
+  static util::Counter& global_misses =
+      util::GlobalMetrics().counter("posterior_cache.misses");
   auto it = shard.by_df.find(sample_df);
   if (it != shard.by_df.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.Add();
+    global_hits.Add();
     return *it->second;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add();
+  global_misses.Add();
   // Building under the shard lock keeps the invariant "one grid per key"
   // without a second lookup; construction is O(grid_points) and rare.
   auto posterior = std::make_unique<DocFrequencyPosterior>(
@@ -52,8 +58,8 @@ const DocFrequencyPosterior& PosteriorCache::Get(size_t database,
 
 PosteriorCache::Stats PosteriorCache::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
+  s.hits = hits_.value();
+  s.misses = misses_.value();
   return s;
 }
 

@@ -1,7 +1,6 @@
 #ifndef FEDSEARCH_CORE_POSTERIOR_CACHE_H_
 #define FEDSEARCH_CORE_POSTERIOR_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -9,6 +8,7 @@
 #include <vector>
 
 #include "fedsearch/core/adaptive.h"
+#include "fedsearch/util/metrics.h"
 
 namespace fedsearch::core {
 
@@ -69,8 +69,10 @@ class PosteriorCache {
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  // Per-instance counts (exposed via stats()); Get also mirrors them into
+  // the global registry under posterior_cache.{hits,misses}.
+  util::Counter hits_;
+  util::Counter misses_;
 };
 
 }  // namespace fedsearch::core

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "fedsearch/util/check.h"
+#include "fedsearch/util/metrics.h"
+#include "fedsearch/util/trace.h"
 
 namespace fedsearch::core {
 
@@ -125,6 +127,19 @@ std::vector<double> FitMixtureWeights(
     const std::vector<const summary::SummaryView*>& categories,
     double uniform_probability, size_t sample_size,
     const ShrinkageOptions& options) {
+  static util::Counter& fits = util::GlobalMetrics().counter("em.fits");
+  static util::Counter& converged =
+      util::GlobalMetrics().counter("em.converged");
+  static util::Histogram& iterations_hist =
+      util::GlobalMetrics().histogram("em.iterations");
+  static util::Histogram& delta_hist =
+      util::GlobalMetrics().histogram("em.final_max_delta_e9");
+  static util::Histogram& fit_ns =
+      util::GlobalMetrics().histogram("em.fit_ns");
+  FEDSEARCH_TRACE_SPAN("em_fit");
+  util::ScopedTimer fit_timer(fit_ns);
+  fits.Add();
+
   const size_t m = categories.size();
   const size_t k = m + 2;  // uniform + categories + database
   const double deleted_mass =
@@ -157,7 +172,11 @@ std::vector<double> FitMixtureWeights(
   if (rows == 0) return lambdas;
 
   std::vector<double> beta(k, 0.0);
+  size_t iters_run = 0;
+  double last_max_delta = 0.0;
+  bool did_converge = false;
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++iters_run;
     std::fill(beta.begin(), beta.end(), 0.0);
     // Expectation: β_i = Σ_w weight_w · λ_i p̂(w|C_i) / p̂_R(w|D).
     for (size_t r = 0; r < rows; ++r) {
@@ -179,8 +198,17 @@ std::vector<double> FitMixtureWeights(
       max_delta = std::max(max_delta, std::fabs(next - lambdas[i]));
       lambdas[i] = next;
     }
-    if (max_delta < options.epsilon) break;
+    last_max_delta = max_delta;
+    if (max_delta < options.epsilon) {
+      did_converge = true;
+      break;
+    }
   }
+  iterations_hist.Record(iters_run);
+  // λ deltas are sub-1.0 doubles; record in integer nano-units so the
+  // log-linear buckets resolve the convergence tail.
+  delta_hist.Record(static_cast<uint64_t>(last_max_delta * 1e9));
+  if (did_converge) converged.Add();
   // Figure 2 post-condition: the M-step renormalizes every iteration, so
   // the returned weights must still lie on the simplex.
   double sum = 0.0;
@@ -197,6 +225,10 @@ ShrinkageModel::ShrinkageModel(const HierarchySummaries* hierarchy_summaries,
                                std::vector<size_t> sample_sizes,
                                const ShrinkageOptions& options)
     : summaries_(hierarchy_summaries) {
+  static util::Histogram& build_ns =
+      util::GlobalMetrics().histogram("shrinkage.model_build_ns");
+  FEDSEARCH_TRACE_SPAN("shrinkage_model_build");
+  util::ScopedTimer build_timer(build_ns);
   const corpus::TopicHierarchy& h = summaries_->hierarchy();
   const size_t n = summaries_->num_databases();
   shrunk_.reserve(n);

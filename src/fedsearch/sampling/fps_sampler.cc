@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "fedsearch/util/metrics.h"
+#include "fedsearch/util/trace.h"
+
 namespace fedsearch::sampling {
 
 ProbeRuleSet::ProbeRuleSet(const corpus::TopicHierarchy* hierarchy,
@@ -72,6 +75,13 @@ SampleResult FpsSampler::Sample(const index::TextDatabase& db,
 SampleResult FpsSampler::Sample(index::SearchInterface& db,
                                 const text::Analyzer& analyzer,
                                 util::Rng& rng) const {
+  static util::Counter& runs =
+      util::GlobalMetrics().counter("sampling.fps_runs");
+  static util::Histogram& run_ns =
+      util::GlobalMetrics().histogram("sampling.fps_run_ns");
+  FEDSEARCH_TRACE_SPAN("fps_sample");
+  util::ScopedTimer run_timer(run_ns);
+  runs.Add();
   const corpus::TopicHierarchy& h = rules_->hierarchy();
   util::RetryController retry(options_.retry);
   SampleCollector collector(&db, &analyzer, &options_.build, &retry);

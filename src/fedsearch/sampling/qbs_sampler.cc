@@ -3,6 +3,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "fedsearch/util/metrics.h"
+#include "fedsearch/util/trace.h"
+
 namespace fedsearch::sampling {
 
 QbsSampler::QbsSampler(QbsOptions options, std::vector<std::string> dictionary)
@@ -17,6 +20,13 @@ SampleResult QbsSampler::Sample(const index::TextDatabase& db,
 SampleResult QbsSampler::Sample(index::SearchInterface& db,
                                 const text::Analyzer& analyzer,
                                 util::Rng& rng) const {
+  static util::Counter& runs =
+      util::GlobalMetrics().counter("sampling.qbs_runs");
+  static util::Histogram& run_ns =
+      util::GlobalMetrics().histogram("sampling.qbs_run_ns");
+  FEDSEARCH_TRACE_SPAN("qbs_sample");
+  util::ScopedTimer run_timer(run_ns);
+  runs.Add();
   util::RetryController retry(options_.retry);
   SampleCollector collector(&db, &analyzer, &options_.build, &retry);
   std::unordered_set<std::string> used_queries;

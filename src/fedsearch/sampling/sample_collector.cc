@@ -3,7 +3,41 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fedsearch/util/metrics.h"
+
 namespace fedsearch::sampling {
+
+namespace {
+
+struct SamplingMetrics {
+  util::Counter& documents_sampled =
+      util::GlobalMetrics().counter("sampling.documents_sampled");
+  util::Counter& documents_lost =
+      util::GlobalMetrics().counter("sampling.documents_lost");
+  util::Counter& queries_sent =
+      util::GlobalMetrics().counter("sampling.queries_sent");
+  util::Counter& transient_failures =
+      util::GlobalMetrics().counter("sampling.transient_failures");
+  util::Counter& queries_abandoned =
+      util::GlobalMetrics().counter("sampling.queries_abandoned");
+  util::Counter& backoff_ms =
+      util::GlobalMetrics().counter("sampling.simulated_backoff_ms");
+  util::Counter& runs_complete =
+      util::GlobalMetrics().counter("sampling.runs_complete");
+  util::Counter& runs_partial =
+      util::GlobalMetrics().counter("sampling.runs_partial");
+  util::Counter& runs_aborted =
+      util::GlobalMetrics().counter("sampling.runs_aborted");
+  util::Histogram& sample_size =
+      util::GlobalMetrics().histogram("sampling.sample_size");
+};
+
+SamplingMetrics& Metrics() {
+  static SamplingMetrics* m = new SamplingMetrics();
+  return *m;
+}
+
+}  // namespace
 
 SampleCollector::SampleCollector(index::SearchInterface* db,
                                  const text::Analyzer* analyzer,
@@ -51,6 +85,7 @@ size_t SampleCollector::AddDocuments(const std::vector<index::DocId>& docs) {
     }
     MaybeCheckpoint();
   }
+  Metrics().documents_sampled.Add(added);
   return added;
 }
 
@@ -152,6 +187,21 @@ SampleResult SampleCollector::Finalize(size_t queries_sent,
     health.outcome = SamplingOutcome::kPartial;
   } else {
     health.outcome = SamplingOutcome::kComplete;
+  }
+
+  // Global fault-budget accounting, stamped once per run alongside the
+  // per-run SamplingHealth.
+  Metrics().queries_sent.Add(queries);
+  Metrics().transient_failures.Add(health.transient_failures);
+  Metrics().queries_abandoned.Add(health.queries_abandoned);
+  Metrics().documents_lost.Add(health.documents_lost);
+  Metrics().backoff_ms.Add(
+      static_cast<uint64_t>(health.simulated_backoff_ms + 0.5));
+  Metrics().sample_size.Record(sample_size_);
+  switch (health.outcome) {
+    case SamplingOutcome::kComplete: Metrics().runs_complete.Add(); break;
+    case SamplingOutcome::kPartial: Metrics().runs_partial.Add(); break;
+    case SamplingOutcome::kAborted: Metrics().runs_aborted.Add(); break;
   }
 
   // Scaling model over the checkpoints plus the final sample state

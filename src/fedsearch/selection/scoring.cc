@@ -48,12 +48,27 @@ ScoringStatisticsCache::ScoringStatisticsCache(
 
 size_t ScoringStatisticsCache::CollectionFrequency(
     const std::string& word) const {
+  static util::Counter& global_hits =
+      util::GlobalMetrics().counter("scoring_stats_cache.hits");
+  static util::Counter& global_misses =
+      util::GlobalMetrics().counter("scoring_stats_cache.misses");
   auto it = cf_.find(word);
-  return it != cf_.end() ? it->second : 0;
+  if (it != cf_.end()) {
+    stats_cells_->hits.Add();
+    global_hits.Add();
+    return it->second;
+  }
+  stats_cells_->misses.Add();
+  global_misses.Add();
+  return 0;
 }
 
 void ScoringStatisticsCache::FillContext(const Query& query,
                                          ScoringContext& context) const {
+  static util::Counter& global_fills =
+      util::GlobalMetrics().counter("scoring_stats_cache.fills");
+  stats_cells_->fills.Add();
+  global_fills.Add();
   context.cached_cf.clear();
   context.cached_mean_cw = mean_cw_;
   for (const std::string& w : query.terms) {
@@ -61,6 +76,14 @@ void ScoringStatisticsCache::FillContext(const Query& query,
     context.cached_cf.emplace(w, CollectionFrequency(w));
   }
   context.has_cached_statistics = true;
+}
+
+ScoringStatisticsCache::Stats ScoringStatisticsCache::stats() const {
+  Stats s;
+  s.hits = stats_cells_->hits.value();
+  s.misses = stats_cells_->misses.value();
+  s.fills = stats_cells_->fills.value();
+  return s;
 }
 
 }  // namespace fedsearch::selection

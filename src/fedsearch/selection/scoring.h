@@ -1,12 +1,15 @@
 #ifndef FEDSEARCH_SELECTION_SCORING_H_
 #define FEDSEARCH_SELECTION_SCORING_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "fedsearch/summary/content_summary.h"
+#include "fedsearch/util/metrics.h"
 
 namespace fedsearch::selection {
 
@@ -71,10 +74,33 @@ class ScoringStatisticsCache {
   // interchangeable with) PrepareContextForQuery, in O(query terms).
   void FillContext(const Query& query, ScoringContext& context) const;
 
+  struct Stats {
+    uint64_t hits = 0;    // lookups of words present in the cached set
+    uint64_t misses = 0;  // lookups of out-of-vocabulary words (cf = 0)
+    uint64_t fills = 0;   // FillContext calls served
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total > 0
+                 ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+    }
+  };
+  Stats stats() const;
+
  private:
   std::unordered_map<std::string, size_t> cf_;
   double mean_cw_ = 1.0;
   size_t num_summaries_ = 0;
+  // Counters are immovable atomics, and a Metasearcher move-assigns its
+  // caches at construction — so the cells live on the heap and the pointer
+  // moves. Never null after construction.
+  struct StatsCells {
+    util::Counter hits;
+    util::Counter misses;
+    util::Counter fills;
+  };
+  std::unique_ptr<StatsCells> stats_cells_ =
+      std::make_unique<StatsCells>();
 };
 
 // A database selection algorithm: assigns s(q, D) from D's content summary

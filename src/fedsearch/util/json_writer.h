@@ -1,0 +1,172 @@
+#ifndef FEDSEARCH_UTIL_JSON_WRITER_H_
+#define FEDSEARCH_UTIL_JSON_WRITER_H_
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace fedsearch::util {
+
+// Minimal streaming JSON writer shared by the metrics/trace exporters and
+// the bench report emitter. Produces strict JSON: keys and values are
+// escaped, doubles use the shortest round-trip representation
+// (std::to_chars), and non-finite doubles degrade to null (JSON has no
+// Inf/NaN). With a positive `indent` the output is pretty-printed — the
+// committed BENCH_*.json baselines use indent 2 so perf-trajectory diffs
+// stay reviewable.
+//
+// The writer does not validate call sequences; callers are expected to
+// emit well-formed structures (every BeginObject matched by EndObject,
+// every Key followed by exactly one value or container).
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& BeginObject() {
+    Pre();
+    out_ += '{';
+    frames_.push_back(Frame{true});
+    return *this;
+  }
+
+  JsonWriter& EndObject() { return Close('}'); }
+
+  JsonWriter& BeginArray() {
+    Pre();
+    out_ += '[';
+    frames_.push_back(Frame{true});
+    return *this;
+  }
+
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(std::string_view key) {
+    Separate();
+    WriteEscaped(key);
+    out_ += ':';
+    if (indent_ > 0) out_ += ' ';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(std::string_view v) {
+    Pre();
+    WriteEscaped(v);
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(const std::string& v) { return Value(std::string_view(v)); }
+
+  JsonWriter& Value(bool v) {
+    Pre();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  JsonWriter& Value(double v) {
+    Pre();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[32];
+    const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, result.ptr);
+    return *this;
+  }
+
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& Value(T v) {
+    Pre();
+    char buf[24];
+    const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, result.ptr);
+    return *this;
+  }
+
+  JsonWriter& Null() {
+    Pre();
+    out_ += "null";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  struct Frame {
+    bool first;
+  };
+
+  // Comma/newline bookkeeping before a key or array element.
+  void Separate() {
+    if (!frames_.empty()) {
+      if (!frames_.back().first) out_ += ',';
+      frames_.back().first = false;
+    }
+    NewlineIndent(frames_.size());
+  }
+
+  // Same, but a value directly after Key() attaches to its key.
+  void Pre() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    Separate();
+  }
+
+  JsonWriter& Close(char c) {
+    const bool empty = frames_.back().first;
+    frames_.pop_back();
+    if (!empty) NewlineIndent(frames_.size());
+    out_ += c;
+    return *this;
+  }
+
+  void NewlineIndent(size_t depth) {
+    if (indent_ <= 0 || out_.empty()) return;
+    out_ += '\n';
+    out_.append(depth * static_cast<size_t>(indent_), ' ');
+  }
+
+  void WriteEscaped(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  int indent_;
+  std::string out_;
+  std::vector<Frame> frames_;
+  bool after_key_ = false;
+};
+
+}  // namespace fedsearch::util
+
+#endif  // FEDSEARCH_UTIL_JSON_WRITER_H_

@@ -1,0 +1,200 @@
+#include "fedsearch/util/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <ctime>
+
+#include "fedsearch/util/check.h"
+#include "fedsearch/util/json_writer.h"
+
+namespace fedsearch::util {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+uint64_t CpuClockNanos(clockid_t clock_id) {
+  timespec ts{};
+  if (clock_gettime(clock_id, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+uint64_t ProcessCpuNanos() { return CpuClockNanos(CLOCK_PROCESS_CPUTIME_ID); }
+
+uint64_t ThreadCpuNanos() { return CpuClockNanos(CLOCK_THREAD_CPUTIME_ID); }
+
+// ------------------------------------------------------------- Histogram --
+
+uint32_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<uint32_t>(value);
+  // exp = floor(log2(value)) >= kSubBits; the sub-bucket is the kSubBits
+  // bits directly below the leading one.
+  const uint32_t exp = 63u - static_cast<uint32_t>(std::countl_zero(value));
+  const uint32_t sub = static_cast<uint32_t>(
+      (value >> (exp - kSubBits)) & (kSubBuckets - 1));
+  return kSubBuckets + (exp - kSubBits) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(uint32_t index) {
+  FEDSEARCH_DCHECK(index < kNumBuckets);
+  if (index < kSubBuckets) return index;
+  const uint32_t exp = kSubBits + (index - kSubBuckets) / kSubBuckets;
+  const uint32_t sub = (index - kSubBuckets) % kSubBuckets;
+  return (uint64_t{1} << exp) + (static_cast<uint64_t>(sub) << (exp - kSubBits));
+}
+
+uint64_t Histogram::BucketWidth(uint32_t index) {
+  FEDSEARCH_DCHECK(index < kNumBuckets);
+  if (index < kSubBuckets) return 1;
+  const uint32_t exp = kSubBits + (index - kSubBuckets) / kSubBuckets;
+  return uint64_t{1} << (exp - kSubBits);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  // Walk a relaxed snapshot of the buckets. Concurrent recording can make
+  // the snapshot internally inconsistent by a few samples — acceptable for
+  // an observational percentile; totals come from the buckets themselves
+  // so the walk always terminates consistently.
+  uint64_t total = 0;
+  std::array<uint64_t, kNumBuckets> snapshot;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0.0;
+  const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+  // 1-based rank of the percentile sample.
+  uint64_t target = static_cast<uint64_t>(clamped / 100.0 *
+                                          static_cast<double>(total) + 0.5);
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    if (snapshot[i] == 0) continue;
+    cumulative += snapshot[i];
+    if (cumulative >= target) {
+      const uint64_t into_bucket = target - (cumulative - snapshot[i]);
+      const double fraction =
+          static_cast<double>(into_bucket) / static_cast<double>(snapshot[i]);
+      return static_cast<double>(BucketLowerBound(i)) +
+             fraction * static_cast<double>(BucketWidth(i));
+    }
+  }
+  return static_cast<double>(max());  // unreachable; keeps -Wreturn-type calm
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Key("count").Value(count());
+  writer.Key("sum").Value(sum());
+  writer.Key("mean").Value(mean());
+  writer.Key("max").Value(max());
+  writer.Key("p50").Value(Percentile(50.0));
+  writer.Key("p95").Value(Percentile(95.0));
+  writer.Key("p99").Value(Percentile(99.0));
+  writer.EndObject();
+}
+
+// ------------------------------------------------------- MetricsRegistry --
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer.BeginObject();
+  writer.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) writer.Key(name).Value(c->value());
+  writer.EndObject();
+  writer.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) writer.Key(name).Value(g->value());
+  writer.EndObject();
+  writer.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    writer.Key(name);
+    h->WriteJson(writer);
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string MetricsRegistry::ToJson(int indent) const {
+  JsonWriter writer(indent);
+  WriteJson(writer);
+  return writer.str();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace fedsearch::util

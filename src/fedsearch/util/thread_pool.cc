@@ -3,8 +3,30 @@
 #include <cstdlib>
 
 #include "fedsearch/util/check.h"
+#include "fedsearch/util/metrics.h"
 
 namespace fedsearch::util {
+
+namespace {
+
+// Cached registrations: one mutex-guarded name lookup per process, then
+// every update is a relaxed atomic on the metric itself.
+struct PoolMetrics {
+  Counter& loops_inline = GlobalMetrics().counter("threadpool.loops_inline");
+  Counter& loops_pooled = GlobalMetrics().counter("threadpool.loops_pooled");
+  Counter& tasks_total = GlobalMetrics().counter("threadpool.tasks_total");
+  Counter& tasks_stolen = GlobalMetrics().counter("threadpool.tasks_stolen");
+  Histogram& loop_ns = GlobalMetrics().histogram("threadpool.loop_ns");
+  Histogram& run_wait_ns =
+      GlobalMetrics().histogram("threadpool.run_queue_wait_ns");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
@@ -23,11 +45,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::Drain() {
+void ThreadPool::Drain(bool stealing_worker) {
+  // Count locally and publish once per drain so the accounting adds zero
+  // atomics to the per-index claim loop.
+  uint64_t claimed = 0;
   while (true) {
     const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count_) return;
+    if (i >= count_) break;
     (*fn_)(i);
+    ++claimed;
+  }
+  if (claimed > 0) {
+    Metrics().tasks_total.Add(claimed);
+    if (stealing_worker) Metrics().tasks_stolen.Add(claimed);
   }
 }
 
@@ -42,7 +72,7 @@ void ThreadPool::WorkerLoop() {
       if (stop_) return;
       seen_generation = generation_;
     }
-    Drain();
+    Drain(/*stealing_worker=*/true);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_workers_ == 0) done_cv_.notify_all();
@@ -56,12 +86,19 @@ void ThreadPool::ParallelFor(size_t count,
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
     // Inline path touches no shared pool state, so it needs no run lock.
+    Metrics().loops_inline.Add();
+    ScopedTimer timer(Metrics().loop_ns);
     for (size_t i = 0; i < count; ++i) fn(i);
+    Metrics().tasks_total.Add(count);
     return;
   }
   // One worker-assisted loop at a time (see header): later callers block
   // here until the current loop fully drains and resets fn_/count_.
+  const uint64_t wait_start = MonotonicNanos();
   std::lock_guard<std::mutex> run_lock(run_mu_);
+  Metrics().run_wait_ns.Record(MonotonicNanos() - wait_start);
+  Metrics().loops_pooled.Add();
+  ScopedTimer timer(Metrics().loop_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
@@ -71,7 +108,7 @@ void ThreadPool::ParallelFor(size_t count,
     ++generation_;
   }
   work_cv_.notify_all();
-  Drain();
+  Drain(/*stealing_worker=*/false);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
   fn_ = nullptr;

@@ -58,7 +58,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  void Drain();
+  // `stealing_worker` only labels the claimed-index metric (worker-claimed
+  // indices count as "stolen" from the calling thread's serial order).
+  void Drain(bool stealing_worker);
 
   std::vector<std::thread> workers_;
 

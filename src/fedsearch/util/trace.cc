@@ -1,0 +1,97 @@
+#include "fedsearch/util/trace.h"
+
+#include <algorithm>
+
+#include "fedsearch/util/json_writer.h"
+#include "fedsearch/util/metrics.h"
+
+namespace fedsearch::util {
+
+namespace {
+
+uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+thread_local uint32_t t_span_depth = 0;
+
+}  // namespace
+
+void Tracer::set_capacity(size_t max_spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_spans;
+}
+
+std::vector<Tracer::Span> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::Record(const Span& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(span);
+}
+
+std::string Tracer::ToJson(int indent) const {
+  std::vector<Span> spans = snapshot();
+  // Buffer order is completion order across threads; start order is the
+  // natural reading order for a timeline.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  const uint64_t epoch = spans.empty() ? 0 : spans.front().start_ns;
+  JsonWriter writer(indent);
+  writer.BeginObject();
+  writer.Key("schema_version").Value(1);
+  writer.Key("dropped").Value(dropped());
+  writer.Key("spans").BeginArray();
+  for (const Span& span : spans) {
+    writer.BeginObject();
+    writer.Key("name").Value(span.name);
+    writer.Key("ts_us").Value(static_cast<double>(span.start_ns - epoch) /
+                              1000.0);
+    writer.Key("dur_us").Value(static_cast<double>(span.duration_ns) / 1000.0);
+    writer.Key("thread").Value(span.thread);
+    writer.Key("depth").Value(span.depth);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Scope::Scope(const char* name, Tracer& tracer) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  name_ = name;
+  depth_ = t_span_depth++;
+  start_ = MonotonicNanos();
+}
+
+Tracer::Scope::~Scope() {
+  if (tracer_ == nullptr) return;
+  const uint64_t end = MonotonicNanos();
+  --t_span_depth;
+  tracer_->Record(Span{name_, start_, end - start_, ThreadOrdinal(), depth_});
+}
+
+}  // namespace fedsearch::util

@@ -1,0 +1,100 @@
+#ifndef FEDSEARCH_UTIL_TRACE_H_
+#define FEDSEARCH_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fedsearch::util {
+
+// Lightweight span tracing for the serving and offline-build pipelines.
+//
+// Disabled by default: an inactive FEDSEARCH_TRACE_SPAN costs one relaxed
+// atomic load and nothing else, so spans can stay compiled into the hot
+// paths permanently. When enabled, each scope records (name, start,
+// duration, thread ordinal, nesting depth) into a bounded in-memory buffer
+// under a mutex — recording happens once per span on scope exit, not per
+// event, so the lock is far off any inner loop. When the buffer fills,
+// new spans are dropped and counted rather than blocking or reallocating.
+//
+// Like the metrics registry, traces are observational by construction:
+// they capture wall time but never feed it back into computation, so
+// enabling tracing cannot perturb scored results.
+//
+// Span names must be string literals (the tracer stores the pointer).
+class Tracer {
+ public:
+  struct Span {
+    const char* name;
+    uint64_t start_ns;     // MonotonicNanos at scope entry
+    uint64_t duration_ns;  // scope exit - entry
+    uint32_t thread;       // small per-process thread ordinal
+    uint32_t depth;        // nesting depth within the recording thread
+  };
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Caps the number of retained spans (default 65536). Takes effect for
+  // subsequent records; existing spans are kept.
+  void set_capacity(size_t max_spans);
+
+  std::vector<Span> snapshot() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void Clear();
+
+  // {"schema_version": 1, "dropped": N, "spans": [{name, ts_us, dur_us,
+  // thread, depth}, ...]} with ts_us relative to the earliest span.
+  std::string ToJson(int indent = 0) const;
+
+  // The process-wide tracer the library's FEDSEARCH_TRACE_SPAN sites
+  // report to. Never destroyed.
+  static Tracer& Global();
+
+  // RAII span handle. Reads the enabled flag once at construction: a scope
+  // that starts disabled records nothing even if tracing is switched on
+  // mid-span, which keeps per-thread depth accounting balanced.
+  class Scope {
+   public:
+    explicit Scope(const char* name, Tracer& tracer = Global());
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* tracer_ = nullptr;  // null when tracing was off at entry
+    const char* name_ = nullptr;
+    uint64_t start_ = 0;
+    uint32_t depth_ = 0;
+  };
+
+ private:
+  void Record(const Span& span);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  size_t capacity_ = 65536;
+};
+
+}  // namespace fedsearch::util
+
+// Records the enclosing scope as a span named `name` (a string literal) in
+// the global tracer. Free when tracing is disabled.
+#define FEDSEARCH_TRACE_CONCAT_INNER_(a, b) a##b
+#define FEDSEARCH_TRACE_CONCAT_(a, b) FEDSEARCH_TRACE_CONCAT_INNER_(a, b)
+#define FEDSEARCH_TRACE_SPAN(name)                                     \
+  ::fedsearch::util::Tracer::Scope FEDSEARCH_TRACE_CONCAT_(            \
+      fedsearch_trace_scope_, __LINE__)(name)
+
+#endif  // FEDSEARCH_UTIL_TRACE_H_

@@ -1,0 +1,167 @@
+#include "fedsearch/util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fedsearch/util/trace.h"
+
+// TSan-targeted stress coverage for the observability layer: concurrent
+// counter/histogram updates must lose no increments, concurrent same-name
+// registration must converge on one metric instance, and snapshots
+// (ToJson, Percentile) must be safe while writers run. The instrumentation
+// rides every hot path, so a race here is a race everywhere.
+
+namespace fedsearch::util {
+namespace {
+
+constexpr size_t kThreads = 4;
+
+TEST(MetricsStressTest, ConcurrentCounterIncrementsAreLossless) {
+  Counter counter;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsStressTest, ConcurrentHistogramRecordsKeepExactTotals) {
+  Histogram histogram;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(t * 1000 + (i % 997));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += t * 1000 + (i % 997);
+    }
+  }
+  EXPECT_EQ(histogram.sum(), expected_sum);
+  EXPECT_EQ(histogram.max(), (kThreads - 1) * 1000 + 996);
+}
+
+TEST(MetricsStressTest, ConcurrentRegistrationYieldsOneInstancePerName) {
+  MetricsRegistry registry;
+  std::vector<Counter*> counters(kThreads, nullptr);
+  std::vector<Histogram*> histograms(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Every thread races to register the same names, then hammers them.
+      counters[t] = &registry.counter("stress.shared_count");
+      histograms[t] = &registry.histogram("stress.shared_ns");
+      for (int i = 0; i < 10000; ++i) {
+        counters[t]->Add();
+        histograms[t]->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(counters[t], counters[0]);
+    EXPECT_EQ(histograms[t], histograms[0]);
+  }
+  EXPECT_EQ(registry.num_metrics(), 2u);
+  EXPECT_EQ(counters[0]->value(), kThreads * 10000u);
+  EXPECT_EQ(histograms[0]->count(), kThreads * 10000u);
+}
+
+TEST(MetricsStressTest, SnapshotsWhileWritersRun) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("stress.live_count");
+  Histogram& histogram = registry.histogram("stress.live_ns");
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string json = registry.ToJson();
+      EXPECT_NE(json.find("stress.live_count"), std::string::npos);
+      EXPECT_GE(histogram.Percentile(95.0), 0.0);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        counter.Add();
+        histogram.Record(static_cast<uint64_t>(i % 4096));
+        if (i % 512 == 0) registry.counter("stress.live_count").Add(0);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(counter.value(), kThreads * 20000u);
+  EXPECT_EQ(histogram.count(), kThreads * 20000u);
+}
+
+TEST(MetricsStressTest, TracerScopesFromManyThreadsStayConsistent) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr size_t kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kSpansPerThread; ++i) {
+        Tracer::Scope outer("stress_outer", tracer);
+        Tracer::Scope inner("stress_inner", tracer);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<Tracer::Span> spans = tracer.snapshot();
+  EXPECT_EQ(spans.size() + tracer.dropped(),
+            kThreads * kSpansPerThread * 2);
+  for (const Tracer::Span& span : spans) {
+    // Depth is per-thread: with one nesting level it is exactly 0 or 1.
+    EXPECT_LE(span.depth, 1u);
+  }
+}
+
+TEST(MetricsStressTest, TracerEnableDisableRacesWithScopes) {
+  Tracer tracer;
+  std::atomic<bool> done{false};
+  std::thread toggler([&] {
+    bool on = false;
+    while (!done.load(std::memory_order_acquire)) {
+      tracer.set_enabled(on = !on);
+    }
+    tracer.set_enabled(false);
+  });
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        Tracer::Scope scope("toggle_race", tracer);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  done.store(true, std::memory_order_release);
+  toggler.join();
+  // No assertion beyond TSan cleanliness and balanced depth accounting:
+  // a scope that started disabled must not decrement the thread's depth.
+  for (const Tracer::Span& span : tracer.snapshot()) {
+    EXPECT_EQ(span.depth, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fedsearch::util

@@ -1,0 +1,247 @@
+#include "fedsearch/util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace fedsearch::util {
+namespace {
+
+TEST(MonotonicNanosTest, NeverGoesBackwards) {
+  uint64_t prev = MonotonicNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = MonotonicNanos();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+// --- bucket geometry -------------------------------------------------------
+
+TEST(HistogramBucketTest, SmallValuesLandInExactUnitBuckets) {
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<uint32_t>(v)), v);
+    EXPECT_EQ(Histogram::BucketWidth(static_cast<uint32_t>(v)), 1u);
+  }
+}
+
+TEST(HistogramBucketTest, EveryValueFallsInsideItsBucket) {
+  // Sweep powers of two and their neighbours across the full 64-bit range:
+  // the bucket invariant lower <= v < lower + width must hold everywhere.
+  for (int shift = 0; shift < 64; ++shift) {
+    const uint64_t base = uint64_t{1} << shift;
+    for (uint64_t v : {base - 1, base, base + 1, base + base / 3}) {
+      const uint32_t idx = Histogram::BucketIndex(v);
+      ASSERT_LT(idx, Histogram::kNumBuckets);
+      const uint64_t lower = Histogram::BucketLowerBound(idx);
+      const uint64_t width = Histogram::BucketWidth(idx);
+      ASSERT_LE(lower, v) << "value " << v << " below bucket " << idx;
+      // lower + width may wrap at the very top of the range; guard it.
+      if (lower + width > lower) {
+        ASSERT_LT(v, lower + width)
+            << "value " << v << " beyond bucket " << idx;
+      }
+    }
+  }
+}
+
+TEST(HistogramBucketTest, IndexIsMonotoneInValue) {
+  uint32_t prev = Histogram::BucketIndex(0);
+  for (int shift = 0; shift < 64; ++shift) {
+    const uint64_t v = uint64_t{1} << shift;
+    const uint32_t idx = Histogram::BucketIndex(v);
+    ASSERT_GE(idx, prev) << "at value " << v;
+    prev = idx;
+  }
+  EXPECT_LT(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            Histogram::kNumBuckets);
+}
+
+TEST(HistogramBucketTest, RelativeResolutionStaysNearSixPercent) {
+  // Above the linear region each power-of-two range is split into 16
+  // sub-buckets, so width/lower <= 1/8 everywhere (exactly 1/16 at the
+  // start of each range, approaching 1/8 just before the next doubling).
+  for (int shift = 5; shift < 63; ++shift) {
+    const uint64_t v = (uint64_t{1} << shift) + 3;
+    const uint32_t idx = Histogram::BucketIndex(v);
+    const double lower = static_cast<double>(Histogram::BucketLowerBound(idx));
+    const double width = static_cast<double>(Histogram::BucketWidth(idx));
+    ASSERT_LE(width / lower, 1.0 / 8.0 + 1e-12) << "at value " << v;
+  }
+}
+
+// --- recording and percentiles ---------------------------------------------
+
+TEST(HistogramTest, CountSumMaxMeanAreExact) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.Record(10);
+  h.Record(20);
+  h.Record(90);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 120u);
+  EXPECT_EQ(h.max(), 90u);
+  EXPECT_DOUBLE_EQ(h.mean(), 40.0);
+}
+
+TEST(HistogramTest, PercentilesOfUniformRecording) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // Bucket resolution is ~6%, so allow a 10% band around the true ranks.
+  EXPECT_NEAR(h.Percentile(50.0), 500.0, 50.0);
+  EXPECT_NEAR(h.Percentile(95.0), 950.0, 95.0);
+  EXPECT_NEAR(h.Percentile(99.0), 990.0, 99.0);
+  // The extremes clamp to the recorded range rather than extrapolating.
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+  EXPECT_LE(h.Percentile(0.0), 2.0);
+  EXPECT_LE(h.Percentile(100.0), 1100.0);
+}
+
+TEST(HistogramTest, PercentileOfEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileDetectsTwoXInflation) {
+  // The reason the histogram exists: a 2x latency shift must move p95 by
+  // far more than the gate's 25% threshold despite bucket quantization.
+  Histogram before, after;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const uint64_t base_ns = 40000 + (i % 100) * 350;
+    before.Record(base_ns);
+    after.Record(2 * base_ns);
+  }
+  const double p95_before = before.Percentile(95.0);
+  const double p95_after = after.Percentile(95.0);
+  ASSERT_GT(p95_before, 0.0);
+  EXPECT_GT(p95_after / p95_before, 1.7);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h;
+  h.Record(123456);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+}
+
+// --- ScopedTimer -----------------------------------------------------------
+
+TEST(ScopedTimerTest, RecordsOnNormalExit) {
+  Histogram h;
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimerTest, RecordsWhenScopeExitsViaException) {
+  Histogram h;
+  try {
+    ScopedTimer timer(h);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// --- registry --------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameYieldsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("reg.hits");
+  Counter& b = registry.counter("reg.hits");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.value(), 7u);
+  // Same name in a different section is a different metric.
+  registry.gauge("reg.hits").Set(1.0);
+  registry.histogram("reg.hits").Record(5);
+  EXPECT_EQ(registry.num_metrics(), 3u);
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("reg.count");
+  Gauge& g = registry.gauge("reg.level");
+  Histogram& h = registry.histogram("reg.lat_ns");
+  c.Add(5);
+  g.Set(2.0);
+  h.Record(100);
+  registry.ResetAll();
+  EXPECT_EQ(registry.num_metrics(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&registry.counter("reg.count"), &c);
+}
+
+TEST(MetricsRegistryTest, ToJsonEmitsSortedSectionsWithValues) {
+  MetricsRegistry registry;
+  registry.counter("zeta.count").Add(3);
+  registry.counter("alpha.count").Add(11);
+  registry.gauge("serving.threads").Set(4.0);
+  registry.histogram("lat_ns").Record(1000);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"alpha.count\":11"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"zeta.count\":3"), std::string::npos)
+      << "values must follow their own keys";
+  EXPECT_NE(json.find("\"serving.threads\":4"), std::string::npos) << json;
+  // Counter names are emitted in sorted order.
+  EXPECT_LT(json.find("alpha.count"), json.find("zeta.count"));
+  // The histogram object carries the full summary.
+  for (const char* key : {"count", "sum", "mean", "max", "p50", "p95", "p99"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << "missing histogram key " << key << " in " << json;
+  }
+}
+
+TEST(MetricsRegistryTest, ToJsonOfEmptyRegistryIsStructurallyComplete) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(GlobalMetricsTest, IsASingleProcessWideRegistry) {
+  EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
+  Counter& c = GlobalMetrics().counter("metrics_test.global_probe");
+  const uint64_t before = c.value();
+  c.Add();
+  EXPECT_EQ(GlobalMetrics().counter("metrics_test.global_probe").value(),
+            before + 1);
+}
+
+}  // namespace
+}  // namespace fedsearch::util

@@ -1,0 +1,128 @@
+#include "fedsearch/util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fedsearch::util {
+namespace {
+
+TEST(TracerTest, DisabledScopeRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    Tracer::Scope scope("silent", tracer);
+  }
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, EnabledScopeRecordsOneSpanOnExit) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope scope("work", tracer);
+    EXPECT_TRUE(tracer.snapshot().empty()) << "spans record at exit, not entry";
+  }
+  const std::vector<Tracer::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST(TracerTest, NestedScopesRecordIncreasingDepth) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope outer("outer", tracer);
+    {
+      Tracer::Scope inner("inner", tracer);
+    }
+  }
+  const std::vector<Tracer::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner scopes complete (and record) first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[1].duration_ns, spans[0].duration_ns);
+}
+
+TEST(TracerTest, ScopeThatStartedDisabledStaysSilent) {
+  Tracer tracer;
+  {
+    Tracer::Scope scope("late", tracer);
+    tracer.set_enabled(true);  // flips mid-span; scope read the flag at entry
+  }
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(TracerTest, FullBufferDropsAndCountsInsteadOfGrowing) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    Tracer::Scope scope("span", tracer);
+  }
+  EXPECT_EQ(tracer.snapshot().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(TracerTest, ClearEmptiesSpansAndDropCount) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_capacity(1);
+  for (int i = 0; i < 3; ++i) {
+    Tracer::Scope scope("span", tracer);
+  }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  {
+    Tracer::Scope scope("fresh", tracer);
+  }
+  EXPECT_EQ(tracer.snapshot().size(), 1u);
+}
+
+TEST(TracerTest, ToJsonEmitsSchemaAndSpanFields) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope outer("build", tracer);
+    Tracer::Scope inner("fit", tracer);
+  }
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"build\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"fit\""), std::string::npos) << json;
+  for (const char* key : {"ts_us", "dur_us", "thread", "depth"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << "missing span key " << key << " in " << json;
+  }
+  // Spans are sorted by start time: the enclosing span comes first.
+  EXPECT_LT(json.find("build"), json.find("fit"));
+}
+
+TEST(TracerTest, ToJsonOfEmptyTracerIsValid) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.ToJson(),
+            "{\"schema_version\":1,\"dropped\":0,\"spans\":[]}");
+}
+
+TEST(TracerTest, GlobalTracerIsProcessWideAndOffByDefault) {
+  EXPECT_EQ(&Tracer::Global(), &Tracer::Global());
+  // The macro compiles against the global tracer and is inert while
+  // tracing is disabled (the default).
+  const size_t before = Tracer::Global().snapshot().size();
+  {
+    FEDSEARCH_TRACE_SPAN("trace_test.macro_probe");
+  }
+  EXPECT_EQ(Tracer::Global().snapshot().size(), before);
+}
+
+}  // namespace
+}  // namespace fedsearch::util

@@ -23,10 +23,18 @@ promise, so this lint bans them at review time:
    shrinkage math must iterate in a defined order (sort first, or iterate
    an ordered sibling container).
 
+3. Direct clock reads (all of src/ except util/):
+   std::chrono *_clock::now() outside util/ invites wall time into
+   computation. util::MonotonicNanos() is the sanctioned clock read —
+   it feeds the metrics/trace layer, which is observational by
+   construction (measured durations never flow back into scored
+   results).
+
 Escape hatch: a line (or the line directly above it) containing
     // ORDER-INDEPENDENT: <why the result does not depend on order>
 suppresses rule 2 for that loop. There is deliberately no escape hatch
-for rule 1; plumb util::Rng through instead.
+for rules 1 and 3; plumb util::Rng / util::MonotonicNanos through
+instead.
 
 Usage: lint_determinism.py ROOT [ROOT...]
 Exit status: 0 clean, 1 violations found, 2 usage/IO error.
@@ -63,6 +71,11 @@ BANNED_RANDOMNESS = [
 
 TIME_SEED = re.compile(r"::now\s*\(\s*\)")
 SEEDY_CONTEXT = re.compile(r"seed|rng|engine|random", re.IGNORECASE)
+
+# Rule 3: the named standard clocks may only be read inside util/ (where
+# MonotonicNanos wraps them for the metrics/trace layer).
+CLOCK_NOW = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
 
 UNORDERED_DECL = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>[\s*&]*(\w+)\s*[;,={(]")
@@ -125,6 +138,15 @@ def lint_file(path: Path, root: Path) -> list[str]:
                 findings.append(
                     f"{path}:{lineno}: time-seeded RNG; seeds must come from "
                     "configuration, not the clock")
+
+    clock_exempt = "/util/" in rel or rel.startswith("util/")
+    if not clock_exempt:
+        for lineno, code in enumerate(code_lines, start=1):
+            if CLOCK_NOW.search(code):
+                findings.append(
+                    f"{path}:{lineno}: direct clock read outside util/; "
+                    "route timing through util::MonotonicNanos() so wall "
+                    "time stays observational")
 
     if is_restricted(rel):
         unordered_vars: set[str] = set()

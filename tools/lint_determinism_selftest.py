@@ -174,6 +174,37 @@ expect_findings(
     "}\n",
     [])
 
+# --- Rule 3: direct clock reads outside util/ ------------------------------
+
+expect_findings(
+    "steady_clock::now outside util/", "fedsearch/core/bad_timer.cc",
+    "auto t0 = std::chrono::steady_clock::now();\n",
+    ["direct clock read outside util/"])
+
+expect_findings(
+    "system_clock::now outside util/", "fedsearch/sampling/bad_wallclock.cc",
+    "const auto stamp = std::chrono::system_clock::now();\n",
+    ["direct clock read outside util/"])
+
+expect_findings(
+    "high_resolution_clock::now outside util/",
+    "fedsearch/selection/bad_hrc.cc",
+    "auto t = std::chrono::high_resolution_clock::now();\n",
+    ["direct clock read outside util/"])
+
+expect_findings(
+    "util/ may read the clock (MonotonicNanos lives there)",
+    "fedsearch/util/metrics_impl.cc",
+    "uint64_t MonotonicNanos() {\n"
+    "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+    "}\n",
+    [])
+
+expect_findings(
+    "clock reads in comments are ignored", "fedsearch/core/commented_clock.cc",
+    "// steady_clock::now() is banned here; use util::MonotonicNanos()\n",
+    [])
+
 # --- CLI behaviour --------------------------------------------------------
 
 status, _ = run_lint(Path(tempfile.gettempdir()) / "lint-selftest-missing")
