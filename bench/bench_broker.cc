@@ -1,0 +1,283 @@
+// SLO-style overload bench for the query broker: p99-at-offered-load.
+//
+// Drives the broker with deterministic open-loop Poisson arrivals at three
+// offered loads — 0.5x, 1x, and 2x the sustainable full-quality throughput
+// (workers / adaptive cost) — with a 5% slow-fault rate inflating request
+// costs up to 8x, and reports the virtual-time outcome: goodput, admitted
+// latency percentiles, and the shed / downgrade / expiry split.
+//
+// Every reported number lives on the broker's virtual clock, so the output
+// is bit-identical across runs and machines; the bench enforces this by
+// running each scenario twice with the same arrival seed and comparing the
+// per-request accounts field by field. It also asserts the broker's
+// robustness contract directly:
+//   * every submitted request resolves (served / shed / expired; nothing
+//     pending or cancelled),
+//   * no admitted request's end-to-end latency exceeds the deadline,
+//   * at 2x overload the broker downgrades before it sheds
+//     (downgrades > 0, sheds < downgrades).
+//
+// Usage:
+//   bench_broker [--smoke] [--json out.json]
+//
+// --smoke shrinks the request count for CI; --json writes the
+// schema-versioned BENCH report consumed by tools/check_bench_regression.py.
+// The worker count is pinned (not hardware-derived): the virtual schedule —
+// and therefore the committed baseline — depends on it.
+// FEDSEARCH_SCALE / FEDSEARCH_SEED apply as in every bench.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fedsearch/broker/load_generator.h"
+#include "fedsearch/broker/query_broker.h"
+#include "fedsearch/selection/cori.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace fedsearch;
+
+namespace {
+
+// Pinned broker shape. Changing any of these changes the virtual schedule,
+// which is fine — regenerate the baseline alongside.
+constexpr size_t kWorkers = 4;
+constexpr double kDeadlineMs = 100.0;
+constexpr double kSlowRate = 0.05;
+constexpr double kSlowFactor = 8.0;
+
+struct RunOutput {
+  std::vector<broker::RequestResult> results;
+  broker::BrokerStats stats;
+};
+
+RunOutput RunScenario(const core::Metasearcher& meta,
+                      const selection::ScoringFunction& scorer,
+                      const std::vector<selection::Query>& queries,
+                      const broker::BrokerOptions& broker_options,
+                      const broker::OpenLoopOptions& load_options,
+                      size_t num_requests) {
+  broker::QueryBroker broker(&meta, &scorer, broker_options);
+  broker::OpenLoopGenerator generator(load_options, queries.size());
+  for (size_t i = 0; i < num_requests; ++i) {
+    const broker::Arrival arrival = generator.Next();
+    broker.Submit(queries[arrival.query_index], arrival.arrival_ms,
+                  arrival.service_inflation);
+  }
+  broker.Drain();
+  RunOutput out;
+  out.stats = broker.ComputeStats();
+  out.results = broker.results();
+  broker.Shutdown();
+  return out;
+}
+
+bool BitIdentical(const broker::RequestResult& a,
+                  const broker::RequestResult& b) {
+  return a.disposition == b.disposition && a.downgraded == b.downgraded &&
+         a.arrival_ms == b.arrival_ms && a.start_ms == b.start_ms &&
+         a.finish_ms == b.finish_ms && a.queue_wait_ms == b.queue_wait_ms &&
+         a.service_ms == b.service_ms &&
+         a.predicted_cost_ms == b.predicted_cost_ms &&
+         a.service_inflation == b.service_inflation &&
+         a.evaluations_completed == b.evaluations_completed &&
+         a.ranking_hash == b.ranking_hash;
+}
+
+// Nearest-rank percentile over an already-sorted sample.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  size_t index = rank <= 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json out.json]\n", argv[0]);
+      return 2;
+    }
+  }
+  const size_t num_requests = smoke ? 240 : 600;
+
+  const bench::ExperimentConfig config = bench::ConfigFromEnv();
+  const bench::DataSet dataset = bench::DataSet::kTrec4;
+  const corpus::Testbed& bed = bench::GetTestbed(dataset, config);
+
+  std::vector<selection::Query> queries;
+  for (const corpus::TestQuery& tq : bed.queries()) {
+    queries.push_back(selection::Query{bed.analyzer().Analyze(tq.text)});
+  }
+
+  // The broker owns the parallelism; the metasearcher serves serially.
+  core::MetasearcherOptions meta_options;
+  meta_options.num_threads = 1;
+  auto meta = bench::BuildMetasearcher(
+      dataset,
+      bench::SampleFederation(dataset, bench::SamplerKind::kQbs,
+                              /*frequency_estimation=*/true, 0, config),
+      config, meta_options);
+  const selection::CoriScorer cori;
+
+  broker::BrokerOptions broker_options;
+  broker_options.num_workers = kWorkers;
+  broker_options.deadline_ms = kDeadlineMs;
+
+  // Sustainable full-quality throughput from the cost model: with every
+  // request served at full quality, each worker finishes one request per
+  // adaptive_cost_ms. 2x this rate is genuine overload — the broker must
+  // shed quality (and eventually requests) or miss deadlines.
+  const util::Deadline::Costs& costs = broker_options.costs;
+  const size_t n = meta->num_databases();
+  const size_t n_eval = n - meta->num_degraded();
+  const double adaptive_cost_ms = static_cast<double>(n_eval) *
+                                      costs.adaptive_evaluation_ms +
+                                  static_cast<double>(n) * costs.score_ms;
+  const double sustainable_qps =
+      static_cast<double>(kWorkers) * 1000.0 / adaptive_cost_ms;
+
+  std::printf("Broker overload bench: %zu databases, %zu queries, "
+              "%zu requests/scenario, %zu workers, deadline %.0f ms\n",
+              n, queries.size(), num_requests, kWorkers, kDeadlineMs);
+  std::printf("Cost model: adaptive %.2f ms/query -> sustainable %.1f qps\n\n",
+              adaptive_cost_ms, sustainable_qps);
+
+  bench::BenchReport report("broker");
+  report.SetConfig(config);
+  report.AddConfig("workers", static_cast<double>(kWorkers));
+  report.AddConfig("deadline_ms", kDeadlineMs);
+  report.AddConfig("requests", static_cast<double>(num_requests));
+  report.AddConfig("slow_rate", kSlowRate);
+  report.AddConfig("slow_factor", kSlowFactor);
+  report.AddConfig("databases", static_cast<double>(n));
+  report.AddConfig("adaptive_cost_ms", adaptive_cost_ms);
+  report.AddConfig("sustainable_qps", sustainable_qps);
+  // Wall-clock histograms and pool counters vary run to run; the scenario
+  // values are all virtual-time, and the report must diff clean.
+  report.set_embed_metrics(false);
+
+  const double load_factors[] = {0.5, 1.0, 2.0};
+  for (size_t s = 0; s < std::size(load_factors); ++s) {
+    const double factor = load_factors[s];
+    broker::OpenLoopOptions load_options;
+    load_options.arrival_rate_qps = factor * sustainable_qps;
+    load_options.seed = config.seed * 1000003ULL + s;
+    load_options.slow_rate = kSlowRate;
+    load_options.slow_factor = kSlowFactor;
+
+    const RunOutput run = RunScenario(*meta, cori, queries, broker_options,
+                                      load_options, num_requests);
+    const RunOutput rerun = RunScenario(*meta, cori, queries, broker_options,
+                                        load_options, num_requests);
+    if (run.results.size() != rerun.results.size()) {
+      std::fprintf(stderr, "FAIL: %.1fx rerun submitted a different count\n",
+                   factor);
+      return 1;
+    }
+    for (size_t i = 0; i < run.results.size(); ++i) {
+      if (!BitIdentical(run.results[i], rerun.results[i])) {
+        std::fprintf(stderr,
+                     "FAIL: %.1fx request %zu differs between identically "
+                     "seeded runs\n",
+                     factor, i);
+        return 1;
+      }
+    }
+
+    const broker::BrokerStats& stats = run.stats;
+    // Every request resolves, and nothing was left for Shutdown to cancel.
+    if (stats.resolved() != num_requests || stats.cancelled != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %.1fx resolved %zu of %zu (%zu cancelled)\n",
+                   factor, stats.resolved(), num_requests, stats.cancelled);
+      return 1;
+    }
+
+    size_t downgrades = 0;
+    double max_admitted_e2e_ms = 0.0;
+    std::vector<double> admitted_e2e_ms;
+    double makespan_ms = 0.0;
+    for (const broker::RequestResult& r : run.results) {
+      makespan_ms = std::max(makespan_ms, r.finish_ms);
+      if (r.downgraded) ++downgrades;
+      if (!r.admitted()) continue;
+      admitted_e2e_ms.push_back(r.e2e_ms());
+      max_admitted_e2e_ms = std::max(max_admitted_e2e_ms, r.e2e_ms());
+    }
+    // Admitted latency is bounded by the deadline by construction (the
+    // client's timeout fires); virtual time makes the bound exact.
+    if (max_admitted_e2e_ms > kDeadlineMs + 1e-6) {
+      std::fprintf(stderr, "FAIL: %.1fx admitted e2e %.3f ms > deadline\n",
+                   factor, max_admitted_e2e_ms);
+      return 1;
+    }
+    // Under overload the broker must shed quality before requests.
+    if (factor >= 2.0 &&
+        (downgrades == 0 || stats.shed() >= downgrades)) {
+      std::fprintf(stderr,
+                   "FAIL: %.1fx downgrades %zu, sheds %zu "
+                   "(want downgrades > 0 and sheds < downgrades)\n",
+                   factor, downgrades, stats.shed());
+      return 1;
+    }
+
+    std::sort(admitted_e2e_ms.begin(), admitted_e2e_ms.end());
+    const double goodput_qps =
+        makespan_ms > 0.0
+            ? static_cast<double>(stats.served()) * 1000.0 / makespan_ms
+            : 0.0;
+    const double requests_d = static_cast<double>(num_requests);
+
+    std::printf("%.1fx (%6.1f qps offered): goodput %6.1f qps  "
+                "p99 %6.2f ms  served %zu (%zu degraded)  shed %zu  "
+                "expired %zu  [bit-identical rerun]\n",
+                factor, load_options.arrival_rate_qps, goodput_qps,
+                Percentile(admitted_e2e_ms, 99.0), stats.served(),
+                stats.served_degraded, stats.shed(), stats.expired());
+    std::fflush(stdout);
+
+    char name[32];
+    std::snprintf(name, sizeof(name), "load_%.1fx", factor);
+    bench::BenchReport::Scenario& scenario = report.AddScenario(name);
+    scenario.Add("qps_offered", load_options.arrival_rate_qps);
+    scenario.Add("qps_goodput", goodput_qps);
+    scenario.Add("p50_us", Percentile(admitted_e2e_ms, 50.0) * 1000.0);
+    scenario.Add("p95_us", Percentile(admitted_e2e_ms, 95.0) * 1000.0);
+    scenario.Add("p99_us", Percentile(admitted_e2e_ms, 99.0) * 1000.0);
+    scenario.Add("max_admitted_e2e_us", max_admitted_e2e_ms * 1000.0);
+    scenario.Add("served_full", static_cast<double>(stats.served_full));
+    scenario.Add("served_degraded",
+                 static_cast<double>(stats.served_degraded));
+    scenario.Add("shed_queue_full",
+                 static_cast<double>(stats.shed_queue_full));
+    scenario.Add("shed_predicted_miss",
+                 static_cast<double>(stats.shed_predicted_miss));
+    scenario.Add("expired_in_queue",
+                 static_cast<double>(stats.expired_in_queue));
+    scenario.Add("expired_executing",
+                 static_cast<double>(stats.expired_executing));
+    scenario.Add("downgrade_rate", static_cast<double>(downgrades) /
+                                       requests_d);
+    scenario.Add("shed_rate", static_cast<double>(stats.shed()) / requests_d);
+    scenario.Add("expired_rate",
+                 static_cast<double>(stats.expired()) / requests_d);
+    scenario.Add("ewma_service_ms", stats.ewma_service_ms);
+  }
+
+  if (!json_path.empty() && !report.WriteFile(json_path)) return 1;
+  return 0;
+}

@@ -56,7 +56,15 @@ std::string BenchReport::ToJson() const {
   }
   writer.EndArray();
   writer.Key("metrics");
-  util::GlobalMetrics().WriteJson(writer);
+  if (embed_metrics_) {
+    util::GlobalMetrics().WriteJson(writer);
+  } else {
+    writer.BeginObject();
+    writer.Key("counters").BeginObject().EndObject();
+    writer.Key("gauges").BeginObject().EndObject();
+    writer.Key("histograms").BeginObject().EndObject();
+    writer.EndObject();
+  }
   writer.EndObject();
   return writer.str();
 }

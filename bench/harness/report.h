@@ -52,8 +52,15 @@ class BenchReport {
 
   Scenario& AddScenario(std::string name);
 
+  // When false, "metrics" is written with empty counters/gauges/histograms
+  // sections instead of the GlobalMetrics snapshot. Benches whose output
+  // must be bit-identical across runs use this: wall-clock histograms and
+  // scheduling-dependent counters (thread-pool steals, cache races) vary
+  // run to run even when every reported scenario value is deterministic.
+  void set_embed_metrics(bool embed) { embed_metrics_ = embed; }
+
   // Pretty-printed JSON document (indent 2); embeds the current
-  // GlobalMetrics snapshot under "metrics".
+  // GlobalMetrics snapshot under "metrics" (unless disabled above).
   std::string ToJson() const;
 
   // Writes ToJson() to `path` (with a trailing newline). Returns false and
@@ -65,6 +72,7 @@ class BenchReport {
   std::vector<std::pair<std::string, double>> config_numbers_;
   std::vector<std::pair<std::string, std::string>> config_strings_;
   std::vector<Scenario> scenarios_;
+  bool embed_metrics_ = true;
 };
 
 // Short git revision of the source tree: the FEDSEARCH_GIT_SHA environment

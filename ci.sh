@@ -17,6 +17,9 @@
 #   release         Release tree, full ctest suite (minus bench)
 #   fuzz-regression corpus replay + bounded deterministic mutations
 #   smoke           serving-throughput bench smoke (serial==parallel check)
+#   broker          broker-labeled tests + overload bench smoke, gated
+#                   against bench/baselines/BENCH_broker.json (virtual-time
+#                   numbers: the gate doubles as a bit-reproducibility check)
 #   perf-smoke      Release bench smoke with --json telemetry, gated against
 #                   the committed baseline in bench/baselines/ by
 #                   tools/check_bench_regression.py (>15% qps drop or
@@ -35,7 +38,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_JOBS="lint tidy asan ubsan tsan release fuzz-regression smoke perf-smoke"
+ALL_JOBS="lint tidy asan ubsan tsan release fuzz-regression smoke broker perf-smoke"
 SELECTED="$ALL_JOBS"
 JOBS="$(nproc)"
 CLEAN=0
@@ -127,7 +130,7 @@ fi
 
 # --- Release + dynamic regression tiers ----------------------------------
 if selected release || selected fuzz-regression || selected smoke || \
-    selected perf-smoke; then
+    selected broker || selected perf-smoke; then
   ensure_tree release -DCMAKE_BUILD_TYPE=Release
 fi
 
@@ -152,6 +155,20 @@ if selected smoke; then
   echo "=== job: smoke ==="
   # Exits non-zero if parallel rankings ever diverge from serial.
   run ./build-ci/release/bench/bench_serving_throughput --smoke
+fi
+
+if selected broker; then
+  echo "=== job: broker ==="
+  # Unit + stress + bench-smoke coverage for the serving broker, then the
+  # overload bench gated against its committed baseline. The bench reports
+  # only virtual-time numbers, so the gate tolerances are slack for real
+  # regressions and the comparison is effectively exact.
+  run ctest --test-dir build-ci/release --output-on-failure -j "$JOBS" \
+    -L broker
+  run ./build-ci/release/bench/bench_broker --smoke \
+    --json build-ci/release/BENCH_broker.json
+  run python3 tools/check_bench_regression.py \
+    bench/baselines/BENCH_broker.json build-ci/release/BENCH_broker.json
 fi
 
 if selected perf-smoke; then

@@ -1,0 +1,32 @@
+#include "fedsearch/broker/admission.h"
+
+#include <algorithm>
+
+namespace fedsearch::broker {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options), ewma_service_ms_(options.initial_service_ms) {}
+
+double AdmissionController::EstimatedQueueDelayMs(size_t queue_depth,
+                                                  size_t num_workers) const {
+  const double workers =
+      static_cast<double>(std::max<size_t>(num_workers, 1));
+  return ewma_service_ms_ * static_cast<double>(queue_depth) / workers;
+}
+
+AdmissionController::Verdict AdmissionController::Consider(
+    size_t queue_depth, size_t num_workers, double deadline_budget_ms) const {
+  if (queue_depth >= options_.queue_capacity) return Verdict::kRejectQueueFull;
+  if (EstimatedQueueDelayMs(queue_depth, num_workers) >= deadline_budget_ms) {
+    return Verdict::kRejectPredictedMiss;
+  }
+  return Verdict::kAdmit;
+}
+
+void AdmissionController::ObserveService(double service_ms) {
+  const double alpha = std::clamp(options_.ewma_alpha, 0.0, 1.0);
+  ewma_service_ms_ = (1.0 - alpha) * ewma_service_ms_ + alpha * service_ms;
+  ++observations_;
+}
+
+}  // namespace fedsearch::broker

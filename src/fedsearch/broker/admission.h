@@ -1,0 +1,70 @@
+#ifndef FEDSEARCH_BROKER_ADMISSION_H_
+#define FEDSEARCH_BROKER_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedsearch::broker {
+
+// Admission-control knobs of the QueryBroker.
+struct AdmissionOptions {
+  // Bound on requests waiting for a worker. Arrivals beyond it are shed
+  // immediately (kResourceExhausted) — the queue is the only buffer, and an
+  // open-loop arrival process will otherwise grow it without limit.
+  size_t queue_capacity = 64;
+  // Smoothing factor of the service-time EWMA (weight of the newest
+  // observation). Small enough to ride out single slow-fault outliers,
+  // large enough to track a load shift within a few tens of requests.
+  double ewma_alpha = 0.1;
+  // EWMA prior before any completion has been observed. Deliberately
+  // optimistic: the first requests of a run should be admitted on the
+  // cheap-path assumption, not shed on a guess.
+  double initial_service_ms = 1.0;
+};
+
+// Predicts queue delay from observed service times and rejects requests
+// that are already hopeless on arrival. The controller deliberately uses
+// only what a real front-end can see — queue depth and an EWMA of
+// completed-request service times — never the broker's exact schedule
+// knowledge, so mispredictions (and therefore in-queue expiries) remain
+// possible, exactly as in a real system.
+//
+// Not thread-safe; the broker calls it under its scheduler lock.
+class AdmissionController {
+ public:
+  enum class Verdict {
+    kAdmit,
+    kRejectQueueFull,      // queue_capacity reached
+    kRejectPredictedMiss,  // estimated queue delay >= the request's budget
+  };
+
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  const AdmissionOptions& options() const { return options_; }
+
+  // Expected wait before a newly arrived request reaches a worker: the
+  // `queue_depth` requests ahead of it drain at one EWMA service time per
+  // worker slot.
+  double EstimatedQueueDelayMs(size_t queue_depth, size_t num_workers) const;
+
+  // Admission decision for one arrival, given the current waiting-queue
+  // depth and the request's total deadline budget.
+  Verdict Consider(size_t queue_depth, size_t num_workers,
+                   double deadline_budget_ms) const;
+
+  // Feeds one completed request's service time into the EWMA. Call in
+  // completion order so two identical runs observe identical sequences.
+  void ObserveService(double service_ms);
+
+  double ewma_service_ms() const { return ewma_service_ms_; }
+  uint64_t observations() const { return observations_; }
+
+ private:
+  AdmissionOptions options_;
+  double ewma_service_ms_;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace fedsearch::broker
+
+#endif  // FEDSEARCH_BROKER_ADMISSION_H_

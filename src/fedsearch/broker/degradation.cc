@@ -1,0 +1,23 @@
+#include "fedsearch/broker/degradation.h"
+
+namespace fedsearch::broker {
+
+DegradationPolicy::DegradationPolicy(DegradationOptions options)
+    : options_(options) {}
+
+ServiceLevel DegradationPolicy::Update(double estimated_delay_ms,
+                                       double deadline_budget_ms) {
+  const double enter = options_.enter_fraction * deadline_budget_ms;
+  const double exit = options_.exit_fraction * deadline_budget_ms;
+  if (level_ == ServiceLevel::kFull) {
+    if (estimated_delay_ms >= enter) {
+      level_ = ServiceLevel::kDegraded;
+      ++degraded_episodes_;
+    }
+  } else if (estimated_delay_ms < exit) {
+    level_ = ServiceLevel::kFull;
+  }
+  return level_;
+}
+
+}  // namespace fedsearch::broker

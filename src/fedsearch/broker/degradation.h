@@ -1,0 +1,61 @@
+#ifndef FEDSEARCH_BROKER_DEGRADATION_H_
+#define FEDSEARCH_BROKER_DEGRADATION_H_
+
+#include <cstdint>
+
+namespace fedsearch::broker {
+
+// What quality a request is served at. The broker maps these to summary
+// modes: full = the adaptive shrinkage path (~30ms/query cold), degraded =
+// plain summaries (~0.2ms/query) — the paper's own fallback ordering, where
+// the cheap estimate replaces the expensive one when the latter cannot be
+// afforded.
+enum class ServiceLevel : uint8_t {
+  kFull,
+  kDegraded,
+};
+
+struct DegradationOptions {
+  // Hysteresis watermarks on estimated queue delay as a fraction of the
+  // request deadline. Enter degraded mode when the estimate crosses
+  // enter_fraction x deadline; return to full quality only after it falls
+  // below exit_fraction x deadline. The gap prevents flapping around one
+  // threshold — without it, every downgrade immediately drains the queue
+  // enough to upgrade again, and the level oscillates per-request.
+  double enter_fraction = 0.5;
+  double exit_fraction = 0.2;
+};
+
+// Load-tracking quality switch: sheds *quality* before the admission
+// controller has to shed *requests*. It watches the same estimated queue
+// delay admission control uses; because degraded requests are orders of
+// magnitude cheaper, entering degraded mode collapses the EWMA and the
+// queue, which is what keeps the shed rate below the downgrade rate under
+// overload (the broker's core robustness claim).
+//
+// Not thread-safe; the broker calls it under its scheduler lock.
+class DegradationPolicy {
+ public:
+  explicit DegradationPolicy(DegradationOptions options = {});
+
+  const DegradationOptions& options() const { return options_; }
+
+  // Updates the level from the current load estimate and returns the level
+  // the next request should be served at. Call once per arrival, in
+  // arrival order.
+  ServiceLevel Update(double estimated_delay_ms, double deadline_budget_ms);
+
+  ServiceLevel level() const { return level_; }
+  // Times the policy entered degraded mode (not requests downgraded; the
+  // broker counts those per-request).
+  uint64_t degraded_episodes() const { return degraded_episodes_; }
+
+ private:
+  DegradationOptions options_;
+  ServiceLevel level_ = ServiceLevel::kFull;
+  uint64_t degraded_episodes_ = 0;
+};
+
+}  // namespace fedsearch::broker
+
+#endif  // FEDSEARCH_BROKER_DEGRADATION_H_

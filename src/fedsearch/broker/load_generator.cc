@@ -1,0 +1,37 @@
+#include "fedsearch/broker/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedsearch::broker {
+
+OpenLoopGenerator::OpenLoopGenerator(OpenLoopOptions options,
+                                     size_t num_queries)
+    : options_(options),
+      num_queries_(std::max<size_t>(num_queries, 1)),
+      rng_(options.seed) {}
+
+Arrival OpenLoopGenerator::Next() {
+  // Fixed draw order — gap, query, slow?, inflation — every arrival, fault
+  // or not, so the arrival sequence is a pure function of (seed, index).
+  const double u_gap = rng_.NextDouble();
+  const uint64_t query = rng_.NextBounded(num_queries_);
+  const double u_slow = rng_.NextDouble();
+  const double u_inflation = rng_.NextDouble();
+
+  const double rate = std::max(options_.arrival_rate_qps, 1e-9);
+  // Inverse-CDF exponential gap; 1 - u keeps the argument in (0, 1].
+  clock_ms_ += -std::log(1.0 - u_gap) / rate * 1000.0;
+
+  Arrival arrival;
+  arrival.arrival_ms = clock_ms_;
+  arrival.query_index = static_cast<size_t>(query);
+  arrival.slow_fault = u_slow < options_.slow_rate;
+  arrival.service_inflation =
+      arrival.slow_fault
+          ? 1.0 + u_inflation * (std::max(options_.slow_factor, 1.0) - 1.0)
+          : 1.0;
+  return arrival;
+}
+
+}  // namespace fedsearch::broker

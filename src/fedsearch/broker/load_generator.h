@@ -1,0 +1,61 @@
+#ifndef FEDSEARCH_BROKER_LOAD_GENERATOR_H_
+#define FEDSEARCH_BROKER_LOAD_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::broker {
+
+// Open-loop load description: requests arrive by a Poisson process at
+// `arrival_rate_qps` regardless of how fast the broker drains them — the
+// arrival clock never waits for completions, which is what makes overload
+// possible (a closed-loop driver self-throttles and can never offer more
+// than the service rate).
+struct OpenLoopOptions {
+  double arrival_rate_qps = 100.0;
+  // Seed of the arrival stream. All randomness (inter-arrival gaps, query
+  // choice, slow faults) comes from one util::Rng, advanced a fixed four
+  // draws per arrival, so the offered load is a pure function of the seed.
+  uint64_t seed = 0xB06E12ULL;
+  // Tail-latency fault injection, mirroring FlakyDatabase's slow mode at
+  // the request level: with probability slow_rate a request's service costs
+  // are inflated by a factor drawn uniformly in [1, slow_factor). This is
+  // what makes the admission controller's EWMA mispredict — and in-queue
+  // expiries reachable — in an otherwise uniform-cost workload.
+  double slow_rate = 0.0;
+  double slow_factor = 8.0;
+};
+
+// One generated request.
+struct Arrival {
+  double arrival_ms = 0.0;        // absolute virtual arrival time
+  size_t query_index = 0;         // index into the caller's query workload
+  double service_inflation = 1.0; // >= 1; scales the request's cost model
+  bool slow_fault = false;
+};
+
+// Deterministic Poisson arrival generator. Not thread-safe; one generator
+// feeds one submission loop.
+class OpenLoopGenerator {
+ public:
+  // `num_queries` is the size of the workload Next() indexes into (> 0).
+  OpenLoopGenerator(OpenLoopOptions options, size_t num_queries);
+
+  const OpenLoopOptions& options() const { return options_; }
+
+  // Returns the next arrival; times are non-decreasing and strictly
+  // advance in expectation by 1000/arrival_rate_qps milliseconds.
+  Arrival Next();
+
+ private:
+  OpenLoopOptions options_;
+  size_t num_queries_;
+  util::Rng rng_;
+  double clock_ms_ = 0.0;
+};
+
+}  // namespace fedsearch::broker
+
+#endif  // FEDSEARCH_BROKER_LOAD_GENERATOR_H_

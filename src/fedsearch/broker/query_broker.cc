@@ -1,0 +1,386 @@
+#include "fedsearch/broker/query_broker.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fedsearch/util/check.h"
+#include "fedsearch/util/metrics.h"
+#include "fedsearch/util/trace.h"
+
+namespace fedsearch::broker {
+
+namespace {
+
+struct BrokerMetrics {
+  util::Counter& submitted = util::GlobalMetrics().counter("broker.submitted");
+  util::Counter& served_full =
+      util::GlobalMetrics().counter("broker.served_full");
+  util::Counter& served_degraded =
+      util::GlobalMetrics().counter("broker.served_degraded");
+  util::Counter& shed_queue_full =
+      util::GlobalMetrics().counter("broker.shed_queue_full");
+  util::Counter& shed_predicted_miss =
+      util::GlobalMetrics().counter("broker.shed_predicted_miss");
+  util::Counter& expired_in_queue =
+      util::GlobalMetrics().counter("broker.expired_in_queue");
+  util::Counter& expired_executing =
+      util::GlobalMetrics().counter("broker.expired_executing");
+  util::Counter& cancelled = util::GlobalMetrics().counter("broker.cancelled");
+  util::Counter& downgrades =
+      util::GlobalMetrics().counter("broker.downgrades");
+  util::Counter& batches = util::GlobalMetrics().counter("broker.batches");
+  util::Gauge& queue_depth = util::GlobalMetrics().gauge("broker.queue_depth");
+  util::Histogram& batch_size =
+      util::GlobalMetrics().histogram("broker.batch_size");
+  util::Histogram& queue_wait_virtual_us =
+      util::GlobalMetrics().histogram("broker.queue_wait_virtual_us");
+  util::Histogram& e2e_virtual_us =
+      util::GlobalMetrics().histogram("broker.e2e_virtual_us");
+  util::Histogram& execute_ns =
+      util::GlobalMetrics().histogram("broker.execute_ns");
+};
+
+BrokerMetrics& Metrics() {
+  static BrokerMetrics* m = new BrokerMetrics();
+  return *m;
+}
+
+uint64_t HashRanking(const std::vector<selection::RankedDatabase>& ranking) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (v >> shift) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const selection::RankedDatabase& entry : ranking) {
+    uint64_t score_bits = 0;
+    static_assert(sizeof(score_bits) == sizeof(entry.score));
+    std::memcpy(&score_bits, &entry.score, sizeof(score_bits));
+    mix(static_cast<uint64_t>(entry.database));
+    mix(score_bits);
+  }
+  // Hash of an empty ranking stays distinguishable from "no ranking" (0).
+  return h == 0 ? 1 : h;
+}
+
+uint64_t VirtualMsToUs(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0 + 0.5);
+}
+
+}  // namespace
+
+QueryBroker::QueryBroker(const core::Metasearcher* meta,
+                         const selection::ScoringFunction* scorer,
+                         BrokerOptions options)
+    : meta_(meta),
+      scorer_(scorer),
+      options_(options),
+      admission_(options.admission),
+      degradation_(options.degradation) {
+  options_.num_workers = std::max<size_t>(options_.num_workers, 1);
+  options_.max_batch = std::max<size_t>(options_.max_batch, 1);
+  databases_evaluated_per_query_ =
+      meta_->num_databases() - meta_->num_degraded();
+  worker_free_ms_.assign(options_.num_workers, 0.0);
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  // The pool's calling thread participates in ParallelFor, so the broker
+  // dedicates a dispatcher thread to it; together with the pool's
+  // num_workers - 1 spawned threads that makes exactly num_workers
+  // long-lived WorkerLoop instances.
+  dispatcher_ = std::thread([this] {
+    pool_->ParallelFor(options_.num_workers, [this](size_t) { WorkerLoop(); });
+  });
+}
+
+QueryBroker::~QueryBroker() { Shutdown(); }
+
+double QueryBroker::PredictCostMs(core::SummaryMode mode,
+                                  const util::Deadline::Costs& costs) const {
+  // Mirrors SelectDatabases' bounded path: one adaptive-evaluation charge
+  // per non-degraded database (adaptive mode only), then one scoring
+  // charge per database — folded in the same order so the float result is
+  // identical to the execution's consumed_ms().
+  double cost = 0.0;
+  if (mode == core::SummaryMode::kAdaptiveShrinkage) {
+    for (size_t i = 0; i < databases_evaluated_per_query_; ++i) {
+      cost += costs.adaptive_evaluation_ms;
+    }
+  }
+  for (size_t i = 0; i < meta_->num_databases(); ++i) {
+    cost += costs.score_ms;
+  }
+  return cost;
+}
+
+size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
+                           double service_inflation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metrics().submitted.Add();
+
+  const size_t seq = results_.size();
+  results_.emplace_back();
+  RequestResult& r = results_.back();
+  if (stopping_) {
+    // A submitter racing Shutdown gets the same answer a queued request
+    // does: the broker is gone, nobody will serve this.
+    r.arrival_ms = std::max(arrival_ms, last_now_ms_);
+    r.finish_ms = r.arrival_ms;
+    r.disposition = Disposition::kCancelledShutdown;
+    Metrics().cancelled.Add();
+    return seq;
+  }
+  // Concurrent submitters may present slightly out-of-order arrival times;
+  // the broker's virtual clock only moves forward.
+  const double now = std::max(arrival_ms, last_now_ms_);
+  last_now_ms_ = now;
+  r.arrival_ms = now;
+  r.service_inflation = service_inflation;
+
+  // Advance the virtual schedule to `now`: completions feed the admission
+  // EWMA in finish order, and requests whose start time passed free their
+  // queue slots.
+  while (!inflight_.empty() && inflight_.top().finish_ms <= now) {
+    admission_.ObserveService(inflight_.top().service_ms);
+    inflight_.pop();
+  }
+  while (!queue_release_.empty() && queue_release_.top() <= now) {
+    queue_release_.pop();
+  }
+
+  // Layer 1: admission control, from observable state only (depth + EWMA).
+  const size_t depth = queue_release_.size();
+  const double estimated_delay_ms =
+      admission_.EstimatedQueueDelayMs(depth, options_.num_workers);
+  const AdmissionController::Verdict verdict =
+      admission_.Consider(depth, options_.num_workers, options_.deadline_ms);
+  if (verdict != AdmissionController::Verdict::kAdmit) {
+    // Rejected instantly: the client is told kResourceExhausted at arrival
+    // and no worker ever sees the request.
+    r.finish_ms = now;
+    if (verdict == AdmissionController::Verdict::kRejectQueueFull) {
+      r.disposition = Disposition::kShedQueueFull;
+      Metrics().shed_queue_full.Add();
+    } else {
+      r.disposition = Disposition::kShedPredictedMiss;
+      Metrics().shed_predicted_miss.Add();
+    }
+    return seq;
+  }
+
+  // Layer 2: graceful degradation — shed quality before requests.
+  const ServiceLevel level =
+      degradation_.Update(estimated_delay_ms, options_.deadline_ms);
+  r.downgraded = level == ServiceLevel::kDegraded;
+  if (r.downgraded) Metrics().downgrades.Add();
+  const core::SummaryMode mode =
+      r.downgraded ? options_.degraded_mode : options_.full_mode;
+
+  // Per-request cost table: the base model scaled by this request's tail
+  // inflation; prediction and execution both use this exact table.
+  util::Deadline::Costs costs = options_.costs;
+  costs.adaptive_evaluation_ms *= service_inflation;
+  costs.score_ms *= service_inflation;
+  costs.search_ms *= service_inflation;
+  const double cost_ms = PredictCostMs(mode, costs);
+  r.predicted_cost_ms = cost_ms;
+
+  // Virtual placement: FIFO onto the earliest-free worker (lowest index on
+  // ties). Since worker_free never decreases and now is monotone, start
+  // times are monotone too.
+  const size_t w = static_cast<size_t>(
+      std::min_element(worker_free_ms_.begin(), worker_free_ms_.end()) -
+      worker_free_ms_.begin());
+  const double start_ms = std::max(now, worker_free_ms_[w]);
+  const double abs_deadline_ms = now + options_.deadline_ms;
+  double budget_ms = abs_deadline_ms - start_ms;
+  r.start_ms = start_ms;
+  r.queue_wait_ms = start_ms - now;
+  queue_release_.push(start_ms);
+  if (budget_ms <= 0.0) {
+    // Expired while waiting: the worker that reaches it at start_ms drops
+    // it in zero time (no worker occupancy, no EWMA sample); the client's
+    // timeout fired at the deadline.
+    budget_ms = 0.0;
+    r.finish_ms = abs_deadline_ms;
+  } else {
+    const double service_ms = std::min(cost_ms, budget_ms);
+    worker_free_ms_[w] = start_ms + service_ms;
+    inflight_.push(VirtualCompletion{start_ms + service_ms, seq, service_ms});
+    // A request whose cost crosses the budget resolves at the deadline
+    // (client timeout); otherwise when its work completes.
+    r.finish_ms = cost_ms >= budget_ms ? abs_deadline_ms : start_ms + cost_ms;
+    r.service_ms = service_ms;
+  }
+  Metrics().queue_wait_virtual_us.Record(VirtualMsToUs(r.queue_wait_ms));
+  Metrics().e2e_virtual_us.Record(VirtualMsToUs(r.e2e_ms()));
+
+  QueueItem item;
+  item.seq = seq;
+  item.query = query;
+  item.mode = mode;
+  item.budget_ms = budget_ms;
+  item.costs = costs;
+  item.predicted_expiry = budget_ms > 0.0 && cost_ms >= budget_ms;
+  queue_.push_back(std::move(item));
+  ++enqueued_;
+  Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+  work_cv_.notify_one();
+  return seq;
+}
+
+void QueryBroker::WorkerLoop() {
+  {
+    // Start barrier: ParallelFor hands out indices dynamically, so without
+    // it one pool thread could claim two of these long-lived loops and
+    // halve the real concurrency. Holding every loop until all indices are
+    // claimed forces one loop per thread.
+    std::unique_lock<std::mutex> lock(mu_);
+    ++workers_started_;
+    started_cv_.notify_all();
+    started_cv_.wait(lock, [this] {
+      return workers_started_ >= options_.num_workers;
+    });
+  }
+  std::vector<QueueItem> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and Shutdown drained the rest
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+    Metrics().batches.Add();
+    Metrics().batch_size.Record(batch.size());
+    for (QueueItem& item : batch) ExecuteOne(item);
+  }
+}
+
+void QueryBroker::ExecuteOne(QueueItem& item) {
+  FEDSEARCH_TRACE_SPAN("broker_execute");
+  util::ScopedTimer execute_timer(Metrics().execute_ns);
+
+  Disposition disposition;
+  uint64_t ranking_hash = 0;
+  size_t evaluations = 0;
+  if (item.budget_ms <= 0.0) {
+    // Dead on dequeue — drop instead of burning the worker.
+    disposition = Disposition::kExpiredInQueue;
+  } else {
+    util::Deadline deadline(item.budget_ms, item.costs);
+    const core::Metasearcher::SelectionOutcome outcome =
+        meta_->SelectDatabases(item.query, *scorer_, item.mode, &deadline);
+    evaluations = outcome.evaluations_completed;
+    if (!outcome.status.ok()) {
+      disposition = Disposition::kExpiredExecuting;
+    } else {
+      disposition = item.mode == options_.degraded_mode &&
+                            options_.degraded_mode != options_.full_mode
+                        ? Disposition::kServedDegraded
+                        : Disposition::kServedFull;
+      ranking_hash = HashRanking(outcome.ranking);
+    }
+    // The virtual schedule predicted this verdict from the cost model; the
+    // execution must agree, or virtual latencies are fiction.
+    FEDSEARCH_DCHECK(item.predicted_expiry == !outcome.status.ok())
+        << "cost-model prediction diverged from execution for request "
+        << item.seq;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  RequestResult& r = results_[item.seq];
+  r.disposition = disposition;
+  r.ranking_hash = ranking_hash;
+  r.evaluations_completed = evaluations;
+  switch (disposition) {
+    case Disposition::kServedFull:
+      Metrics().served_full.Add();
+      break;
+    case Disposition::kServedDegraded:
+      Metrics().served_degraded.Add();
+      break;
+    case Disposition::kExpiredInQueue:
+      Metrics().expired_in_queue.Add();
+      break;
+    default:
+      Metrics().expired_executing.Add();
+      break;
+  }
+  ++completed_;
+  if (completed_ == enqueued_) drain_cv_.notify_all();
+}
+
+void QueryBroker::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return completed_ == enqueued_; });
+}
+
+void QueryBroker::Shutdown() {
+  {
+    // Idempotent: a second call (e.g. the destructor after an explicit
+    // Shutdown) finds an empty queue and a joined dispatcher and falls
+    // through harmlessly.
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Whatever is still queued will never run; resolve it here so every
+    // submitted request reaches a terminal disposition even on a shutdown
+    // with a non-empty queue.
+    for (QueueItem& item : queue_) {
+      RequestResult& r = results_[item.seq];
+      r.disposition = Disposition::kCancelledShutdown;
+      r.finish_ms = last_now_ms_;
+      Metrics().cancelled.Add();
+      ++completed_;
+    }
+    queue_.clear();
+    Metrics().queue_depth.Set(0.0);
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.reset();
+}
+
+BrokerStats QueryBroker::ComputeStats() const {
+  BrokerStats stats;
+  stats.submitted = results_.size();
+  for (const RequestResult& r : results_) {
+    switch (r.disposition) {
+      case Disposition::kServedFull:
+        ++stats.served_full;
+        break;
+      case Disposition::kServedDegraded:
+        ++stats.served_degraded;
+        break;
+      case Disposition::kShedQueueFull:
+        ++stats.shed_queue_full;
+        break;
+      case Disposition::kShedPredictedMiss:
+        ++stats.shed_predicted_miss;
+        break;
+      case Disposition::kExpiredInQueue:
+        ++stats.expired_in_queue;
+        break;
+      case Disposition::kExpiredExecuting:
+        ++stats.expired_executing;
+        break;
+      case Disposition::kCancelledShutdown:
+        ++stats.cancelled;
+        break;
+      case Disposition::kPending:
+        FEDSEARCH_CHECK(false)
+            << "ComputeStats before Drain: request still pending";
+        break;
+    }
+  }
+  stats.ewma_service_ms = admission_.ewma_service_ms();
+  return stats;
+}
+
+}  // namespace fedsearch::broker

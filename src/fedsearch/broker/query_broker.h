@@ -1,0 +1,240 @@
+#ifndef FEDSEARCH_BROKER_QUERY_BROKER_H_
+#define FEDSEARCH_BROKER_QUERY_BROKER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "fedsearch/broker/admission.h"
+#include "fedsearch/broker/degradation.h"
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/selection/scoring.h"
+#include "fedsearch/util/deadline.h"
+#include "fedsearch/util/thread_pool.h"
+
+namespace fedsearch::broker {
+
+struct BrokerOptions {
+  // Concurrent SelectDatabases executions (util::ThreadPool threads; the
+  // metasearcher itself should serve serially — inter-query parallelism is
+  // the axis that scales, per ROADMAP).
+  size_t num_workers = 4;
+  // Requests a worker dequeues per queue-lock acquisition. Batch members
+  // run back-to-back on one thread, sharing the metasearcher's warm
+  // ScoringStatisticsCache / PosteriorCache epoch between adjacent
+  // requests instead of interleaving with other workers' queries.
+  size_t max_batch = 8;
+  // Per-request deadline: a request submitted at virtual time t must
+  // resolve by t + deadline_ms.
+  double deadline_ms = 100.0;
+  // Base (uninflated) virtual cost model; each request's copy is scaled by
+  // its service inflation (tail faults) before prediction and execution.
+  util::Deadline::Costs costs;
+  AdmissionOptions admission;
+  DegradationOptions degradation;
+  // Summary modes backing the two service levels.
+  core::SummaryMode full_mode = core::SummaryMode::kAdaptiveShrinkage;
+  core::SummaryMode degraded_mode = core::SummaryMode::kPlain;
+};
+
+// Terminal state of a request. Every submitted request reaches exactly one.
+enum class Disposition : uint8_t {
+  kPending = 0,         // still queued/executing (never final after Drain)
+  kServedFull,          // full-quality ranking within deadline
+  kServedDegraded,      // plain/CORI ranking within deadline (downgraded)
+  kShedQueueFull,       // rejected at admission: queue at capacity
+  kShedPredictedMiss,   // rejected at admission: EWMA predicts a miss
+  kExpiredInQueue,      // admitted, but its deadline passed while waiting
+  kExpiredExecuting,    // aborted mid-selection with kDeadlineExceeded
+  kCancelledShutdown,   // still queued when Shutdown() ran
+};
+
+// Full per-request account. All times are *virtual* milliseconds on the
+// broker's deterministic clock (see class comment), which is why two runs
+// with the same arrivals produce bit-identical results.
+struct RequestResult {
+  Disposition disposition = Disposition::kPending;
+  bool downgraded = false;       // assigned the degraded service level
+  double arrival_ms = 0.0;
+  double start_ms = 0.0;         // when a worker reached it (admitted only)
+  double finish_ms = 0.0;        // when the client got an answer or gave up
+  double queue_wait_ms = 0.0;    // start - arrival
+  double service_ms = 0.0;       // virtual worker occupancy
+  double predicted_cost_ms = 0.0;
+  double service_inflation = 1.0;
+  size_t evaluations_completed = 0;
+  // FNV-1a over (database, score bits) of the served ranking; 0 when no
+  // ranking was produced. Lets benches assert bit-identical outcomes
+  // without retaining every ranking.
+  uint64_t ranking_hash = 0;
+
+  bool admitted() const {
+    return disposition != Disposition::kShedQueueFull &&
+           disposition != Disposition::kShedPredictedMiss;
+  }
+  bool served() const {
+    return disposition == Disposition::kServedFull ||
+           disposition == Disposition::kServedDegraded;
+  }
+  // Client-observed latency: answer time for served requests, the deadline
+  // itself where the client's timeout fired. By construction never exceeds
+  // deadline_ms for admitted requests.
+  double e2e_ms() const { return finish_ms - arrival_ms; }
+};
+
+// Aggregate view over results(); see QueryBroker::ComputeStats.
+struct BrokerStats {
+  size_t submitted = 0;
+  size_t served_full = 0;
+  size_t served_degraded = 0;
+  size_t shed_queue_full = 0;
+  size_t shed_predicted_miss = 0;
+  size_t expired_in_queue = 0;
+  size_t expired_executing = 0;
+  size_t cancelled = 0;
+  double ewma_service_ms = 0.0;
+
+  size_t served() const { return served_full + served_degraded; }
+  size_t shed() const { return shed_queue_full + shed_predicted_miss; }
+  size_t expired() const { return expired_in_queue + expired_executing; }
+  size_t resolved() const {
+    return served() + shed() + expired() + cancelled;
+  }
+};
+
+// Overload-robust serving front-end for database selection.
+//
+// Requests arrive open-loop (Submit with a virtual arrival time, typically
+// from an OpenLoopGenerator) and pass through three robustness layers
+// before a util::ThreadPool worker runs SelectDatabases:
+//
+//   queue -> admission control -> degradation -> batch -> execute
+//
+// Determinism contract. The broker keeps two parallel notions of time:
+//  * a *virtual* discrete-event schedule, advanced in arrival order under
+//    one lock — admission verdicts, degradation levels, queue waits,
+//    worker assignment, and deadline budgets are all computed here from
+//    the request's scaled cost model (never from wall time or thread
+//    timing);
+//  * *real* execution on pool workers, which runs each admitted request
+//    with a charge-based util::Deadline whose budget came from the virtual
+//    schedule. Because SelectDatabases charges the identical cost
+//    sequence, the execution's expiry verdict agrees with the virtual
+//    prediction bit-for-bit (DCHECKed), and real thread interleaving can
+//    only change *when* work happens, never any recorded number.
+// Wall-clock timings still flow to the metrics layer, where they are
+// observational by construction.
+//
+// Thread-safe: Submit may be called from multiple threads (virtual time is
+// clamped monotone); Drain/Shutdown from any one thread. results() and
+// ComputeStats() are valid once Drain() or Shutdown() returned.
+class QueryBroker {
+ public:
+  // `meta` and `scorer` must outlive the broker. `meta` should be built
+  // with num_threads = 1: the broker supplies the parallelism, and nested
+  // per-query fan-out would fight it for cores.
+  QueryBroker(const core::Metasearcher* meta,
+              const selection::ScoringFunction* scorer,
+              BrokerOptions options = {});
+  ~QueryBroker();
+
+  QueryBroker(const QueryBroker&) = delete;
+  QueryBroker& operator=(const QueryBroker&) = delete;
+
+  const BrokerOptions& options() const { return options_; }
+
+  // Submits one request arriving at virtual time `arrival_ms` (must be
+  // non-decreasing per submitter; concurrent submitters are clamped onto
+  // the broker's monotone clock). `service_inflation` >= 1 scales the
+  // request's cost model — the slow-fault hook. Returns the request's
+  // index into results().
+  size_t Submit(const selection::Query& query, double arrival_ms,
+                double service_inflation = 1.0);
+
+  // Blocks until every admitted request has been executed and recorded.
+  void Drain();
+
+  // Stops the workers. Requests still queued are resolved as
+  // kCancelledShutdown (clean shutdown with a non-empty queue is
+  // supported and tested). Idempotent; the destructor calls it.
+  void Shutdown();
+
+  // Per-request accounts, indexed by the value Submit returned.
+  const std::vector<RequestResult>& results() const { return results_; }
+
+  // Tallies results(); CHECK-fails on a kPending request, so calling it
+  // after Drain doubles as the every-request-resolves invariant.
+  BrokerStats ComputeStats() const;
+
+ private:
+  struct QueueItem {
+    size_t seq = 0;
+    selection::Query query;
+    core::SummaryMode mode = core::SummaryMode::kPlain;
+    double budget_ms = 0.0;  // <= 0: already expired, drop on sight
+    util::Deadline::Costs costs;
+    bool predicted_expiry = false;
+  };
+  // A virtually-inflight request, waiting to feed the admission EWMA at
+  // its completion time.
+  struct VirtualCompletion {
+    double finish_ms = 0.0;
+    size_t seq = 0;
+    double service_ms = 0.0;
+    bool operator>(const VirtualCompletion& other) const {
+      if (finish_ms != other.finish_ms) return finish_ms > other.finish_ms;
+      return seq > other.seq;
+    }
+  };
+
+  // Exact replay of the charge sequence SelectDatabases will perform for
+  // `mode` under `costs` — same additions, same order, so comparing the
+  // sum against the budget predicts the execution's expiry verdict.
+  double PredictCostMs(core::SummaryMode mode,
+                       const util::Deadline::Costs& costs) const;
+
+  void WorkerLoop();
+  void ExecuteOne(QueueItem& item);
+
+  const core::Metasearcher* meta_;
+  const selection::ScoringFunction* scorer_;
+  BrokerOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  std::condition_variable started_cv_;
+  size_t workers_started_ = 0;
+  bool stopping_ = false;
+  std::deque<QueueItem> queue_;
+  std::vector<RequestResult> results_;
+  size_t enqueued_ = 0;
+  size_t completed_ = 0;
+
+  // Virtual scheduler state (guarded by mu_, advanced in arrival order).
+  double last_now_ms_ = 0.0;
+  std::vector<double> worker_free_ms_;
+  // Times at which waiting requests leave the queue (a worker reaches
+  // them); size = virtual queue depth.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      queue_release_;
+  std::priority_queue<VirtualCompletion, std::vector<VirtualCompletion>,
+                      std::greater<VirtualCompletion>>
+      inflight_;
+  AdmissionController admission_;
+  DegradationPolicy degradation_;
+  size_t databases_evaluated_per_query_ = 0;  // n - degraded (adaptive cost)
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace fedsearch::broker
+
+#endif  // FEDSEARCH_BROKER_QUERY_BROKER_H_

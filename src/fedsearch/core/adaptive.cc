@@ -197,10 +197,18 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     const selection::Query& query, const sampling::SampleResult& sample,
     const selection::ScoringFunction& scorer,
     const selection::ScoringContext& context, util::Rng& rng,
-    PosteriorCache* cache, size_t database_index) const {
+    PosteriorCache* cache, size_t database_index,
+    util::Deadline* deadline) const {
   Metrics().evaluations.Add();
   util::ScopedTimer evaluate_timer(Metrics().evaluate_ns);
   Uncertainty result;
+  if (deadline != nullptr) {
+    deadline->ChargeAdaptiveEvaluation();
+    // The charge that crosses the budget still lands (exact cost replay),
+    // but the Monte-Carlo work it pays for is skipped: the enclosing
+    // request is past its deadline and the decision would be discarded.
+    if (deadline->expired()) return result;
+  }
   const double db_size = std::max(1.0, sample.estimated_db_size);
 
   // A sample that covered (almost) the whole database is already

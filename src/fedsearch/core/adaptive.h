@@ -8,6 +8,7 @@
 #include "fedsearch/sampling/sample_result.h"
 #include "fedsearch/selection/scoring.h"
 #include "fedsearch/summary/content_summary.h"
+#include "fedsearch/util/deadline.h"
 #include "fedsearch/util/rng.h"
 
 namespace fedsearch::core {
@@ -137,12 +138,21 @@ class AdaptiveSummarySelector {
   // s_k is fixed per database — so across a query workload the cache
   // converges to one entry per distinct sample frequency and the hit rate
   // approaches 100%. Results are bit-identical to the uncached overload.
+  //
+  // A non-null `deadline` marks this evaluation as one unit of bounded
+  // work: the call charges Costs::adaptive_evaluation_ms on entry — the
+  // per-database evaluation boundary of the deadline contract — and, when
+  // that charge crosses the budget, skips the Monte-Carlo work entirely
+  // (the enclosing request is aborting; its decision will never be used).
+  // The charge is unconditional so consumed_ms() stays an exact replay of
+  // the cost model regardless of gate outcomes.
   Uncertainty Evaluate(const selection::Query& query,
                        const sampling::SampleResult& sample,
                        const selection::ScoringFunction& scorer,
                        const selection::ScoringContext& context,
                        util::Rng& rng, PosteriorCache* cache,
-                       size_t database_index) const;
+                       size_t database_index,
+                       util::Deadline* deadline = nullptr) const;
 
  private:
   AdaptiveOptions options_;

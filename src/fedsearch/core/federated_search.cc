@@ -4,6 +4,28 @@
 
 namespace fedsearch::core {
 
+namespace {
+
+// Shared deterministic merge order: score desc, then (database, doc) asc so
+// ties never depend on engine arrival order.
+void SortAndTruncate(std::vector<FederatedHit>& merged, size_t keep) {
+  std::sort(merged.begin(), merged.end(),
+            [](const FederatedHit& a, const FederatedHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.database != b.database) return a.database < b.database;
+              return a.doc < b.doc;
+            });
+  if (merged.size() > keep) merged.resize(keep);
+}
+
+// CORI/CSS merge weight from a min-max normalized selection score.
+double MergeWeight(double score, double lo, double range) {
+  const double normalized = range > 0.0 ? (score - lo) / range : 1.0;
+  return (1.0 + 0.4 * normalized) / 1.4;
+}
+
+}  // namespace
+
 std::vector<FederatedHit> SearchAndMerge(
     const std::vector<const index::TextDatabase*>& databases,
     const std::vector<selection::RankedDatabase>& ranking,
@@ -23,9 +45,7 @@ std::vector<FederatedHit> SearchAndMerge(
 
   for (size_t i = 0; i < searched; ++i) {
     const selection::RankedDatabase& entry = ranking[i];
-    const double normalized =
-        range > 0.0 ? (entry.score - lo) / range : 1.0;
-    const double weight = (1.0 + 0.4 * normalized) / 1.4;
+    const double weight = MergeWeight(entry.score, lo, range);
     const index::QueryResult result = databases[entry.database]->Query(
         query_text, options.results_per_database);
     // Re-derive per-document scores: TextDatabase's public interface
@@ -39,16 +59,62 @@ std::vector<FederatedHit> SearchAndMerge(
     }
   }
 
-  std::sort(merged.begin(), merged.end(),
-            [](const FederatedHit& a, const FederatedHit& b) {
-              if (a.score != b.score) return a.score > b.score;
-              if (a.database != b.database) return a.database < b.database;
-              return a.doc < b.doc;
-            });
-  if (merged.size() > options.merged_results) {
-    merged.resize(options.merged_results);
-  }
+  SortAndTruncate(merged, options.merged_results);
   return merged;
+}
+
+FederatedSearchResult SearchAndMergeRemote(
+    const std::vector<index::SearchInterface*>& databases,
+    const std::vector<selection::RankedDatabase>& ranking,
+    std::string_view query_text, const FederatedSearchOptions& options,
+    util::Deadline* deadline) {
+  FederatedSearchResult out;
+  const size_t searched = std::min(options.databases_to_search, ranking.size());
+  if (searched == 0) return out;
+
+  double lo = ranking[0].score;
+  double hi = ranking[0].score;
+  for (size_t i = 0; i < searched; ++i) {
+    lo = std::min(lo, ranking[i].score);
+    hi = std::max(hi, ranking[i].score);
+  }
+  const double range = hi - lo;
+
+  for (size_t i = 0; i < searched; ++i) {
+    if (deadline != nullptr && deadline->expired()) {
+      // Shed the remaining fan-out: a partial merge now beats a complete
+      // merge the caller will never wait for.
+      out.databases_skipped = searched - i;
+      break;
+    }
+    const selection::RankedDatabase& entry = ranking[i];
+    const double weight = MergeWeight(entry.score, lo, range);
+    util::StatusOr<index::QueryResult> result =
+        databases[entry.database]->Search(query_text,
+                                          options.results_per_database);
+    if (!result.ok()) {
+      // Hard fault from the remote; merging continues without it. A failed
+      // call still costs a round trip, so it charges the model default.
+      ++out.databases_failed;
+      if (deadline != nullptr) deadline->ChargeSearch(0.0);
+      continue;
+    }
+    ++out.databases_searched;
+    if (deadline != nullptr) deadline->ChargeSearch(result.value().service_ms);
+    const std::vector<index::DocId>& docs = result.value().docs;
+    for (size_t pos = 0; pos < docs.size(); ++pos) {
+      const double doc_score = 1.0 / static_cast<double>(pos + 1);
+      out.hits.push_back(
+          FederatedHit{entry.database, docs[pos], weight * doc_score});
+    }
+  }
+
+  SortAndTruncate(out.hits, options.merged_results);
+  if (out.databases_skipped > 0) {
+    out.status = util::Status::DeadlineExceeded(
+        "deadline expired during federated fan-out");
+  }
+  return out;
 }
 
 }  // namespace fedsearch::core

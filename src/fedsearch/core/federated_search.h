@@ -5,8 +5,11 @@
 #include <string_view>
 #include <vector>
 
+#include "fedsearch/index/search_interface.h"
 #include "fedsearch/index/text_database.h"
 #include "fedsearch/selection/flat_ranker.h"
+#include "fedsearch/util/deadline.h"
+#include "fedsearch/util/status.h"
 
 namespace fedsearch::core {
 
@@ -46,6 +49,34 @@ std::vector<FederatedHit> SearchAndMerge(
     const std::vector<const index::TextDatabase*>& databases,
     const std::vector<selection::RankedDatabase>& ranking,
     std::string_view query_text, const FederatedSearchOptions& options = {});
+
+// Outcome of a deadline-aware federated search: the merged hits plus an
+// account of every selected database — searched, failed (the remote
+// returned a hard fault; its results are simply absent), or skipped
+// because the request deadline expired before it could be queried.
+struct FederatedSearchResult {
+  std::vector<FederatedHit> hits;
+  size_t databases_searched = 0;
+  size_t databases_failed = 0;
+  size_t databases_skipped = 0;
+  // OK when every selected database got its chance before the deadline;
+  // kDeadlineExceeded when databases_skipped > 0.
+  util::Status status;
+};
+
+// SearchAndMerge against remote SearchInterfaces (which may fail or report
+// simulated service times — e.g. FlakyDatabase's slow-fault mode), bounded
+// by a request deadline. Databases are queried in ranking order; before
+// each one the deadline is checked, and each successful reply charges its
+// reported service time (or Deadline::Costs::search_ms when the engine
+// reports none). On expiry the remaining databases are skipped and merging
+// proceeds with what arrived — degraded coverage, never a stall past the
+// deadline. Pass nullptr (or an infinite deadline) for unbounded behavior.
+FederatedSearchResult SearchAndMergeRemote(
+    const std::vector<index::SearchInterface*>& databases,
+    const std::vector<selection::RankedDatabase>& ranking,
+    std::string_view query_text, const FederatedSearchOptions& options = {},
+    util::Deadline* deadline = nullptr);
 
 }  // namespace fedsearch::core
 

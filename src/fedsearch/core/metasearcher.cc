@@ -44,6 +44,7 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
     degraded_.push_back(
         s.sample_size == 0 || s.summary.vocabulary_size() == 0 ||
         s.health.outcome == sampling::SamplingOutcome::kAborted);
+    if (degraded_.back()) ++num_degraded_;
   }
   std::vector<const summary::ContentSummary*> summary_ptrs;
   summary_ptrs.reserve(samples_.size());
@@ -90,13 +91,19 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
 
 Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
     const selection::Query& query, const selection::ScoringFunction& scorer,
-    SummaryMode mode) const {
+    SummaryMode mode, util::Deadline* deadline) const {
   FEDSEARCH_TRACE_SPAN("select_databases");
   util::ScopedTimer select_timer(Metrics().select_ns);
   Metrics().queries.Add();
   const size_t n = samples_.size();
+  const bool bounded = deadline != nullptr && !deadline->infinite();
   SelectionOutcome outcome;
   outcome.databases_considered = n;
+  if (bounded && deadline->expired()) {
+    outcome.status = util::Status::DeadlineExceeded(
+        "deadline expired before selection started");
+    return outcome;
+  }
 
   // Content Summary Selection step (Figure 3): pick A(Di) per database.
   std::vector<const summary::SummaryView*> chosen(n);
@@ -134,13 +141,15 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       const auto evaluate_one = [&](size_t i) {
         if (degraded_[i]) {
           // No sample to estimate uncertainty from; the fallback below
-          // supplies the summary.
+          // supplies the summary. (No evaluation, so no deadline charge —
+          // cost-model replays must subtract num_degraded().)
           chosen[i] = &samples_[i].summary;
           return;
         }
         const AdaptiveSummarySelector::Uncertainty u =
             adaptive_.Evaluate(query, samples_[i], scorer, decision_context,
-                               db_rngs[i], &posterior_cache_, i);
+                               db_rngs[i], &posterior_cache_, i,
+                               bounded ? deadline : nullptr);
         applied[i] = u.use_shrinkage ? 1 : 0;
         chosen[i] =
             u.use_shrinkage
@@ -149,7 +158,23 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
                 : static_cast<const summary::SummaryView*>(
                       &samples_[i].summary);
       };
-      if (pool_ != nullptr) {
+      if (bounded) {
+        // Bounded requests evaluate serially on the calling thread: the
+        // deadline charges then land in index order, making the expiry
+        // boundary a pure function of the cost model. Throughput under
+        // load comes from inter-query parallelism (broker workers), which
+        // scales where per-query fan-out measured ~1.0x (ROADMAP).
+        for (size_t i = 0; i < n; ++i) {
+          if (deadline->expired()) break;
+          evaluate_one(i);
+          ++outcome.evaluations_completed;
+        }
+        if (deadline->expired()) {
+          outcome.status = util::Status::DeadlineExceeded(
+              "deadline expired during adaptive evaluation");
+          return outcome;
+        }
+      } else if (pool_ != nullptr) {
         pool_->ParallelFor(n, evaluate_one);
       } else {
         for (size_t i = 0; i < n; ++i) evaluate_one(i);
@@ -179,7 +204,20 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
     if (mode == SummaryMode::kUniversalShrinkage) --outcome.shrinkage_applied;
   }
 
-  // Scoring + Ranking steps over the chosen summaries.
+  // Scoring + Ranking steps over the chosen summaries. Bounded requests
+  // pre-charge the scoring cost per database in index order (the same
+  // positions the cost-model replay sums), aborting at the first boundary
+  // the budget no longer covers.
+  if (bounded) {
+    for (size_t i = 0; i < n; ++i) {
+      if (deadline->expired()) {
+        outcome.status = util::Status::DeadlineExceeded(
+            "deadline expired before scoring completed");
+        return outcome;
+      }
+      deadline->ChargeScore();
+    }
+  }
   selection::ScoringContext context;
   context.ranked_summaries = chosen;
   context.global_summary = &hierarchy_summaries_->root_aggregate();
@@ -188,6 +226,13 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       selection::RankDatabases(query, chosen, scorer, context, pool_.get());
   Metrics().category_fallbacks.Add(outcome.category_fallbacks);
   Metrics().shrinkage_applied.Add(outcome.shrinkage_applied);
+  if (bounded && deadline->expired()) {
+    // The last charge crossed the budget: the ranking exists but arrived
+    // past the deadline, so the caller must not serve it.
+    outcome.status = util::Status::DeadlineExceeded(
+        "selection completed past the deadline");
+    outcome.ranking.clear();
+  }
   return outcome;
 }
 

@@ -13,6 +13,8 @@
 #include "fedsearch/selection/flat_ranker.h"
 #include "fedsearch/selection/hierarchical.h"
 #include "fedsearch/selection/scoring.h"
+#include "fedsearch/util/deadline.h"
+#include "fedsearch/util/status.h"
 #include "fedsearch/util/thread_pool.h"
 
 namespace fedsearch::core {
@@ -78,6 +80,10 @@ class Metasearcher {
   // category's aggregate summary — the shrinkage story applied as a pure
   // fallback — instead of dropping it from the federation.
   bool degraded(size_t i) const { return degraded_[i]; }
+  // Count of degraded databases. Deadline-aware callers (the broker's
+  // admission control) need this to replay the cost model exactly: degraded
+  // databases skip the adaptive evaluation, so they never charge one.
+  size_t num_degraded() const { return num_degraded_; }
   const HierarchySummaries& hierarchy_summaries() const {
     return *hierarchy_summaries_;
   }
@@ -112,6 +118,13 @@ class Metasearcher {
     // Databases scored from their category aggregate because their sample
     // was unusable (see degraded()).
     size_t category_fallbacks = 0;
+    // OK for a complete ranking; kDeadlineExceeded when a bounded request
+    // ran out of budget (the ranking is then empty — a partial ranking
+    // would silently misrank the databases never evaluated).
+    util::Status status;
+    // Databases visited by the bounded adaptive-evaluation loop before
+    // completion or expiry. 0 for unbounded or non-adaptive calls.
+    size_t evaluations_completed = 0;
   };
 
   // Ranks all databases for the query with the given base algorithm and
@@ -124,9 +137,22 @@ class Metasearcher {
   // serializes concurrent ParallelFor loops internally; each call's result
   // stays bit-identical to a serial run (pinned by
   // tests/stress/parallel_select_stress_test.cc).
+  //
+  // A non-null, non-infinite `deadline` bounds the call: the adaptive
+  // evaluation runs serially on the calling thread, charging the deadline's
+  // cost model per database (inside AdaptiveSummarySelector::Evaluate) and
+  // checking expiry at every per-database boundary; the scoring phase
+  // charges Costs::score_ms per database the same way. An expired request
+  // aborts with outcome.status == kDeadlineExceeded instead of burning the
+  // worker on a ranking nobody will wait for. Charges are plain ordered
+  // double additions, so whether a given request expires — and at which
+  // boundary — is bit-reproducible and exactly predictable from the cost
+  // model (what broker admission control relies on). Unbounded calls are
+  // untouched by all of this, including their parallel fan-out.
   SelectionOutcome SelectDatabases(const selection::Query& query,
                                    const selection::ScoringFunction& scorer,
-                                   SummaryMode mode) const;
+                                   SummaryMode mode,
+                                   util::Deadline* deadline = nullptr) const;
 
   // The hierarchical baseline of [17] over the same summaries
   // (QBS-Hierarchical / FPS-Hierarchical).
@@ -150,6 +176,7 @@ class Metasearcher {
   std::vector<sampling::SampleResult> samples_;
   std::vector<corpus::CategoryId> classifications_;
   std::vector<bool> degraded_;
+  size_t num_degraded_ = 0;
   MetasearcherOptions options_;
   std::unique_ptr<HierarchySummaries> hierarchy_summaries_;
   std::unique_ptr<ShrinkageModel> shrinkage_;

@@ -34,6 +34,8 @@ FlakyDatabase::Fault FlakyDatabase::NextFault(double& aux) {
   if (u < edge) return Fault::kTruncate;
   edge += profile_.corruption_rate;
   if (u < edge) return Fault::kCorrupt;
+  edge += profile_.slow_rate;
+  if (u < edge) return Fault::kSlow;
   return Fault::kNone;
 }
 
@@ -68,6 +70,18 @@ util::StatusOr<QueryResult> FlakyDatabase::Search(
   }
   util::StatusOr<QueryResult> result = base_->Search(query_text, top_k, exclude);
   if (!result.ok()) return result;
+  // Service-time model: every successful reply costs base_service_ms (on
+  // top of whatever the wrapped engine already reported — decorators
+  // stack); a slow fault inflates this call's share by a factor in
+  // [1, slow_factor) drawn from the aux uniform, so the fault sequence
+  // stays a pure function of (seed, call index).
+  double service_ms = profile_.base_service_ms;
+  if (fault == Fault::kSlow && service_ms > 0.0) {
+    ++stats_.slow_replies;
+    service_ms *= 1.0 + aux * (profile_.slow_factor - 1.0);
+  }
+  result.value().service_ms += service_ms;
+  stats_.simulated_service_ms += service_ms;
   if (fault == Fault::kTruncate && !result.value().docs.empty()) {
     ++stats_.truncations;
     QueryResult& r = result.value();
@@ -84,9 +98,10 @@ util::StatusOr<QueryResult> FlakyDatabase::Search(
 util::StatusOr<const Document*> FlakyDatabase::Fetch(DocId id) {
   double aux = 0.0;
   const Fault fault = NextFault(aux);
-  // Soft faults are payload damage on result *lists*; a fetch either
-  // completes or fails, so kTruncate/kCorrupt pass through untouched
-  // (keeping the two-draws-per-call determinism contract).
+  // Soft faults are payload damage / delay on Search replies; a fetch
+  // either completes or fails and reports no service time, so
+  // kTruncate/kCorrupt/kSlow pass through untouched (keeping the
+  // two-draws-per-call determinism contract).
   switch (fault) {
     case Fault::kUnavailable:
     case Fault::kTimeout:

@@ -28,16 +28,30 @@ struct FaultProfile {
   // Soft, Search only: num_matches is multiplied by a random factor in
   // [0, 2.5), modelling the bogus estimated counts of Section 2.2 engines.
   double corruption_rate = 0.0;
+  // Soft, Search only: the reply arrives intact but late — the reported
+  // QueryResult::service_ms is inflated by a factor drawn uniformly in
+  // [1, slow_factor). This is the tail-latency fault the overload broker
+  // benches need: it burns deadline budget without losing payload. Only
+  // meaningful when base_service_ms > 0.
+  double slow_rate = 0.0;
 
   // Hint attached to rate-limit errors as "retry_after_ms=<n>".
   double retry_after_ms = 250.0;
+  // Multiplier ceiling for slow faults (drawn in [1, slow_factor)).
+  double slow_factor = 8.0;
+  // Service time reported on every successful Search, before any slow-fault
+  // inflation. The default 0 keeps the decorator service-time-transparent
+  // for callers that predate the deadline layer.
+  double base_service_ms = 0.0;
 
-  // An even mix: each of the five faults at total_rate / 5.
+  // An even mix of the five classic faults, each at total_rate / 5. Slow
+  // faults are opt-in (set slow_rate and base_service_ms explicitly) so the
+  // degradation benches recorded against Mixed() keep their fault ladders.
   static FaultProfile Mixed(double total_rate);
 
   double total_rate() const {
     return unavailable_rate + timeout_rate + rate_limit_rate +
-           truncation_rate + corruption_rate;
+           truncation_rate + corruption_rate + slow_rate;
   }
 };
 
@@ -49,9 +63,12 @@ struct FaultStats {
   size_t rate_limits = 0;
   size_t truncations = 0;
   size_t corruptions = 0;
+  size_t slow_replies = 0;
+  // Total simulated Search service time handed out, inflation included.
+  double simulated_service_ms = 0.0;
 
   size_t hard_faults() const { return unavailable + timeouts + rate_limits; }
-  size_t soft_faults() const { return truncations + corruptions; }
+  size_t soft_faults() const { return truncations + corruptions + slow_replies; }
 };
 
 // Fault-injecting decorator over any SearchInterface. Injection is driven
@@ -83,6 +100,7 @@ class FlakyDatabase final : public SearchInterface {
     kRateLimit,
     kTruncate,
     kCorrupt,
+    kSlow,
   };
 
   // Draws the fault for the current call plus the auxiliary uniform used

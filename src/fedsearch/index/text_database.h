@@ -23,6 +23,11 @@ struct QueryResult {
   // Top-ranked matching documents, already filtered by the caller-provided
   // exclusion set.
   std::vector<DocId> docs;
+  // Simulated service time of the call, in milliseconds. 0 means "the
+  // engine does not model service time"; deadline-aware callers then fall
+  // back to util::Deadline::Costs::search_ms. FlakyDatabase's slow-fault
+  // mode inflates this to inject tail latency.
+  double service_ms = 0.0;
 };
 
 // A searchable text database. Construction-side methods (AddDocument) are

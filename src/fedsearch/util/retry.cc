@@ -25,7 +25,7 @@ double ParseRetryAfterMs(const Status& status) {
 RetryController::RetryController(RetryOptions options)
     : options_(options), jitter_rng_(options.jitter_seed) {}
 
-void RetryController::RecordFailure(const Status& status, size_t attempt) {
+double RetryController::PlanBackoffMs(const Status& status, size_t attempt) {
   ++failed_attempts_;
   double backoff = options_.base_backoff_ms *
                    std::pow(options_.backoff_multiplier,
@@ -35,7 +35,7 @@ void RetryController::RecordFailure(const Status& status, size_t attempt) {
   backoff *= 1.0 - j + 2.0 * j * jitter_rng_.NextDouble();
   // A throttling server's hint is a floor on the wait, not a suggestion.
   backoff = std::max(backoff, ParseRetryAfterMs(status));
-  simulated_backoff_ms_ += backoff;
+  return backoff;
 }
 
 }  // namespace fedsearch::util

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "fedsearch/util/deadline.h"
 #include "fedsearch/util/rng.h"
 #include "fedsearch/util/status.h"
 
@@ -50,6 +51,15 @@ class RetryController {
 
   const RetryOptions& options() const { return options_; }
 
+  // Attaches the caller's request deadline. When set, every simulated
+  // backoff wait charges the deadline, and a wait that would cross the
+  // remaining budget is not taken at all: Run() abandons the call with
+  // kDeadlineExceeded instead of accruing a wait the request could never
+  // afford. Pass nullptr (the default) for the legacy unbounded behavior,
+  // which is bit-identical to pre-deadline builds. The deadline must
+  // outlive the controller's use of it.
+  void set_deadline(Deadline* deadline) { deadline_ = deadline; }
+
   // True once the failure budget is spent. Callers must stop issuing
   // requests and finalize a partial result.
   bool exhausted() const { return failed_attempts_ >= options_.failure_budget; }
@@ -62,18 +72,32 @@ class RetryController {
   double simulated_backoff_ms() const { return simulated_backoff_ms_; }
 
   // Invokes `call` (returning a StatusOr<T>) until it succeeds, fails with
-  // a non-transient error, or runs out of attempts/budget. Returns the last
-  // result; when the budget is already spent, returns kResourceExhausted
-  // without invoking `call` at all.
+  // a non-transient error, or runs out of attempts/budget/deadline. Returns
+  // the last result; when the budget is already spent, returns
+  // kResourceExhausted without invoking `call` at all; when the next backoff
+  // wait would cross an attached deadline, returns kDeadlineExceeded without
+  // accruing that wait.
   template <typename Fn>
   auto Run(Fn&& call) -> decltype(call()) {
     if (exhausted()) {
       return Status::ResourceExhausted("per-run failure budget exhausted");
     }
+    if (deadline_ != nullptr && deadline_->expired()) {
+      return Status::DeadlineExceeded("request deadline already expired");
+    }
     for (size_t attempt = 1;; ++attempt) {
       auto result = call();
       if (result.ok() || !IsTransient(result.status())) return result;
-      RecordFailure(result.status(), attempt);
+      // The failed attempt always counts against the budget; whether the
+      // *wait* is affordable is a separate, deadline-owned decision.
+      const double backoff = PlanBackoffMs(result.status(), attempt);
+      if (deadline_ != nullptr && backoff >= deadline_->remaining_ms()) {
+        ++abandoned_calls_;
+        return Status::DeadlineExceeded(
+            "retry backoff would cross the request deadline");
+      }
+      simulated_backoff_ms_ += backoff;
+      if (deadline_ != nullptr) deadline_->Charge(backoff);
       if (attempt >= options_.max_attempts || exhausted()) {
         ++abandoned_calls_;
         return result;
@@ -82,12 +106,13 @@ class RetryController {
   }
 
  private:
-  // Accounts one failed attempt: spends budget and accrues the (jittered,
-  // hint-respecting) backoff wait.
-  void RecordFailure(const Status& status, size_t attempt);
+  // Accounts one failed attempt (spends budget, draws jitter) and returns
+  // the (jittered, hint-respecting) backoff wait the caller would make.
+  double PlanBackoffMs(const Status& status, size_t attempt);
 
   RetryOptions options_;
   Rng jitter_rng_;
+  Deadline* deadline_ = nullptr;
   size_t failed_attempts_ = 0;
   size_t abandoned_calls_ = 0;
   double simulated_backoff_ms_ = 0.0;

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fedsearch/broker/admission.h"
+#include "fedsearch/broker/degradation.h"
+#include "fedsearch/broker/load_generator.h"
+
+namespace fedsearch::broker {
+namespace {
+
+// --- AdmissionController --------------------------------------------------
+
+TEST(AdmissionControllerTest, StartsFromTheOptimisticPrior) {
+  AdmissionOptions options;
+  options.initial_service_ms = 2.5;
+  AdmissionController admission(options);
+  EXPECT_DOUBLE_EQ(admission.ewma_service_ms(), 2.5);
+  EXPECT_EQ(admission.observations(), 0u);
+}
+
+TEST(AdmissionControllerTest, EwmaTracksObservedServiceTimes) {
+  AdmissionOptions options;
+  options.ewma_alpha = 0.5;
+  options.initial_service_ms = 1.0;
+  AdmissionController admission(options);
+  admission.ObserveService(3.0);  // 0.5*1 + 0.5*3 = 2
+  EXPECT_DOUBLE_EQ(admission.ewma_service_ms(), 2.0);
+  admission.ObserveService(6.0);  // 0.5*2 + 0.5*6 = 4
+  EXPECT_DOUBLE_EQ(admission.ewma_service_ms(), 4.0);
+  EXPECT_EQ(admission.observations(), 2u);
+}
+
+TEST(AdmissionControllerTest, EstimatedDelayIsDepthTimesEwmaPerWorker) {
+  AdmissionOptions options;
+  options.initial_service_ms = 10.0;
+  AdmissionController admission(options);
+  EXPECT_DOUBLE_EQ(admission.EstimatedQueueDelayMs(8, 4), 20.0);
+  EXPECT_DOUBLE_EQ(admission.EstimatedQueueDelayMs(0, 4), 0.0);
+  // Worker count is clamped to at least one.
+  EXPECT_DOUBLE_EQ(admission.EstimatedQueueDelayMs(3, 0), 30.0);
+}
+
+TEST(AdmissionControllerTest, QueueFullTakesPrecedenceOverPrediction) {
+  AdmissionOptions options;
+  options.queue_capacity = 4;
+  options.initial_service_ms = 1000.0;  // any depth predicts a miss
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.Consider(4, 1, 10.0),
+            AdmissionController::Verdict::kRejectQueueFull);
+  EXPECT_EQ(admission.Consider(2, 1, 10.0),
+            AdmissionController::Verdict::kRejectPredictedMiss);
+}
+
+TEST(AdmissionControllerTest, AdmitsWhileTheEstimateFitsTheBudget) {
+  AdmissionOptions options;
+  options.initial_service_ms = 10.0;
+  AdmissionController admission(options);
+  // depth 3 / 1 worker -> 30ms estimate: under a 40ms budget, at a 30ms one.
+  EXPECT_EQ(admission.Consider(3, 1, 40.0),
+            AdmissionController::Verdict::kAdmit);
+  EXPECT_EQ(admission.Consider(3, 1, 30.0),
+            AdmissionController::Verdict::kRejectPredictedMiss);
+  // An empty queue always admits (estimate 0 < any positive budget).
+  EXPECT_EQ(admission.Consider(0, 1, 1e-6),
+            AdmissionController::Verdict::kAdmit);
+}
+
+// --- DegradationPolicy ----------------------------------------------------
+
+TEST(DegradationPolicyTest, HysteresisSeparatesEnterAndExit) {
+  DegradationOptions options;
+  options.enter_fraction = 0.5;
+  options.exit_fraction = 0.2;
+  DegradationPolicy policy(options);
+  const double deadline = 100.0;
+  EXPECT_EQ(policy.Update(49.0, deadline), ServiceLevel::kFull);
+  EXPECT_EQ(policy.Update(50.0, deadline), ServiceLevel::kDegraded);
+  // Between the watermarks the level is sticky: 30ms would not have
+  // triggered entry, but it does not allow exit either.
+  EXPECT_EQ(policy.Update(30.0, deadline), ServiceLevel::kDegraded);
+  EXPECT_EQ(policy.Update(20.0, deadline), ServiceLevel::kDegraded);
+  EXPECT_EQ(policy.Update(19.9, deadline), ServiceLevel::kFull);
+  EXPECT_EQ(policy.degraded_episodes(), 1u);
+}
+
+TEST(DegradationPolicyTest, CountsEpisodesNotRequests) {
+  DegradationPolicy policy;
+  const double deadline = 100.0;
+  for (int episode = 0; episode < 3; ++episode) {
+    policy.Update(90.0, deadline);
+    policy.Update(90.0, deadline);  // staying degraded is the same episode
+    policy.Update(0.0, deadline);
+  }
+  EXPECT_EQ(policy.degraded_episodes(), 3u);
+  EXPECT_EQ(policy.level(), ServiceLevel::kFull);
+}
+
+// --- OpenLoopGenerator ----------------------------------------------------
+
+TEST(OpenLoopGeneratorTest, SameSeedSameArrivals) {
+  OpenLoopOptions options;
+  options.arrival_rate_qps = 200.0;
+  options.seed = 42;
+  options.slow_rate = 0.3;
+  OpenLoopGenerator a(options, 10), b(options, 10);
+  for (int i = 0; i < 500; ++i) {
+    const Arrival x = a.Next();
+    const Arrival y = b.Next();
+    EXPECT_EQ(x.arrival_ms, y.arrival_ms);
+    EXPECT_EQ(x.query_index, y.query_index);
+    EXPECT_EQ(x.slow_fault, y.slow_fault);
+    EXPECT_EQ(x.service_inflation, y.service_inflation);
+  }
+}
+
+TEST(OpenLoopGeneratorTest, ArrivalsAdvanceAtTheConfiguredRate) {
+  OpenLoopOptions options;
+  options.arrival_rate_qps = 100.0;  // mean gap 10ms
+  options.seed = 7;
+  OpenLoopGenerator gen(options, 5);
+  double prev = 0.0;
+  double last = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const Arrival a = gen.Next();
+    EXPECT_GE(a.arrival_ms, prev);
+    EXPECT_LT(a.query_index, 5u);
+    prev = a.arrival_ms;
+    last = a.arrival_ms;
+  }
+  const double mean_gap_ms = last / n;
+  EXPECT_GT(mean_gap_ms, 8.0);
+  EXPECT_LT(mean_gap_ms, 12.0);
+}
+
+TEST(OpenLoopGeneratorTest, SlowRateControlsInflation) {
+  OpenLoopOptions never;
+  never.slow_rate = 0.0;
+  OpenLoopGenerator quiet(never, 3);
+  OpenLoopOptions always;
+  always.slow_rate = 1.0;
+  always.slow_factor = 8.0;
+  OpenLoopGenerator noisy(always, 3);
+  for (int i = 0; i < 200; ++i) {
+    const Arrival q = quiet.Next();
+    EXPECT_FALSE(q.slow_fault);
+    EXPECT_DOUBLE_EQ(q.service_inflation, 1.0);
+    const Arrival s = noisy.Next();
+    EXPECT_TRUE(s.slow_fault);
+    EXPECT_GE(s.service_inflation, 1.0);
+    EXPECT_LT(s.service_inflation, 8.0);
+  }
+}
+
+TEST(OpenLoopGeneratorTest, FaultDrawsDoNotPerturbTheArrivalClock) {
+  // The generator burns a fixed four draws per arrival, so turning slow
+  // faults on changes inflations but not times or query choices.
+  OpenLoopOptions base;
+  base.seed = 99;
+  base.slow_rate = 0.0;
+  OpenLoopOptions faulty = base;
+  faulty.slow_rate = 0.5;
+  OpenLoopGenerator a(base, 7), b(faulty, 7);
+  for (int i = 0; i < 300; ++i) {
+    const Arrival x = a.Next();
+    const Arrival y = b.Next();
+    EXPECT_EQ(x.arrival_ms, y.arrival_ms);
+    EXPECT_EQ(x.query_index, y.query_index);
+  }
+}
+
+}  // namespace
+}  // namespace fedsearch::broker

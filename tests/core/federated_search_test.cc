@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "fedsearch/index/flaky_database.h"
+#include "fedsearch/index/search_interface.h"
 #include "fedsearch/text/analyzer.h"
+#include "fedsearch/util/deadline.h"
 
 namespace fedsearch::core {
 namespace {
@@ -82,6 +85,81 @@ TEST_F(FederatedSearchTest, SingleDatabaseGetsFullWeight) {
   // With one database, normalization degenerates to weight 1: the top
   // document keeps its reciprocal-rank score of 1.0.
   EXPECT_DOUBLE_EQ(hits[0].score, 1.0);
+}
+
+TEST_F(FederatedSearchTest, RemoteMergeMatchesTheLocalPath) {
+  const std::vector<selection::RankedDatabase> ranking = {{0, 2.0}, {1, 1.0}};
+  const auto local_hits = SearchAndMerge(databases_, ranking, "cardiac");
+
+  index::LocalDatabase medical(&medical_), sports(&sports_);
+  std::vector<index::SearchInterface*> remotes = {&medical, &sports};
+  const FederatedSearchResult out =
+      SearchAndMergeRemote(remotes, ranking, "cardiac");
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.databases_searched, 2u);
+  EXPECT_EQ(out.databases_failed, 0u);
+  EXPECT_EQ(out.databases_skipped, 0u);
+  ASSERT_EQ(out.hits.size(), local_hits.size());
+  for (size_t i = 0; i < out.hits.size(); ++i) {
+    EXPECT_EQ(out.hits[i].database, local_hits[i].database);
+    EXPECT_EQ(out.hits[i].doc, local_hits[i].doc);
+    EXPECT_DOUBLE_EQ(out.hits[i].score, local_hits[i].score);
+  }
+}
+
+TEST_F(FederatedSearchTest, DeadlineShedsTheTailOfTheFanOut) {
+  index::LocalDatabase medical(&medical_), sports(&sports_);
+  std::vector<index::SearchInterface*> remotes = {&medical, &sports};
+  const std::vector<selection::RankedDatabase> ranking = {{0, 2.0}, {1, 1.0}};
+  // Budget covers exactly one model-default search (1ms): the charge for
+  // database 0 spends it, so database 1 is skipped at the next boundary.
+  util::Deadline deadline(1.0);
+  const FederatedSearchResult out = SearchAndMergeRemote(
+      remotes, ranking, "cardiac", FederatedSearchOptions{}, &deadline);
+  EXPECT_EQ(out.databases_searched, 1u);
+  EXPECT_EQ(out.databases_skipped, 1u);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), util::Status::Code::kDeadlineExceeded);
+  // The partial merge still carries database 0's hits.
+  ASSERT_FALSE(out.hits.empty());
+  for (const FederatedHit& h : out.hits) EXPECT_EQ(h.database, 0u);
+}
+
+TEST_F(FederatedSearchTest, FailedRemoteChargesTheModelDefaultAndContinues) {
+  index::LocalDatabase medical(&medical_), sports(&sports_);
+  index::FaultProfile always_down;
+  always_down.unavailable_rate = 1.0;
+  index::FlakyDatabase flaky_medical(&medical, always_down, /*seed=*/3);
+  std::vector<index::SearchInterface*> remotes = {&flaky_medical, &sports};
+  const std::vector<selection::RankedDatabase> ranking = {{0, 2.0}, {1, 1.0}};
+  util::Deadline deadline(10.0);
+  const FederatedSearchResult out = SearchAndMergeRemote(
+      remotes, ranking, "cardiac", FederatedSearchOptions{}, &deadline);
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.databases_failed, 1u);
+  EXPECT_EQ(out.databases_searched, 1u);
+  // The failed round trip and the successful one each cost the default.
+  EXPECT_DOUBLE_EQ(deadline.consumed_ms(), 2.0);
+  for (const FederatedHit& h : out.hits) EXPECT_EQ(h.database, 1u);
+}
+
+TEST_F(FederatedSearchTest, SlowRemoteServiceTimeConsumesTheBudget) {
+  index::LocalDatabase medical(&medical_), sports(&sports_);
+  index::FaultProfile slow;
+  slow.slow_rate = 1.0;
+  slow.base_service_ms = 5.0;
+  index::FlakyDatabase slow_medical(&medical, slow, /*seed=*/37);
+  std::vector<index::SearchInterface*> remotes = {&slow_medical, &sports};
+  const std::vector<selection::RankedDatabase> ranking = {{0, 2.0}, {1, 1.0}};
+  // 4ms would cover four model-default searches, but the slow engine
+  // reports >= 5ms of service time, so the budget is gone after one call.
+  util::Deadline deadline(4.0);
+  const FederatedSearchResult out = SearchAndMergeRemote(
+      remotes, ranking, "cardiac", FederatedSearchOptions{}, &deadline);
+  EXPECT_EQ(out.databases_searched, 1u);
+  EXPECT_EQ(out.databases_skipped, 1u);
+  EXPECT_EQ(out.status.code(), util::Status::Code::kDeadlineExceeded);
+  EXPECT_GE(deadline.consumed_ms(), 5.0);
 }
 
 }  // namespace

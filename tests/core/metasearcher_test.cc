@@ -127,6 +127,117 @@ TEST_F(MetasearcherTest, RankingsAreSortedAndDeduplicated) {
   }
 }
 
+// --- Bounded (deadline-carrying) selection --------------------------------
+
+TEST_F(MetasearcherTest, BornExpiredDeadlineAbortsBeforeAnyWork) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[0].text)};
+  util::Deadline deadline(0.0);
+  const auto outcome = meta_->SelectDatabases(
+      q, cori, SummaryMode::kAdaptiveShrinkage, &deadline);
+  EXPECT_EQ(outcome.status.code(), util::Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(outcome.ranking.empty());
+  EXPECT_EQ(outcome.evaluations_completed, 0u);
+}
+
+TEST_F(MetasearcherTest, BoundedAbortBoundaryMatchesTheCostModel) {
+  // Each adaptive evaluation charges 1ms; a 3.5ms budget is crossed by the
+  // fourth charge, so exactly four evaluations run (the fourth lands its
+  // charge, sees the spent budget, and skips its Monte-Carlo work) and the
+  // fifth boundary aborts the request.
+  ASSERT_EQ(meta_->num_degraded(), 0u);  // healthy federation: every
+                                         // database charges one evaluation
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[0].text)};
+  util::Deadline::Costs costs;
+  costs.adaptive_evaluation_ms = 1.0;
+  costs.score_ms = 0.25;
+  util::Deadline deadline(3.5, costs);
+  const auto outcome = meta_->SelectDatabases(
+      q, cori, SummaryMode::kAdaptiveShrinkage, &deadline);
+  EXPECT_EQ(outcome.status.code(), util::Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(outcome.ranking.empty());
+  EXPECT_EQ(outcome.evaluations_completed, 4u);
+  EXPECT_DOUBLE_EQ(deadline.consumed_ms(), 4.0);
+}
+
+TEST_F(MetasearcherTest, GenerousDeadlineMatchesUnboundedBitForBit) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[1].text)};
+  const auto unbounded =
+      meta_->SelectDatabases(q, cori, SummaryMode::kAdaptiveShrinkage);
+  util::Deadline deadline(1e9);
+  const auto bounded = meta_->SelectDatabases(
+      q, cori, SummaryMode::kAdaptiveShrinkage, &deadline);
+  EXPECT_TRUE(bounded.status.ok());
+  EXPECT_EQ(bounded.shrinkage_applied, unbounded.shrinkage_applied);
+  ASSERT_EQ(bounded.ranking.size(), unbounded.ranking.size());
+  for (size_t i = 0; i < bounded.ranking.size(); ++i) {
+    EXPECT_EQ(bounded.ranking[i].database, unbounded.ranking[i].database);
+    EXPECT_EQ(bounded.ranking[i].score, unbounded.ranking[i].score);
+  }
+  // Consumption is the exact fold of the charge sequence: one evaluation
+  // per non-degraded database, then one scoring charge per database.
+  const util::Deadline::Costs costs;  // defaults, as used above
+  double replay = 0.0;
+  const size_t n = meta_->num_databases();
+  for (size_t i = 0; i < n - meta_->num_degraded(); ++i) {
+    replay += costs.adaptive_evaluation_ms;
+  }
+  for (size_t i = 0; i < n; ++i) replay += costs.score_ms;
+  EXPECT_EQ(deadline.consumed_ms(), replay);
+}
+
+TEST_F(MetasearcherTest, SelectionCompletedPastTheDeadlineIsNotServed) {
+  // A budget equal to the exact total cost is spent by the final scoring
+  // charge: the ranking exists but arrived late, so the caller gets
+  // kDeadlineExceeded and an empty ranking, never a stale answer.
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[0].text)};
+  util::Deadline::Costs costs;
+  costs.adaptive_evaluation_ms = 1.0;
+  costs.score_ms = 0.25;
+  double budget = 0.0;
+  const size_t n = meta_->num_databases();
+  for (size_t i = 0; i < n - meta_->num_degraded(); ++i) {
+    budget += costs.adaptive_evaluation_ms;
+  }
+  for (size_t i = 0; i < n; ++i) budget += costs.score_ms;
+  util::Deadline deadline(budget, costs);
+  const auto outcome = meta_->SelectDatabases(
+      q, cori, SummaryMode::kAdaptiveShrinkage, &deadline);
+  EXPECT_EQ(outcome.status.code(), util::Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(outcome.ranking.empty());
+  EXPECT_EQ(outcome.evaluations_completed, n - meta_->num_degraded());
+  EXPECT_EQ(deadline.consumed_ms(), budget);
+}
+
+TEST_F(MetasearcherTest, PlainModeChargesOnlyScoring) {
+  const corpus::Testbed& bed = SharedSmallTestbed();
+  selection::CoriScorer cori;
+  const selection::Query q{bed.analyzer().Analyze(bed.queries()[0].text)};
+  const auto unbounded = meta_->SelectDatabases(q, cori, SummaryMode::kPlain);
+  util::Deadline::Costs costs;
+  costs.adaptive_evaluation_ms = 1e9;  // would blow any budget if charged
+  costs.score_ms = 0.25;
+  util::Deadline deadline(100.0, costs);
+  const auto outcome =
+      meta_->SelectDatabases(q, cori, SummaryMode::kPlain, &deadline);
+  EXPECT_TRUE(outcome.status.ok());
+  ASSERT_EQ(outcome.ranking.size(), unbounded.ranking.size());
+  for (size_t i = 0; i < outcome.ranking.size(); ++i) {
+    EXPECT_EQ(outcome.ranking[i].database, unbounded.ranking[i].database);
+    EXPECT_EQ(outcome.ranking[i].score, unbounded.ranking[i].score);
+  }
+  double replay = 0.0;
+  for (size_t i = 0; i < meta_->num_databases(); ++i) replay += costs.score_ms;
+  EXPECT_EQ(deadline.consumed_ms(), replay);
+}
+
 TEST_F(MetasearcherTest, HierarchicalSelectionReturnsAtMostK) {
   const corpus::Testbed& bed = SharedSmallTestbed();
   selection::CoriScorer cori;

@@ -195,6 +195,74 @@ TEST_F(FlakyDatabaseTest, DecoratorsStack) {
   EXPECT_EQ(inner.stats().calls, 0u);
 }
 
+TEST_F(FlakyDatabaseTest, SlowRepliesInflateReportedServiceTime) {
+  LocalDatabase clean(&db_);
+  const auto reference = clean.Search("common", 8);
+  ASSERT_TRUE(reference.ok());
+
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.slow_rate = 1.0;
+  profile.slow_factor = 8.0;
+  profile.base_service_ms = 2.0;
+  FlakyDatabase flaky(&local, profile, /*seed=*/23);
+  for (int i = 0; i < 20; ++i) {
+    const auto result = flaky.Search("common", 8);
+    ASSERT_TRUE(result.ok());  // slow is a soft fault: the reply arrives
+    // Inflation is uniform in [1, slow_factor): at least the base service
+    // time, strictly below base x slow_factor.
+    EXPECT_GE(result.value().service_ms, 2.0);
+    EXPECT_LT(result.value().service_ms, 16.0);
+    // The payload itself is untouched.
+    EXPECT_EQ(result.value().docs, reference.value().docs);
+    EXPECT_EQ(result.value().num_matches, reference.value().num_matches);
+  }
+  EXPECT_EQ(flaky.stats().slow_replies, 20u);
+  EXPECT_GE(flaky.stats().simulated_service_ms, 40.0);
+}
+
+TEST_F(FlakyDatabaseTest, SlowModeIsOptInViaBaseServiceTime) {
+  // Mixed() keeps slow off, and even slow_rate = 1 is transparent while
+  // base_service_ms stays 0: the decorator cannot invent a service time
+  // for an engine that does not model one.
+  LocalDatabase local(&db_);
+  FaultProfile profile;
+  profile.slow_rate = 1.0;
+  FlakyDatabase flaky(&local, profile, /*seed=*/29);
+  for (int i = 0; i < 10; ++i) {
+    const auto result = flaky.Search("common", 8);
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result.value().service_ms, 0.0);
+  }
+  EXPECT_EQ(flaky.stats().slow_replies, 0u);
+  EXPECT_DOUBLE_EQ(flaky.stats().simulated_service_ms, 0.0);
+  EXPECT_DOUBLE_EQ(FaultProfile::Mixed(0.5).slow_rate, 0.0);
+}
+
+TEST_F(FlakyDatabaseTest, SlowSequenceIsDeterministicPerSeed) {
+  LocalDatabase local_a(&db_), local_b(&db_);
+  FaultProfile profile;
+  profile.slow_rate = 0.5;
+  profile.base_service_ms = 1.5;
+  FlakyDatabase a(&local_a, profile, /*seed=*/31);
+  FlakyDatabase b(&local_b, profile, /*seed=*/31);
+  std::vector<double> service_a, service_b;
+  for (int i = 0; i < 200; ++i) {
+    const auto ra = a.Search("common", 4);
+    const auto rb = b.Search("common", 4);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    service_a.push_back(ra.value().service_ms);
+    service_b.push_back(rb.value().service_ms);
+  }
+  EXPECT_EQ(service_a, service_b);
+  EXPECT_EQ(a.stats().slow_replies, b.stats().slow_replies);
+  EXPECT_GT(a.stats().slow_replies, 0u);
+  // Non-slow replies still report the base service time.
+  EXPECT_LT(a.stats().slow_replies, 200u);
+  for (double s : service_a) EXPECT_GE(s, 1.5);
+}
+
 TEST_F(FlakyDatabaseTest, LocalDatabaseRejectsUnknownDocId) {
   LocalDatabase local(&db_);
   const auto fetched = local.Fetch(static_cast<DocId>(10000));

@@ -1,0 +1,149 @@
+// TSan-targeted hammering of the QueryBroker: concurrent submitters racing
+// the worker pool, Submit racing Shutdown, and clean shutdown with a
+// non-empty queue. Assertions are deliberately coarse (accounting
+// completeness, terminal dispositions) — the broker's numeric determinism
+// is pinned by the unit tests; this binary exists to give the sanitizer
+// real interleavings to chew on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "fedsearch/broker/query_broker.h"
+#include "fedsearch/sampling/qbs_sampler.h"
+#include "fedsearch/selection/cori.h"
+#include "testing/small_testbed.h"
+
+namespace fedsearch::broker {
+namespace {
+
+using fedsearch::testing::SharedSmallTestbed;
+
+class BrokerStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const corpus::Testbed& bed = SharedSmallTestbed();
+    sampling::QbsOptions options;
+    options.target_documents = 60;
+    sampling::QbsSampler sampler(
+        options, corpus::BuildSamplerDictionary(bed.model(), 10));
+    std::vector<sampling::SampleResult> samples;
+    std::vector<corpus::CategoryId> classifications;
+    util::Rng rng(21);
+    for (size_t i = 0; i < bed.num_databases(); ++i) {
+      util::Rng db_rng = rng.Fork();
+      samples.push_back(sampler.Sample(bed.database(i), db_rng));
+      classifications.push_back(bed.category_of(i));
+    }
+    core::MetasearcherOptions meta_options;
+    meta_options.num_threads = 1;
+    meta_ = new core::Metasearcher(&bed.hierarchy(), std::move(samples),
+                                   std::move(classifications), meta_options);
+    queries_ = new std::vector<selection::Query>();
+    for (const corpus::TestQuery& tq : bed.queries()) {
+      queries_->push_back(selection::Query{bed.analyzer().Analyze(tq.text)});
+    }
+  }
+
+  static core::Metasearcher* meta_;
+  static std::vector<selection::Query>* queries_;
+};
+
+core::Metasearcher* BrokerStressTest::meta_ = nullptr;
+std::vector<selection::Query>* BrokerStressTest::queries_ = nullptr;
+
+TEST_F(BrokerStressTest, ConcurrentSubmittersVersusWorkers) {
+  BrokerOptions options;
+  options.num_workers = 4;
+  options.max_batch = 4;
+  options.deadline_ms = 5.0;
+  options.admission.queue_capacity = 32;
+  const selection::CoriScorer cori;
+  QueryBroker broker(meta_, &cori, options);
+
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kPerSubmitter = 150;
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&broker, t] {
+      // Each submitter walks its own (overlapping) arrival clock; the
+      // broker clamps concurrent arrivals onto one monotone virtual clock.
+      for (size_t i = 0; i < kPerSubmitter; ++i) {
+        const double arrival_ms =
+            static_cast<double>(i) * 0.7 + static_cast<double>(t) * 0.1;
+        const double inflation = (i % 11 == 0) ? 6.0 : 1.0;
+        broker.Submit((*queries_)[(i + t) % queries_->size()], arrival_ms,
+                      inflation);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  broker.Drain();
+  const BrokerStats stats = broker.ComputeStats();  // CHECKs nothing pending
+  EXPECT_EQ(stats.submitted, kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.resolved(), kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.cancelled, 0u);
+  for (const RequestResult& r : broker.results()) {
+    if (r.admitted()) {
+      EXPECT_LE(r.e2e_ms(), options.deadline_ms + 1e-9);
+    }
+  }
+  broker.Shutdown();
+}
+
+TEST_F(BrokerStressTest, CleanShutdownWithANonEmptyQueue) {
+  BrokerOptions options;
+  options.num_workers = 2;
+  options.deadline_ms = 10000.0;  // nothing expires; the queue just grows
+  options.admission.queue_capacity = 4096;
+  const selection::CoriScorer cori;
+  QueryBroker broker(meta_, &cori, options);
+  // Burst far more work than two workers can drain before Shutdown lands.
+  constexpr size_t kBurst = 1500;
+  for (size_t i = 0; i < kBurst; ++i) {
+    broker.Submit((*queries_)[i % queries_->size()],
+                  static_cast<double>(i) * 0.001);
+  }
+  broker.Shutdown();  // no Drain: most of the burst is still queued
+  const BrokerStats stats = broker.ComputeStats();
+  EXPECT_EQ(stats.submitted, kBurst);
+  EXPECT_EQ(stats.resolved(), kBurst);  // served or cancelled, never lost
+  EXPECT_EQ(stats.shed(), 0u);
+  EXPECT_EQ(stats.expired(), 0u);
+}
+
+TEST_F(BrokerStressTest, SubmittersRacingShutdown) {
+  BrokerOptions options;
+  options.num_workers = 3;
+  options.deadline_ms = 50.0;
+  const selection::CoriScorer cori;
+  QueryBroker broker(meta_, &cori, options);
+
+  std::atomic<size_t> submitted{0};
+  constexpr size_t kSubmitters = 3;
+  constexpr size_t kPerSubmitter = 200;
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&broker, &submitted, t] {
+      for (size_t i = 0; i < kPerSubmitter; ++i) {
+        broker.Submit((*queries_)[(i + t) % queries_->size()],
+                      static_cast<double>(i) * 0.05);
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Shut down while the submitters are mid-flight: late Submits must
+  // resolve as cancelled instead of crashing or hanging.
+  while (submitted.load(std::memory_order_relaxed) < kSubmitters * 20) {
+  }
+  broker.Shutdown();
+  for (std::thread& t : submitters) t.join();
+  const BrokerStats stats = broker.ComputeStats();
+  EXPECT_EQ(stats.submitted, kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.resolved(), kSubmitters * kPerSubmitter);
+}
+
+}  // namespace
+}  // namespace fedsearch::broker

@@ -1,0 +1,79 @@
+#include "fedsearch/util/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::util {
+namespace {
+
+TEST(DeadlineTest, DefaultConstructedIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), std::numeric_limits<double>::infinity());
+  d.Charge(1e12);
+  EXPECT_FALSE(d.expired());
+  EXPECT_DOUBLE_EQ(d.consumed_ms(), 0.0);
+}
+
+TEST(DeadlineTest, ChargesAccumulateAndExpireAtTheBudget) {
+  Deadline d(10.0);
+  EXPECT_FALSE(d.expired());
+  d.Charge(4.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_DOUBLE_EQ(d.remaining_ms(), 6.0);
+  d.Charge(6.0);  // consumed == budget: spent
+  EXPECT_TRUE(d.expired());
+  EXPECT_DOUBLE_EQ(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, ChargesLandEvenPastTheBudget) {
+  // consumed_ms() must stay the exact prefix sum of the work performed, so
+  // a cost-model replay of the same charges reaches the same verdict.
+  Deadline d(1.0);
+  d.Charge(0.75);
+  d.Charge(0.75);
+  d.Charge(0.75);
+  EXPECT_DOUBLE_EQ(d.consumed_ms(), 0.75 + 0.75 + 0.75);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, ZeroOrNegativeBudgetIsBornExpired) {
+  EXPECT_TRUE(Deadline(0.0).expired());
+  EXPECT_TRUE(Deadline(-5.0).expired());
+  EXPECT_FALSE(Deadline(1e-9).expired());
+}
+
+TEST(DeadlineTest, NamedChargesUseTheCostTable) {
+  Deadline::Costs costs;
+  costs.adaptive_evaluation_ms = 2.0;
+  costs.score_ms = 0.5;
+  costs.search_ms = 3.0;
+  Deadline d(100.0, costs);
+  d.ChargeAdaptiveEvaluation();
+  d.ChargeScore();
+  EXPECT_DOUBLE_EQ(d.consumed_ms(), 2.5);
+  // Engine-reported service time wins; the model default is the fallback.
+  d.ChargeSearch(7.0);
+  EXPECT_DOUBLE_EQ(d.consumed_ms(), 9.5);
+  d.ChargeSearch(0.0);
+  EXPECT_DOUBLE_EQ(d.consumed_ms(), 12.5);
+}
+
+TEST(DeadlineTest, ExpiryBoundaryIsAnExactReplayOfTheChargeSequence) {
+  // The broker predicts expiry by folding the identical charge sequence;
+  // this pins the float-exactness that prediction relies on.
+  Deadline::Costs costs;
+  costs.adaptive_evaluation_ms = 0.3;
+  const double budget = 0.3 * 7;  // not exactly representable in binary
+  Deadline executed(budget, costs);
+  double replay = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    executed.ChargeAdaptiveEvaluation();
+    replay += costs.adaptive_evaluation_ms;
+  }
+  EXPECT_EQ(executed.consumed_ms(), replay);
+  EXPECT_EQ(executed.expired(), replay >= budget);
+}
+
+}  // namespace
+}  // namespace fedsearch::util

@@ -120,6 +120,72 @@ TEST(RetryControllerTest, JitterIsDeterministicPerSeed) {
   EXPECT_DOUBLE_EQ(run_once(), run_once());
 }
 
+TEST(RetryControllerTest, DeadlineStopsARetryLoopThatOvershotItsBudget) {
+  // Regression: with the BackoffGrowsAndIsBounded schedule (10, 20, 40,
+  // 80, then 100s) a dead database used to accrue 1750ms of simulated
+  // backoff regardless of the caller's budget. With a 50ms deadline
+  // attached, the loop must stop at the first wait it cannot afford.
+  RetryOptions options;
+  options.max_attempts = 20;
+  options.base_backoff_ms = 10.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 100.0;
+  options.jitter_fraction = 0.0;
+  RetryController retry(options);
+  Deadline deadline(50.0);
+  retry.set_deadline(&deadline);
+  size_t invocations = 0;
+  const StatusOr<int> r = retry.Run([&]() -> StatusOr<int> {
+    ++invocations;
+    return Status::Unavailable("down");
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kDeadlineExceeded);
+  // Waits taken: 10 + 20; the 40ms third wait would cross the 50ms budget
+  // and is not accrued — the deadline is never overshot in simulated time.
+  EXPECT_EQ(invocations, 3u);
+  EXPECT_EQ(retry.failed_attempts(), 3u);
+  EXPECT_EQ(retry.abandoned_calls(), 1u);
+  EXPECT_DOUBLE_EQ(retry.simulated_backoff_ms(), 30.0);
+  EXPECT_DOUBLE_EQ(deadline.consumed_ms(), 30.0);
+  EXPECT_FALSE(deadline.expired());
+}
+
+TEST(RetryControllerTest, ExpiredDeadlineShortCircuitsWithoutInvoking) {
+  RetryController retry;
+  Deadline deadline(0.0);
+  retry.set_deadline(&deadline);
+  size_t invocations = 0;
+  const StatusOr<int> r =
+      retry.Run([&]() -> StatusOr<int> { return ++invocations; });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(invocations, 0u);
+}
+
+TEST(RetryControllerTest, SuccessUnderDeadlineChargesNothing) {
+  RetryController retry;
+  Deadline deadline(5.0);
+  retry.set_deadline(&deadline);
+  const StatusOr<int> r = retry.Run(OkCall);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(deadline.consumed_ms(), 0.0);
+}
+
+TEST(RetryControllerTest, NoDeadlineKeepsTheLegacyAccounting) {
+  // The unbounded path must stay bit-identical to pre-deadline builds:
+  // same schedule as DeadlineStopsARetryLoop..., no deadline attached.
+  RetryOptions options;
+  options.max_attempts = 20;
+  options.base_backoff_ms = 10.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 100.0;
+  options.jitter_fraction = 0.0;
+  RetryController retry(options);
+  retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+  EXPECT_DOUBLE_EQ(retry.simulated_backoff_ms(), 1750.0);
+}
+
 TEST(ParseRetryAfterTest, ParsesHintAndRejectsGarbage) {
   EXPECT_DOUBLE_EQ(
       ParseRetryAfterMs(Status::ResourceExhausted("x; retry_after_ms=250")),

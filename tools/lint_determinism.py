@@ -15,13 +15,16 @@ promise, so this lint bans them at review time:
    The only file allowed to own a raw engine is src/fedsearch/util/rng.cc
    (and its header), which wraps it behind deterministic seeding.
 
-2. Order-dependent iteration (restricted TUs only: selection/*,
+2. Order-dependent iteration (restricted TUs only: selection/*, broker/*,
    core/adaptive.cc, core/shrinkage.cc):
    Range-for over a std::unordered_map / std::unordered_set makes
    floating-point accumulation order depend on hash layout, which varies
    across standard libraries and element insertion histories. Scoring and
    shrinkage math must iterate in a defined order (sort first, or iterate
-   an ordered sibling container).
+   an ordered sibling container). The broker directory is restricted for
+   the same reason: its virtual-time schedule promises bit-identical
+   request dispositions per seed, so any accumulation there must also be
+   order-defined.
 
 3. Direct clock reads (all of src/ except util/):
    std::chrono *_clock::now() outside util/ invites wall time into
@@ -52,7 +55,7 @@ CXX_SUFFIXES = {".cc", ".h"}
 RNG_ALLOWLIST = ("util/rng.cc", "util/rng.h")
 
 # TUs where unordered iteration is banned without justification.
-RESTRICTED_DIRS = ("/selection/",)
+RESTRICTED_DIRS = ("/selection/", "/broker/")
 RESTRICTED_FILES = ("core/adaptive.cc", "core/shrinkage.cc")
 
 ESCAPE_HATCH = "ORDER-INDEPENDENT:"

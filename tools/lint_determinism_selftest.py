@@ -147,6 +147,35 @@ expect_findings(
     [])
 
 expect_findings(
+    "unannotated unordered range-for in broker/", "fedsearch/broker/bad.cc",
+    "std::unordered_map<size_t, double> inflight_;\n"
+    "double Backlog() {\n"
+    "  double total = 0.0;\n"
+    "  for (const auto& [seq, cost] : inflight_) total += cost;\n"
+    "  return total;\n"
+    "}\n",
+    ["range-for over unordered container"])
+
+expect_findings(
+    "ORDER-INDEPENDENT escape hatch works in broker/",
+    "fedsearch/broker/ok.cc",
+    "std::unordered_set<size_t> pending_;\n"
+    "size_t Depth() {\n"
+    "  size_t n = 0;\n"
+    "  // ORDER-INDEPENDENT: counting elements, no floating accumulation\n"
+    "  for (size_t seq : pending_) n += (seq != 0);\n"
+    "  return n;\n"
+    "}\n",
+    [])
+
+expect_findings(
+    "broker/ may not read the clock either", "fedsearch/broker/bad_clock.cc",
+    "double NowMs() {\n"
+    "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+    "}\n",
+    ["direct clock read outside util/"])
+
+expect_findings(
     "core/shrinkage.cc is restricted", "fedsearch/core/shrinkage.cc",
     "std::unordered_set<int> ids;\n"
     "void Visit() { for (int id : ids) Use(id); }\n",
