@@ -18,10 +18,16 @@
 //     (downgrades > 0, sheds < downgrades).
 //
 // Usage:
-//   bench_broker [--smoke] [--json out.json]
+//   bench_broker [--smoke] [--json out.json] [--trace-out trace.json]
+//                [--statusz]
 //
 // --smoke shrinks the request count for CI; --json writes the
 // schema-versioned BENCH report consumed by tools/check_bench_regression.py.
+// --trace-out enables request-scoped tracing and writes a Chrome-trace/
+// Perfetto JSON timeline (load in chrome://tracing or feed to
+// tools/analyze_timeline.py). --statusz prints a one-shot introspection
+// dump (broker statusz captured at the end of the last scenario, plus the
+// global metrics registry) to stdout after the scenarios.
 // The worker count is pinned (not hardware-derived): the virtual schedule —
 // and therefore the committed baseline — depends on it.
 // FEDSEARCH_SCALE / FEDSEARCH_SEED apply as in every bench.
@@ -36,6 +42,8 @@
 #include "fedsearch/broker/load_generator.h"
 #include "fedsearch/broker/query_broker.h"
 #include "fedsearch/selection/cori.h"
+#include "fedsearch/util/metrics.h"
+#include "fedsearch/util/trace.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 
@@ -55,12 +63,17 @@ struct RunOutput {
   broker::BrokerStats stats;
 };
 
+// Runs one scenario to completion. When `statusz_json` is non-null it
+// receives the broker's introspection snapshot taken after Drain (queue
+// empty, SLO window and admission EWMA in their end-of-run state) but
+// before Shutdown tears the workers down.
 RunOutput RunScenario(const core::Metasearcher& meta,
                       const selection::ScoringFunction& scorer,
                       const std::vector<selection::Query>& queries,
                       const broker::BrokerOptions& broker_options,
                       const broker::OpenLoopOptions& load_options,
-                      size_t num_requests) {
+                      size_t num_requests,
+                      std::string* statusz_json = nullptr) {
   broker::QueryBroker broker(&meta, &scorer, broker_options);
   broker::OpenLoopGenerator generator(load_options, queries.size());
   for (size_t i = 0; i < num_requests; ++i) {
@@ -72,6 +85,7 @@ RunOutput RunScenario(const core::Metasearcher& meta,
   RunOutput out;
   out.stats = broker.ComputeStats();
   out.results = broker.results();
+  if (statusz_json != nullptr) *statusz_json = broker.StatuszJson(2);
   broker.Shutdown();
   return out;
 }
@@ -101,18 +115,31 @@ double Percentile(const std::vector<double>& sorted, double p) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool statusz = false;
   std::string json_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--statusz") == 0) {
+      statusz = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_path = argv[i] + 12;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json out.json]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json out.json] "
+                   "[--trace-out trace.json] [--statusz]\n",
+                   argv[0]);
       return 2;
     }
   }
   const size_t num_requests = smoke ? 240 : 600;
+
+  if (!trace_path.empty()) util::Tracer::Global().set_enabled(true);
 
   const bench::ExperimentConfig config = bench::ConfigFromEnv();
   const bench::DataSet dataset = bench::DataSet::kTrec4;
@@ -170,6 +197,10 @@ int main(int argc, char** argv) {
   // values are all virtual-time, and the report must diff clean.
   report.set_embed_metrics(false);
 
+  // Filled from the last (most loaded) scenario's first run; printed by
+  // --statusz after the loop.
+  std::string statusz_json;
+
   const double load_factors[] = {0.5, 1.0, 2.0};
   for (size_t s = 0; s < std::size(load_factors); ++s) {
     const double factor = load_factors[s];
@@ -179,8 +210,10 @@ int main(int argc, char** argv) {
     load_options.slow_rate = kSlowRate;
     load_options.slow_factor = kSlowFactor;
 
-    const RunOutput run = RunScenario(*meta, cori, queries, broker_options,
-                                      load_options, num_requests);
+    const bool last = s + 1 == std::size(load_factors);
+    const RunOutput run =
+        RunScenario(*meta, cori, queries, broker_options, load_options,
+                    num_requests, last ? &statusz_json : nullptr);
     const RunOutput rerun = RunScenario(*meta, cori, queries, broker_options,
                                         load_options, num_requests);
     if (run.results.size() != rerun.results.size()) {
@@ -211,12 +244,30 @@ int main(int argc, char** argv) {
     double max_admitted_e2e_ms = 0.0;
     std::vector<double> admitted_e2e_ms;
     double makespan_ms = 0.0;
+    // Client-observed latency attribution. For every admitted request the
+    // virtual account satisfies queue + service = e2e exactly (expiries
+    // clamp queue at the deadline), so these buckets partition the total
+    // client-observed wall: time queued, service that produced an answer,
+    // and service wasted on requests that expired anyway.
+    double e2e_total_ms = 0.0;
+    double queue_ms = 0.0;
+    double service_useful_ms = 0.0;
+    double service_wasted_ms = 0.0;
+    double e2e_by_disposition_ms[8] = {};
+    size_t count_by_disposition[8] = {};
     for (const broker::RequestResult& r : run.results) {
       makespan_ms = std::max(makespan_ms, r.finish_ms);
       if (r.downgraded) ++downgrades;
+      const double e2e = r.e2e_ms();
+      e2e_total_ms += e2e;
+      queue_ms += std::min(r.queue_wait_ms, e2e);
+      (r.served() ? service_useful_ms : service_wasted_ms) += r.service_ms;
+      const size_t d = static_cast<size_t>(r.disposition);
+      e2e_by_disposition_ms[d] += e2e;
+      ++count_by_disposition[d];
       if (!r.admitted()) continue;
-      admitted_e2e_ms.push_back(r.e2e_ms());
-      max_admitted_e2e_ms = std::max(max_admitted_e2e_ms, r.e2e_ms());
+      admitted_e2e_ms.push_back(e2e);
+      max_admitted_e2e_ms = std::max(max_admitted_e2e_ms, e2e);
     }
     // Admitted latency is bounded by the deadline by construction (the
     // client's timeout fires); virtual time makes the bound exact.
@@ -276,6 +327,52 @@ int main(int argc, char** argv) {
     scenario.Add("expired_rate",
                  static_cast<double>(stats.expired()) / requests_d);
     scenario.Add("ewma_service_ms", stats.ewma_service_ms);
+
+    // Informational (wall_ prefix is ungated by the regression checker):
+    // SLO burn rate over the final window and the latency-attribution
+    // split. All still virtual-time, hence deterministic.
+    scenario.Add("wall_slo_good_fraction", stats.slo_good_fraction);
+    scenario.Add("wall_slo_burn_rate", stats.slo_burn_rate);
+    const double e2e_denom = e2e_total_ms > 0.0 ? e2e_total_ms : 1.0;
+    scenario.Add("wall_queue_share", queue_ms / e2e_denom);
+    scenario.Add("wall_service_share", service_useful_ms / e2e_denom);
+    scenario.Add("wall_wasted_share", service_wasted_ms / e2e_denom);
+    for (const broker::Disposition d :
+         {broker::Disposition::kServedFull,
+          broker::Disposition::kServedDegraded,
+          broker::Disposition::kExpiredInQueue,
+          broker::Disposition::kExpiredExecuting}) {
+      const size_t i = static_cast<size_t>(d);
+      if (count_by_disposition[i] == 0) continue;
+      char key[64];
+      std::snprintf(key, sizeof(key), "wall_mean_e2e_%s_us",
+                    broker::DispositionName(d));
+      scenario.Add(key, e2e_by_disposition_ms[i] * 1000.0 /
+                            static_cast<double>(count_by_disposition[i]));
+    }
+  }
+
+  if (statusz) {
+    // One-shot introspection dump: the broker snapshot from the end of the
+    // 2x scenario plus the global metrics registry.
+    std::printf("{\n  \"broker\": %s,\n  \"metrics\": %s\n}\n",
+                statusz_json.c_str(),
+                util::GlobalMetrics().ToJson(2).c_str());
+  }
+
+  if (!trace_path.empty()) {
+    const std::string trace_json = util::Tracer::Global().ToPerfettoJson(1);
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(trace_json.data(), 1, trace_json.size(), f);
+    std::fclose(f);
+    std::printf("\nWrote Perfetto timeline to %s (%zu spans, %llu dropped)\n",
+                trace_path.c_str(), util::Tracer::Global().snapshot().size(),
+                static_cast<unsigned long long>(
+                    util::Tracer::Global().dropped()));
   }
 
   if (!json_path.empty() && !report.WriteFile(json_path)) return 1;

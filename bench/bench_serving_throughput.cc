@@ -6,7 +6,7 @@
 //
 // Usage:
 //   bench_serving_throughput [--smoke] [--threads N] [--json out.json]
-//                            [--trace out.json]
+//                            [--trace out.json] [--trace-out trace.json]
 //
 // --smoke lowers the repetition floor to three passes (CI sanity check;
 // every timed run still lasts >= 1 s so the gated best-pass CPU numbers
@@ -14,7 +14,9 @@
 // the parallel thread count (default: FEDSEARCH_THREADS, else hardware
 // concurrency); --json writes a schema-versioned BENCH report (see
 // harness/report.h) consumed by tools/check_bench_regression.py; --trace
-// enables span tracing and writes the span timeline as JSON.
+// enables span tracing and writes the span timeline as JSON; --trace-out
+// writes the same spans as a Chrome-trace/Perfetto timeline (load in
+// chrome://tracing or feed to tools/analyze_timeline.py).
 // FEDSEARCH_SCALE / FEDSEARCH_SEED apply as in every bench.
 
 #include <cstdio>
@@ -153,6 +155,7 @@ int main(int argc, char** argv) {
   size_t threads = util::ThreadPool::DefaultThreadCount();
   std::string json_path;
   std::string trace_path;
+  std::string perfetto_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -162,10 +165,14 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      perfetto_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      perfetto_path = argv[i] + 12;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--threads N] [--json out.json] "
-                   "[--trace out.json]\n",
+                   "[--trace out.json] [--trace-out trace.json]\n",
                    argv[0]);
       return 2;
     }
@@ -176,7 +183,9 @@ int main(int argc, char** argv) {
   const size_t repetitions = smoke ? 3 : 5;
   // Every timed run lasts at least this long regardless of mode speed.
   const uint64_t min_elapsed_ns = 1000000000;  // 1 s
-  if (!trace_path.empty()) util::Tracer::Global().set_enabled(true);
+  if (!trace_path.empty() || !perfetto_path.empty()) {
+    util::Tracer::Global().set_enabled(true);
+  }
 
   const bench::ExperimentConfig config = bench::ConfigFromEnv();
   const bench::DataSet dataset = bench::DataSet::kTrec4;
@@ -298,6 +307,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     const std::string json = util::Tracer::Global().ToJson(2);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  if (!perfetto_path.empty()) {
+    std::FILE* f = std::fopen(perfetto_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   perfetto_path.c_str());
+      return 1;
+    }
+    const std::string json = util::Tracer::Global().ToPerfettoJson(1);
     std::fwrite(json.data(), 1, json.size(), f);
     std::fputc('\n', f);
     std::fclose(f);

@@ -8,7 +8,8 @@
 #   ./ci.sh --clean --jobs release           # rebuild the tree from scratch
 #
 # Jobs (run in the order listed, regardless of --jobs order):
-#   lint            determinism lint over src/ + lint self-test (python3)
+#   lint            determinism lint over src/ + lint and timeline-analyzer
+#                   self-tests (python3)
 #   tidy            clang-tidy over src/ (skipped if clang-tidy missing)
 #   asan            Debug + AddressSanitizer, full ctest suite (minus bench)
 #   ubsan           Debug + UndefinedBehaviorSanitizer, same suite as asan
@@ -17,9 +18,12 @@
 #   release         Release tree, full ctest suite (minus bench)
 #   fuzz-regression corpus replay + bounded deterministic mutations
 #   smoke           serving-throughput bench smoke (serial==parallel check)
-#   broker          broker-labeled tests + overload bench smoke, gated
-#                   against bench/baselines/BENCH_broker.json (virtual-time
-#                   numbers: the gate doubles as a bit-reproducibility check)
+#                   + Perfetto trace export validated by analyze_timeline.py
+#   broker          broker-labeled tests + overload bench smoke with request
+#                   tracing on, gated against bench/baselines/
+#                   BENCH_broker.json (virtual-time numbers: the gate
+#                   doubles as a bit-reproducibility check) and its timeline
+#                   validated by analyze_timeline.py
 #   perf-smoke      Release bench smoke with --json telemetry, gated against
 #                   the committed baseline in bench/baselines/ by
 #                   tools/check_bench_regression.py (>15% qps drop or
@@ -92,6 +96,7 @@ if selected lint; then
   echo "=== job: lint ==="
   run python3 tools/lint_determinism.py src
   run python3 tools/lint_determinism_selftest.py
+  run python3 tools/analyze_timeline.py --selftest
 fi
 
 if selected tidy; then
@@ -153,8 +158,12 @@ fi
 
 if selected smoke; then
   echo "=== job: smoke ==="
-  # Exits non-zero if parallel rankings ever diverge from serial.
-  run ./build-ci/release/bench/bench_serving_throughput --smoke
+  # Exits non-zero if parallel rankings ever diverge from serial. The run
+  # doubles as trace-export coverage: the Perfetto timeline it writes must
+  # be valid, non-empty JSON the analyzer accepts.
+  run ./build-ci/release/bench/bench_serving_throughput --smoke \
+    --trace-out build-ci/release/serving_trace.json
+  run python3 tools/analyze_timeline.py build-ci/release/serving_trace.json
 fi
 
 if selected broker; then
@@ -165,8 +174,15 @@ if selected broker; then
   # regressions and the comparison is effectively exact.
   run ctest --test-dir build-ci/release --output-on-failure -j "$JOBS" \
     -L broker
+  # Tracing rides along: the per-request timeline the smoke run exports
+  # must be valid JSON with a connected span tree per request (the
+  # analyzer attributes every request's latency or exits non-zero). The
+  # gated virtual-time numbers are produced with tracing ON, so this also
+  # pins "observational by construction" in CI.
   run ./build-ci/release/bench/bench_broker --smoke \
-    --json build-ci/release/BENCH_broker.json
+    --json build-ci/release/BENCH_broker.json \
+    --trace-out build-ci/release/broker_trace.json
+  run python3 tools/analyze_timeline.py build-ci/release/broker_trace.json
   run python3 tools/check_bench_regression.py \
     bench/baselines/BENCH_broker.json build-ci/release/BENCH_broker.json
 fi

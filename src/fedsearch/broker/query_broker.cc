@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "fedsearch/util/check.h"
+#include "fedsearch/util/json_writer.h"
 #include "fedsearch/util/metrics.h"
 #include "fedsearch/util/trace.h"
 
@@ -38,6 +39,10 @@ struct BrokerMetrics {
       util::GlobalMetrics().histogram("broker.e2e_virtual_us");
   util::Histogram& execute_ns =
       util::GlobalMetrics().histogram("broker.execute_ns");
+  util::Gauge& slo_good_fraction =
+      util::GlobalMetrics().gauge("broker.slo_good_fraction");
+  util::Gauge& slo_burn_rate =
+      util::GlobalMetrics().gauge("broker.slo_burn_rate");
 };
 
 BrokerMetrics& Metrics() {
@@ -70,6 +75,28 @@ uint64_t VirtualMsToUs(double ms) {
 
 }  // namespace
 
+const char* DispositionName(Disposition disposition) {
+  switch (disposition) {
+    case Disposition::kPending:
+      return "pending";
+    case Disposition::kServedFull:
+      return "served_full";
+    case Disposition::kServedDegraded:
+      return "served_degraded";
+    case Disposition::kShedQueueFull:
+      return "shed_queue_full";
+    case Disposition::kShedPredictedMiss:
+      return "shed_predicted_miss";
+    case Disposition::kExpiredInQueue:
+      return "expired_in_queue";
+    case Disposition::kExpiredExecuting:
+      return "expired_executing";
+    case Disposition::kCancelledShutdown:
+      return "cancelled_shutdown";
+  }
+  return "unknown";
+}
+
 QueryBroker::QueryBroker(const core::Metasearcher* meta,
                          const selection::ScoringFunction* scorer,
                          BrokerOptions options)
@@ -77,7 +104,8 @@ QueryBroker::QueryBroker(const core::Metasearcher* meta,
       scorer_(scorer),
       options_(options),
       admission_(options.admission),
-      degradation_(options.degradation) {
+      degradation_(options.degradation),
+      slo_(options.slo) {
   options_.num_workers = std::max<size_t>(options_.num_workers, 1);
   options_.max_batch = std::max<size_t>(options_.max_batch, 1);
   databases_evaluated_per_query_ =
@@ -118,16 +146,27 @@ size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
   std::lock_guard<std::mutex> lock(mu_);
   Metrics().submitted.Add();
 
+  // Root of this request's span tree. A fresh trace id per request; every
+  // downstream layer parents under context() handed through call
+  // signatures. Lock order is broker mu_ -> tracer mu_ (at scope exits);
+  // the tracer never takes broker locks, so no inversion is possible.
+  util::Tracer::Scope submit_span("broker_submit",
+                                  util::Tracer::Global().StartTrace());
+
   const size_t seq = results_.size();
   results_.emplace_back();
   RequestResult& r = results_.back();
+  r.trace_id = submit_span.context().trace_id;
+  submit_span.AttrUint("seq", seq).AttrDouble("arrival_ms", arrival_ms);
   if (stopping_) {
     // A submitter racing Shutdown gets the same answer a queued request
     // does: the broker is gone, nobody will serve this.
     r.arrival_ms = std::max(arrival_ms, last_now_ms_);
     r.finish_ms = r.arrival_ms;
     r.disposition = Disposition::kCancelledShutdown;
+    submit_span.AttrStr("disposition", DispositionName(r.disposition));
     Metrics().cancelled.Add();
+    ObserveSloLocked(false);
     return seq;
   }
   // Concurrent submitters may present slightly out-of-order arrival times;
@@ -150,10 +189,24 @@ size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
 
   // Layer 1: admission control, from observable state only (depth + EWMA).
   const size_t depth = queue_release_.size();
-  const double estimated_delay_ms =
-      admission_.EstimatedQueueDelayMs(depth, options_.num_workers);
-  const AdmissionController::Verdict verdict =
-      admission_.Consider(depth, options_.num_workers, options_.deadline_ms);
+  double estimated_delay_ms;
+  AdmissionController::Verdict verdict;
+  {
+    util::Tracer::Scope admission_span("admission", submit_span.context());
+    estimated_delay_ms =
+        admission_.EstimatedQueueDelayMs(depth, options_.num_workers);
+    verdict =
+        admission_.Consider(depth, options_.num_workers, options_.deadline_ms);
+    admission_span
+        .AttrStr("verdict",
+                 verdict == AdmissionController::Verdict::kAdmit ? "admit"
+                 : verdict == AdmissionController::Verdict::kRejectQueueFull
+                     ? "reject_queue_full"
+                     : "reject_predicted_miss")
+        .AttrUint("queue_depth", depth)
+        .AttrDouble("estimated_delay_ms", estimated_delay_ms)
+        .AttrDouble("ewma_service_ms", admission_.ewma_service_ms());
+  }
   if (verdict != AdmissionController::Verdict::kAdmit) {
     // Rejected instantly: the client is told kResourceExhausted at arrival
     // and no worker ever sees the request.
@@ -165,12 +218,23 @@ size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
       r.disposition = Disposition::kShedPredictedMiss;
       Metrics().shed_predicted_miss.Add();
     }
+    submit_span.AttrStr("disposition", DispositionName(r.disposition))
+        .AttrDouble("deadline_ms", options_.deadline_ms)
+        .AttrDouble("queue_wait_ms", 0.0)
+        .AttrDouble("service_ms", 0.0)
+        .AttrDouble("e2e_ms", 0.0);
+    ObserveSloLocked(false);
     return seq;
   }
 
   // Layer 2: graceful degradation — shed quality before requests.
-  const ServiceLevel level =
-      degradation_.Update(estimated_delay_ms, options_.deadline_ms);
+  ServiceLevel level;
+  {
+    util::Tracer::Scope degradation_span("degradation", submit_span.context());
+    level = degradation_.Update(estimated_delay_ms, options_.deadline_ms);
+    degradation_span.AttrStr(
+        "level", level == ServiceLevel::kDegraded ? "degraded" : "full");
+  }
   r.downgraded = level == ServiceLevel::kDegraded;
   if (r.downgraded) Metrics().downgrades.Add();
   const core::SummaryMode mode =
@@ -222,6 +286,26 @@ size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
   item.budget_ms = budget_ms;
   item.costs = costs;
   item.predicted_expiry = budget_ms > 0.0 && cost_ms >= budget_ms;
+  item.trace = submit_span.context();
+  item.enqueue_ns = submit_span.recording() ? util::MonotonicNanos() : 0;
+  // The full virtual account lands on the root span at submit time — on
+  // the dual-clock design the scheduler already knows the request's fate
+  // (the DCHECK in ExecuteOne pins execution to it), so the timeline
+  // analyzer can attribute latency without waiting for the worker.
+  submit_span
+      .AttrStr("disposition",
+               DispositionName(budget_ms <= 0.0 ? Disposition::kExpiredInQueue
+                               : item.predicted_expiry
+                                   ? Disposition::kExpiredExecuting
+                               : r.downgraded ? Disposition::kServedDegraded
+                                              : Disposition::kServedFull))
+      .AttrBool("downgraded", r.downgraded)
+      .AttrDouble("deadline_ms", options_.deadline_ms)
+      .AttrDouble("queue_wait_ms", r.queue_wait_ms)
+      .AttrDouble("service_ms", r.service_ms)
+      .AttrDouble("e2e_ms", r.e2e_ms())
+      .AttrDouble("predicted_cost_ms", cost_ms)
+      .AttrDouble("budget_ms", budget_ms);
   queue_.push_back(std::move(item));
   ++enqueued_;
   Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
@@ -263,7 +347,17 @@ void QueryBroker::WorkerLoop() {
 }
 
 void QueryBroker::ExecuteOne(QueueItem& item) {
-  FEDSEARCH_TRACE_SPAN("broker_execute");
+  // Cross-thread queue-wait span, emitted retroactively now that the wait
+  // is over: the submit thread captured enqueue_ns, this worker supplies
+  // the dequeue edge. Sibling of broker_execute under the request root.
+  if (item.trace.active() && item.enqueue_ns != 0) {
+    util::Tracer::Global().EmitSpan(
+        "broker_queue", item.trace, item.enqueue_ns, util::MonotonicNanos(),
+        {util::Tracer::UintAttr("seq", item.seq)});
+  }
+  util::Tracer::Scope execute_span("broker_execute", item.trace);
+  execute_span.AttrUint("seq", item.seq)
+      .AttrDouble("budget_ms", item.budget_ms);
   util::ScopedTimer execute_timer(Metrics().execute_ns);
 
   Disposition disposition;
@@ -275,7 +369,8 @@ void QueryBroker::ExecuteOne(QueueItem& item) {
   } else {
     util::Deadline deadline(item.budget_ms, item.costs);
     const core::Metasearcher::SelectionOutcome outcome =
-        meta_->SelectDatabases(item.query, *scorer_, item.mode, &deadline);
+        meta_->SelectDatabases(item.query, *scorer_, item.mode, &deadline,
+                               execute_span.context());
     evaluations = outcome.evaluations_completed;
     if (!outcome.status.ok()) {
       disposition = Disposition::kExpiredExecuting;
@@ -292,6 +387,8 @@ void QueryBroker::ExecuteOne(QueueItem& item) {
         << "cost-model prediction diverged from execution for request "
         << item.seq;
   }
+  execute_span.AttrStr("disposition", DispositionName(disposition))
+      .AttrUint("evaluations", evaluations);
 
   std::lock_guard<std::mutex> lock(mu_);
   RequestResult& r = results_[item.seq];
@@ -312,6 +409,8 @@ void QueryBroker::ExecuteOne(QueueItem& item) {
       Metrics().expired_executing.Add();
       break;
   }
+  ObserveSloLocked(disposition == Disposition::kServedFull ||
+                   disposition == Disposition::kServedDegraded);
   ++completed_;
   if (completed_ == enqueued_) drain_cv_.notify_all();
 }
@@ -336,6 +435,7 @@ void QueryBroker::Shutdown() {
       r.disposition = Disposition::kCancelledShutdown;
       r.finish_ms = last_now_ms_;
       Metrics().cancelled.Add();
+      ObserveSloLocked(false);
       ++completed_;
     }
     queue_.clear();
@@ -380,7 +480,60 @@ BrokerStats QueryBroker::ComputeStats() const {
     }
   }
   stats.ewma_service_ms = admission_.ewma_service_ms();
+  // Deterministic SLO replay: the live tracker saw executed requests in
+  // real completion order, but the *set* of outcomes is fixed by the
+  // virtual schedule, so replaying results_ in submit order yields
+  // bit-identical SLO numbers for every run of the same seed.
+  SloTracker replay(options_.slo);
+  for (const RequestResult& r : results_) replay.Observe(r.served());
+  stats.slo_good_fraction = replay.good_fraction();
+  stats.slo_burn_rate = replay.burn_rate();
+  stats.slo_target_good_fraction = options_.slo.target_good_fraction;
   return stats;
+}
+
+void QueryBroker::ObserveSloLocked(bool good) {
+  slo_.Observe(good);
+  Metrics().slo_good_fraction.Set(slo_.good_fraction());
+  Metrics().slo_burn_rate.Set(slo_.burn_rate());
+}
+
+std::string QueryBroker::StatuszJson(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonWriter w(indent);
+  w.BeginObject();
+  w.Key("queue").BeginObject();
+  w.Key("depth").Value(queue_.size());
+  w.Key("virtual_depth").Value(queue_release_.size());
+  w.Key("submitted").Value(results_.size());
+  w.Key("enqueued").Value(enqueued_);
+  w.Key("completed").Value(completed_);
+  w.Key("stopping").Value(stopping_);
+  w.Key("workers").Value(options_.num_workers);
+  w.Key("max_batch").Value(options_.max_batch);
+  w.Key("deadline_ms").Value(options_.deadline_ms);
+  w.Key("virtual_now_ms").Value(last_now_ms_);
+  w.EndObject();
+  w.Key("admission").BeginObject();
+  w.Key("queue_capacity").Value(options_.admission.queue_capacity);
+  w.Key("ewma_service_ms").Value(admission_.ewma_service_ms());
+  w.Key("observations").Value(admission_.observations());
+  w.EndObject();
+  w.Key("degradation").BeginObject();
+  w.Key("level").Value(degradation_.level() == ServiceLevel::kDegraded
+                           ? "degraded"
+                           : "full");
+  w.Key("episodes").Value(degradation_.degraded_episodes());
+  w.EndObject();
+  w.Key("slo").BeginObject();
+  w.Key("target_good_fraction").Value(options_.slo.target_good_fraction);
+  w.Key("window").Value(options_.slo.window);
+  w.Key("in_window").Value(slo_.in_window());
+  w.Key("good_fraction").Value(slo_.good_fraction());
+  w.Key("burn_rate").Value(slo_.burn_rate());
+  w.EndObject();
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace fedsearch::broker

@@ -8,15 +8,18 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "fedsearch/broker/admission.h"
 #include "fedsearch/broker/degradation.h"
+#include "fedsearch/broker/slo.h"
 #include "fedsearch/core/metasearcher.h"
 #include "fedsearch/selection/scoring.h"
 #include "fedsearch/util/deadline.h"
 #include "fedsearch/util/thread_pool.h"
+#include "fedsearch/util/trace.h"
 
 namespace fedsearch::broker {
 
@@ -38,6 +41,8 @@ struct BrokerOptions {
   util::Deadline::Costs costs;
   AdmissionOptions admission;
   DegradationOptions degradation;
+  // Rolling good/bad SLO accounting over resolved requests (see SloTracker).
+  SloOptions slo;
   // Summary modes backing the two service levels.
   core::SummaryMode full_mode = core::SummaryMode::kAdaptiveShrinkage;
   core::SummaryMode degraded_mode = core::SummaryMode::kPlain;
@@ -54,6 +59,11 @@ enum class Disposition : uint8_t {
   kExpiredExecuting,    // aborted mid-selection with kDeadlineExceeded
   kCancelledShutdown,   // still queued when Shutdown() ran
 };
+
+// Stable snake_case name for a disposition ("served_full", ...). Used as
+// the span attribute / timeline-analysis vocabulary; tools/
+// analyze_timeline.py matches these strings.
+const char* DispositionName(Disposition disposition);
 
 // Full per-request account. All times are *virtual* milliseconds on the
 // broker's deterministic clock (see class comment), which is why two runs
@@ -73,6 +83,11 @@ struct RequestResult {
   // ranking was produced. Lets benches assert bit-identical outcomes
   // without retaining every ranking.
   uint64_t ranking_hash = 0;
+  // Trace id of this request's span tree in util::Tracer::Global(); 0 when
+  // tracing was disabled at submit. Observational: excluded from the
+  // bit-identity the bench rerun check asserts (ids are allocation-ordered
+  // across threads).
+  uint64_t trace_id = 0;
 
   bool admitted() const {
     return disposition != Disposition::kShedQueueFull &&
@@ -99,6 +114,13 @@ struct BrokerStats {
   size_t expired_executing = 0;
   size_t cancelled = 0;
   double ewma_service_ms = 0.0;
+  // Deterministic SLO replay over results() in submit order (not the live
+  // tracker, whose executed-request order follows real thread timing):
+  // good fraction and burn rate over the final options().slo.window
+  // requests, against options().slo.target_good_fraction.
+  double slo_good_fraction = 1.0;
+  double slo_burn_rate = 0.0;
+  double slo_target_good_fraction = 0.0;
 
   size_t served() const { return served_full + served_degraded; }
   size_t shed() const { return shed_queue_full + shed_predicted_miss; }
@@ -172,6 +194,12 @@ class QueryBroker {
   // after Drain doubles as the every-request-resolves invariant.
   BrokerStats ComputeStats() const;
 
+  // One-shot introspection snapshot of the live broker (queue/admission/
+  // degradation/SLO state) as JSON — the payload behind bench_broker's
+  // --statusz flag. Callable at any point in the broker's life, including
+  // mid-load; takes the scheduler lock for a consistent picture.
+  std::string StatuszJson(int indent = 2) const;
+
  private:
   struct QueueItem {
     size_t seq = 0;
@@ -180,6 +208,11 @@ class QueryBroker {
     double budget_ms = 0.0;  // <= 0: already expired, drop on sight
     util::Deadline::Costs costs;
     bool predicted_expiry = false;
+    // Request trace (inactive when tracing was off at submit) and the wall
+    // time of enqueue, so the dequeuing worker can emit the cross-thread
+    // broker_queue span retroactively. Observational only.
+    util::TraceContext trace;
+    uint64_t enqueue_ns = 0;
   };
   // A virtually-inflight request, waiting to feed the admission EWMA at
   // its completion time.
@@ -201,12 +234,17 @@ class QueryBroker {
 
   void WorkerLoop();
   void ExecuteOne(QueueItem& item);
+  // Feeds the live SLO tracker and its gauges. Requires mu_. The live feed
+  // order for executed requests follows real completion timing, so these
+  // gauges are observational; deterministic SLO numbers come from
+  // ComputeStats' submit-order replay.
+  void ObserveSloLocked(bool good);
 
   const core::Metasearcher* meta_;
   const selection::ScoringFunction* scorer_;
   BrokerOptions options_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable drain_cv_;
   std::condition_variable started_cv_;
@@ -229,6 +267,7 @@ class QueryBroker {
       inflight_;
   AdmissionController admission_;
   DegradationPolicy degradation_;
+  SloTracker slo_;
   size_t databases_evaluated_per_query_ = 0;  // n - degraded (adaptive cost)
 
   std::unique_ptr<util::ThreadPool> pool_;

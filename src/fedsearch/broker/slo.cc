@@ -1,0 +1,42 @@
+#include "fedsearch/broker/slo.h"
+
+#include <algorithm>
+
+namespace fedsearch::broker {
+
+SloTracker::SloTracker(SloOptions options) : options_(options) {
+  options_.window = std::max<size_t>(options_.window, 1);
+  options_.target_good_fraction =
+      std::clamp(options_.target_good_fraction, 0.0, 1.0);
+  ring_.assign(options_.window, 0);
+}
+
+void SloTracker::Observe(bool good) {
+  if (filled_ == options_.window) {
+    good_in_window_ -= ring_[next_];
+  } else {
+    ++filled_;
+  }
+  ring_[next_] = good ? 1 : 0;
+  good_in_window_ += ring_[next_];
+  next_ = (next_ + 1) % options_.window;
+  ++total_;
+}
+
+double SloTracker::good_fraction() const {
+  if (filled_ == 0) return 1.0;
+  return static_cast<double>(good_in_window_) / static_cast<double>(filled_);
+}
+
+double SloTracker::burn_rate() const {
+  const double bad_fraction = 1.0 - good_fraction();
+  const double allowed = 1.0 - options_.target_good_fraction;
+  if (allowed <= 0.0) {
+    // Zero error budget: report the bad count scaled by the window so the
+    // signal stays finite and still grows with each failure.
+    return bad_fraction * static_cast<double>(options_.window);
+  }
+  return bad_fraction / allowed;
+}
+
+}  // namespace fedsearch::broker

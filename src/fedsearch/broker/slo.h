@@ -1,0 +1,67 @@
+#ifndef FEDSEARCH_BROKER_SLO_H_
+#define FEDSEARCH_BROKER_SLO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedsearch::broker {
+
+struct SloOptions {
+  // The SLO: the fraction of requests that must resolve "good" (served a
+  // ranking within their deadline). Sheds, expiries, and cancellations are
+  // all "bad" — from the client's seat they are indistinguishable failures.
+  double target_good_fraction = 0.95;
+  // Rolling window, in requests. Request-count windows (not wall-time)
+  // keep the tracker deterministic on the broker's virtual schedule.
+  size_t window = 256;
+};
+
+// Rolling SLO accounting for the broker: a ring of the last `window`
+// request outcomes, summarized as a good fraction and an error-budget
+// *burn rate* — observed bad fraction divided by the allowed bad fraction
+// (1 - target). Burn rate 1.0 means failures arrive exactly as fast as
+// the budget permits; 2.0 means the budget burns twice too fast; under
+// 1.0 the SLO is healthy. This is the standard multiplicative alerting
+// signal (a burn-rate threshold works at any traffic level, unlike a raw
+// error count).
+//
+// Not thread-safe; the broker updates it under its scheduler lock. The
+// tracker is deterministic given the observation sequence — the broker
+// feeds it in resolution order on the virtual schedule, so bench runs
+// reproduce its values bit-for-bit.
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options = {});
+
+  const SloOptions& options() const { return options_; }
+
+  // Records one resolved request.
+  void Observe(bool good);
+
+  // Observations currently in the window (saturates at options().window).
+  size_t in_window() const { return filled_; }
+  // All observations ever recorded.
+  uint64_t total() const { return total_; }
+
+  // Fraction of good outcomes over the window; 1.0 while empty (no
+  // evidence of trouble is not trouble).
+  double good_fraction() const;
+
+  // bad_fraction / (1 - target_good_fraction) over the window. A target
+  // of 1.0 (zero error budget) reports bad_count directly scaled by the
+  // window — any failure is an immediate large burn.
+  double burn_rate() const;
+
+ private:
+  SloOptions options_;
+  std::vector<uint8_t> ring_;
+  size_t next_ = 0;
+  size_t filled_ = 0;
+  size_t good_in_window_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace fedsearch::broker
+
+#endif  // FEDSEARCH_BROKER_SLO_H_

@@ -198,7 +198,7 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     const selection::ScoringFunction& scorer,
     const selection::ScoringContext& context, util::Rng& rng,
     PosteriorCache* cache, size_t database_index,
-    util::Deadline* deadline) const {
+    util::Deadline* deadline, const util::TraceContext& trace) const {
   Metrics().evaluations.Add();
   util::ScopedTimer evaluate_timer(Metrics().evaluate_ns);
   Uncertainty result;
@@ -262,7 +262,8 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     const size_t sk = it != sample.sample_df.end() ? it->second : 0;
     if (cache != nullptr) {
       posteriors.push_back(&cache->Get(database_index, sk, sample.sample_size,
-                                       db_size, gamma, options_.grid_points));
+                                       db_size, gamma, options_.grid_points,
+                                       trace));
     } else {
       owned.emplace_back(sk, sample.sample_size, db_size, gamma,
                          options_.grid_points);

@@ -10,6 +10,7 @@
 #include "fedsearch/summary/content_summary.h"
 #include "fedsearch/util/deadline.h"
 #include "fedsearch/util/rng.h"
+#include "fedsearch/util/trace.h"
 
 namespace fedsearch::core {
 
@@ -146,13 +147,16 @@ class AdaptiveSummarySelector {
   // (the enclosing request is aborting; its decision will never be used).
   // The charge is unconditional so consumed_ms() stays an exact replay of
   // the cost model regardless of gate outcomes.
+  // `trace` (optional) parents the posterior_grid_build spans recorded on
+  // cache misses under the caller's request trace; observational only.
   Uncertainty Evaluate(const selection::Query& query,
                        const sampling::SampleResult& sample,
                        const selection::ScoringFunction& scorer,
                        const selection::ScoringContext& context,
                        util::Rng& rng, PosteriorCache* cache,
                        size_t database_index,
-                       util::Deadline* deadline = nullptr) const;
+                       util::Deadline* deadline = nullptr,
+                       const util::TraceContext& trace = {}) const;
 
  private:
   AdaptiveOptions options_;

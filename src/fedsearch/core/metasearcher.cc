@@ -26,6 +26,18 @@ ServingMetrics& Metrics() {
   return *m;
 }
 
+const char* ModeName(SummaryMode mode) {
+  switch (mode) {
+    case SummaryMode::kPlain:
+      return "plain";
+    case SummaryMode::kAdaptiveShrinkage:
+      return "adaptive_shrinkage";
+    case SummaryMode::kUniversalShrinkage:
+      return "universal_shrinkage";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
@@ -91,15 +103,20 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
 
 Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
     const selection::Query& query, const selection::ScoringFunction& scorer,
-    SummaryMode mode, util::Deadline* deadline) const {
-  FEDSEARCH_TRACE_SPAN("select_databases");
+    SummaryMode mode, util::Deadline* deadline,
+    util::TraceContext trace) const {
+  util::Tracer::Scope select_span("select_databases", trace);
   util::ScopedTimer select_timer(Metrics().select_ns);
   Metrics().queries.Add();
   const size_t n = samples_.size();
   const bool bounded = deadline != nullptr && !deadline->infinite();
+  select_span.AttrStr("mode", ModeName(mode))
+      .AttrUint("databases", n)
+      .AttrBool("bounded", bounded);
   SelectionOutcome outcome;
   outcome.databases_considered = n;
   if (bounded && deadline->expired()) {
+    select_span.AttrStr("status", "expired_at_entry");
     outcome.status = util::Status::DeadlineExceeded(
         "deadline expired before selection started");
     return outcome;
@@ -116,6 +133,10 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       outcome.shrinkage_applied = n;
       break;
     case SummaryMode::kAdaptiveShrinkage: {
+      util::Tracer::Scope adaptive_span("adaptive_evaluation",
+                                        select_span.context());
+      PosteriorCache::Stats cache_before;
+      if (adaptive_span.recording()) cache_before = posterior_cache_.stats();
       // The uncertainty estimation scores against the unshrunk summaries'
       // corpus statistics.
       selection::ScoringContext decision_context;
@@ -125,7 +146,8 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       }
       decision_context.global_summary =
           &hierarchy_summaries_->root_aggregate();
-      plain_statistics_.FillContext(query, decision_context);
+      plain_statistics_.FillContext(query, decision_context,
+                                    adaptive_span.context());
 
       // Every database gets its own deterministically-forked RNG stream,
       // pre-forked in index order so the streams — and therefore the
@@ -138,6 +160,7 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       for (size_t i = 0; i < n; ++i) db_rngs.push_back(rng.Fork());
 
       std::vector<uint8_t> applied(n, 0);
+      const util::TraceContext adaptive_ctx = adaptive_span.context();
       const auto evaluate_one = [&](size_t i) {
         if (degraded_[i]) {
           // No sample to estimate uncertainty from; the fallback below
@@ -149,7 +172,7 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
         const AdaptiveSummarySelector::Uncertainty u =
             adaptive_.Evaluate(query, samples_[i], scorer, decision_context,
                                db_rngs[i], &posterior_cache_, i,
-                               bounded ? deadline : nullptr);
+                               bounded ? deadline : nullptr, adaptive_ctx);
         applied[i] = u.use_shrinkage ? 1 : 0;
         chosen[i] =
             u.use_shrinkage
@@ -170,6 +193,14 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
           ++outcome.evaluations_completed;
         }
         if (deadline->expired()) {
+          if (adaptive_span.recording()) {
+            const PosteriorCache::Stats cache_after = posterior_cache_.stats();
+            adaptive_span.AttrUint("evaluated", outcome.evaluations_completed)
+                .AttrUint("cache_hits", cache_after.hits - cache_before.hits)
+                .AttrUint("cache_misses",
+                          cache_after.misses - cache_before.misses);
+          }
+          select_span.AttrStr("status", "expired_in_adaptive");
           outcome.status = util::Status::DeadlineExceeded(
               "deadline expired during adaptive evaluation");
           return outcome;
@@ -180,6 +211,19 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
         for (size_t i = 0; i < n; ++i) evaluate_one(i);
       }
       for (size_t i = 0; i < n; ++i) outcome.shrinkage_applied += applied[i];
+      if (adaptive_span.recording()) {
+        // Counter deltas across this span; under concurrent callers they
+        // include the neighbors' traffic (observational, labeled as such).
+        const PosteriorCache::Stats cache_after = posterior_cache_.stats();
+        adaptive_span.AttrUint("evaluated", n)
+            .AttrUint("cache_hits", cache_after.hits - cache_before.hits)
+            .AttrUint("cache_misses", cache_after.misses - cache_before.misses)
+            .AttrUint("shrinkage_applied", outcome.shrinkage_applied);
+        if (bounded) {
+          adaptive_span.AttrDouble("deadline_remaining_ms",
+                                   deadline->remaining_ms());
+        }
+      }
       break;
     }
   }
@@ -208,30 +252,42 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
   // pre-charge the scoring cost per database in index order (the same
   // positions the cost-model replay sums), aborting at the first boundary
   // the budget no longer covers.
-  if (bounded) {
-    for (size_t i = 0; i < n; ++i) {
-      if (deadline->expired()) {
-        outcome.status = util::Status::DeadlineExceeded(
-            "deadline expired before scoring completed");
-        return outcome;
+  {
+    util::Tracer::Scope scoring_span("scoring", select_span.context());
+    scoring_span.AttrUint("databases", n);
+    if (bounded) {
+      for (size_t i = 0; i < n; ++i) {
+        if (deadline->expired()) {
+          select_span.AttrStr("status", "expired_in_scoring");
+          outcome.status = util::Status::DeadlineExceeded(
+              "deadline expired before scoring completed");
+          return outcome;
+        }
+        deadline->ChargeScore();
       }
-      deadline->ChargeScore();
     }
+    selection::ScoringContext context;
+    context.ranked_summaries = chosen;
+    context.global_summary = &hierarchy_summaries_->root_aggregate();
+    FillContextForChosen(query, chosen, mode, context);
+    outcome.ranking =
+        selection::RankDatabases(query, chosen, scorer, context, pool_.get());
   }
-  selection::ScoringContext context;
-  context.ranked_summaries = chosen;
-  context.global_summary = &hierarchy_summaries_->root_aggregate();
-  FillContextForChosen(query, chosen, mode, context);
-  outcome.ranking =
-      selection::RankDatabases(query, chosen, scorer, context, pool_.get());
   Metrics().category_fallbacks.Add(outcome.category_fallbacks);
   Metrics().shrinkage_applied.Add(outcome.shrinkage_applied);
   if (bounded && deadline->expired()) {
     // The last charge crossed the budget: the ranking exists but arrived
     // past the deadline, so the caller must not serve it.
+    select_span.AttrStr("status", "completed_late");
     outcome.status = util::Status::DeadlineExceeded(
         "selection completed past the deadline");
     outcome.ranking.clear();
+    return outcome;
+  }
+  select_span.AttrStr("status", "ok")
+      .AttrUint("fallbacks", outcome.category_fallbacks);
+  if (bounded) {
+    select_span.AttrDouble("deadline_remaining_ms", deadline->remaining_ms());
   }
   return outcome;
 }

@@ -16,6 +16,7 @@
 #include "fedsearch/util/deadline.h"
 #include "fedsearch/util/status.h"
 #include "fedsearch/util/thread_pool.h"
+#include "fedsearch/util/trace.h"
 
 namespace fedsearch::core {
 
@@ -149,10 +150,17 @@ class Metasearcher {
   // boundary — is bit-reproducible and exactly predictable from the cost
   // model (what broker admission control relies on). Unbounded calls are
   // untouched by all of this, including their parallel fan-out.
+  //
+  // `trace` (optional) parents this call's spans — select_databases,
+  // adaptive_evaluation, statistics_cache_fill, posterior_grid_build,
+  // scoring — under the caller's request trace. Purely observational: an
+  // inactive context (the default) and a disabled tracer both cost one
+  // relaxed load, and recorded timings never flow back into scores.
   SelectionOutcome SelectDatabases(const selection::Query& query,
                                    const selection::ScoringFunction& scorer,
                                    SummaryMode mode,
-                                   util::Deadline* deadline = nullptr) const;
+                                   util::Deadline* deadline = nullptr,
+                                   util::TraceContext trace = {}) const;
 
   // The hierarchical baseline of [17] over the same summaries
   // (QBS-Hierarchical / FPS-Hierarchical).

@@ -20,11 +20,9 @@ void PosteriorCache::Reset(size_t num_databases) {
   misses_.Reset();
 }
 
-const DocFrequencyPosterior& PosteriorCache::Get(size_t database,
-                                                 size_t sample_df,
-                                                 size_t sample_size,
-                                                 double db_size, double gamma,
-                                                 size_t grid_points) {
+const DocFrequencyPosterior& PosteriorCache::Get(
+    size_t database, size_t sample_df, size_t sample_size, double db_size,
+    double gamma, size_t grid_points, const util::TraceContext& trace) {
   // Cache-key validity: a bad database index would silently alias another
   // shard's grids (and a different-keyed rebuild would corrupt the "one
   // grid per (database, sample_df)" invariant the references depend on).
@@ -50,6 +48,8 @@ const DocFrequencyPosterior& PosteriorCache::Get(size_t database,
   global_misses.Add();
   // Building under the shard lock keeps the invariant "one grid per key"
   // without a second lookup; construction is O(grid_points) and rare.
+  util::Tracer::Scope build_span("posterior_grid_build", trace);
+  build_span.AttrUint("database", database).AttrUint("sample_df", sample_df);
   auto posterior = std::make_unique<DocFrequencyPosterior>(
       sample_df, sample_size, db_size, gamma, grid_points);
   return *shard.by_df.emplace(sample_df, std::move(posterior))

@@ -9,6 +9,7 @@
 
 #include "fedsearch/core/adaptive.h"
 #include "fedsearch/util/metrics.h"
+#include "fedsearch/util/trace.h"
 
 namespace fedsearch::core {
 
@@ -43,9 +44,15 @@ class PosteriorCache {
   // pass the same (sample_size, db_size, gamma, grid_points) for every
   // call with the same database — they are properties of the database's
   // sample, not of the query.
+  //
+  // `trace` (optional): a miss records a posterior_grid_build span under
+  // the caller's request trace, so timelines show which requests paid the
+  // cold-grid cost. Hits record nothing (one span per memoized build, not
+  // per lookup). Observational only.
   const DocFrequencyPosterior& Get(size_t database, size_t sample_df,
                                    size_t sample_size, double db_size,
-                                   double gamma, size_t grid_points);
+                                   double gamma, size_t grid_points,
+                                   const util::TraceContext& trace = {});
 
   struct Stats {
     uint64_t hits = 0;

@@ -63,10 +63,13 @@ size_t ScoringStatisticsCache::CollectionFrequency(
   return 0;
 }
 
-void ScoringStatisticsCache::FillContext(const Query& query,
-                                         ScoringContext& context) const {
+void ScoringStatisticsCache::FillContext(
+    const Query& query, ScoringContext& context,
+    const util::TraceContext& trace) const {
   static util::Counter& global_fills =
       util::GlobalMetrics().counter("scoring_stats_cache.fills");
+  util::Tracer::Scope fill_span("statistics_cache_fill", trace);
+  fill_span.AttrUint("terms", query.terms.size());
   stats_cells_->fills.Add();
   global_fills.Add();
   context.cached_cf.clear();

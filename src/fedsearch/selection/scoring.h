@@ -10,6 +10,7 @@
 
 #include "fedsearch/summary/content_summary.h"
 #include "fedsearch/util/metrics.h"
+#include "fedsearch/util/trace.h"
 
 namespace fedsearch::selection {
 
@@ -72,7 +73,11 @@ class ScoringStatisticsCache {
   // sets has_cached_statistics, assuming context.ranked_summaries is
   // exactly the summary set this cache was built from. Equivalent to (and
   // interchangeable with) PrepareContextForQuery, in O(query terms).
-  void FillContext(const Query& query, ScoringContext& context) const;
+  //
+  // `trace` (optional) records the fill as a statistics_cache_fill span
+  // under the caller's request trace; observational only.
+  void FillContext(const Query& query, ScoringContext& context,
+                   const util::TraceContext& trace = {}) const;
 
   struct Stats {
     uint64_t hits = 0;    // lookups of words present in the cached set

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "fedsearch/util/deadline.h"
+#include "fedsearch/util/metrics.h"
 #include "fedsearch/util/rng.h"
 #include "fedsearch/util/status.h"
+#include "fedsearch/util/trace.h"
 
 namespace fedsearch::util {
 
@@ -60,6 +62,12 @@ class RetryController {
   // outlive the controller's use of it.
   void set_deadline(Deadline* deadline) { deadline_ = deadline; }
 
+  // Attaches a request trace context. Every simulated backoff wait then
+  // records a "retry_backoff" span under it (zero wall duration — the wait
+  // is virtual — with the charged backoff_ms as an attribute), so timeline
+  // analysis can attribute request latency to retries. Observational only.
+  void set_trace(const TraceContext& trace) { trace_ = trace; }
+
   // True once the failure budget is spent. Callers must stop issuing
   // requests and finalize a partial result.
   bool exhausted() const { return failed_attempts_ >= options_.failure_budget; }
@@ -98,6 +106,13 @@ class RetryController {
       }
       simulated_backoff_ms_ += backoff;
       if (deadline_ != nullptr) deadline_->Charge(backoff);
+      if (trace_.active()) {
+        const uint64_t now = MonotonicNanos();
+        Tracer::Global().EmitSpan(
+            "retry_backoff", trace_, now, now,
+            {Tracer::DoubleAttr("backoff_ms", backoff),
+             Tracer::UintAttr("attempt", attempt)});
+      }
       if (attempt >= options_.max_attempts || exhausted()) {
         ++abandoned_calls_;
         return result;
@@ -113,6 +128,7 @@ class RetryController {
   RetryOptions options_;
   Rng jitter_rng_;
   Deadline* deadline_ = nullptr;
+  TraceContext trace_;
   size_t failed_attempts_ = 0;
   size_t abandoned_calls_ = 0;
   double simulated_backoff_ms_ = 0.0;

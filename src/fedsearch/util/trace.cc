@@ -18,11 +18,112 @@ uint32_t ThreadOrdinal() {
 
 thread_local uint32_t t_span_depth = 0;
 
+void WriteAttrValue(JsonWriter& writer, const Tracer::AttrValue& value) {
+  switch (value.kind) {
+    case Tracer::AttrValue::Kind::kInt:
+      writer.Value(value.i);
+      break;
+    case Tracer::AttrValue::Kind::kUint:
+      writer.Value(value.u);
+      break;
+    case Tracer::AttrValue::Kind::kDouble:
+      writer.Value(value.d);
+      break;
+    case Tracer::AttrValue::Kind::kBool:
+      writer.Value(value.b);
+      break;
+    case Tracer::AttrValue::Kind::kString:
+      writer.Value(value.s);
+      break;
+  }
+}
+
+std::vector<Tracer::Span> SortedByStart(std::vector<Tracer::Span> spans) {
+  // Buffer order is completion order across threads; start order is the
+  // natural reading order for a timeline.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Tracer::Span& a, const Tracer::Span& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return spans;
+}
+
 }  // namespace
 
 void Tracer::set_capacity(size_t max_spans) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = max_spans;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+TraceContext Tracer::StartTrace() {
+  if (!enabled()) return TraceContext{};
+  return TraceContext{NextId(), 0};
+}
+
+TraceContext Tracer::EmitSpan(const char* name, const TraceContext& parent,
+                              uint64_t start_ns, uint64_t end_ns,
+                              std::initializer_list<Attr> attrs) {
+  if (!enabled()) return parent;
+  Span span;
+  span.name = name;
+  span.trace_id = parent.trace_id;
+  span.span_id = NextId();
+  span.parent_id = parent.span_id;
+  span.start_ns = start_ns;
+  span.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  span.thread = ThreadOrdinal();
+  span.depth = 0;
+  for (const Attr& attr : attrs) {
+    if (span.num_attrs >= kMaxAttrs) break;
+    span.attrs[span.num_attrs++] = attr;
+  }
+  Record(span);
+  return TraceContext{parent.trace_id, span.span_id};
+}
+
+Tracer::Attr Tracer::IntAttr(const char* key, int64_t v) {
+  Attr attr;
+  attr.key = key;
+  attr.value.kind = AttrValue::Kind::kInt;
+  attr.value.i = v;
+  return attr;
+}
+
+Tracer::Attr Tracer::UintAttr(const char* key, uint64_t v) {
+  Attr attr;
+  attr.key = key;
+  attr.value.kind = AttrValue::Kind::kUint;
+  attr.value.u = v;
+  return attr;
+}
+
+Tracer::Attr Tracer::DoubleAttr(const char* key, double v) {
+  Attr attr;
+  attr.key = key;
+  attr.value.kind = AttrValue::Kind::kDouble;
+  attr.value.d = v;
+  return attr;
+}
+
+Tracer::Attr Tracer::BoolAttr(const char* key, bool v) {
+  Attr attr;
+  attr.key = key;
+  attr.value.kind = AttrValue::Kind::kBool;
+  attr.value.b = v;
+  return attr;
+}
+
+Tracer::Attr Tracer::StrAttr(const char* key, const char* v) {
+  Attr attr;
+  attr.key = key;
+  attr.value.kind = AttrValue::Kind::kString;
+  attr.value.s = v;
+  return attr;
 }
 
 std::vector<Tracer::Span> Tracer::snapshot() const {
@@ -46,27 +147,94 @@ void Tracer::Record(const Span& span) {
 }
 
 std::string Tracer::ToJson(int indent) const {
-  std::vector<Span> spans = snapshot();
-  // Buffer order is completion order across threads; start order is the
-  // natural reading order for a timeline.
-  std::stable_sort(spans.begin(), spans.end(),
-                   [](const Span& a, const Span& b) {
-                     return a.start_ns < b.start_ns;
-                   });
+  const std::vector<Span> spans = SortedByStart(snapshot());
   const uint64_t epoch = spans.empty() ? 0 : spans.front().start_ns;
   JsonWriter writer(indent);
   writer.BeginObject();
-  writer.Key("schema_version").Value(1);
+  writer.Key("schema_version").Value(2);
   writer.Key("dropped").Value(dropped());
+  writer.Key("capacity").Value(capacity());
   writer.Key("spans").BeginArray();
   for (const Span& span : spans) {
     writer.BeginObject();
     writer.Key("name").Value(span.name);
+    writer.Key("trace_id").Value(span.trace_id);
+    writer.Key("span_id").Value(span.span_id);
+    writer.Key("parent_id").Value(span.parent_id);
     writer.Key("ts_us").Value(static_cast<double>(span.start_ns - epoch) /
                               1000.0);
     writer.Key("dur_us").Value(static_cast<double>(span.duration_ns) / 1000.0);
     writer.Key("thread").Value(span.thread);
     writer.Key("depth").Value(span.depth);
+    if (span.num_attrs > 0) {
+      writer.Key("attrs").BeginObject();
+      for (uint32_t i = 0; i < span.num_attrs; ++i) {
+        writer.Key(span.attrs[i].key);
+        WriteAttrValue(writer, span.attrs[i].value);
+      }
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string Tracer::ToPerfettoJson(int indent) const {
+  const std::vector<Span> spans = SortedByStart(snapshot());
+  const uint64_t epoch = spans.empty() ? 0 : spans.front().start_ns;
+  JsonWriter writer(indent);
+  writer.BeginObject();
+  writer.Key("displayTimeUnit").Value("ms");
+  writer.Key("otherData").BeginObject();
+  writer.Key("schema_version").Value(2);
+  writer.Key("dropped").Value(dropped());
+  writer.Key("capacity").Value(capacity());
+  writer.EndObject();
+  writer.Key("traceEvents").BeginArray();
+  // One "process" per request (pid = trace id) so chrome://tracing groups
+  // each request's spans into its own track; pid 0 collects anonymous
+  // spans recorded outside any request.
+  std::vector<uint64_t> pids;
+  pids.reserve(spans.size());
+  for (const Span& span : spans) pids.push_back(span.trace_id);
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  for (uint64_t pid : pids) {
+    writer.BeginObject();
+    writer.Key("name").Value("process_name");
+    writer.Key("ph").Value("M");
+    writer.Key("pid").Value(pid);
+    writer.Key("tid").Value(0);
+    writer.Key("args").BeginObject();
+    if (pid == 0) {
+      writer.Key("name").Value("untraced");
+    } else {
+      writer.Key("name").Value("request " + std::to_string(pid));
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  for (const Span& span : spans) {
+    writer.BeginObject();
+    writer.Key("name").Value(span.name);
+    writer.Key("cat").Value("fedsearch");
+    writer.Key("ph").Value("X");
+    writer.Key("ts").Value(static_cast<double>(span.start_ns - epoch) /
+                           1000.0);
+    writer.Key("dur").Value(static_cast<double>(span.duration_ns) / 1000.0);
+    writer.Key("pid").Value(span.trace_id);
+    writer.Key("tid").Value(span.thread);
+    writer.Key("args").BeginObject();
+    writer.Key("trace_id").Value(span.trace_id);
+    writer.Key("span_id").Value(span.span_id);
+    writer.Key("parent_id").Value(span.parent_id);
+    for (uint32_t i = 0; i < span.num_attrs; ++i) {
+      writer.Key(span.attrs[i].key);
+      WriteAttrValue(writer, span.attrs[i].value);
+    }
+    writer.EndObject();
     writer.EndObject();
   }
   writer.EndArray();
@@ -79,10 +247,16 @@ Tracer& Tracer::Global() {
   return *tracer;
 }
 
-Tracer::Scope::Scope(const char* name, Tracer& tracer) {
+Tracer::Scope::Scope(const char* name, Tracer& tracer)
+    : Scope(name, TraceContext{}, tracer) {}
+
+Tracer::Scope::Scope(const char* name, const TraceContext& parent,
+                     Tracer& tracer)
+    : parent_(parent) {
   if (!tracer.enabled()) return;
   tracer_ = &tracer;
   name_ = name;
+  span_id_ = tracer.NextId();
   depth_ = t_span_depth++;
   start_ = MonotonicNanos();
 }
@@ -91,7 +265,50 @@ Tracer::Scope::~Scope() {
   if (tracer_ == nullptr) return;
   const uint64_t end = MonotonicNanos();
   --t_span_depth;
-  tracer_->Record(Span{name_, start_, end - start_, ThreadOrdinal(), depth_});
+  Span span;
+  span.name = name_;
+  span.trace_id = parent_.trace_id;
+  span.span_id = span_id_;
+  span.parent_id = parent_.span_id;
+  span.start_ns = start_;
+  span.duration_ns = end - start_;
+  span.thread = ThreadOrdinal();
+  span.depth = depth_;
+  span.num_attrs = num_attrs_;
+  span.attrs = attrs_;
+  tracer_->Record(span);
+}
+
+void Tracer::Scope::Add(const char* key, const AttrValue& value) {
+  if (num_attrs_ >= kMaxAttrs) return;
+  attrs_[num_attrs_].key = key;
+  attrs_[num_attrs_].value = value;
+  ++num_attrs_;
+}
+
+Tracer::Scope& Tracer::Scope::AttrInt(const char* key, int64_t v) {
+  if (recording()) Add(key, IntAttr(key, v).value);
+  return *this;
+}
+
+Tracer::Scope& Tracer::Scope::AttrUint(const char* key, uint64_t v) {
+  if (recording()) Add(key, UintAttr(key, v).value);
+  return *this;
+}
+
+Tracer::Scope& Tracer::Scope::AttrDouble(const char* key, double v) {
+  if (recording()) Add(key, DoubleAttr(key, v).value);
+  return *this;
+}
+
+Tracer::Scope& Tracer::Scope::AttrBool(const char* key, bool v) {
+  if (recording()) Add(key, BoolAttr(key, v).value);
+  return *this;
+}
+
+Tracer::Scope& Tracer::Scope::AttrStr(const char* key, const char* v) {
+  if (recording()) Add(key, StrAttr(key, v).value);
+  return *this;
 }
 
 }  // namespace fedsearch::util

@@ -1,37 +1,86 @@
 #ifndef FEDSEARCH_UTIL_TRACE_H_
 #define FEDSEARCH_UTIL_TRACE_H_
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <mutex>
 #include <string>
 #include <vector>
 
 namespace fedsearch::util {
 
+// Explicit request-scoped causal context. Carried by value through call
+// signatures — deliberately no thread-local propagation: the serving path
+// migrates work across pool threads on a virtual-time schedule, so ambient
+// per-thread state would attach spans to the wrong request (and hiding a
+// mutable channel in TLS invites reads that break the determinism story).
+// A default-constructed context is inactive; spans opened under it record
+// as anonymous (trace_id 0) when the tracer is enabled.
+struct TraceContext {
+  uint64_t trace_id = 0;  // one id per request; 0 = no request attached
+  uint64_t span_id = 0;   // the span to parent children under; 0 = root
+  bool active() const { return trace_id != 0; }
+};
+
 // Lightweight span tracing for the serving and offline-build pipelines.
 //
 // Disabled by default: an inactive FEDSEARCH_TRACE_SPAN costs one relaxed
 // atomic load and nothing else, so spans can stay compiled into the hot
-// paths permanently. When enabled, each scope records (name, start,
-// duration, thread ordinal, nesting depth) into a bounded in-memory buffer
-// under a mutex — recording happens once per span on scope exit, not per
-// event, so the lock is far off any inner loop. When the buffer fills,
-// new spans are dropped and counted rather than blocking or reallocating.
+// paths permanently. When enabled, each scope records (name, causal ids,
+// start, duration, thread ordinal, nesting depth, typed attributes) into a
+// bounded in-memory buffer under a mutex — recording happens once per span
+// on scope exit, not per event, so the lock is far off any inner loop.
+// When the buffer fills, new spans are dropped and counted rather than
+// blocking or reallocating.
 //
 // Like the metrics registry, traces are observational by construction:
 // they capture wall time but never feed it back into computation, so
-// enabling tracing cannot perturb scored results.
+// enabling tracing cannot perturb scored results. lint_determinism rule 4
+// enforces the read-back ban outside util/.
 //
-// Span names must be string literals (the tracer stores the pointer).
+// Span names and attribute keys/string values must be string literals
+// (the tracer stores the pointers).
 class Tracer {
  public:
+  // Typed attribute value. A small tagged union rather than std::variant
+  // so Span stays trivially copyable and the recording path never
+  // allocates.
+  struct AttrValue {
+    enum class Kind : uint8_t { kInt, kUint, kDouble, kBool, kString };
+    Kind kind = Kind::kInt;
+    union {
+      int64_t i;
+      uint64_t u;
+      double d;
+      bool b;
+      const char* s;  // string literal only
+    };
+    AttrValue() : i(0) {}
+  };
+
+  struct Attr {
+    const char* key = nullptr;
+    AttrValue value;
+  };
+
+  // Attributes beyond this many per span are silently ignored; the broker
+  // root span is the widest producer and stays within this bound.
+  static constexpr size_t kMaxAttrs = 12;
+
   struct Span {
     const char* name;
+    uint64_t trace_id;     // 0 for anonymous (request-less) spans
+    uint64_t span_id;      // unique while recording; 0 when dropped early
+    uint64_t parent_id;    // 0 = root of its trace
     uint64_t start_ns;     // MonotonicNanos at scope entry
     uint64_t duration_ns;  // scope exit - entry
     uint32_t thread;       // small per-process thread ordinal
     uint32_t depth;        // nesting depth within the recording thread
+    uint32_t num_attrs = 0;
+    std::array<Attr, kMaxAttrs> attrs;
   };
 
   Tracer() = default;
@@ -44,16 +93,48 @@ class Tracer {
   }
 
   // Caps the number of retained spans (default 65536). Takes effect for
-  // subsequent records; existing spans are kept.
+  // subsequent records only: shrinking below the current span count keeps
+  // every already-recorded span (the buffer is never truncated) and drops
+  // new ones, bumping dropped(). Analyzers detect truncated timelines from
+  // the exported "capacity" + "dropped" fields.
   void set_capacity(size_t max_spans);
+  size_t capacity() const;
+
+  // Starts a new trace: allocates a fresh trace id with no parent span.
+  // Returns an inactive context when tracing is disabled, so callers can
+  // thread the result unconditionally.
+  TraceContext StartTrace();
+
+  // Records a span retroactively from externally captured timestamps —
+  // used for intervals that no single scope can bracket, e.g. queue wait
+  // between the submitting thread and the worker that dequeues. Returns
+  // the recorded span's context (for parenting children), or `parent`
+  // unchanged when tracing is disabled.
+  TraceContext EmitSpan(const char* name, const TraceContext& parent,
+                        uint64_t start_ns, uint64_t end_ns,
+                        std::initializer_list<Attr> attrs = {});
+
+  static Attr IntAttr(const char* key, int64_t v);
+  static Attr UintAttr(const char* key, uint64_t v);
+  static Attr DoubleAttr(const char* key, double v);
+  static Attr BoolAttr(const char* key, bool v);
+  static Attr StrAttr(const char* key, const char* v);  // literal only
 
   std::vector<Span> snapshot() const;
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   void Clear();
 
-  // {"schema_version": 1, "dropped": N, "spans": [{name, ts_us, dur_us,
-  // thread, depth}, ...]} with ts_us relative to the earliest span.
+  // {"schema_version": 2, "dropped": N, "capacity": C, "spans": [{name,
+  // trace_id, span_id, parent_id, ts_us, dur_us, thread, depth, attrs?},
+  // ...]} with ts_us relative to the earliest span.
   std::string ToJson(int indent = 0) const;
+
+  // Chrome trace event format (the JSON flavor chrome://tracing and
+  // Perfetto load directly): one complete ("ph":"X") event per span, with
+  // pid = trace id so each request renders as its own track group and
+  // tid = thread ordinal so same-request spans on different pool threads
+  // stay distinguishable. Causal ids and attributes ride in "args".
+  std::string ToPerfettoJson(int indent = 0) const;
 
   // The process-wide tracer the library's FEDSEARCH_TRACE_SPAN sites
   // report to. Never destroyed.
@@ -65,23 +146,58 @@ class Tracer {
   class Scope {
    public:
     explicit Scope(const char* name, Tracer& tracer = Global());
+    // Opens a child span of `parent` (same trace id, parented under
+    // parent.span_id). An inactive parent still records the span, as
+    // anonymous.
+    Scope(const char* name, const TraceContext& parent,
+          Tracer& tracer = Global());
     ~Scope();
 
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
+    // True when this scope will record a span on exit. Guard attribute
+    // computation with it when the values aren't free to produce.
+    bool recording() const { return tracer_ != nullptr; }
+
+    // Context for children of this span. When not recording, passes the
+    // construction-time parent through so propagation chains survive a
+    // disabled tracer.
+    TraceContext context() const {
+      return recording() ? TraceContext{parent_.trace_id, span_id_} : parent_;
+    }
+
+    // Typed attributes, chainable; no-ops when not recording. At most
+    // kMaxAttrs stick; extras are ignored.
+    Scope& AttrInt(const char* key, int64_t v);
+    Scope& AttrUint(const char* key, uint64_t v);
+    Scope& AttrDouble(const char* key, double v);
+    Scope& AttrBool(const char* key, bool v);
+    Scope& AttrStr(const char* key, const char* v);  // literal only
+
    private:
+    void Add(const char* key, const AttrValue& value);
+
     Tracer* tracer_ = nullptr;  // null when tracing was off at entry
     const char* name_ = nullptr;
+    TraceContext parent_;  // as passed in (trace id + parent span id)
+    uint64_t span_id_ = 0;
     uint64_t start_ = 0;
     uint32_t depth_ = 0;
+    uint32_t num_attrs_ = 0;
+    std::array<Attr, kMaxAttrs> attrs_;
   };
 
  private:
   void Record(const Span& span);
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> dropped_{0};
+  // Trace and span ids share one process-wide counter; uniqueness is all
+  // that matters. Relaxed: ids are observational labels, never ordered
+  // against payload data.
+  std::atomic<uint64_t> next_id_{1};
   mutable std::mutex mu_;
   std::vector<Span> spans_;
   size_t capacity_ = 65536;

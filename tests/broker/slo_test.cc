@@ -1,0 +1,100 @@
+#include "fedsearch/broker/slo.h"
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::broker {
+namespace {
+
+TEST(SloTrackerTest, EmptyWindowIsHealthy) {
+  SloTracker slo;
+  EXPECT_EQ(slo.in_window(), 0u);
+  EXPECT_EQ(slo.total(), 0u);
+  EXPECT_DOUBLE_EQ(slo.good_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(slo.burn_rate(), 0.0);
+}
+
+TEST(SloTrackerTest, BurnRateIsOneWhenFailuresMatchTheBudget) {
+  SloOptions options;
+  options.target_good_fraction = 0.95;
+  options.window = 100;
+  SloTracker slo(options);
+  for (int i = 0; i < 95; ++i) slo.Observe(true);
+  for (int i = 0; i < 5; ++i) slo.Observe(false);
+  EXPECT_DOUBLE_EQ(slo.good_fraction(), 0.95);
+  EXPECT_DOUBLE_EQ(slo.burn_rate(), 1.0);
+}
+
+TEST(SloTrackerTest, BurnRateScalesWithBadFraction) {
+  SloOptions options;
+  options.target_good_fraction = 0.95;
+  options.window = 100;
+  SloTracker slo(options);
+  for (int i = 0; i < 90; ++i) slo.Observe(true);
+  for (int i = 0; i < 10; ++i) slo.Observe(false);
+  EXPECT_NEAR(slo.burn_rate(), 2.0, 1e-12);  // 10% bad / 5% allowed
+}
+
+TEST(SloTrackerTest, WindowSlidesAndForgets) {
+  SloOptions options;
+  options.window = 4;
+  SloTracker slo(options);
+  for (int i = 0; i < 4; ++i) slo.Observe(false);
+  EXPECT_DOUBLE_EQ(slo.good_fraction(), 0.0);
+  // Four good outcomes push the failures out entirely.
+  for (int i = 0; i < 4; ++i) slo.Observe(true);
+  EXPECT_DOUBLE_EQ(slo.good_fraction(), 1.0);
+  EXPECT_EQ(slo.in_window(), 4u);
+  EXPECT_EQ(slo.total(), 8u);
+}
+
+TEST(SloTrackerTest, PartialWindowUsesObservedCountAsDenominator) {
+  SloOptions options;
+  options.window = 10;
+  SloTracker slo(options);
+  slo.Observe(true);
+  slo.Observe(false);
+  EXPECT_EQ(slo.in_window(), 2u);
+  EXPECT_DOUBLE_EQ(slo.good_fraction(), 0.5);
+}
+
+TEST(SloTrackerTest, ZeroErrorBudgetStaysFiniteAndGrows) {
+  SloOptions options;
+  options.target_good_fraction = 1.0;
+  options.window = 8;
+  SloTracker slo(options);
+  for (int i = 0; i < 7; ++i) slo.Observe(true);
+  EXPECT_DOUBLE_EQ(slo.burn_rate(), 0.0);
+  slo.Observe(false);
+  const double one_failure = slo.burn_rate();
+  EXPECT_GT(one_failure, 0.0);
+  slo.Observe(false);
+  EXPECT_GT(slo.burn_rate(), one_failure);
+}
+
+TEST(SloTrackerTest, DegenerateOptionsAreClamped) {
+  SloOptions options;
+  options.window = 0;
+  options.target_good_fraction = 1.5;
+  SloTracker slo(options);
+  EXPECT_EQ(slo.options().window, 1u);
+  EXPECT_DOUBLE_EQ(slo.options().target_good_fraction, 1.0);
+  slo.Observe(false);
+  EXPECT_DOUBLE_EQ(slo.good_fraction(), 0.0);
+}
+
+TEST(SloTrackerTest, DeterministicForAGivenObservationSequence) {
+  SloOptions options;
+  options.window = 16;
+  SloTracker a(options);
+  SloTracker b(options);
+  for (int i = 0; i < 100; ++i) {
+    const bool good = (i % 7) != 0;
+    a.Observe(good);
+    b.Observe(good);
+  }
+  EXPECT_DOUBLE_EQ(a.good_fraction(), b.good_fraction());
+  EXPECT_DOUBLE_EQ(a.burn_rate(), b.burn_rate());
+}
+
+}  // namespace
+}  // namespace fedsearch::broker

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
+#include "fedsearch/util/trace.h"
+
 namespace fedsearch::util {
 namespace {
 
@@ -184,6 +189,52 @@ TEST(RetryControllerTest, NoDeadlineKeepsTheLegacyAccounting) {
   RetryController retry(options);
   retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
   EXPECT_DOUBLE_EQ(retry.simulated_backoff_ms(), 1750.0);
+}
+
+TEST(RetryControllerTest, BackoffsEmitSpansOnTheCallersTrace) {
+  Tracer& tracer = Tracer::Global();
+  tracer.set_enabled(true);
+  tracer.Clear();
+  const TraceContext trace = tracer.StartTrace();
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.jitter_fraction = 0.0;
+  RetryController retry(options);
+  retry.set_trace(trace);
+  retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+  size_t backoff_spans = 0;
+  double backoff_ms = 0.0;
+  for (const Tracer::Span& span : tracer.snapshot()) {
+    if (std::string(span.name) != "retry_backoff") continue;
+    ++backoff_spans;
+    EXPECT_EQ(span.trace_id, trace.trace_id);
+    EXPECT_EQ(span.duration_ns, 0u) << "backoff waits are virtual";
+    for (uint32_t i = 0; i < span.num_attrs; ++i) {
+      if (std::string(span.attrs[i].key) == "backoff_ms") {
+        backoff_ms += span.attrs[i].value.d;
+      }
+    }
+  }
+  tracer.set_enabled(false);
+  tracer.Clear();
+  // One backoff after every failed attempt (the controller charges the
+  // final one too), and the span attributes carry the same total the
+  // controller accounted.
+  EXPECT_EQ(backoff_spans, 3u);
+  EXPECT_DOUBLE_EQ(backoff_ms, retry.simulated_backoff_ms());
+}
+
+TEST(RetryControllerTest, NoSpansWithoutACallerTrace) {
+  Tracer& tracer = Tracer::Global();
+  tracer.set_enabled(true);
+  tracer.Clear();
+  RetryController retry;  // no set_trace: inactive context
+  retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+  for (const Tracer::Span& span : tracer.snapshot()) {
+    EXPECT_STRNE(span.name, "retry_backoff");
+  }
+  tracer.set_enabled(false);
+  tracer.Clear();
 }
 
 TEST(ParseRetryAfterTest, ParsesHintAndRejectsGarbage) {

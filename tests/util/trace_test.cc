@@ -95,7 +95,8 @@ TEST(TracerTest, ToJsonEmitsSchemaAndSpanFields) {
     Tracer::Scope inner("fit", tracer);
   }
   const std::string json = tracer.ToJson();
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"capacity\":65536"), std::string::npos) << json;
   EXPECT_NE(json.find("\"dropped\":0"), std::string::npos) << json;
   EXPECT_NE(json.find("\"name\":\"build\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"name\":\"fit\""), std::string::npos) << json;
@@ -110,7 +111,149 @@ TEST(TracerTest, ToJsonEmitsSchemaAndSpanFields) {
 TEST(TracerTest, ToJsonOfEmptyTracerIsValid) {
   Tracer tracer;
   EXPECT_EQ(tracer.ToJson(),
-            "{\"schema_version\":1,\"dropped\":0,\"spans\":[]}");
+            "{\"schema_version\":2,\"dropped\":0,\"capacity\":65536,"
+            "\"spans\":[]}");
+}
+
+TEST(TracerTest, ShrinkingCapacityKeepsExistingSpansDropsNewOnes) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    Tracer::Scope scope("kept", tracer);
+  }
+  tracer.set_capacity(2);
+  // Shrinking never truncates the buffer: the three recorded spans stay.
+  EXPECT_EQ(tracer.snapshot().size(), 3u);
+  EXPECT_EQ(tracer.capacity(), 2u);
+  {
+    Tracer::Scope scope("dropped", tracer);
+  }
+  EXPECT_EQ(tracer.snapshot().size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"capacity\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":1"), std::string::npos) << json;
+  // Growing it back re-admits new spans.
+  tracer.set_capacity(16);
+  {
+    Tracer::Scope scope("admitted", tracer);
+  }
+  EXPECT_EQ(tracer.snapshot().size(), 4u);
+}
+
+TEST(TracerTest, StartTraceLinksParentAndChildSpans) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const TraceContext root = tracer.StartTrace();
+  ASSERT_TRUE(root.active());
+  EXPECT_EQ(root.span_id, 0u);
+  uint64_t parent_span_id = 0;
+  {
+    Tracer::Scope parent("parent", root, tracer);
+    ASSERT_TRUE(parent.recording());
+    parent_span_id = parent.context().span_id;
+    EXPECT_EQ(parent.context().trace_id, root.trace_id);
+    {
+      Tracer::Scope child("child", parent.context(), tracer);
+      EXPECT_EQ(child.context().trace_id, root.trace_id);
+      EXPECT_NE(child.context().span_id, parent_span_id);
+    }
+  }
+  const std::vector<Tracer::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // child records first
+  EXPECT_EQ(spans[0].trace_id, root.trace_id);
+  EXPECT_EQ(spans[0].parent_id, parent_span_id);
+  EXPECT_EQ(spans[1].trace_id, root.trace_id);
+  EXPECT_EQ(spans[1].span_id, parent_span_id);
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST(TracerTest, DisabledTracerYieldsInactiveContextsAndPassesThrough) {
+  Tracer tracer;
+  const TraceContext root = tracer.StartTrace();
+  EXPECT_FALSE(root.active());
+  const TraceContext upstream{42, 7};
+  Tracer::Scope scope("silent", upstream, tracer);
+  EXPECT_FALSE(scope.recording());
+  // A non-recording scope forwards its parent context unchanged, so
+  // downstream spans still attach to the caller's trace if tracing turns
+  // on later in the call chain.
+  EXPECT_EQ(scope.context().trace_id, upstream.trace_id);
+  EXPECT_EQ(scope.context().span_id, upstream.span_id);
+}
+
+TEST(TracerTest, ScopeAttrsAppearInJson) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope scope("attrs", tracer);
+    scope.AttrUint("seq", 9)
+        .AttrDouble("wait_ms", 1.5)
+        .AttrBool("downgraded", true)
+        .AttrStr("disposition", "served_full")
+        .AttrInt("delta", -3);
+  }
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"seq\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wait_ms\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"downgraded\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"disposition\":\"served_full\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"delta\":-3"), std::string::npos) << json;
+}
+
+TEST(TracerTest, EmitSpanRecordsRetroactiveSpanWithExplicitTimes) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const TraceContext root = tracer.StartTrace();
+  const TraceContext emitted = tracer.EmitSpan(
+      "queue_wait", root, 1000, 4000,
+      {Tracer::UintAttr("seq", 3), Tracer::DoubleAttr("backoff_ms", 2.5)});
+  EXPECT_EQ(emitted.trace_id, root.trace_id);
+  const std::vector<Tracer::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "queue_wait");
+  EXPECT_EQ(spans[0].start_ns, 1000u);
+  EXPECT_EQ(spans[0].duration_ns, 3000u);
+  EXPECT_EQ(spans[0].trace_id, root.trace_id);
+  EXPECT_EQ(spans[0].num_attrs, 2u);
+  // End before start clamps to zero duration rather than wrapping.
+  tracer.EmitSpan("clamped", root, 5000, 4000);
+  EXPECT_EQ(tracer.snapshot()[1].duration_ns, 0u);
+  // Disabled tracers pass the parent through without recording.
+  Tracer off;
+  const TraceContext through = off.EmitSpan("ignored", root, 0, 1);
+  EXPECT_EQ(through.trace_id, root.trace_id);
+  EXPECT_TRUE(off.snapshot().empty());
+}
+
+TEST(TracerTest, PerfettoExportGroupsSpansByTraceId) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const TraceContext request = tracer.StartTrace();
+  {
+    Tracer::Scope scoped("request_root", request, tracer);
+    scoped.AttrStr("disposition", "served_full");
+  }
+  {
+    Tracer::Scope anonymous("background", tracer);
+  }
+  const std::string json = tracer.ToPerfettoJson();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"traceEvents\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  // One process_name metadata event per distinct pid: the request's trace
+  // id plus pid 0 for spans recorded outside any request.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"untraced\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"request " + std::to_string(request.trace_id) + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"disposition\":\"served_full\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"capacity\":65536"), std::string::npos) << json;
 }
 
 TEST(TracerTest, GlobalTracerIsProcessWideAndOffByDefault) {

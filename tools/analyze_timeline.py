@@ -1,0 +1,372 @@
+#!/usr/bin/env python3
+"""Latency attribution over fedsearch trace timelines.
+
+Ingests either trace export the tracer produces:
+
+  * the Chrome-trace/Perfetto form (util::Tracer::ToPerfettoJson, written by
+    bench_broker --trace-out): {"displayTimeUnit", "otherData", "traceEvents"}
+    with one ph:"X" event per span and ids/attributes under "args";
+  * the raw span form (util::Tracer::ToJson, written by
+    bench_serving_throughput --trace): {"schema_version", "dropped",
+    "capacity", "spans"}.
+
+For every traced request (a span tree rooted at "broker_submit") the root
+span's attributes carry the broker's full virtual latency account, so the
+analyzer attributes each request's client-observed wall time exactly:
+
+  queue     time between arrival and a worker reaching the request
+            (clamped at e2e: a request that expired in queue spent its
+            whole client-observed life queued);
+  service   worker occupancy that produced an answer (for served
+            requests) or was wasted (for requests that expired mid-
+            execution anyway) — reported per disposition;
+  retry     backoff inside service, from retry_backoff spans' backoff_ms;
+  overhang  e2e - queue - service; zero by construction on the broker's
+            virtual schedule, nonzero only for foreign/partial timelines.
+
+queue + service + overhang == e2e for every disposition, so coverage is
+100% whenever the account is intact; the analyzer reports the minimum
+per-request coverage and fails its --selftest below 95%.
+
+The summary flags two pathologies:
+  * queueing-dominated regime: aggregate queue share > 50% — adding
+    capacity or shedding earlier beats optimizing service time;
+  * truncated timeline: the tracer dropped spans at capacity, so the
+    attribution is partial.
+
+Timelines with no broker_submit spans (e.g. bench_serving_throughput
+traces) fall back to a per-span-name duration profile.
+
+Usage:
+  analyze_timeline.py trace.json [--json]
+  analyze_timeline.py --selftest
+
+Exit status: 0 on success, 1 on invalid/empty input or selftest failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+QUEUE_DOMINATED_SHARE = 0.5
+
+# Must match broker::DispositionName.
+DISPOSITIONS = [
+    "served_full",
+    "served_degraded",
+    "shed_queue_full",
+    "shed_predicted_miss",
+    "expired_in_queue",
+    "expired_executing",
+    "cancelled_shutdown",
+]
+
+
+class TimelineError(ValueError):
+    """Invalid or empty timeline input."""
+
+
+def load_spans(doc):
+    """Normalizes either export form to (spans, meta).
+
+    Each span is a dict with name, trace_id, span_id, parent_id, ts_us,
+    dur_us, and attrs; meta carries dropped/capacity.
+    """
+    if not isinstance(doc, dict):
+        raise TimelineError("timeline root is not a JSON object")
+    if "traceEvents" in doc:
+        meta = doc.get("otherData", {})
+        spans = []
+        for event in doc["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            args = dict(event.get("args", {}))
+            spans.append({
+                "name": event.get("name", ""),
+                "trace_id": args.pop("trace_id", 0),
+                "span_id": args.pop("span_id", 0),
+                "parent_id": args.pop("parent_id", 0),
+                "ts_us": float(event.get("ts", 0.0)),
+                "dur_us": float(event.get("dur", 0.0)),
+                "attrs": args,
+            })
+    elif "spans" in doc:
+        meta = doc
+        spans = []
+        for raw in doc["spans"]:
+            spans.append({
+                "name": raw.get("name", ""),
+                "trace_id": raw.get("trace_id", 0),
+                "span_id": raw.get("span_id", 0),
+                "parent_id": raw.get("parent_id", 0),
+                "ts_us": float(raw.get("ts_us", 0.0)),
+                "dur_us": float(raw.get("dur_us", 0.0)),
+                "attrs": dict(raw.get("attrs", {})),
+            })
+    else:
+        raise TimelineError(
+            "unrecognized timeline schema (no traceEvents or spans)")
+    if not spans:
+        raise TimelineError("timeline contains no spans")
+    return spans, {
+        "dropped": int(meta.get("dropped", 0)),
+        "capacity": int(meta.get("capacity", 0)),
+    }
+
+
+def _new_bucket():
+    return {
+        "count": 0,
+        "e2e_ms": 0.0,
+        "queue_ms": 0.0,
+        "service_ms": 0.0,
+        "retry_ms": 0.0,
+        "overhang_ms": 0.0,
+    }
+
+
+def analyze(spans, meta):
+    """Builds the attribution summary dict from normalized spans."""
+    by_trace = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    by_trace.pop(0, None)  # anonymous spans outside any request
+
+    total = _new_bucket()
+    by_disposition = {}
+    min_coverage = 1.0
+    requests = 0
+    for trace_spans in by_trace.values():
+        root = next(
+            (s for s in trace_spans if s["name"] == "broker_submit"), None)
+        if root is None:
+            continue
+        requests += 1
+        attrs = root["attrs"]
+        disposition = attrs.get("disposition", "unknown")
+        e2e = float(attrs.get("e2e_ms", 0.0))
+        queue = min(float(attrs.get("queue_wait_ms", 0.0)), e2e)
+        service = float(attrs.get("service_ms", 0.0))
+        retry = sum(
+            float(s["attrs"].get("backoff_ms", 0.0))
+            for s in trace_spans if s["name"] == "retry_backoff")
+        retry = min(retry, service)
+        overhang = max(e2e - queue - service, 0.0)
+        covered = queue + service + overhang
+        coverage = min(covered / e2e, 1.0) if e2e > 0.0 else 1.0
+        min_coverage = min(min_coverage, coverage)
+        for bucket in (total, by_disposition.setdefault(
+                disposition, _new_bucket())):
+            bucket["count"] += 1
+            bucket["e2e_ms"] += e2e
+            bucket["queue_ms"] += queue
+            bucket["service_ms"] += service
+            bucket["retry_ms"] += retry
+            bucket["overhang_ms"] += overhang
+
+    denom = total["e2e_ms"] if total["e2e_ms"] > 0.0 else 1.0
+    queue_share = total["queue_ms"] / denom
+    summary = {
+        "spans": len(spans),
+        "dropped": meta["dropped"],
+        "capacity": meta["capacity"],
+        "requests": requests,
+        "total": total,
+        "by_disposition": by_disposition,
+        "queue_share": queue_share,
+        "service_share": total["service_ms"] / denom,
+        "min_coverage": min_coverage if requests else 0.0,
+        "queueing_dominated": (requests > 0 and total["e2e_ms"] > 0.0 and
+                               queue_share > QUEUE_DOMINATED_SHARE),
+        "truncated": meta["dropped"] > 0 or (
+            meta["capacity"] > 0 and len(spans) >= meta["capacity"]),
+    }
+    if requests == 0:
+        profile = {}
+        for span in spans:
+            entry = profile.setdefault(span["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += span["dur_us"]
+        summary["span_profile"] = {
+            name: {"count": c, "total_us": us}
+            for name, (c, us) in sorted(
+                profile.items(), key=lambda kv: -kv[1][1])
+        }
+    return summary
+
+
+def _share(bucket, key):
+    denom = bucket["e2e_ms"] if bucket["e2e_ms"] > 0.0 else 1.0
+    return bucket[key] / denom
+
+
+def format_summary(summary):
+    lines = []
+    lines.append(
+        f"Timeline: {summary['spans']} spans, {summary['requests']} traced "
+        f"requests, {summary['dropped']} dropped "
+        f"(capacity {summary['capacity']})")
+    if summary["requests"] == 0:
+        lines.append("No broker requests; per-span-name profile:")
+        for name, entry in list(summary["span_profile"].items())[:15]:
+            lines.append(f"  {name:<28} x{entry['count']:<7} "
+                         f"{entry['total_us'] / 1000.0:10.2f} ms total")
+    else:
+        total = summary["total"]
+        lines.append(
+            f"Attribution over {total['count']} requests "
+            f"(client-observed total {total['e2e_ms']:.1f} ms, "
+            f"min per-request coverage "
+            f"{summary['min_coverage'] * 100.0:.1f}%):")
+        lines.append(f"  queue    {_share(total, 'queue_ms') * 100.0:5.1f}%")
+        lines.append(f"  service  {_share(total, 'service_ms') * 100.0:5.1f}%"
+                     f"  (retry backoff "
+                     f"{_share(total, 'retry_ms') * 100.0:.1f}%)")
+        lines.append(
+            f"  overhang {_share(total, 'overhang_ms') * 100.0:5.1f}%")
+        lines.append("Per disposition:")
+        lines.append(f"  {'disposition':<20} {'count':>6} {'mean e2e ms':>12} "
+                     f"{'queue%':>7} {'service%':>9}")
+        known = [d for d in DISPOSITIONS if d in summary["by_disposition"]]
+        extra = [d for d in sorted(summary["by_disposition"])
+                 if d not in DISPOSITIONS]
+        for disposition in known + extra:
+            bucket = summary["by_disposition"][disposition]
+            mean_e2e = bucket["e2e_ms"] / bucket["count"]
+            lines.append(
+                f"  {disposition:<20} {bucket['count']:>6} {mean_e2e:>12.2f} "
+                f"{_share(bucket, 'queue_ms') * 100.0:>6.1f} "
+                f"{_share(bucket, 'service_ms') * 100.0:>8.1f}")
+    if summary["queueing_dominated"]:
+        lines.append(
+            f"WARNING: queueing-dominated regime (queue share "
+            f"{summary['queue_share'] * 100.0:.0f}% > "
+            f"{QUEUE_DOMINATED_SHARE * 100.0:.0f}%) — add capacity or shed "
+            f"earlier; service-time optimization won't move the tail")
+    if summary["truncated"]:
+        lines.append(
+            f"WARNING: truncated timeline ({summary['dropped']} spans "
+            f"dropped at capacity {summary['capacity']}) — attribution is "
+            f"partial")
+    return "\n".join(lines)
+
+
+def analyze_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise TimelineError(f"{path}: {err}") from err
+    spans, meta = load_spans(doc)
+    return analyze(spans, meta)
+
+
+def selftest():
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "fixtures")
+    failures = []
+
+    def check(name, condition, detail):
+        if condition:
+            print(f"PASS {name}")
+        else:
+            failures.append(name)
+            print(f"FAIL {name}: {detail}")
+
+    healthy_path = os.path.join(fixtures, "timeline_healthy.json")
+    healthy = analyze_file(healthy_path)
+    check("healthy.requests", healthy["requests"] == 3,
+          f"want 3 requests, got {healthy['requests']}")
+    check("healthy.coverage", healthy["min_coverage"] >= 0.95,
+          f"min coverage {healthy['min_coverage']:.3f} < 0.95")
+    check("healthy.not_queue_dominated", not healthy["queueing_dominated"],
+          f"queue share {healthy['queue_share']:.3f} flagged dominated")
+    check("healthy.not_truncated", not healthy["truncated"],
+          "healthy fixture flagged truncated")
+    check("healthy.retry_attributed", healthy["total"]["retry_ms"] > 0.0,
+          "retry_backoff span not attributed")
+    check("healthy.dispositions",
+          healthy["by_disposition"].get("served_full", {}).get("count")
+          == 2 and
+          healthy["by_disposition"].get("served_degraded", {}).get("count")
+          == 1,
+          f"got {sorted(healthy['by_disposition'])}")
+
+    collapsed = analyze_file(os.path.join(fixtures,
+                                          "timeline_collapsed.json"))
+    check("collapsed.queue_dominated", collapsed["queueing_dominated"],
+          f"queue share {collapsed['queue_share']:.3f} not flagged")
+    check("collapsed.truncated", collapsed["truncated"],
+          "dropped spans not flagged as truncation")
+    check("collapsed.coverage", collapsed["min_coverage"] >= 0.95,
+          f"min coverage {collapsed['min_coverage']:.3f} < 0.95")
+    check("collapsed.expired_in_queue",
+          collapsed["by_disposition"].get("expired_in_queue", {}).get(
+              "count") == 3,
+          f"got {sorted(collapsed['by_disposition'])}")
+
+    # The raw ToJson schema must ingest to the same analysis as Perfetto.
+    with open(healthy_path, "r", encoding="utf-8") as f:
+        perfetto = json.load(f)
+    raw = {"schema_version": 2,
+           "dropped": perfetto["otherData"]["dropped"],
+           "capacity": perfetto["otherData"]["capacity"],
+           "spans": []}
+    for event in perfetto["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        args = dict(event["args"])
+        raw["spans"].append({
+            "name": event["name"],
+            "trace_id": args.pop("trace_id"),
+            "span_id": args.pop("span_id"),
+            "parent_id": args.pop("parent_id"),
+            "ts_us": event["ts"], "dur_us": event["dur"],
+            "attrs": args,
+        })
+    raw_summary = analyze(*load_spans(raw))
+    check("raw_schema.matches", raw_summary["total"] == healthy["total"],
+          "raw-schema ingestion diverged from Perfetto ingestion")
+
+    for bad in ({}, {"traceEvents": []}, {"spans": []}):
+        try:
+            load_spans(bad)
+            check("invalid.rejected", False, f"{bad!r} accepted")
+            break
+        except TimelineError:
+            pass
+    else:
+        check("invalid.rejected", True, "")
+
+    if failures:
+        print(f"selftest: {len(failures)} failure(s)")
+        return 1
+    print("selftest: all checks passed")
+    return 0
+
+
+def main(argv):
+    if "--selftest" in argv:
+        return selftest()
+    want_json = "--json" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    if len(paths) != 1:
+        print("usage: analyze_timeline.py trace.json [--json] | --selftest",
+              file=sys.stderr)
+        return 2
+    try:
+        summary = analyze_file(paths[0])
+    except TimelineError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if want_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

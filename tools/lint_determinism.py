@@ -33,11 +33,21 @@ promise, so this lint bans them at review time:
    construction (measured durations never flow back into scored
    results).
 
+4. Telemetry read-back (all of src/ except util/):
+   The trace/metrics layer is write-only for the rest of src/: spans and
+   histograms absorb wall time, and nothing reads it back. Touching a
+   recorded span's timestamps (.start_ns / .duration_ns), pulling the
+   tracer's span buffer (snapshot()), or computing latency aggregates
+   (Percentile(...)) inside src/ control flow would let real thread
+   timing steer computation — exactly the nondeterminism the virtual
+   schedule exists to exclude. Exporters and benches may read these;
+   they live in util/ and bench/, outside this rule's reach.
+
 Escape hatch: a line (or the line directly above it) containing
     // ORDER-INDEPENDENT: <why the result does not depend on order>
 suppresses rule 2 for that loop. There is deliberately no escape hatch
-for rules 1 and 3; plumb util::Rng / util::MonotonicNanos through
-instead.
+for rules 1, 3, and 4; plumb util::Rng / util::MonotonicNanos through,
+and keep telemetry consumption in util/ exporters or bench/ tools.
 
 Usage: lint_determinism.py ROOT [ROOT...]
 Exit status: 0 clean, 1 violations found, 2 usage/IO error.
@@ -79,6 +89,20 @@ SEEDY_CONTEXT = re.compile(r"seed|rng|engine|random", re.IGNORECASE)
 # MonotonicNanos wraps them for the metrics/trace layer).
 CLOCK_NOW = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+
+# Rule 4: telemetry is write-only outside util/ — recorded timestamps and
+# latency aggregates must never be read back into src/ control flow.
+TELEMETRY_READBACK = [
+    (re.compile(r"[.\->]\s*(?:start_ns|duration_ns)\b"),
+     "reads a recorded span timestamp; telemetry is write-only outside "
+     "util/ — wall time must not steer computation"),
+    (re.compile(r"[.\->:]\s*snapshot\s*\(\s*\)"),
+     "pulls the recorded span/metric buffer; consume telemetry in util/ "
+     "exporters or bench/ tools, not in src/ logic"),
+    (re.compile(r"\bPercentile\s*\("),
+     "computes a latency aggregate in src/; thread-timing-derived "
+     "statistics must stay observational (util/ or bench/)"),
+]
 
 UNORDERED_DECL = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>[\s*&]*(\w+)\s*[;,={(]")
@@ -150,6 +174,9 @@ def lint_file(path: Path, root: Path) -> list[str]:
                     f"{path}:{lineno}: direct clock read outside util/; "
                     "route timing through util::MonotonicNanos() so wall "
                     "time stays observational")
+            for pattern, why in TELEMETRY_READBACK:
+                if pattern.search(code):
+                    findings.append(f"{path}:{lineno}: {why}")
 
     if is_restricted(rel):
         unordered_vars: set[str] = set()

@@ -234,6 +234,51 @@ expect_findings(
     "// steady_clock::now() is banned here; use util::MonotonicNanos()\n",
     [])
 
+# --- Rule 4: telemetry read-back outside util/ -----------------------------
+
+expect_findings(
+    "span timestamp read in broker/", "fedsearch/broker/bad_readback.cc",
+    "double Budget(const util::Tracer::Span& span) {\n"
+    "  return 100.0 - span.duration_ns / 1e6;\n"
+    "}\n",
+    ["recorded span timestamp"])
+
+expect_findings(
+    "span start read in core/", "fedsearch/core/bad_start.cc",
+    "uint64_t Epoch(const util::Tracer::Span& s) { return s.start_ns; }\n",
+    ["recorded span timestamp"])
+
+expect_findings(
+    "tracer snapshot pulled in selection/", "fedsearch/selection/bad_pull.cc",
+    "size_t SpansSoFar() { return util::Tracer::Global().snapshot().size(); }\n",
+    ["pulls the recorded span/metric buffer"])
+
+expect_findings(
+    "percentile computed in broker/", "fedsearch/broker/bad_p99.cc",
+    "double Tail() { return Percentile(latencies_, 99.0); }\n",
+    ["latency aggregate in src/"])
+
+expect_findings(
+    "util/ exporters may read telemetry", "fedsearch/util/trace_export.cc",
+    "void Export(const Tracer::Span& span) {\n"
+    "  Write(span.start_ns, span.duration_ns);\n"
+    "  for (const auto& s : Tracer::Global().snapshot()) Write(s.start_ns, 0);\n"
+    "}\n",
+    [])
+
+expect_findings(
+    "telemetry read-back in comments is ignored",
+    "fedsearch/core/commented_readback.cc",
+    "// Reading span.start_ns here would violate the write-only contract.\n"
+    "// Percentile(...) computation belongs in bench/, not here.\n",
+    [])
+
+expect_findings(
+    "writing enqueue_ns fields is not a read-back",
+    "fedsearch/broker/ok_enqueue.cc",
+    "void Mark(QueueItem& item) { item.enqueue_ns = util::MonotonicNanos(); }\n",
+    [])
+
 # --- CLI behaviour --------------------------------------------------------
 
 status, _ = run_lint(Path(tempfile.gettempdir()) / "lint-selftest-missing")
