@@ -10,11 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fedsearch/core/adaptive.h"
 #include "fedsearch/core/metasearcher.h"
+#include "fedsearch/core/posterior_cache.h"
 #include "fedsearch/corpus/testbed.h"
 #include "fedsearch/sampling/qbs_sampler.h"
 #include "fedsearch/selection/cori.h"
@@ -130,6 +132,61 @@ void BM_DocFrequencyPosteriorSample(benchmark::State& state) {
 }
 BENCHMARK(BM_DocFrequencyPosteriorSample);
 
+// --- Adaptive fast-path kernels (DESIGN.md §6g) ---
+// Three stages, benchmarked separately so a regression pinpoints itself:
+// the per-database basis build (once per shard), the per-word flat weight
+// grid built from a shared basis (once per (database, sample_df) cache
+// miss), and the Monte-Carlo delta evaluation itself (per query×database).
+
+void BM_PosteriorBasisBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    core::PosteriorGridBasis basis(/*db_size=*/50000, /*gamma=*/-2.0,
+                                   /*grid_points=*/64);
+    benchmark::DoNotOptimize(basis.support().data());
+  }
+}
+BENCHMARK(BM_PosteriorBasisBuild);
+
+void BM_PosteriorWeightsFromBasis(benchmark::State& state) {
+  const auto basis = std::make_shared<const core::PosteriorGridBasis>(
+      /*db_size=*/50000, /*gamma=*/-2.0, /*grid_points=*/64);
+  for (auto _ : state) {
+    core::DocFrequencyPosterior posterior(basis, /*sample_df=*/3,
+                                          /*sample_size=*/300);
+    benchmark::DoNotOptimize(posterior.weights().data());
+  }
+}
+BENCHMARK(BM_PosteriorWeightsFromBasis);
+
+void BM_AdaptiveDeltaEvaluateFixedDraws(benchmark::State& state) {
+  // One delta-path evaluation at a pinned draw count (no convergence
+  // early-exit): table build + 400 draws × |query| inverse-CDF samples +
+  // folds. Per-draw cost ≈ cpu_time / 400.
+  const core::Metasearcher& meta = MicroMetasearcher();
+  const corpus::Testbed& bed = MicroTestbed();
+  const selection::Query query{bed.analyzer().Analyze(bed.queries()[0].text)};
+  selection::CoriScorer cori;
+  selection::ScoringContext context;
+  for (size_t i = 0; i < meta.num_databases(); ++i) {
+    context.ranked_summaries.push_back(&meta.plain_summary(i));
+  }
+  context.global_summary = &meta.global_summary();
+  selection::PrepareContextForQuery(query, context);
+  core::AdaptiveOptions options;
+  options.min_draws = 400;
+  options.max_draws = 400;
+  options.require_mixed_evidence = false;
+  core::AdaptiveSummarySelector selector(options);
+  core::PosteriorCache cache(meta.num_databases());
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(selector.Evaluate(query, meta.sample(0), cori,
+                                               context, rng, &cache, 0));
+  }
+}
+BENCHMARK(BM_AdaptiveDeltaEvaluateFixedDraws);
+
 void BM_AdaptiveDecision(benchmark::State& state) {
   const core::Metasearcher& meta = MicroMetasearcher();
   const corpus::Testbed& bed = MicroTestbed();
@@ -234,10 +291,15 @@ int main(int argc, char** argv) {
     report.SetConfig(fedsearch::bench::ConfigFromEnv());
     report.AddConfig("smoke", smoke ? 1.0 : 0.0);
     for (const auto& result : reporter.results()) {
-      report.AddScenario(result.name)
-          .Add("real_time_ns", result.real_ns)
-          .Add("cpu_time_ns", result.cpu_ns)
-          .Add("iterations", result.iterations);
+      auto& scenario = report.AddScenario(result.name)
+                           .Add("real_time_ns", result.real_ns)
+                           .Add("cpu_time_ns", result.cpu_ns)
+                           .Add("iterations", result.iterations);
+      // Operations per second from CPU time: the "qps" prefix is what
+      // opts a scenario into the perf-regression gate
+      // (tools/check_bench_regression.py), so committing a micro baseline
+      // turns these kernels into gated perf contracts.
+      if (result.cpu_ns > 0.0) scenario.Add("qps_op", 1e9 / result.cpu_ns);
     }
     if (!report.WriteFile(json_path)) return 1;
   }

@@ -27,7 +27,8 @@
 #   perf-smoke      Release bench smoke with --json telemetry, gated against
 #                   the committed baseline in bench/baselines/ by
 #                   tools/check_bench_regression.py (>15% qps drop or
-#                   >25% p95 growth fails the job)
+#                   >25% p95 growth fails the job), plus the adaptive-kernel
+#                   microbenchmarks gated at a jitter-tolerant 30%
 #
 # All build trees live under build-ci/<name> and are reused across
 # invocations (configure+build runs at most once per tree per run);
@@ -197,6 +198,17 @@ if selected perf-smoke; then
   run python3 tools/check_bench_regression.py \
     bench/baselines/BENCH_serving_throughput.json \
     build-ci/release/BENCH_serving_throughput.json
+  # Adaptive-kernel microbenchmarks (basis build, flat grid build, delta
+  # evaluation). Gated via their qps_op values with a looser threshold —
+  # sub-microsecond kernels see more scheduler jitter than whole-query
+  # scenarios. The committed baseline holds only the kernel scenarios, so
+  # only those gate.
+  run ./build-ci/release/bench/bench_micro --smoke \
+    --benchmark_filter='Posterior|AdaptiveDelta' \
+    --json build-ci/release/BENCH_micro.json
+  run python3 tools/check_bench_regression.py \
+    bench/baselines/BENCH_micro.json build-ci/release/BENCH_micro.json \
+    --max-qps-drop 0.30
 fi
 
 echo "ci.sh: all green ($SELECTED)"

@@ -23,6 +23,11 @@ struct AdaptiveMetrics {
       util::GlobalMetrics().counter("adaptive.chose_shrunk");
   util::Counter& chose_plain =
       util::GlobalMetrics().counter("adaptive.chose_plain");
+  // Evaluations skipped because the request's deadline had already
+  // expired. Every evaluation lands in exactly one disposition:
+  //   chose_shrunk + chose_plain + deadline_skipped == evaluations.
+  util::Counter& deadline_skipped =
+      util::GlobalMetrics().counter("adaptive.deadline_skipped");
   util::Histogram& draws = util::GlobalMetrics().histogram("adaptive.draws");
   // σ / max(µ − floor) in integer milli-units; the decision threshold
   // lives on this axis, so its distribution shows how close calls are.
@@ -126,17 +131,16 @@ size_t OverrideSummary::vocabulary_size() const {
   return base_->vocabulary_size() + extra;
 }
 
-DocFrequencyPosterior::DocFrequencyPosterior(size_t sample_df,
-                                             size_t sample_size,
-                                             double db_size, double gamma,
-                                             size_t grid_points)
-    : sampler_({}) {
+PosteriorGridBasis::PosteriorGridBasis(double db_size, double gamma,
+                                       size_t grid_points)
+    : db_size_(std::max(1.0, db_size)),
+      gamma_(gamma),
+      grid_points_(grid_points) {
   FEDSEARCH_CHECK(grid_points > 0);
   FEDSEARCH_CHECK(std::isfinite(gamma)) << " non-finite gamma";
-  FEDSEARCH_DCHECK(sample_df <= sample_size)
-      << " sample_df " << sample_df << " > sample size " << sample_size;
-  const double n = std::max(1.0, db_size);
-  // Log-spaced integer grid over [1, |D|].
+  const double n = db_size_;
+  // Log-spaced integer grid over [1, |D|], deduplicated (rounding
+  // collapses neighboring points when |D| is small relative to the grid).
   support_.reserve(grid_points);
   double prev = 0.0;
   for (size_t i = 0; i < grid_points; ++i) {
@@ -150,44 +154,129 @@ DocFrequencyPosterior::DocFrequencyPosterior(size_t sample_df,
     support_.push_back(d);
     prev = d;
   }
+  // The grid always retains d = 1 (frac = 0), so posterior supports are
+  // never empty and sampling always has mass to draw from.
+  FEDSEARCH_DCHECK(!support_.empty());
 
-  // Log-space posterior: γ·ln d + s·ln(d/|D|) + (|S|−s)·ln(1−d/|D|).
-  const double s = static_cast<double>(sample_df);
-  const double trials = static_cast<double>(sample_size);
-  std::vector<double> log_w(support_.size());
-  double max_log = -1e300;
-  for (size_t i = 0; i < support_.size(); ++i) {
+  const size_t count = support_.size();
+  prior_.resize(count);
+  log_p_.resize(count);
+  log_q_.resize(count);
+  zero_q_begin_ = count;
+  for (size_t i = 0; i < count; ++i) {
     const double d = support_[i];
     const double p = d / n;
-    double lw = gamma * std::log(d);
-    if (s > 0.0) lw += s * std::log(p);
+    prior_[i] = gamma * std::log(d);
+    log_p_[i] = std::log(p);
     const double q = 1.0 - p;
-    if (trials > s) {
-      if (q <= 0.0) {
-        lw = -1e300;  // d == |D| impossible unless the word is in every
-                      // sample document
-      } else {
-        lw += (trials - s) * std::log(q);
-      }
+    if (q <= 0.0) {
+      // d/|D| is nondecreasing over the (sorted) support, so the first
+      // q <= 0 point starts the suffix where ln(1−p) has no finite value.
+      if (zero_q_begin_ == count) zero_q_begin_ = i;
+      log_q_[i] = 0.0;  // unused
+    } else {
+      log_q_[i] = std::log(q);
     }
-    log_w[i] = lw;
-    max_log = std::max(max_log, lw);
   }
-  // The grid always retains d = 1 (frac = 0), so the posterior support is
-  // never empty and Sample() below always has mass to draw from.
-  FEDSEARCH_DCHECK(!support_.empty());
-  weights_.resize(support_.size());
-  for (size_t i = 0; i < support_.size(); ++i) {
+}
+
+DocFrequencyPosterior::DocFrequencyPosterior(size_t sample_df,
+                                             size_t sample_size,
+                                             double db_size, double gamma,
+                                             size_t grid_points)
+    : basis_(std::make_shared<PosteriorGridBasis>(db_size, gamma,
+                                                  grid_points)) {
+  BuildWeights(sample_df, sample_size);
+}
+
+DocFrequencyPosterior::DocFrequencyPosterior(
+    std::shared_ptr<const PosteriorGridBasis> basis, size_t sample_df,
+    size_t sample_size)
+    : basis_(std::move(basis)) {
+  FEDSEARCH_CHECK(basis_ != nullptr);
+  BuildWeights(sample_df, sample_size);
+}
+
+void DocFrequencyPosterior::BuildWeights(size_t sample_df,
+                                         size_t sample_size) {
+  FEDSEARCH_DCHECK(sample_df <= sample_size)
+      << " sample_df " << sample_df << " > sample size " << sample_size;
+  const size_t count = basis_->size();
+  const double s = static_cast<double>(sample_df);
+  const double trials = static_cast<double>(sample_size);
+  const double* prior = basis_->prior_log_weight().data();
+  const double* log_p = basis_->log_p().data();
+  const double* log_q = basis_->log_q().data();
+
+  // Log-space posterior: γ·ln d + s·ln(d/|D|) + (|S|−s)·ln(1−d/|D|), with
+  // the basis supplying every logarithm — only the two word-dependent
+  // multipliers remain. Points where 1−d/|D| <= 0 get the −1e300 sentinel
+  // (d == |D| impossible unless the word is in every sample document);
+  // they are a suffix of the monotone support, so each case below is a
+  // branch-free contiguous pass the compiler can vectorize.
+  const size_t finite_end =
+      trials > s ? std::min(basis_->zero_q_begin(), count) : count;
+  std::vector<double> log_w(count);
+  if (s > 0.0 && trials > s) {
+    for (size_t i = 0; i < finite_end; ++i) {
+      double lw = prior[i];
+      lw += s * log_p[i];
+      lw += (trials - s) * log_q[i];
+      log_w[i] = lw;
+    }
+  } else if (s > 0.0) {
+    for (size_t i = 0; i < finite_end; ++i) {
+      double lw = prior[i];
+      lw += s * log_p[i];
+      log_w[i] = lw;
+    }
+  } else if (trials > s) {
+    for (size_t i = 0; i < finite_end; ++i) {
+      double lw = prior[i];
+      lw += (trials - s) * log_q[i];
+      log_w[i] = lw;
+    }
+  } else {
+    for (size_t i = 0; i < finite_end; ++i) log_w[i] = prior[i];
+  }
+  for (size_t i = finite_end; i < count; ++i) log_w[i] = -1e300;
+
+  double max_log = -1e300;
+  for (size_t i = 0; i < count; ++i) max_log = std::max(max_log, log_w[i]);
+  weights_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
     weights_[i] = std::exp(log_w[i] - max_log);
     FEDSEARCH_DCHECK(std::isfinite(weights_[i]) && weights_[i] >= 0.0)
         << " posterior weight " << weights_[i] << " at grid point " << i;
   }
-  sampler_ = util::DiscreteSampler(weights_);
-}
 
-double DocFrequencyPosterior::Sample(util::Rng& rng) const {
-  if (support_.empty()) return 1.0;
-  return support_[sampler_.Sample(rng)];
+  // Inclusive prefix-sum CDF, sum-normalized. Construction and the
+  // inverse-CDF draw in SampleIndex replicate util::DiscreteSampler
+  // bit-for-bit (same clamp, same normalization, same lower_bound), which
+  // keeps the serial RNG-draw stream identical to the sampler-based
+  // implementation.
+  cdf_.resize(count);
+  double acc = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    acc += std::max(0.0, weights_[i]);
+    cdf_[i] = acc;
+  }
+  if (acc > 0.0) {
+    for (size_t i = 0; i < count; ++i) cdf_[i] /= acc;
+  }
+
+  // Guide table: guide_[b] = first index with cdf >= b/kGuideBuckets. For
+  // any draw x in bucket b (b = ⌊x·kGuideBuckets⌋, so b/kGuideBuckets <= x)
+  // the lower_bound answer is >= guide_[b], making SampleIndex's forward
+  // scan start at a proven lower bound — same result, O(1) average work.
+  guide_.resize(kGuideBuckets);
+  size_t g = 0;
+  for (size_t b = 0; b < kGuideBuckets; ++b) {
+    const double threshold =
+        static_cast<double>(b) / static_cast<double>(kGuideBuckets);
+    while (g + 1 < count && cdf_[g] < threshold) ++g;
+    guide_[b] = static_cast<uint32_t>(g);
+  }
 }
 
 AdaptiveSummarySelector::AdaptiveSummarySelector(AdaptiveOptions options)
@@ -207,7 +296,13 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     // The charge that crosses the budget still lands (exact cost replay),
     // but the Monte-Carlo work it pays for is skipped: the enclosing
     // request is past its deadline and the decision would be discarded.
-    if (deadline->expired()) return result;
+    // The skip is still a disposition — counting it keeps
+    // chose_shrunk + chose_plain + deadline_skipped == evaluations, so
+    // /statusz consumers can reconcile the counters.
+    if (deadline->expired()) {
+      Metrics().deadline_skipped.Add();
+      return result;
+    }
   }
   const double db_size = std::max(1.0, sample.estimated_db_size);
 
@@ -250,41 +345,63 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
   // with degenerate fits falling back to the Zipf default (PowerLawGamma).
   const double gamma = PowerLawGamma(sample.mandelbrot_alpha);
 
+  // Duplicate query terms denote one latent document frequency: build one
+  // posterior per DISTINCT term and draw it once per Monte-Carlo
+  // iteration, so neither the posterior work nor the RNG stream depends on
+  // how often a term is repeated. (Per-occurrence posteriors previously
+  // burned one draw per duplicate with last-write-wins overrides.)
+  // First-occurrence order; the linear scan keeps dedup deterministic
+  // without ordered containers, and queries are a handful of terms.
+  const size_t num_terms = query.terms.size();
+  std::vector<size_t> occ_to_distinct(num_terms);
+  std::vector<size_t> distinct_first;
+  distinct_first.reserve(num_terms);
+  for (size_t i = 0; i < num_terms; ++i) {
+    size_t u = distinct_first.size();
+    for (size_t k = 0; k < distinct_first.size(); ++k) {
+      if (query.terms[distinct_first[k]] == query.terms[i]) {
+        u = k;
+        break;
+      }
+    }
+    if (u == distinct_first.size()) distinct_first.push_back(i);
+    occ_to_distinct[i] = u;
+  }
+  const size_t num_distinct = distinct_first.size();
+
   // Per-word posteriors p(d_k | s_k) — memoized per (database, s_k) when a
   // cache is supplied, since all other posterior parameters are fixed per
-  // database.
-  std::vector<const DocFrequencyPosterior*> posteriors;
-  posteriors.reserve(query.terms.size());
+  // database. Uncached evaluations still share one grid basis across the
+  // query's words.
+  std::vector<const DocFrequencyPosterior*> posteriors(num_distinct);
   std::vector<DocFrequencyPosterior> owned;
-  owned.reserve(cache == nullptr ? query.terms.size() : 0);
-  for (const std::string& w : query.terms) {
+  std::shared_ptr<const PosteriorGridBasis> local_basis;
+  owned.reserve(cache == nullptr ? num_distinct : 0);
+  for (size_t k = 0; k < num_distinct; ++k) {
+    const std::string& w = query.terms[distinct_first[k]];
     auto it = sample.sample_df.find(w);
     const size_t sk = it != sample.sample_df.end() ? it->second : 0;
     if (cache != nullptr) {
-      posteriors.push_back(&cache->Get(database_index, sk, sample.sample_size,
-                                       db_size, gamma, options_.grid_points,
-                                       trace));
+      posteriors[k] = &cache->Get(database_index, sk, sample.sample_size,
+                                  db_size, gamma, options_.grid_points,
+                                  trace);
     } else {
-      owned.emplace_back(sk, sample.sample_size, db_size, gamma,
-                         options_.grid_points);
-      posteriors.push_back(&owned.back());
+      if (local_basis == nullptr) {
+        local_basis = std::make_shared<PosteriorGridBasis>(
+            db_size, gamma, options_.grid_points);
+      }
+      owned.emplace_back(local_basis, sk, sample.sample_size);
+      posteriors[k] = &owned.back();
     }
   }
 
-  // Monte-Carlo over (d1, ..., dn) combinations.
-  std::unordered_map<std::string, double> overrides;
-  OverrideSummary perturbed(&sample.summary, &overrides);
+  // Monte-Carlo over (d1, ..., dn) combinations. Early stop shared by both
+  // scoring paths below.
   util::RunningStats stats;
   double last_mean = 0.0;
   double last_std = 0.0;
   bool have_baseline = false;
-  for (size_t draw = 0; draw < options_.max_draws; ++draw) {
-    overrides.clear();
-    for (size_t i = 0; i < query.terms.size(); ++i) {
-      overrides[query.terms[i]] = posteriors[i]->Sample(rng);
-    }
-    stats.Add(scorer.Score(query, perturbed, context));
-
+  const auto converged = [&]() {
     if (stats.count() >= options_.min_draws && stats.count() % 50 == 0) {
       const double mean = stats.mean();
       const double stddev = stats.stddev();
@@ -294,13 +411,108 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
       // true score mean and stddev are themselves near zero, so an early
       // exit requires a full check interval of observed stability.
       if (have_baseline &&
-          std::fabs(mean - last_mean) < options_.convergence_tolerance * scale &&
-          std::fabs(stddev - last_std) < options_.convergence_tolerance * scale) {
-        break;
+          std::fabs(mean - last_mean) <
+              options_.convergence_tolerance * scale &&
+          std::fabs(stddev - last_std) <
+              options_.convergence_tolerance * scale) {
+        return true;
       }
       have_baseline = true;
       last_mean = mean;
       last_std = stddev;
+    }
+    return false;
+  };
+
+  if (scorer.supports_delta_scoring()) {
+    // Fast path: tabulate each distinct term's contribution at every grid
+    // point of its posterior once, then a draw is one inverse-CDF index
+    // per distinct term plus a flat fold — no per-draw summary view, no
+    // hashing, no vocabulary walk. Bit-identical to the fallback path
+    // below by the ScoringFunction delta contract (and both paths consume
+    // the same RNG stream).
+    selection::DeltaScoreState state(scorer, query, sample.summary, context);
+    size_t stride = 0;
+    for (size_t k = 0; k < num_distinct; ++k) {
+      stride = std::max(stride, posteriors[k]->size());
+    }
+    std::vector<double> table(num_distinct * stride);
+    for (size_t k = 0; k < num_distinct; ++k) {
+      const std::vector<double>& support = posteriors[k]->support();
+      scorer.TermContributionTable(query, distinct_first[k], sample.summary,
+                                   context, support.data(), support.size(),
+                                   table.data() + k * stride);
+    }
+    const selection::TermCombine combine = state.combine();
+    const double init = state.init();
+    // Per-distinct-term flat draw descriptors: raw CDF / guide /
+    // contribution-row pointers so the inner loop touches no posterior
+    // object. The unrolled draw below mirrors SampleIndex exactly (pinned
+    // by the delta-vs-legacy bit-identity tests): a term whose CDF is
+    // empty or sums to zero consumes no rng draw and always lands on grid
+    // index 0, so its contribution folds in as the constant row[0]
+    // (cdf == nullptr marks that case).
+    struct TermDraw {
+      const double* cdf;
+      const uint32_t* guide;
+      const double* row;
+      size_t last;
+    };
+    std::vector<TermDraw> flat(num_distinct);
+    for (size_t k = 0; k < num_distinct; ++k) {
+      const std::vector<double>& cdf = posteriors[k]->cdf();
+      const bool degenerate = cdf.empty() || cdf.back() <= 0.0;
+      flat[k] = TermDraw{degenerate ? nullptr : cdf.data(),
+                         posteriors[k]->guide().data(),
+                         table.data() + k * stride,
+                         cdf.empty() ? 0 : cdf.size() - 1};
+    }
+    // The RNG state is advanced in a local copy so the compiler can keep
+    // the xoshiro words in registers across the whole loop; the stream is
+    // identical (copy in, copy out).
+    util::Rng draw_rng = rng;
+    std::vector<double> drawn(num_distinct);
+    for (size_t draw = 0; draw < options_.max_draws; ++draw) {
+      for (size_t k = 0; k < num_distinct; ++k) {
+        const TermDraw& td = flat[k];
+        size_t i = 0;
+        if (td.cdf != nullptr) {
+          const double x = draw_rng.NextDouble();
+          i = td.guide[static_cast<size_t>(
+              x * DocFrequencyPosterior::kGuideBuckets)];
+          while (i < td.last && td.cdf[i] < x) ++i;
+        }
+        drawn[k] = td.row[i];
+      }
+      double combined = init;
+      if (combine == selection::TermCombine::kSum) {
+        for (size_t j = 0; j < num_terms; ++j) {
+          combined += drawn[occ_to_distinct[j]];
+        }
+      } else {
+        for (size_t j = 0; j < num_terms; ++j) {
+          combined *= drawn[occ_to_distinct[j]];
+        }
+      }
+      stats.Add(state.Finalize(combined));
+      if (converged()) break;
+    }
+    rng = draw_rng;
+  } else {
+    // Fallback for scorers without the delta protocol (custom
+    // ScoringFunction implementations): one perturbed summary view,
+    // overrides rebuilt per draw. Draws one value per distinct term in
+    // first-occurrence order — the same RNG stream as the fast path.
+    std::unordered_map<std::string, double> overrides;
+    OverrideSummary perturbed(&sample.summary, &overrides);
+    for (size_t draw = 0; draw < options_.max_draws; ++draw) {
+      overrides.clear();
+      for (size_t k = 0; k < num_distinct; ++k) {
+        overrides[query.terms[distinct_first[k]]] =
+            posteriors[k]->Sample(rng);
+      }
+      stats.Add(scorer.Score(query, perturbed, context));
+      if (converged()) break;
     }
   }
 
@@ -318,10 +530,16 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
   result.use_shrinkage =
       result.stddev > options_.uncertainty_threshold * excess;
   Metrics().draws.Record(result.draws);
-  if (excess > 0.0) {
-    Metrics().sigma_mu_ratio_e3.Record(
-        static_cast<uint64_t>(std::min(result.stddev / excess, 1e6) * 1e3));
-  }
+  // σ/excess in integer milli-units, clamped to 1e6. A zero-excess
+  // evaluation (mean at or below the scorer's floor) is the always-shrink
+  // limit of the rule — any spread beats a zero margin — and used to be
+  // dropped from the histogram, hiding exactly the decisive cases; it now
+  // records at the clamp ceiling so every decided evaluation lands in a
+  // bucket.
+  const double clamped_ratio =
+      excess > 0.0 ? std::min(result.stddev / excess, 1e6) : 1e6;
+  Metrics().sigma_mu_ratio_e3.Record(
+      static_cast<uint64_t>(clamped_ratio * 1e3));
   (result.use_shrinkage ? Metrics().chose_shrunk : Metrics().chose_plain)
       .Add();
   return result;

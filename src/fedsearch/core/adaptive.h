@@ -1,6 +1,9 @@
 #ifndef FEDSEARCH_CORE_ADAPTIVE_H_
 #define FEDSEARCH_CORE_ADAPTIVE_H_
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -81,26 +84,109 @@ class OverrideSummary : public summary::SummaryView {
   const std::unordered_map<std::string, double>* df_override_;
 };
 
-// The posterior over a query word's true document frequency given its
-// sample frequency (Appendix B):
-//   p(d | s) ∝ Binomial(s; |S|, d/|D|) · c·d^γ
-// with γ = 1/α − 1 from the database's Mandelbrot fit. Discretized on a
-// log-spaced grid over [1, |D|]. Exposed for testing.
-class DocFrequencyPosterior {
+// The per-database constants of the Appendix B posterior grid, shared by
+// every sample-frequency posterior of one database: the deduplicated
+// log-spaced integer support over [1, |D|] plus, per grid point, the
+// precomputed prior γ·ln d and the binomial log-bases ln(d/|D|) and
+// ln(1 − d/|D|). Flat (SoA) contiguous arrays, so building one posterior
+// from the basis is a single fused, vectorizable pass over the grid —
+// only the two multipliers s and |S|−s depend on the word.
+//
+// Grid points with 1 − d/|D| <= 0 (d has reached |D|) have no finite
+// ln(1 − d/|D|); the support is strictly increasing, so they form a
+// suffix starting at zero_q_begin() and their log_q() slots are unused.
+class PosteriorGridBasis {
  public:
-  DocFrequencyPosterior(size_t sample_df, size_t sample_size, double db_size,
-                        double gamma, size_t grid_points);
+  PosteriorGridBasis(double db_size, double gamma, size_t grid_points);
 
-  // Draws one d value.
-  double Sample(util::Rng& rng) const;
-
+  size_t size() const { return support_.size(); }
   const std::vector<double>& support() const { return support_; }
-  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<double>& prior_log_weight() const { return prior_; }
+  const std::vector<double>& log_p() const { return log_p_; }
+  const std::vector<double>& log_q() const { return log_q_; }
+  size_t zero_q_begin() const { return zero_q_begin_; }
+
+  double db_size() const { return db_size_; }
+  double gamma() const { return gamma_; }
+  size_t grid_points() const { return grid_points_; }
 
  private:
   std::vector<double> support_;
-  std::vector<double> weights_;
-  util::DiscreteSampler sampler_;
+  std::vector<double> prior_;
+  std::vector<double> log_p_;
+  std::vector<double> log_q_;
+  size_t zero_q_begin_ = 0;
+  double db_size_ = 1.0;
+  double gamma_ = 0.0;
+  size_t grid_points_ = 0;
+};
+
+// The posterior over a query word's true document frequency given its
+// sample frequency (Appendix B):
+//   p(d | s) ∝ Binomial(s; |S|, d/|D|) · c·d^γ
+// with γ = 1/α − 1 from the database's Mandelbrot fit. Discretized on the
+// log-spaced grid of a PosteriorGridBasis; stores only the flat weight and
+// CDF arrays (the basis is shared across all of a database's posteriors).
+// Exposed for testing.
+class DocFrequencyPosterior {
+ public:
+  // Convenience overload: builds a private basis. Prefer the shared-basis
+  // overload on hot paths (PosteriorCache pins one basis per database).
+  DocFrequencyPosterior(size_t sample_df, size_t sample_size, double db_size,
+                        double gamma, size_t grid_points);
+  DocFrequencyPosterior(std::shared_ptr<const PosteriorGridBasis> basis,
+                        size_t sample_df, size_t sample_size);
+
+  // Draws one d value.
+  double Sample(util::Rng& rng) const {
+    return basis_->support()[SampleIndex(rng)];
+  }
+
+  // Draws a grid index by inverse-CDF lookup. Consumes exactly one
+  // rng.NextDouble() and returns exactly the index util::DiscreteSampler's
+  // lower_bound search would (first cdf >= x, end-clamped), so the serial
+  // RNG-draw stream and the drawn d sequence are unchanged from the
+  // sampler-based implementation — the guide table only skips ahead to a
+  // proven lower bound of that index, making the draw O(1) instead of a
+  // binary search. Defined here so the Monte-Carlo draw loop inlines it.
+  size_t SampleIndex(util::Rng& rng) const {
+    if (cdf_.empty()) return 0;
+    if (cdf_.back() <= 0.0) return 0;
+    const double x = rng.NextDouble();
+    // x < 1 (NextDouble is in [0, 1)), so the bucket index stays < kGuideBuckets.
+    size_t i = guide_[static_cast<size_t>(x * kGuideBuckets)];
+    const double* cdf = cdf_.data();
+    const size_t last = cdf_.size() - 1;
+    while (i < last && cdf[i] < x) ++i;
+    return i;
+  }
+
+  size_t size() const { return weights_.size(); }
+  const std::vector<double>& support() const { return basis_->support(); }
+  const std::vector<double>& weights() const { return weights_; }
+  const PosteriorGridBasis& basis() const { return *basis_; }
+
+  // Flat views of the draw machinery for callers that unroll SampleIndex
+  // into their own loop (AdaptiveSummarySelector's fast path): the
+  // normalized inclusive-prefix-sum CDF and the guide table.
+  const std::vector<double>& cdf() const { return cdf_; }
+  const std::vector<uint32_t>& guide() const { return guide_; }
+
+  // Guide-table resolution for SampleIndex: bucket b covers draws in
+  // [b/kGuideBuckets, (b+1)/kGuideBuckets) and guide_[b] holds the first
+  // index whose cdf is >= b/kGuideBuckets — a lower bound on the answer
+  // for every x in the bucket, so the forward scan is O(1) on average.
+  static constexpr size_t kGuideBuckets = 64;
+
+ private:
+  // The sample-frequency-dependent pass: log-likelihood over the basis
+  // grid, exp-normalization, and the inclusive prefix-sum CDF.
+  void BuildWeights(size_t sample_df, size_t sample_size);
+
+  std::shared_ptr<const PosteriorGridBasis> basis_;
+  std::vector<double> weights_;   // exp(lw − max lw), in [0, 1]
+  std::vector<double> cdf_;       // normalized inclusive prefix sums
+  std::vector<uint32_t> guide_;   // kGuideBuckets scan starting points
 };
 
 class PosteriorCache;

@@ -1,5 +1,6 @@
 #include "fedsearch/core/metasearcher.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "fedsearch/util/metrics.h"
@@ -89,6 +90,20 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
   plain_statistics_ = selection::ScoringStatisticsCache(plain_views);
   shrunk_statistics_ = selection::ScoringStatisticsCache(shrunk_views);
   posterior_cache_.Reset(samples_.size());
+  // Pin each shard's posterior parameters and build the shared grid basis
+  // (support + γ·ln d prior + binomial log-bases) here, off the query
+  // path: the parameters are constants of the database's sample, and
+  // pinning them up front turns any later mismatch into a DCHECK instead
+  // of a silently stale grid. Degraded databases never reach the adaptive
+  // evaluation, so their shards stay unpinned.
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    if (degraded_[i]) continue;
+    const sampling::SampleResult& s = samples_[i];
+    posterior_cache_.PinParams(i, s.sample_size,
+                               std::max(1.0, s.estimated_db_size),
+                               PowerLawGamma(s.mandelbrot_alpha),
+                               options_.adaptive.grid_points);
+  }
   num_threads_ = options_.num_threads > 0
                      ? options_.num_threads
                      : util::ThreadPool::DefaultThreadCount();

@@ -20,6 +20,35 @@ void PosteriorCache::Reset(size_t num_databases) {
   misses_.Reset();
 }
 
+const std::shared_ptr<const PosteriorGridBasis>&
+PosteriorCache::EnsureBasisLocked(size_t database, Shard& shard,
+                                  size_t sample_size, double db_size,
+                                  double gamma, size_t grid_points) {
+  if (!shard.has_params) {
+    shard.params = Params{sample_size, db_size, gamma, grid_points};
+    shard.has_params = true;
+  } else {
+    // The cache key is (database, sample_df) only: parameters that drift
+    // between calls would silently hand back grids built from stale
+    // values, so the first-seen parameters are pinned per shard.
+    FEDSEARCH_DCHECK(shard.params.sample_size == sample_size &&
+                     shard.params.db_size == db_size &&
+                     shard.params.gamma == gamma &&
+                     shard.params.grid_points == grid_points)
+        << " posterior params changed for database " << database
+        << ": sample_size " << shard.params.sample_size << " vs "
+        << sample_size << ", db_size " << shard.params.db_size << " vs "
+        << db_size << ", gamma " << shard.params.gamma << " vs " << gamma
+        << ", grid_points " << shard.params.grid_points << " vs "
+        << grid_points;
+  }
+  if (shard.basis == nullptr) {
+    shard.basis =
+        std::make_shared<PosteriorGridBasis>(db_size, gamma, grid_points);
+  }
+  return shard.basis;
+}
+
 const DocFrequencyPosterior& PosteriorCache::Get(
     size_t database, size_t sample_df, size_t sample_size, double db_size,
     double gamma, size_t grid_points, const util::TraceContext& trace) {
@@ -38,6 +67,11 @@ const DocFrequencyPosterior& PosteriorCache::Get(
       util::GlobalMetrics().counter("posterior_cache.hits");
   static util::Counter& global_misses =
       util::GlobalMetrics().counter("posterior_cache.misses");
+  // Pin-or-validate the shard parameters on EVERY call, hits included: a
+  // hit under drifted parameters would otherwise silently serve a grid
+  // built from stale values (the key is (database, sample_df) only).
+  const std::shared_ptr<const PosteriorGridBasis>& basis = EnsureBasisLocked(
+      database, shard, sample_size, db_size, gamma, grid_points);
   auto it = shard.by_df.find(sample_df);
   if (it != shard.by_df.end()) {
     hits_.Add();
@@ -51,9 +85,22 @@ const DocFrequencyPosterior& PosteriorCache::Get(
   util::Tracer::Scope build_span("posterior_grid_build", trace);
   build_span.AttrUint("database", database).AttrUint("sample_df", sample_df);
   auto posterior = std::make_unique<DocFrequencyPosterior>(
-      sample_df, sample_size, db_size, gamma, grid_points);
+      basis, sample_df, sample_size);
   return *shard.by_df.emplace(sample_df, std::move(posterior))
               .first->second;
+}
+
+void PosteriorCache::PinParams(size_t database, size_t sample_size,
+                               double db_size, double gamma,
+                               size_t grid_points) {
+  FEDSEARCH_CHECK(database < shards_.size())
+      << " database " << database << " of " << shards_.size();
+  FEDSEARCH_CHECK(grid_points > 0);
+  FEDSEARCH_DCHECK(std::isfinite(gamma) && std::isfinite(db_size));
+  Shard& shard = *shards_[database];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  EnsureBasisLocked(database, shard, sample_size, db_size, gamma,
+                    grid_points);
 }
 
 PosteriorCache::Stats PosteriorCache::stats() const {

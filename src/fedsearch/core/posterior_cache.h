@@ -43,7 +43,14 @@ class PosteriorCache {
   // built on first use from the given sample parameters. The caller must
   // pass the same (sample_size, db_size, gamma, grid_points) for every
   // call with the same database — they are properties of the database's
-  // sample, not of the query.
+  // sample, not of the query. The shard records the first-seen parameters
+  // and FEDSEARCH_DCHECKs every later call against them: a mismatch would
+  // otherwise silently return a grid built from stale parameters.
+  //
+  // All of a database's posteriors share one PosteriorGridBasis (support,
+  // γ·ln d prior, binomial log-bases), built on the shard's first miss —
+  // or ahead of time via PinParams — so a miss only runs the flat
+  // log-likelihood + CDF pass.
   //
   // `trace` (optional): a miss records a posterior_grid_build span under
   // the caller's request trace, so timelines show which requests paid the
@@ -53,6 +60,14 @@ class PosteriorCache {
                                    size_t sample_size, double db_size,
                                    double gamma, size_t grid_points,
                                    const util::TraceContext& trace = {});
+
+  // Pre-registers `database`'s grid parameters and eagerly builds its
+  // shared PosteriorGridBasis off the query path (the Metasearcher calls
+  // this per database at construction). Idempotent for identical
+  // parameters; a conflicting re-pin trips the same FEDSEARCH_DCHECK as a
+  // mismatched Get.
+  void PinParams(size_t database, size_t sample_size, double db_size,
+                 double gamma, size_t grid_points);
 
   struct Stats {
     uint64_t hits = 0;
@@ -70,10 +85,28 @@ class PosteriorCache {
   size_t size() const;
 
  private:
+  // The per-database sample parameters every Get call must agree on.
+  struct Params {
+    size_t sample_size = 0;
+    double db_size = 1.0;
+    double gamma = 0.0;
+    size_t grid_points = 0;
+  };
   struct Shard {
     std::mutex mu;
+    bool has_params = false;
+    Params params;
+    // Shared by every posterior of this database; built on first miss or
+    // by PinParams.
+    std::shared_ptr<const PosteriorGridBasis> basis;
     std::unordered_map<size_t, std::unique_ptr<DocFrequencyPosterior>> by_df;
   };
+
+  // Records (or validates) the shard's parameters and returns its basis,
+  // building it on first use. Caller must hold shard.mu.
+  const std::shared_ptr<const PosteriorGridBasis>& EnsureBasisLocked(
+      size_t database, Shard& shard, size_t sample_size, double db_size,
+      double gamma, size_t grid_points);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   // Per-instance counts (exposed via stats()); Get also mirrors them into

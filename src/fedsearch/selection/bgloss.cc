@@ -1,12 +1,30 @@
 #include "fedsearch/selection/bgloss.h"
 
+#include <algorithm>
+
 namespace fedsearch::selection {
+namespace {
+
+// p̂(w|D) from a raw document frequency, replicating SummaryView::ProbDoc
+// exactly (min(1, df/n) clamped at n <= 0).
+double ProbDocFromDf(double df_raw, double num_docs) {
+  if (num_docs <= 0.0) return 0.0;
+  return std::min(1.0, df_raw / num_docs);
+}
+
+}  // namespace
 
 double BglossScorer::Score(const Query& query, const summary::SummaryView& db,
                            const ScoringContext&) const {
-  double score = db.num_documents();
+  // Same arithmetic as the delta-protocol fold (CombineInit = |D|, one
+  // ProbDocFromDf factor per term) with num_documents hoisted and no
+  // virtual dispatch, plus the early return (see bgloss.h: the shortcut is
+  // bit-equivalent to folding through). Bit-identity to the fold is pinned
+  // by tests/selection/scorers_test.cc.
+  const double num_docs = db.num_documents();
+  double score = num_docs;
   for (const std::string& w : query.terms) {
-    score *= db.ProbDoc(w);
+    score *= ProbDocFromDf(db.DocFrequency(w), num_docs);
     if (score == 0.0) return 0.0;
   }
   return score;
@@ -15,6 +33,38 @@ double BglossScorer::Score(const Query& query, const summary::SummaryView& db,
 double BglossScorer::DefaultScore(const Query&, const summary::SummaryView&,
                                   const ScoringContext&) const {
   return 0.0;
+}
+
+double BglossScorer::CombineInit(const Query&, const summary::SummaryView& db,
+                                 const ScoringContext&) const {
+  return db.num_documents();
+}
+
+double BglossScorer::TermContribution(const Query& query, size_t term_index,
+                                      const summary::SummaryView& db,
+                                      const ScoringContext&) const {
+  return ProbDocFromDf(db.DocFrequency(query.terms[term_index]),
+                       db.num_documents());
+}
+
+double BglossScorer::TermContributionWithDf(const Query&, size_t,
+                                            double df_override,
+                                            const summary::SummaryView& db,
+                                            const ScoringContext&) const {
+  return ProbDocFromDf(df_override, db.num_documents());
+}
+
+void BglossScorer::TermContributionTable(const Query&, size_t,
+                                         const summary::SummaryView& db,
+                                         const ScoringContext&,
+                                         const double* dfs, size_t count,
+                                         double* out) const {
+  // Only |D| to hoist; the override exists to skip the per-point virtual
+  // dispatch of the default loop.
+  const double num_docs = db.num_documents();
+  for (size_t g = 0; g < count; ++g) {
+    out[g] = ProbDocFromDf(dfs[g], num_docs);
+  }
 }
 
 }  // namespace fedsearch::selection

@@ -32,35 +32,117 @@ size_t CollectionFrequency(const std::string& word,
   return cf;
 }
 
+// Belief of one term given a raw document frequency `df_raw` out of
+// `num_docs` documents. Replicates SummaryView::ProbDoc / ContainsRounded
+// arithmetic exactly (p = min(1, df/n) clamped at n <= 0, presence =
+// round(n·p) >= 1) so the value is bit-identical whether the df comes from
+// the summary itself or from a Monte-Carlo override.
+double TermBelief(const std::string& word, double df_raw, double num_docs,
+                  double cw, double mcw, double m,
+                  const ScoringContext& context) {
+  double belief = kBeliefFloor;
+  const double p =
+      num_docs <= 0.0 ? 0.0 : std::min(1.0, df_raw / num_docs);
+  if (std::lround(num_docs * p) >= 1) {
+    const double df = p * num_docs;
+    const double t = df / (df + 50.0 + 150.0 * cw / mcw);
+    const size_t cf = std::max<size_t>(1, CollectionFrequency(word, context));
+    const double i =
+        std::log((m + 0.5) / static_cast<double>(cf)) / std::log(m + 1.0);
+    belief += 0.6 * t * i;
+  }
+  return belief;
+}
+
+double RankedCount(const ScoringContext& context) {
+  return static_cast<double>(
+      std::max<size_t>(1, context.ranked_summaries.size()));
+}
+
 }  // namespace
 
 double CoriScorer::Score(const Query& query, const summary::SummaryView& db,
                          const ScoringContext& context) const {
   if (query.terms.empty()) return kBeliefFloor;
-  const double m =
-      static_cast<double>(std::max<size_t>(1, context.ranked_summaries.size()));
-  const double mcw = MeanCollectionWords(context);
+  // Same arithmetic as the delta-protocol fold (CombineInit = 0, one
+  // TermBelief per term, FinalizeScore divide) with the per-database
+  // invariants hoisted and no virtual dispatch; bit-identity to the fold
+  // is pinned by tests/selection/scorers_test.cc.
+  const double num_docs = db.num_documents();
   const double cw = db.total_tokens();
-
-  double score = 0.0;
+  const double mcw = MeanCollectionWords(context);
+  const double m = RankedCount(context);
+  double combined = 0.0;
   for (const std::string& w : query.terms) {
-    double belief = kBeliefFloor;
-    if (db.ContainsRounded(w)) {
-      const double df = db.ProbDoc(w) * db.num_documents();
-      const double t = df / (df + 50.0 + 150.0 * cw / mcw);
-      const size_t cf = std::max<size_t>(1, CollectionFrequency(w, context));
-      const double i =
-          std::log((m + 0.5) / static_cast<double>(cf)) / std::log(m + 1.0);
-      belief += 0.6 * t * i;
-    }
-    score += belief;
+    combined += TermBelief(w, db.DocFrequency(w), num_docs, cw, mcw, m,
+                           context);
   }
-  return score / static_cast<double>(query.terms.size());
+  return combined / static_cast<double>(query.terms.size());
 }
 
 double CoriScorer::DefaultScore(const Query&, const summary::SummaryView&,
                                 const ScoringContext&) const {
   return kBeliefFloor;
+}
+
+double CoriScorer::CombineInit(const Query&, const summary::SummaryView&,
+                               const ScoringContext&) const {
+  return 0.0;
+}
+
+double CoriScorer::TermContribution(const Query& query, size_t term_index,
+                                    const summary::SummaryView& db,
+                                    const ScoringContext& context) const {
+  const std::string& w = query.terms[term_index];
+  return TermBelief(w, db.DocFrequency(w), db.num_documents(),
+                    db.total_tokens(), MeanCollectionWords(context),
+                    RankedCount(context), context);
+}
+
+double CoriScorer::TermContributionWithDf(const Query& query,
+                                          size_t term_index,
+                                          double df_override,
+                                          const summary::SummaryView& db,
+                                          const ScoringContext& context) const {
+  return TermBelief(query.terms[term_index], df_override, db.num_documents(),
+                    db.total_tokens(), MeanCollectionWords(context),
+                    RankedCount(context), context);
+}
+
+void CoriScorer::TermContributionTable(const Query& query, size_t term_index,
+                                       const summary::SummaryView& db,
+                                       const ScoringContext& context,
+                                       const double* dfs, size_t count,
+                                       double* out) const {
+  const std::string& w = query.terms[term_index];
+  const double num_docs = db.num_documents();
+  const double cw = db.total_tokens();
+  const double mcw = MeanCollectionWords(context);
+  const double m = RankedCount(context);
+  // The term-invariant pieces of TermBelief, hoisted out of the per-point
+  // body. Each hoisted value is a self-contained sub-expression of
+  // TermBelief (same association), so out[g] stays bit-identical to the
+  // per-point TermContributionWithDf call.
+  const double cw_term = 150.0 * cw / mcw;
+  const size_t cf = std::max<size_t>(1, CollectionFrequency(w, context));
+  const double i =
+      std::log((m + 0.5) / static_cast<double>(cf)) / std::log(m + 1.0);
+  for (size_t g = 0; g < count; ++g) {
+    double belief = kBeliefFloor;
+    const double p =
+        num_docs <= 0.0 ? 0.0 : std::min(1.0, dfs[g] / num_docs);
+    if (std::lround(num_docs * p) >= 1) {
+      const double df = p * num_docs;
+      const double t = df / (df + 50.0 + cw_term);
+      belief += 0.6 * t * i;
+    }
+    out[g] = belief;
+  }
+}
+
+double CoriScorer::FinalizeScore(const Query& query, double combined) const {
+  if (query.terms.empty()) return kBeliefFloor;
+  return combined / static_cast<double>(query.terms.size());
 }
 
 }  // namespace fedsearch::selection

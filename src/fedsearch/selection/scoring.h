@@ -108,6 +108,13 @@ class ScoringStatisticsCache {
       std::make_unique<StatsCells>();
 };
 
+// How a delta-capable scorer's per-term contributions combine into one
+// query score (before FinalizeScore).
+enum class TermCombine {
+  kSum,      // score = FinalizeScore(init + Σ contribution)  (CORI)
+  kProduct,  // score = FinalizeScore(init · Π contribution)  (LM, bGlOSS)
+};
+
 // A database selection algorithm: assigns s(q, D) from D's content summary
 // (Section 2.1). Implementations must be stateless so one instance can be
 // shared across threads and experiments.
@@ -132,6 +139,125 @@ class ScoringFunction {
   // factored uncertainty computation of Section 4). All three paper
   // algorithms qualify.
   virtual bool independent_terms() const { return true; }
+
+  // --- Delta-scoring protocol (the adaptive Monte-Carlo fast path) ---
+  //
+  // A scorer that treats query terms independently can expose its score as
+  // a fold of per-term contributions:
+  //
+  //   combined = CombineInit(q, D, ctx)
+  //   for i in terms: combined (+|·)= TermContribution(q, i, D, ctx)
+  //   score = FinalizeScore(q, combined)
+  //
+  // The adaptive selector (core/adaptive.cc) then re-scores the summary
+  // under a "word w_k appears in exactly d_k documents" counterfactual by
+  // recomputing only the perturbed terms via TermContributionWithDf — no
+  // per-draw summary view, no vocabulary indirection.
+  //
+  // Contract for implementers (pinned by tests/selection/scorers_test.cc):
+  //  - Score(q, D, ctx) is BIT-IDENTICAL to the fold above, and
+  //  - TermContributionWithDf(q, i, D.DocFrequency(terms[i]) with the
+  //    override semantics of core::OverrideSummary, D, ctx) is
+  //    bit-identical to TermContribution(q, i, OverrideSummary, ctx).
+  // The adaptive selector relies on this to keep selection results
+  // independent of which path scored a draw.
+  virtual bool supports_delta_scoring() const { return false; }
+  virtual TermCombine term_combine() const { return TermCombine::kSum; }
+  // Fold seed (0 for sums; 1 or a db-dependent factor for products). The
+  // defaults below abort: they must be overridden together with
+  // supports_delta_scoring().
+  virtual double CombineInit(const Query& query,
+                             const summary::SummaryView& db,
+                             const ScoringContext& context) const;
+  // Contribution of query.terms[term_index] read from `db` as-is.
+  virtual double TermContribution(const Query& query, size_t term_index,
+                                  const summary::SummaryView& db,
+                                  const ScoringContext& context) const;
+  // Contribution of query.terms[term_index] if its document frequency in
+  // `db` were `df_override` (token frequency scaled proportionally, the
+  // same rule core::OverrideSummary applies).
+  virtual double TermContributionWithDf(const Query& query, size_t term_index,
+                                        double df_override,
+                                        const summary::SummaryView& db,
+                                        const ScoringContext& context) const;
+  // Fills out[g] = TermContributionWithDf(query, term_index, dfs[g], db,
+  // context) for g in [0, count). The default does exactly that loop; the
+  // paper scorers override it to hoist term-invariant work (CORI's cf
+  // lookup and idf logs, LM's global-smoothing lookup) out of the
+  // per-point body — the adaptive selector tabulates every distinct term
+  // over its full posterior support through this call. Overrides must stay
+  // bit-identical to the per-point calls (pinned by scorers_test.cc).
+  virtual void TermContributionTable(const Query& query, size_t term_index,
+                                     const summary::SummaryView& db,
+                                     const ScoringContext& context,
+                                     const double* dfs, size_t count,
+                                     double* out) const;
+  virtual double FinalizeScore(const Query& query, double combined) const;
+};
+
+// Per-(query, database) delta-scoring state: the fold parameters and the
+// base summary's per-term contributions, captured once. A Monte-Carlo draw
+// replaces the perturbed terms' contributions (ContributionAt) and refolds
+// (ScoreFromContributions) — O(|query|) arithmetic per draw.
+class DeltaScoreState {
+ public:
+  // All referents must outlive this object; scorer.supports_delta_scoring()
+  // must be true.
+  DeltaScoreState(const ScoringFunction& scorer, const Query& query,
+                  const summary::SummaryView& db,
+                  const ScoringContext& context)
+      : scorer_(&scorer),
+        query_(&query),
+        db_(&db),
+        context_(&context),
+        combine_(scorer.term_combine()),
+        init_(scorer.CombineInit(query, db, context)) {
+    base_contributions_.reserve(query.terms.size());
+    for (size_t i = 0; i < query.terms.size(); ++i) {
+      base_contributions_.push_back(
+          scorer.TermContribution(query, i, db, context));
+    }
+  }
+
+  TermCombine combine() const { return combine_; }
+  double init() const { return init_; }
+  const std::vector<double>& base_contributions() const {
+    return base_contributions_;
+  }
+
+  // Contribution of terms[term_index] under an overridden document
+  // frequency.
+  double ContributionAt(size_t term_index, double df_override) const {
+    return scorer_->TermContributionWithDf(*query_, term_index, df_override,
+                                           *db_, *context_);
+  }
+
+  double Finalize(double combined) const {
+    return scorer_->FinalizeScore(*query_, combined);
+  }
+
+  // Folds `contributions` (one per query term, in term order) and
+  // finalizes — bit-identical to ScoringFunction::Score over a summary
+  // exhibiting those per-term values.
+  double ScoreFromContributions(const double* contributions,
+                                size_t count) const {
+    double combined = init_;
+    if (combine_ == TermCombine::kSum) {
+      for (size_t i = 0; i < count; ++i) combined += contributions[i];
+    } else {
+      for (size_t i = 0; i < count; ++i) combined *= contributions[i];
+    }
+    return scorer_->FinalizeScore(*query_, combined);
+  }
+
+ private:
+  const ScoringFunction* scorer_;
+  const Query* query_;
+  const summary::SummaryView* db_;
+  const ScoringContext* context_;
+  TermCombine combine_;
+  double init_;
+  std::vector<double> base_contributions_;
 };
 
 }  // namespace fedsearch::selection

@@ -17,8 +17,20 @@ class Rng {
  public:
   explicit Rng(uint64_t seed);
 
-  // Uniform 64-bit value.
-  uint64_t NextUint64();
+  // Uniform 64-bit value (xoshiro256** step). Defined inline: hot
+  // Monte-Carlo loops draw millions of values and must not pay a call per
+  // draw.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   // Uniform integer in [0, bound). `bound` must be > 0.
   uint64_t NextBounded(uint64_t bound);
@@ -27,7 +39,9 @@ class Rng {
   int64_t NextInt(int64_t lo, int64_t hi);
 
   // Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
 
   // Uniform double in [lo, hi).
   double NextDouble(double lo, double hi);
@@ -58,6 +72,8 @@ class Rng {
   Rng Fork();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t s_[4];
   bool have_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;

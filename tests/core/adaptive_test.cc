@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include "fedsearch/core/posterior_cache.h"
 #include "fedsearch/selection/bgloss.h"
+#include "fedsearch/selection/cori.h"
+#include "fedsearch/util/deadline.h"
+#include "fedsearch/util/metrics.h"
 
 namespace fedsearch::core {
 namespace {
@@ -149,6 +153,89 @@ TEST(DocFrequencyPosteriorTest, SamplesStayInSupport) {
     const double d = post.Sample(rng);
     EXPECT_GE(d, 1.0);
     EXPECT_LE(d, 5000.0);
+  }
+}
+
+TEST(DocFrequencyPosteriorTest, SampleIndexMatchesDiscreteSamplerStream) {
+  // The flat CDF + guide-table draw must replicate util::DiscreteSampler
+  // bit-for-bit: same single NextDouble per draw, same index. This is the
+  // contract that keeps the serial RNG-draw stream identical to the
+  // sampler-based implementation.
+  const DocFrequencyPosterior posts[] = {
+      DocFrequencyPosterior(7, 200, 30000, -2.0, 64),
+      DocFrequencyPosterior(0, 300, 100000, -2.0, 128),
+      DocFrequencyPosterior(95, 100, 1000, -1.5, 64),
+  };
+  for (const DocFrequencyPosterior& post : posts) {
+    util::DiscreteSampler sampler(post.weights());
+    util::Rng a(42);
+    util::Rng b(42);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_EQ(post.SampleIndex(a), sampler.Sample(b));
+    }
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());  // streams stayed in step
+  }
+}
+
+TEST(DocFrequencyPosteriorTest, SingleDocumentDatabaseEdgeGrid) {
+  // |D| = 1 collapses the grid to the single point d = 1; every draw must
+  // land there with a well-formed (finite, normalized) weight.
+  const DocFrequencyPosterior post(/*sample_df=*/0, /*sample_size=*/10,
+                                   /*db_size=*/1.0, -2.0, 64);
+  ASSERT_EQ(post.support().size(), 1u);
+  EXPECT_DOUBLE_EQ(post.support()[0], 1.0);
+  ASSERT_EQ(post.weights().size(), 1u);
+  EXPECT_TRUE(std::isfinite(post.weights()[0]));
+  util::Rng rng(29);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(post.Sample(rng), 1.0);
+}
+
+TEST(DocFrequencyPosteriorTest, FullySampledWordEdgeGrid) {
+  // sample_df == sample_size: the (|S|−s)·ln(1−d/|D|) factor vanishes, so
+  // even the d = |D| grid point (where ln(1−d/|D|) is −inf) keeps a
+  // finite, positive weight — the posterior must lean toward large d.
+  const DocFrequencyPosterior post(/*sample_df=*/100, /*sample_size=*/100,
+                                   /*db_size=*/1000, -2.0, 64);
+  const auto& support = post.support();
+  const auto& weights = post.weights();
+  ASSERT_EQ(support.back(), 1000.0);
+  for (const double w : weights) {
+    ASSERT_TRUE(std::isfinite(w));
+    ASSERT_GE(w, 0.0);
+  }
+  EXPECT_GT(weights.back(), 0.0);  // d = |D| not struck by the -inf sentinel
+  size_t argmax = 0;
+  for (size_t i = 1; i < weights.size(); ++i) {
+    if (weights[i] > weights[argmax]) argmax = i;
+  }
+  EXPECT_GT(support[argmax], 500.0);
+}
+
+TEST(DocFrequencyPosteriorTest, SmallDatabaseSupportIsStrictlyIncreasing) {
+  // More grid points than integers in [1, |D|]: the log-spaced grid
+  // collides and must deduplicate into a strictly increasing support.
+  const DocFrequencyPosterior post(2, 10, 10.0, -2.0, 64);
+  const auto& support = post.support();
+  ASSERT_LE(support.size(), 10u);
+  for (size_t i = 1; i < support.size(); ++i) {
+    ASSERT_LT(support[i - 1], support[i]);
+  }
+  EXPECT_DOUBLE_EQ(support.front(), 1.0);
+  EXPECT_DOUBLE_EQ(support.back(), 10.0);
+}
+
+TEST(DocFrequencyPosteriorTest, SharedBasisMatchesPrivateBasisBitwise) {
+  // The two constructors must build identical grids: the shared-basis
+  // overload only hoists the word-independent arrays.
+  auto basis = std::make_shared<PosteriorGridBasis>(30000.0, -2.0, 64);
+  for (const size_t sample_df : {size_t{0}, size_t{7}, size_t{200}}) {
+    const DocFrequencyPosterior shared(basis, sample_df, 200);
+    const DocFrequencyPosterior priv(sample_df, 200, 30000.0, -2.0, 64);
+    ASSERT_EQ(shared.size(), priv.size());
+    for (size_t i = 0; i < shared.size(); ++i) {
+      ASSERT_EQ(shared.support()[i], priv.support()[i]);
+      ASSERT_EQ(shared.weights()[i], priv.weights()[i]);
+    }
   }
 }
 
@@ -329,6 +416,184 @@ TEST(AdaptiveSelectorTest, NearZeroMeanStillRunsFullCheckInterval) {
   // baselines; the earliest legitimate exit is one full check interval
   // later.
   EXPECT_GE(u.draws, options.min_draws + 50);
+}
+
+// CORI with the delta protocol switched off: Evaluate takes the legacy
+// OverrideSummary fallback path while scoring identically, so comparing
+// against the real CoriScorer pins fast-path-vs-fallback bit-identity.
+class NonDeltaCori : public selection::CoriScorer {
+ public:
+  bool supports_delta_scoring() const override { return false; }
+};
+
+sampling::SampleResult MakeMixedEvidenceSample() {
+  sampling::SampleResult s = MakeSample(50000, 300);
+  s.summary.SetWord("present", summary::WordStats{5000, 6000});
+  s.sample_df["present"] = 30;
+  s.summary.SetWord("other", summary::WordStats{900, 1500});
+  s.sample_df["other"] = 9;
+  return s;
+}
+
+TEST(AdaptiveSelectorTest, DeltaPathBitIdenticalToFallbackPath) {
+  const sampling::SampleResult s = MakeMixedEvidenceSample();
+  AdaptiveSummarySelector selector;
+  selection::CoriScorer delta;
+  NonDeltaCori fallback;
+  ASSERT_TRUE(delta.supports_delta_scoring());
+  ASSERT_FALSE(fallback.supports_delta_scoring());
+  selection::ScoringContext ctx;
+  ctx.ranked_summaries = {&s.summary};
+  const selection::Query query{{"present", "missing", "other"}};
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng_fast(seed);
+    util::Rng rng_slow(seed);
+    const auto fast = selector.Evaluate(query, s, delta, ctx, rng_fast);
+    const auto slow = selector.Evaluate(query, s, fallback, ctx, rng_slow);
+    EXPECT_GT(fast.draws, 0u);
+    EXPECT_EQ(fast.mean, slow.mean);
+    EXPECT_EQ(fast.stddev, slow.stddev);
+    EXPECT_EQ(fast.draws, slow.draws);
+    EXPECT_EQ(fast.use_shrinkage, slow.use_shrinkage);
+    // Both paths must also have consumed the identical RNG stream.
+    EXPECT_EQ(rng_fast.NextUint64(), rng_slow.NextUint64());
+  }
+}
+
+// ------------------------------------------------- duplicate query terms --
+
+TEST(AdaptiveSelectorTest, DuplicateTermsConsumeOneDrawPerDistinctWord) {
+  // A repeated query word denotes ONE latent document frequency: the RNG
+  // stream (and thus every downstream draw) must be identical whether the
+  // word appears once or twice.
+  const sampling::SampleResult s = MakeMixedEvidenceSample();
+  AdaptiveOptions options;
+  options.min_draws = 60;
+  options.max_draws = 60;  // fixed draw count -> comparable streams
+  AdaptiveSummarySelector selector(options);
+  selection::CoriScorer cori;
+  selection::ScoringContext ctx;
+  ctx.ranked_summaries = {&s.summary};
+  util::Rng rng_dup(11);
+  util::Rng rng_plain(11);
+  const auto dup = selector.Evaluate(
+      selection::Query{{"present", "missing", "present"}}, s, cori, ctx,
+      rng_dup);
+  const auto plain = selector.Evaluate(
+      selection::Query{{"present", "missing"}}, s, cori, ctx, rng_plain);
+  EXPECT_EQ(dup.draws, plain.draws);
+  EXPECT_EQ(rng_dup.NextUint64(), rng_plain.NextUint64());
+}
+
+TEST(AdaptiveSelectorTest, DuplicatedWordScoresAsItsSingleOccurrence) {
+  // CORI averages over occurrences, so q = [w w] must produce exactly the
+  // per-draw scores of q = [w]: (c + c) / 2 == c in IEEE double.
+  const sampling::SampleResult s = MakeMixedEvidenceSample();
+  AdaptiveOptions options;
+  options.require_mixed_evidence = false;  // single-word query variants
+  options.min_draws = 60;
+  options.max_draws = 60;
+  AdaptiveSummarySelector selector(options);
+  selection::CoriScorer cori;
+  selection::ScoringContext ctx;
+  ctx.ranked_summaries = {&s.summary};
+  util::Rng rng_dup(13);
+  util::Rng rng_single(13);
+  const auto dup = selector.Evaluate(selection::Query{{"present", "present"}},
+                                     s, cori, ctx, rng_dup);
+  const auto single =
+      selector.Evaluate(selection::Query{{"present"}}, s, cori, ctx,
+                        rng_single);
+  EXPECT_EQ(dup.mean, single.mean);
+  EXPECT_EQ(dup.stddev, single.stddev);
+  EXPECT_EQ(rng_dup.NextUint64(), rng_single.NextUint64());
+}
+
+TEST(AdaptiveSelectorTest, DuplicateTermsBuildOnePosteriorPerDistinctWord) {
+  const sampling::SampleResult s = MakeMixedEvidenceSample();
+  AdaptiveSummarySelector selector;
+  selection::CoriScorer cori;
+  selection::ScoringContext ctx;
+  ctx.ranked_summaries = {&s.summary};
+  PosteriorCache cache(1);
+  util::Rng rng(17);
+  selector.Evaluate(selection::Query{{"present", "missing", "present"}}, s,
+                    cori, ctx, rng, &cache, 0);
+  // Three occurrences, two distinct words -> exactly two grid builds.
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// ------------------------------------------------------ deadline skipping --
+
+TEST(AdaptiveSelectorTest, ExpiredDeadlineSkipIsCountedAsDisposition) {
+  const sampling::SampleResult s = MakeMixedEvidenceSample();
+  AdaptiveSummarySelector selector;
+  selection::BglossScorer bgloss;
+  selection::ScoringContext ctx;
+  util::Rng rng(19);
+  util::Counter& evals = util::GlobalMetrics().counter("adaptive.evaluations");
+  util::Counter& skipped =
+      util::GlobalMetrics().counter("adaptive.deadline_skipped");
+  util::Counter& shrunk =
+      util::GlobalMetrics().counter("adaptive.chose_shrunk");
+  util::Counter& plain = util::GlobalMetrics().counter("adaptive.chose_plain");
+  const uint64_t evals0 = evals.value();
+  const uint64_t skipped0 = skipped.value();
+  const uint64_t decided0 = shrunk.value() + plain.value();
+  PosteriorCache cache(1);
+  util::Deadline expired(0.0);  // born expired: zero budget
+  const auto u =
+      selector.Evaluate(selection::Query{{"present", "missing"}}, s, bgloss,
+                        ctx, rng, &cache, 0, &expired);
+  EXPECT_FALSE(u.use_shrinkage);
+  EXPECT_EQ(u.draws, 0u);
+  EXPECT_EQ(evals.value() - evals0, 1u);
+  EXPECT_EQ(skipped.value() - skipped0, 1u);
+  // The skip IS the disposition: chose_* stay untouched, preserving
+  // chose_shrunk + chose_plain + deadline_skipped == evaluations.
+  EXPECT_EQ(shrunk.value() + plain.value(), decided0);
+  EXPECT_EQ(cache.stats().misses + cache.stats().hits, 0u);
+}
+
+// --------------------------------------------------- zero-excess sentinel --
+
+// Scores above DefaultScore never (mean - default <= 0): the always-shrink
+// limit of the decision rule.
+class FloorHuggingScorer : public selection::ScoringFunction {
+ public:
+  std::string_view name() const override { return "floor-hugging"; }
+  double Score(const selection::Query&, const summary::SummaryView&,
+               const selection::ScoringContext&) const override {
+    return 0.25;
+  }
+  double DefaultScore(const selection::Query&, const summary::SummaryView&,
+                      const selection::ScoringContext&) const override {
+    return 0.5;
+  }
+};
+
+TEST(AdaptiveSelectorTest, ZeroExcessRecordsClampSentinelInRatioHistogram) {
+  sampling::SampleResult s = MakeSample(50000, 300);
+  s.summary.SetWord("w", summary::WordStats{300, 400});
+  s.sample_df["w"] = 2;
+  AdaptiveOptions options;
+  options.require_mixed_evidence = false;
+  AdaptiveSummarySelector selector(options);
+  FloorHuggingScorer scorer;
+  selection::ScoringContext ctx;
+  util::Rng rng(23);
+  util::Histogram& ratio =
+      util::GlobalMetrics().histogram("adaptive.sigma_mu_ratio_e3");
+  const uint64_t count0 = ratio.count();
+  const auto u =
+      selector.Evaluate(selection::Query{{"w"}}, s, scorer, ctx, rng);
+  // mean (0.25) is below the default score (0.5): excess is clamped to 0
+  // and any spread wins, i.e. shrinkage — but with zero stddev the rule
+  // needs strict inequality, so the decision is "plain" while the ratio
+  // histogram still records the 1e6-ratio sentinel (in milli-units).
+  EXPECT_EQ(ratio.count() - count0, 1u);
+  EXPECT_EQ(ratio.max(), static_cast<uint64_t>(1e6 * 1e3));
+  EXPECT_FALSE(u.use_shrinkage);  // stddev == 0 beats nothing
 }
 
 TEST(AdaptiveSelectorTest, DrawCountBounded) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fedsearch/util/check.h"
+
 #include "fedsearch/selection/bgloss.h"
 #include "fedsearch/selection/cori.h"
 
@@ -95,6 +97,59 @@ TEST(PosteriorCacheTest, CachedEvaluateIsBitIdenticalToUncached) {
   EXPECT_EQ(cache.stats().misses, 2u);
   EXPECT_EQ(cache.stats().hits, 8u);
 }
+
+TEST(PosteriorCacheTest, PosteriorsOfOneDatabaseShareOneGridBasis) {
+  // The flat-grid contract: every posterior of a shard is built from the
+  // same pinned PosteriorGridBasis (support / prior / log-base arrays are
+  // word-independent), whether the basis was pinned ahead of time or
+  // created by the first Get.
+  PosteriorCache cache(2);
+  cache.PinParams(/*database=*/0, /*sample_size=*/100, /*db_size=*/10000.0,
+                  /*gamma=*/-2.0, /*grid_points=*/64);
+  const DocFrequencyPosterior& a = cache.Get(0, 5, 100, 10000, -2.0, 64);
+  const DocFrequencyPosterior& b = cache.Get(0, 9, 100, 10000, -2.0, 64);
+  EXPECT_EQ(&a.basis(), &b.basis());
+  // A shard without PinParams pins on first use and shares thereafter.
+  const DocFrequencyPosterior& c = cache.Get(1, 5, 100, 20000, -3.0, 64);
+  const DocFrequencyPosterior& d = cache.Get(1, 9, 100, 20000, -3.0, 64);
+  EXPECT_EQ(&c.basis(), &d.basis());
+  EXPECT_NE(&a.basis(), &c.basis());
+  EXPECT_DOUBLE_EQ(a.basis().db_size(), 10000.0);
+}
+
+TEST(PosteriorCacheTest, PinParamsCostsNoCacheTraffic) {
+  PosteriorCache cache(1);
+  cache.PinParams(0, 100, 10000.0, -2.0, 64);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.size(), 0u);  // bases are not posterior entries
+}
+
+#if FEDSEARCH_DCHECK_IS_ON
+TEST(PosteriorCacheDeathTest, ParameterDriftIsFatal) {
+  // The cache key is (database, sample_df) only: parameters that drift
+  // between calls would silently hand back grids built from stale values.
+  PosteriorCache cache(1);
+  cache.Get(0, 5, 100, 10000, -2.0, 64);
+  EXPECT_DEATH(cache.Get(0, 5, 100, 20000, -2.0, 64),
+               "posterior params changed for database 0");
+  EXPECT_DEATH(cache.Get(0, 5, 200, 10000, -2.0, 64),
+               "posterior params changed");
+  EXPECT_DEATH(cache.Get(0, 5, 100, 10000, -1.5, 64),
+               "posterior params changed");
+  EXPECT_DEATH(cache.Get(0, 5, 100, 10000, -2.0, 32),
+               "posterior params changed");
+}
+
+TEST(PosteriorCacheDeathTest, PinnedParameterMismatchIsFatal) {
+  PosteriorCache cache(1);
+  cache.PinParams(0, 100, 10000.0, -2.0, 64);
+  EXPECT_DEATH(cache.PinParams(0, 100, 12000.0, -2.0, 64),
+               "posterior params changed");
+  EXPECT_DEATH(cache.Get(0, 5, 100, 12000, -2.0, 64),
+               "posterior params changed");
+}
+#endif  // FEDSEARCH_DCHECK_IS_ON
 
 }  // namespace
 }  // namespace fedsearch::core

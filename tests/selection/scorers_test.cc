@@ -1,7 +1,9 @@
 #include <cmath>
+#include <unordered_map>
 
 #include <gtest/gtest.h>
 
+#include "fedsearch/core/adaptive.h"
 #include "fedsearch/selection/bgloss.h"
 #include "fedsearch/selection/cori.h"
 #include "fedsearch/selection/lm.h"
@@ -153,6 +155,86 @@ TEST_F(ScorersTest, AllScorersDeclareIndependentTerms) {
   EXPECT_TRUE(BglossScorer().independent_terms());
   EXPECT_TRUE(CoriScorer().independent_terms());
   EXPECT_TRUE(LmScorer().independent_terms());
+}
+
+// -------------------------------------------------------- delta protocol --
+//
+// The adaptive Monte-Carlo fast path (core/adaptive.cc) rests on three
+// bit-identity contracts declared in scoring.h; these tests pin them for
+// every paper scorer.
+
+class DeltaProtocolTest : public ScorersTest {
+ protected:
+  DeltaProtocolTest() {
+    scorers_ = {&cori_scorer_, &lm_scorer_, &bgloss_scorer_};
+  }
+
+  CoriScorer cori_scorer_;
+  LmScorer lm_scorer_{0.5};
+  BglossScorer bgloss_scorer_;
+  std::vector<const ScoringFunction*> scorers_;
+};
+
+TEST_F(DeltaProtocolTest, FoldMatchesScoreBitwise) {
+  // Score(q, D, ctx) == FinalizeScore over the CombineInit/TermContribution
+  // fold, bit for bit — including missing words and the empty query.
+  const Query queries[] = {Query{{"blood", "hypertension"}},
+                           Query{{"algorithm", "blood", "nonexistent"}},
+                           Query{{"nonexistent"}},
+                           Query{}};
+  const summary::SummaryView* dbs[] = {&health_, &cs_};
+  for (const ScoringFunction* s : scorers_) {
+    ASSERT_TRUE(s->supports_delta_scoring()) << s->name();
+    for (const Query& q : queries) {
+      for (const summary::SummaryView* db : dbs) {
+        DeltaScoreState state(*s, q, *db, context_);
+        const double folded = state.ScoreFromContributions(
+            state.base_contributions().data(), q.terms.size());
+        EXPECT_EQ(folded, s->Score(q, *db, context_)) << s->name();
+      }
+    }
+  }
+}
+
+TEST_F(DeltaProtocolTest, ContributionTableMatchesPerPointBitwise) {
+  // The bulk tabulation (the hoisted loops of cori/lm/bgloss.cc) must
+  // reproduce the per-point TermContributionWithDf values exactly; df
+  // points cover absent (0), sub-presence (0.4, rounds to absent), small,
+  // fractional, large, and the full database size.
+  const Query q{{"blood", "hypertension", "nonexistent"}};
+  const double dfs[] = {0.0, 0.4, 1.0, 3.7, 320.0, 999.0, 1000.0};
+  const size_t count = sizeof(dfs) / sizeof(dfs[0]);
+  for (const ScoringFunction* s : scorers_) {
+    for (size_t t = 0; t < q.terms.size(); ++t) {
+      double table[count];
+      s->TermContributionTable(q, t, health_, context_, dfs, count, table);
+      for (size_t g = 0; g < count; ++g) {
+        EXPECT_EQ(table[g],
+                  s->TermContributionWithDf(q, t, dfs[g], health_, context_))
+            << s->name() << " term " << t << " df " << dfs[g];
+      }
+    }
+  }
+}
+
+TEST_F(DeltaProtocolTest, WithDfMatchesOverrideSummaryBitwise) {
+  // TermContributionWithDf must equal TermContribution read through
+  // core::OverrideSummary — the fallback path's perturbed view — so both
+  // Monte-Carlo paths score a draw identically. "blood" exercises the
+  // seen-word token-scaling rule, "nonexistent" the unseen-word rule.
+  const Query q{{"blood", "nonexistent"}};
+  const double df_points[] = {0.0, 0.4, 3.7, 420.0, 2000.0};
+  for (const ScoringFunction* s : scorers_) {
+    for (size_t t = 0; t < q.terms.size(); ++t) {
+      for (const double d : df_points) {
+        std::unordered_map<std::string, double> overrides = {{q.terms[t], d}};
+        core::OverrideSummary perturbed(&health_, &overrides);
+        EXPECT_EQ(s->TermContributionWithDf(q, t, d, health_, context_),
+                  s->TermContribution(q, t, perturbed, context_))
+            << s->name() << " term " << q.terms[t] << " df " << d;
+      }
+    }
+  }
 }
 
 }  // namespace
