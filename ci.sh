@@ -8,9 +8,14 @@
 #   ./ci.sh --clean --jobs release           # rebuild the tree from scratch
 #
 # Jobs (run in the order listed, regardless of --jobs order):
-#   lint            determinism lint over src/ + lint and timeline-analyzer
-#                   self-tests (python3)
-#   tidy            clang-tidy over src/ (skipped if clang-tidy missing)
+#   lint            determinism + concurrency/contract lints over src/ with
+#                   their self-tests, plus the timeline-analyzer self-test
+#                   (python3)
+#   tidy            clang-tidy over src/, tests/, and bench/; gating checks
+#                   come from .clang-tidy WarningsAsErrors
+#   tsa             clang -Wthread-safety -Werror replay of every project TU
+#                   (tools/run_clang_tsa.py) — enforces the FEDSEARCH_*
+#                   thread-safety annotations that gcc compiles as no-ops
 #   asan            Debug + AddressSanitizer, full ctest suite (minus bench)
 #   ubsan           Debug + UndefinedBehaviorSanitizer, same suite as asan
 #   tsan            Debug + ThreadSanitizer, concurrency tests only
@@ -30,6 +35,13 @@
 #                   >25% p95 growth fails the job), plus the adaptive-kernel
 #                   microbenchmarks gated at a jitter-tolerant 30%
 #
+# The tidy and tsa jobs need a clang toolchain. Without one they skip
+# with a notice by default; set FEDSEARCH_CI_STRICT=1 to make a missing
+# analyzer fail the job instead of skipping (for CI runners that are
+# supposed to have the toolchain, so a broken image cannot silently
+# drop the static tier). Both jobs share one configure-only tree,
+# build-ci/static, whose compile_commands.json drives them.
+#
 # All build trees live under build-ci/<name> and are reused across
 # invocations (configure+build runs at most once per tree per run);
 # --clean removes build-ci/ first for a from-scratch rebuild. The bench
@@ -43,10 +55,11 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_JOBS="lint tidy asan ubsan tsan release fuzz-regression smoke broker perf-smoke"
+ALL_JOBS="lint tidy tsa asan ubsan tsan release fuzz-regression smoke broker perf-smoke"
 SELECTED="$ALL_JOBS"
 JOBS="$(nproc)"
 CLEAN=0
+STRICT="${FEDSEARCH_CI_STRICT:-0}"
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -73,6 +86,19 @@ run() {
   "$@"
 }
 
+# missing_tool <job> <tool>: skip notice by default, hard failure under
+# FEDSEARCH_CI_STRICT=1 so a runner image without the analyzer cannot
+# silently pass the static tier.
+missing_tool() {
+  if [[ "$STRICT" == 1 ]]; then
+    echo "ci.sh: $2 not installed and FEDSEARCH_CI_STRICT=1;" \
+         "failing $1 job" >&2
+    exit 1
+  fi
+  echo "ci.sh: $2 not installed; skipping $1 job" \
+       "(FEDSEARCH_CI_STRICT=1 fails instead)"
+}
+
 if [[ "$CLEAN" == 1 ]]; then
   run rm -rf build-ci
 fi
@@ -92,23 +118,52 @@ ensure_tree() {
   BUILT[$dir]=1
 }
 
+# Configure-only tree shared by the tidy and tsa jobs. Both consume its
+# compile_commands.json (exported unconditionally by the top-level
+# CMakeLists) and never need object files, so it is never built.
+STATIC_CONFIGURED=0
+ensure_static_tree() {
+  [[ "$STATIC_CONFIGURED" == 1 ]] && return 0
+  run cmake -B build-ci/static -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DFEDSEARCH_DCHECK=ON
+  STATIC_CONFIGURED=1
+}
+
 # --- Static tier: fail fast before any compilation -----------------------
 if selected lint; then
   echo "=== job: lint ==="
   run python3 tools/lint_determinism.py src
   run python3 tools/lint_determinism_selftest.py
+  run python3 tools/lint_contracts.py src
+  run python3 tools/lint_contracts_selftest.py
   run python3 tools/analyze_timeline.py --selftest
 fi
 
 if selected tidy; then
   echo "=== job: tidy ==="
   if command -v clang-tidy >/dev/null 2>&1; then
-    run cmake -B build-ci/tidy -S . -DCMAKE_BUILD_TYPE=Debug
-    mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
-    run clang-tidy -p build-ci/tidy --quiet --warnings-as-errors='*' \
-      "${TIDY_SOURCES[@]}"
+    ensure_static_tree
+    # Tests and benches are covered too — they hold most of the raw
+    # concurrency (stress harnesses, bench worker pools). Which checks
+    # gate is owned by WarningsAsErrors in .clang-tidy, not overridden
+    # here.
+    mapfile -t TIDY_SOURCES < <(find src tests bench -name '*.cc' | sort)
+    run clang-tidy -p build-ci/static --quiet "${TIDY_SOURCES[@]}"
   else
-    echo "ci.sh: clang-tidy not installed; skipping tidy job"
+    missing_tool tidy clang-tidy
+  fi
+fi
+
+if selected tsa; then
+  echo "=== job: tsa ==="
+  # gcc compiles the FEDSEARCH_* thread-safety macros as no-ops; this
+  # replay is where the annotations are actually enforced.
+  if command -v clang++ >/dev/null 2>&1; then
+    ensure_static_tree
+    run python3 tools/run_clang_tsa.py \
+      build-ci/static/compile_commands.json -j "$JOBS"
+  else
+    missing_tool tsa clang++
   fi
 fi
 

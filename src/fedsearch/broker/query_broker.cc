@@ -143,7 +143,7 @@ double QueryBroker::PredictCostMs(core::SummaryMode mode,
 
 size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
                            double service_inflation) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Metrics().submitted.Add();
 
   // Root of this request's span tree. A fresh trace id per request; every
@@ -176,16 +176,7 @@ size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
   r.arrival_ms = now;
   r.service_inflation = service_inflation;
 
-  // Advance the virtual schedule to `now`: completions feed the admission
-  // EWMA in finish order, and requests whose start time passed free their
-  // queue slots.
-  while (!inflight_.empty() && inflight_.top().finish_ms <= now) {
-    admission_.ObserveService(inflight_.top().service_ms);
-    inflight_.pop();
-  }
-  while (!queue_release_.empty() && queue_release_.top() <= now) {
-    queue_release_.pop();
-  }
+  AdvanceVirtualClockLocked(now);
 
   // Layer 1: admission control, from observable state only (depth + EWMA).
   const size_t depth = queue_release_.size();
@@ -309,8 +300,18 @@ size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
   queue_.push_back(std::move(item));
   ++enqueued_;
   Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return seq;
+}
+
+void QueryBroker::AdvanceVirtualClockLocked(double now) {
+  while (!inflight_.empty() && inflight_.top().finish_ms <= now) {
+    admission_.ObserveService(inflight_.top().service_ms);
+    inflight_.pop();
+  }
+  while (!queue_release_.empty() && queue_release_.top() <= now) {
+    queue_release_.pop();
+  }
 }
 
 void QueryBroker::WorkerLoop() {
@@ -319,19 +320,17 @@ void QueryBroker::WorkerLoop() {
     // it one pool thread could claim two of these long-lived loops and
     // halve the real concurrency. Holding every loop until all indices are
     // claimed forces one loop per thread.
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++workers_started_;
-    started_cv_.notify_all();
-    started_cv_.wait(lock, [this] {
-      return workers_started_ >= options_.num_workers;
-    });
+    started_cv_.NotifyAll();
+    while (workers_started_ < options_.num_workers) started_cv_.Wait(mu_);
   }
   std::vector<QueueItem> batch;
   while (true) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping, and Shutdown drained the rest
       const size_t take = std::min(options_.max_batch, queue_.size());
       for (size_t i = 0; i < take; ++i) {
@@ -390,7 +389,7 @@ void QueryBroker::ExecuteOne(QueueItem& item) {
   execute_span.AttrStr("disposition", DispositionName(disposition))
       .AttrUint("evaluations", evaluations);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   RequestResult& r = results_[item.seq];
   r.disposition = disposition;
   r.ranking_hash = ranking_hash;
@@ -412,12 +411,25 @@ void QueryBroker::ExecuteOne(QueueItem& item) {
   ObserveSloLocked(disposition == Disposition::kServedFull ||
                    disposition == Disposition::kServedDegraded);
   ++completed_;
-  if (completed_ == enqueued_) drain_cv_.notify_all();
+  if (completed_ == enqueued_) drain_cv_.NotifyAll();
 }
 
 void QueryBroker::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return completed_ == enqueued_; });
+  util::MutexLock lock(mu_);
+  while (completed_ != enqueued_) drain_cv_.Wait(mu_);
+}
+
+void QueryBroker::CancelQueuedLocked() {
+  for (QueueItem& item : queue_) {
+    RequestResult& r = results_[item.seq];
+    r.disposition = Disposition::kCancelledShutdown;
+    r.finish_ms = last_now_ms_;
+    Metrics().cancelled.Add();
+    ObserveSloLocked(false);
+    ++completed_;
+  }
+  queue_.clear();
+  Metrics().queue_depth.Set(0.0);
 }
 
 void QueryBroker::Shutdown() {
@@ -425,29 +437,25 @@ void QueryBroker::Shutdown() {
     // Idempotent: a second call (e.g. the destructor after an explicit
     // Shutdown) finds an empty queue and a joined dispatcher and falls
     // through harmlessly.
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
-    // Whatever is still queued will never run; resolve it here so every
-    // submitted request reaches a terminal disposition even on a shutdown
-    // with a non-empty queue.
-    for (QueueItem& item : queue_) {
-      RequestResult& r = results_[item.seq];
-      r.disposition = Disposition::kCancelledShutdown;
-      r.finish_ms = last_now_ms_;
-      Metrics().cancelled.Add();
-      ObserveSloLocked(false);
-      ++completed_;
-    }
-    queue_.clear();
-    Metrics().queue_depth.Set(0.0);
+    // Whatever is still queued will never run; resolve it so every request
+    // reaches a terminal disposition.
+    CancelQueuedLocked();
   }
-  work_cv_.notify_all();
-  drain_cv_.notify_all();
+  work_cv_.NotifyAll();
+  drain_cv_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
   pool_.reset();
 }
 
+const std::vector<RequestResult>& QueryBroker::results() const {
+  util::MutexLock lock(mu_);
+  return results_;
+}
+
 BrokerStats QueryBroker::ComputeStats() const {
+  util::MutexLock lock(mu_);
   BrokerStats stats;
   stats.submitted = results_.size();
   for (const RequestResult& r : results_) {
@@ -499,7 +507,7 @@ void QueryBroker::ObserveSloLocked(bool good) {
 }
 
 std::string QueryBroker::StatuszJson(int indent) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   util::JsonWriter w(indent);
   w.BeginObject();
   w.Key("queue").BeginObject();

@@ -1,12 +1,10 @@
 #ifndef FEDSEARCH_BROKER_QUERY_BROKER_H_
 #define FEDSEARCH_BROKER_QUERY_BROKER_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -18,6 +16,8 @@
 #include "fedsearch/core/metasearcher.h"
 #include "fedsearch/selection/scoring.h"
 #include "fedsearch/util/deadline.h"
+#include "fedsearch/util/mutex.h"
+#include "fedsearch/util/thread_annotations.h"
 #include "fedsearch/util/thread_pool.h"
 #include "fedsearch/util/trace.h"
 
@@ -177,28 +177,31 @@ class QueryBroker {
   // request's cost model — the slow-fault hook. Returns the request's
   // index into results().
   size_t Submit(const selection::Query& query, double arrival_ms,
-                double service_inflation = 1.0);
+                double service_inflation = 1.0) FEDSEARCH_EXCLUDES(mu_);
 
   // Blocks until every admitted request has been executed and recorded.
-  void Drain();
+  void Drain() FEDSEARCH_EXCLUDES(mu_);
 
   // Stops the workers. Requests still queued are resolved as
   // kCancelledShutdown (clean shutdown with a non-empty queue is
   // supported and tested). Idempotent; the destructor calls it.
-  void Shutdown();
+  void Shutdown() FEDSEARCH_EXCLUDES(mu_);
 
-  // Per-request accounts, indexed by the value Submit returned.
-  const std::vector<RequestResult>& results() const { return results_; }
+  // Per-request accounts, indexed by the value Submit returned. The
+  // returned reference outlives the lock: per the class contract it is
+  // only stable (and only meaningful) once Drain() or Shutdown() returned
+  // and the workers have stopped mutating it.
+  const std::vector<RequestResult>& results() const FEDSEARCH_EXCLUDES(mu_);
 
   // Tallies results(); CHECK-fails on a kPending request, so calling it
   // after Drain doubles as the every-request-resolves invariant.
-  BrokerStats ComputeStats() const;
+  BrokerStats ComputeStats() const FEDSEARCH_EXCLUDES(mu_);
 
   // One-shot introspection snapshot of the live broker (queue/admission/
   // degradation/SLO state) as JSON — the payload behind bench_broker's
   // --statusz flag. Callable at any point in the broker's life, including
   // mid-load; takes the scheduler lock for a consistent picture.
-  std::string StatuszJson(int indent = 2) const;
+  std::string StatuszJson(int indent = 2) const FEDSEARCH_EXCLUDES(mu_);
 
  private:
   struct QueueItem {
@@ -232,42 +235,59 @@ class QueryBroker {
   double PredictCostMs(core::SummaryMode mode,
                        const util::Deadline::Costs& costs) const;
 
-  void WorkerLoop();
-  void ExecuteOne(QueueItem& item);
-  // Feeds the live SLO tracker and its gauges. Requires mu_. The live feed
-  // order for executed requests follows real completion timing, so these
-  // gauges are observational; deterministic SLO numbers come from
-  // ComputeStats' submit-order replay.
-  void ObserveSloLocked(bool good);
+  void WorkerLoop() FEDSEARCH_EXCLUDES(mu_);
+  void ExecuteOne(QueueItem& item) FEDSEARCH_EXCLUDES(mu_);
+  // Advances the virtual discrete-event schedule to `now`: completions
+  // whose finish time passed feed the admission EWMA in finish order, and
+  // requests whose start time passed free their virtual queue slots.
+  void AdvanceVirtualClockLocked(double now) FEDSEARCH_REQUIRES(mu_);
+  // Resolves everything still queued as kCancelledShutdown so every
+  // submitted request reaches a terminal disposition even on a shutdown
+  // with a non-empty queue.
+  void CancelQueuedLocked() FEDSEARCH_REQUIRES(mu_);
+  // Feeds the live SLO tracker and its gauges. The live feed order for
+  // executed requests follows real completion timing, so these gauges are
+  // observational; deterministic SLO numbers come from ComputeStats'
+  // submit-order replay.
+  void ObserveSloLocked(bool good) FEDSEARCH_REQUIRES(mu_);
 
   const core::Metasearcher* meta_;
   const selection::ScoringFunction* scorer_;
   BrokerOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable drain_cv_;
-  std::condition_variable started_cv_;
-  size_t workers_started_ = 0;
-  bool stopping_ = false;
-  std::deque<QueueItem> queue_;
-  std::vector<RequestResult> results_;
-  size_t enqueued_ = 0;
-  size_t completed_ = 0;
+  // Lock order: mu_ -> util::Tracer's internal lock (span scopes opened
+  // under mu_ record on destruction; the tracer never calls back into the
+  // broker). mu_ is never held across SelectDatabases or any other
+  // potentially-blocking call, and no broker path takes mu_ while holding
+  // a pool or shard lock.
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;
+  util::CondVar drain_cv_;
+  util::CondVar started_cv_;
+  size_t workers_started_ FEDSEARCH_GUARDED_BY(mu_) = 0;
+  bool stopping_ FEDSEARCH_GUARDED_BY(mu_) = false;
+  std::deque<QueueItem> queue_ FEDSEARCH_GUARDED_BY(mu_);
+  std::vector<RequestResult> results_ FEDSEARCH_GUARDED_BY(mu_);
+  size_t enqueued_ FEDSEARCH_GUARDED_BY(mu_) = 0;
+  size_t completed_ FEDSEARCH_GUARDED_BY(mu_) = 0;
 
   // Virtual scheduler state (guarded by mu_, advanced in arrival order).
-  double last_now_ms_ = 0.0;
-  std::vector<double> worker_free_ms_;
+  double last_now_ms_ FEDSEARCH_GUARDED_BY(mu_) = 0.0;
+  std::vector<double> worker_free_ms_ FEDSEARCH_GUARDED_BY(mu_);
   // Times at which waiting requests leave the queue (a worker reaches
   // them); size = virtual queue depth.
   std::priority_queue<double, std::vector<double>, std::greater<double>>
-      queue_release_;
+      queue_release_ FEDSEARCH_GUARDED_BY(mu_);
   std::priority_queue<VirtualCompletion, std::vector<VirtualCompletion>,
                       std::greater<VirtualCompletion>>
-      inflight_;
-  AdmissionController admission_;
-  DegradationPolicy degradation_;
-  SloTracker slo_;
+      inflight_ FEDSEARCH_GUARDED_BY(mu_);
+  AdmissionController admission_ FEDSEARCH_GUARDED_BY(mu_);
+  DegradationPolicy degradation_ FEDSEARCH_GUARDED_BY(mu_);
+  // SloTracker is not itself thread-safe by design; the broker owns the
+  // only instance and updates it under the scheduler lock.
+  SloTracker slo_ FEDSEARCH_GUARDED_BY(mu_);
+  // Set once in the constructor (before any worker exists), read-only
+  // afterwards — no guard needed.
   size_t databases_evaluated_per_query_ = 0;  // n - degraded (adaptive cost)
 
   std::unique_ptr<util::ThreadPool> pool_;

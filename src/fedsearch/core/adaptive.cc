@@ -291,18 +291,15 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
   Metrics().evaluations.Add();
   util::ScopedTimer evaluate_timer(Metrics().evaluate_ns);
   Uncertainty result;
-  if (deadline != nullptr) {
-    deadline->ChargeAdaptiveEvaluation();
-    // The charge that crosses the budget still lands (exact cost replay),
-    // but the Monte-Carlo work it pays for is skipped: the enclosing
-    // request is past its deadline and the decision would be discarded.
-    // The skip is still a disposition — counting it keeps
-    // chose_shrunk + chose_plain + deadline_skipped == evaluations, so
-    // /statusz consumers can reconcile the counters.
-    if (deadline->expired()) {
-      Metrics().deadline_skipped.Add();
-      return result;
-    }
+  // The charge that crosses the budget still lands (exact cost replay),
+  // but the Monte-Carlo work it pays for is skipped: the enclosing
+  // request is past its deadline and the decision would be discarded.
+  // The skip is still a disposition — counting it keeps
+  // chose_shrunk + chose_plain + deadline_skipped == evaluations, so
+  // /statusz consumers can reconcile the counters.
+  if (deadline != nullptr && !deadline->ChargeAdaptiveEvaluation()) {
+    Metrics().deadline_skipped.Add();
+    return result;
   }
   const double db_size = std::max(1.0, sample.estimated_db_size);
 
@@ -431,7 +428,8 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     // hashing, no vocabulary walk. Bit-identical to the fallback path
     // below by the ScoringFunction delta contract (and both paths consume
     // the same RNG stream).
-    selection::DeltaScoreState state(scorer, query, sample.summary, context);
+    const selection::DeltaScoreState state =
+        scorer.PrepareScoreState(query, sample.summary, context);
     size_t stride = 0;
     for (size_t k = 0; k < num_distinct; ++k) {
       stride = std::max(stride, posteriors[k]->size());

@@ -80,8 +80,12 @@ FederatedSearchResult SearchAndMergeRemote(
   }
   const double range = hi - lo;
 
+  // Tracks !expired() across charges: each ChargeSearch below reports
+  // whether the budget survived, which is exactly what the old per-
+  // iteration expired() head check read.
+  bool budget_ok = deadline == nullptr || !deadline->expired();
   for (size_t i = 0; i < searched; ++i) {
-    if (deadline != nullptr && deadline->expired()) {
+    if (!budget_ok) {
       // Shed the remaining fan-out: a partial merge now beats a complete
       // merge the caller will never wait for.
       out.databases_skipped = searched - i;
@@ -96,11 +100,13 @@ FederatedSearchResult SearchAndMergeRemote(
       // Hard fault from the remote; merging continues without it. A failed
       // call still costs a round trip, so it charges the model default.
       ++out.databases_failed;
-      if (deadline != nullptr) deadline->ChargeSearch(0.0);
+      if (deadline != nullptr) budget_ok = deadline->ChargeSearch(0.0);
       continue;
     }
     ++out.databases_searched;
-    if (deadline != nullptr) deadline->ChargeSearch(result.value().service_ms);
+    if (deadline != nullptr) {
+      budget_ok = deadline->ChargeSearch(result.value().service_ms);
+    }
     const std::vector<index::DocId>& docs = result.value().docs;
     for (size_t pos = 0; pos < docs.size(); ++pos) {
       const double doc_score = 1.0 / static_cast<double>(pos + 1);

@@ -271,14 +271,20 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
     util::Tracer::Scope scoring_span("scoring", select_span.context());
     scoring_span.AttrUint("databases", n);
     if (bounded) {
+      // Abort at the first boundary the budget no longer covers: after the
+      // charge for database i, a dead budget with databases still ahead
+      // means the ranking cannot complete in time. (Expiry on the *final*
+      // charge falls through — that is the completed-late rule below, which
+      // discards the ranking rather than never producing it.) A budget
+      // already dead from the adaptive phase aborts before any charge.
+      const bool born_dead = deadline->expired();
       for (size_t i = 0; i < n; ++i) {
-        if (deadline->expired()) {
+        if (born_dead || (!deadline->ChargeScore() && i + 1 < n)) {
           select_span.AttrStr("status", "expired_in_scoring");
           outcome.status = util::Status::DeadlineExceeded(
               "deadline expired before scoring completed");
           return outcome;
         }
-        deadline->ChargeScore();
       }
     }
     selection::ScoringContext context;

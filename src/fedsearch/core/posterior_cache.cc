@@ -62,7 +62,7 @@ const DocFrequencyPosterior& PosteriorCache::Get(
       << " sample_df " << sample_df << " > sample size " << sample_size;
   FEDSEARCH_DCHECK(std::isfinite(gamma) && std::isfinite(db_size));
   Shard& shard = *shards_[database];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   static util::Counter& global_hits =
       util::GlobalMetrics().counter("posterior_cache.hits");
   static util::Counter& global_misses =
@@ -98,7 +98,7 @@ void PosteriorCache::PinParams(size_t database, size_t sample_size,
   FEDSEARCH_CHECK(grid_points > 0);
   FEDSEARCH_DCHECK(std::isfinite(gamma) && std::isfinite(db_size));
   Shard& shard = *shards_[database];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   EnsureBasisLocked(database, shard, sample_size, db_size, gamma,
                     grid_points);
 }
@@ -113,7 +113,7 @@ PosteriorCache::Stats PosteriorCache::stats() const {
 size_t PosteriorCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     total += shard->by_df.size();
   }
   return total;

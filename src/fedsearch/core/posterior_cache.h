@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "fedsearch/core/adaptive.h"
 #include "fedsearch/util/metrics.h"
+#include "fedsearch/util/mutex.h"
+#include "fedsearch/util/thread_annotations.h"
 #include "fedsearch/util/trace.h"
 
 namespace fedsearch::core {
@@ -56,10 +57,9 @@ class PosteriorCache {
   // the caller's request trace, so timelines show which requests paid the
   // cold-grid cost. Hits record nothing (one span per memoized build, not
   // per lookup). Observational only.
-  const DocFrequencyPosterior& Get(size_t database, size_t sample_df,
-                                   size_t sample_size, double db_size,
-                                   double gamma, size_t grid_points,
-                                   const util::TraceContext& trace = {});
+  [[nodiscard]] const DocFrequencyPosterior& Get(
+      size_t database, size_t sample_df, size_t sample_size, double db_size,
+      double gamma, size_t grid_points, const util::TraceContext& trace = {});
 
   // Pre-registers `database`'s grid parameters and eagerly builds its
   // shared PosteriorGridBasis off the query path (the Metasearcher calls
@@ -79,10 +79,10 @@ class PosteriorCache {
                        : 0.0;
     }
   };
-  Stats stats() const;
+  [[nodiscard]] Stats stats() const;
 
   // Total posterior grids currently materialized (across all databases).
-  size_t size() const;
+  [[nodiscard]] size_t size() const;
 
  private:
   // The per-database sample parameters every Get call must agree on.
@@ -93,20 +93,24 @@ class PosteriorCache {
     size_t grid_points = 0;
   };
   struct Shard {
-    std::mutex mu;
-    bool has_params = false;
-    Params params;
+    // Lock order: mu is terminal — shard code never takes another shard's
+    // mu (each Get/PinParams touches exactly one shard) nor any other lock
+    // while holding it; the recording tracer's internal lock nests inside.
+    util::Mutex mu;
+    bool has_params FEDSEARCH_GUARDED_BY(mu) = false;
+    Params params FEDSEARCH_GUARDED_BY(mu);
     // Shared by every posterior of this database; built on first miss or
     // by PinParams.
-    std::shared_ptr<const PosteriorGridBasis> basis;
-    std::unordered_map<size_t, std::unique_ptr<DocFrequencyPosterior>> by_df;
+    std::shared_ptr<const PosteriorGridBasis> basis FEDSEARCH_GUARDED_BY(mu);
+    std::unordered_map<size_t, std::unique_ptr<DocFrequencyPosterior>> by_df
+        FEDSEARCH_GUARDED_BY(mu);
   };
 
   // Records (or validates) the shard's parameters and returns its basis,
-  // building it on first use. Caller must hold shard.mu.
+  // building it on first use.
   const std::shared_ptr<const PosteriorGridBasis>& EnsureBasisLocked(
       size_t database, Shard& shard, size_t sample_size, double db_size,
-      double gamma, size_t grid_points);
+      double gamma, size_t grid_points) FEDSEARCH_REQUIRES(shard.mu);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   // Per-instance counts (exposed via stats()); Get also mirrors them into

@@ -45,6 +45,14 @@ double ScoringFunction::FinalizeScore(const Query&, double combined) const {
   return combined;
 }
 
+DeltaScoreState ScoringFunction::PrepareScoreState(
+    const Query& query, const summary::SummaryView& db,
+    const ScoringContext& context) const {
+  FEDSEARCH_CHECK(supports_delta_scoring())
+      << " " << name() << " does not implement delta scoring";
+  return DeltaScoreState(*this, query, db, context);
+}
+
 void PrepareContextForQuery(const Query& query, ScoringContext& context) {
   context.cached_cf.clear();
   double total_cw = 0.0;

@@ -62,8 +62,10 @@ class ScoringStatisticsCache {
   explicit ScoringStatisticsCache(
       const std::vector<const summary::SummaryView*>& summaries);
 
-  // cf(w) over the cached set; 0 for words no summary contains.
-  size_t CollectionFrequency(const std::string& word) const;
+  // cf(w) over the cached set; 0 for words no summary contains. A pure
+  // lookup: discarding the result is always a bug (the hit/miss counters
+  // it bumps are not a sanctioned side effect to call it for).
+  [[nodiscard]] size_t CollectionFrequency(const std::string& word) const;
 
   double mean_cw() const { return mean_cw_; }
   size_t num_summaries() const { return num_summaries_; }
@@ -90,7 +92,7 @@ class ScoringStatisticsCache {
                  : 0.0;
     }
   };
-  Stats stats() const;
+  [[nodiscard]] Stats stats() const;
 
  private:
   std::unordered_map<std::string, size_t> cf_;
@@ -115,9 +117,15 @@ enum class TermCombine {
   kProduct,  // score = FinalizeScore(init · Π contribution)  (LM, bGlOSS)
 };
 
+class DeltaScoreState;
+
 // A database selection algorithm: assigns s(q, D) from D's content summary
 // (Section 2.1). Implementations must be stateless so one instance can be
 // shared across threads and experiments.
+//
+// Every value-returning member is [[nodiscard]]: scorers are pure
+// functions of their arguments, so a discarded result is always a wasted
+// computation and usually a logic error.
 class ScoringFunction {
  public:
   virtual ~ScoringFunction() = default;
@@ -125,15 +133,16 @@ class ScoringFunction {
   virtual std::string_view name() const = 0;
 
   // Score of database `db` for `query`. Higher is better.
-  virtual double Score(const Query& query, const summary::SummaryView& db,
-                       const ScoringContext& context) const = 0;
+  [[nodiscard]] virtual double Score(const Query& query,
+                                     const summary::SummaryView& db,
+                                     const ScoringContext& context) const = 0;
 
   // The "default" score: what `db` would score if it contained none of the
   // query words. A database whose score equals this value is considered not
   // selected (Section 6.2's R_k discussion).
-  virtual double DefaultScore(const Query& query,
-                              const summary::SummaryView& db,
-                              const ScoringContext& context) const = 0;
+  [[nodiscard]] virtual double DefaultScore(
+      const Query& query, const summary::SummaryView& db,
+      const ScoringContext& context) const = 0;
 
   // True if the scorer treats query words independently (enables the
   // factored uncertainty computation of Section 4). All three paper
@@ -163,23 +172,30 @@ class ScoringFunction {
   // independent of which path scored a draw.
   virtual bool supports_delta_scoring() const { return false; }
   virtual TermCombine term_combine() const { return TermCombine::kSum; }
+  // Captures the delta-scoring state for (query, db): the fold parameters
+  // and the base per-term contributions. The canonical way to start a
+  // Monte-Carlo run — constructing the state is the expensive part (one
+  // TermContribution per term), which is exactly why dropping the result
+  // must not compile. Requires supports_delta_scoring().
+  [[nodiscard]] DeltaScoreState PrepareScoreState(
+      const Query& query, const summary::SummaryView& db,
+      const ScoringContext& context) const;
   // Fold seed (0 for sums; 1 or a db-dependent factor for products). The
   // defaults below abort: they must be overridden together with
   // supports_delta_scoring().
-  virtual double CombineInit(const Query& query,
-                             const summary::SummaryView& db,
-                             const ScoringContext& context) const;
+  [[nodiscard]] virtual double CombineInit(const Query& query,
+                                           const summary::SummaryView& db,
+                                           const ScoringContext& context) const;
   // Contribution of query.terms[term_index] read from `db` as-is.
-  virtual double TermContribution(const Query& query, size_t term_index,
-                                  const summary::SummaryView& db,
-                                  const ScoringContext& context) const;
+  [[nodiscard]] virtual double TermContribution(
+      const Query& query, size_t term_index, const summary::SummaryView& db,
+      const ScoringContext& context) const;
   // Contribution of query.terms[term_index] if its document frequency in
   // `db` were `df_override` (token frequency scaled proportionally, the
   // same rule core::OverrideSummary applies).
-  virtual double TermContributionWithDf(const Query& query, size_t term_index,
-                                        double df_override,
-                                        const summary::SummaryView& db,
-                                        const ScoringContext& context) const;
+  [[nodiscard]] virtual double TermContributionWithDf(
+      const Query& query, size_t term_index, double df_override,
+      const summary::SummaryView& db, const ScoringContext& context) const;
   // Fills out[g] = TermContributionWithDf(query, term_index, dfs[g], db,
   // context) for g in [0, count). The default does exactly that loop; the
   // paper scorers override it to hoist term-invariant work (CORI's cf
@@ -192,7 +208,8 @@ class ScoringFunction {
                                      const ScoringContext& context,
                                      const double* dfs, size_t count,
                                      double* out) const;
-  virtual double FinalizeScore(const Query& query, double combined) const;
+  [[nodiscard]] virtual double FinalizeScore(const Query& query,
+                                             double combined) const;
 };
 
 // Per-(query, database) delta-scoring state: the fold parameters and the

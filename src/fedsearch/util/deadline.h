@@ -68,16 +68,26 @@ class Deadline {
   // that crosses the budget still lands, so consumed_ms() always equals the
   // exact prefix sum of the work performed, and a cost-model replay of the
   // same work arrives at the same expiry verdict.
-  void Charge(double cost_ms) {
+  //
+  // Returns whether the budget is still alive (!expired()) after the
+  // charge, and the result must be consumed: every charging site decides
+  // something — abandon, degrade, record expiry — and a dropped verdict is
+  // a deadline the caller silently stopped honoring. Callers that charge
+  // for work already performed and deliberately continue regardless should
+  // say so by binding the result (e.g. `const bool budget_ok = ...`).
+  [[nodiscard]] bool Charge(double cost_ms) {
     if (!infinite_) consumed_ms_ += cost_ms;
+    return !expired();
   }
 
-  void ChargeAdaptiveEvaluation() { Charge(costs_.adaptive_evaluation_ms); }
-  void ChargeScore() { Charge(costs_.score_ms); }
+  [[nodiscard]] bool ChargeAdaptiveEvaluation() {
+    return Charge(costs_.adaptive_evaluation_ms);
+  }
+  [[nodiscard]] bool ChargeScore() { return Charge(costs_.score_ms); }
   // Charges a remote search: the engine-reported service time when positive,
   // otherwise the model default.
-  void ChargeSearch(double service_ms) {
-    Charge(service_ms > 0.0 ? service_ms : costs_.search_ms);
+  [[nodiscard]] bool ChargeSearch(double service_ms) {
+    return Charge(service_ms > 0.0 ? service_ms : costs_.search_ms);
   }
 
  private:

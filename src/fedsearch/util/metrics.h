@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "fedsearch/util/mutex.h"
+#include "fedsearch/util/thread_annotations.h"
 
 namespace fedsearch::util {
 
@@ -155,10 +157,18 @@ class MetricsRegistry {
   void WriteJson(JsonWriter& writer) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Lock order: mu_ is terminal — no other lock is acquired while it is
+  // held (registration and JSON export only touch the maps below; metric
+  // updates happen outside it, on the cells' own atomics).
+  mutable Mutex mu_;
+  // The maps are guarded; the pointed-to metric cells are deliberately not
+  // (they are lock-free atomics, updated after registration returns).
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      FEDSEARCH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      FEDSEARCH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      FEDSEARCH_GUARDED_BY(mu_);
 };
 
 // The process-wide registry every library-internal instrumentation site

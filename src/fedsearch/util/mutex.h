@@ -1,0 +1,84 @@
+#ifndef FEDSEARCH_UTIL_MUTEX_H_
+#define FEDSEARCH_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "fedsearch/util/thread_annotations.h"
+
+namespace fedsearch::util {
+
+// Annotated mutex: std::mutex wrapped as a Clang thread-safety capability.
+//
+// libstdc++'s std::mutex and lock guards carry no capability annotations,
+// so code locking a bare std::mutex is invisible to -Wthread-safety. Every
+// mutex-guarded class in the tree therefore holds a util::Mutex and locks
+// it through util::MutexLock, which the analysis does track. The wrapper
+// is zero-cost: all members are inline forwarding calls.
+//
+// This file is the one place allowed to own an unannotated std::mutex
+// member (tools/lint_contracts.py allowlists it): the wrapper *is* the
+// capability, so there is nothing for it to be guarded by.
+class FEDSEARCH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FEDSEARCH_ACQUIRE() { mu_.lock(); }
+  void unlock() FEDSEARCH_RELEASE() { mu_.unlock(); }
+  bool try_lock() FEDSEARCH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for util::Mutex — std::lock_guard semantics, visible to the
+// thread-safety analysis as a scoped capability.
+class FEDSEARCH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FEDSEARCH_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~MutexLock() FEDSEARCH_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable paired with util::Mutex. Wait requires the mutex held
+// and holds it again on return, which is exactly what the analysis
+// assumes; predicates are written as explicit while-loops at the call site
+// (`while (!pred) cv.Wait(mu);`) so guarded reads inside the predicate are
+// analyzed in the scope that holds the lock (lambda bodies are analyzed as
+// separate functions and would not inherit the capability).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, waits, and reacquires `mu` before returning.
+  void Wait(Mutex& mu) FEDSEARCH_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the wrapper's invariant (the caller
+    // holds mu) is restored on return.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fedsearch::util
+
+#endif  // FEDSEARCH_UTIL_MUTEX_H_

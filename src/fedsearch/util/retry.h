@@ -105,7 +105,14 @@ class RetryController {
             "retry backoff would cross the request deadline");
       }
       simulated_backoff_ms_ += backoff;
-      if (deadline_ != nullptr) deadline_->Charge(backoff);
+      if (deadline_ != nullptr && !deadline_->Charge(backoff)) {
+        // Unreachable while the affordability check above holds (backoff <
+        // remaining), but a dead budget after the charge means the same
+        // thing the pre-check guards against: no more waiting.
+        ++abandoned_calls_;
+        return Status::DeadlineExceeded(
+            "retry backoff exhausted the request deadline");
+      }
       if (trace_.active()) {
         const uint64_t now = MonotonicNanos();
         Tracer::Global().EmitSpan(

@@ -10,7 +10,12 @@ namespace fedsearch::util {
 // Minimal Status / StatusOr pair in the style of absl. The library does not
 // use exceptions (per the project style guide); fallible operations return
 // Status or StatusOr<T>.
-class Status {
+//
+// Both classes are [[nodiscard]] at the class level, so *every* function
+// returning one inherits the must-check contract — a call site that drops
+// a Status on the floor fails the build under -Werror=unused-result
+// (lint_contracts additionally checks the declarations stay covered).
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -86,7 +91,7 @@ inline bool IsTransient(const Status& status) {
 
 // Value-or-error holder. Check ok() before calling value().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT: implicit from error status is intended
       : payload_(std::move(status)) {}

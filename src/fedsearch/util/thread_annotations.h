@@ -1,0 +1,83 @@
+#ifndef FEDSEARCH_UTIL_THREAD_ANNOTATIONS_H_
+#define FEDSEARCH_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (no-ops on every other
+// compiler). They let the lock discipline of the concurrent subsystems be
+// stated in the type system and proven at compile time by
+// `clang -Wthread-safety -Werror` (the ci.sh `tsa` job), instead of only
+// being exercised dynamically by the TSan stress tier:
+//
+//   class FEDSEARCH_CAPABILITY("mutex") Mutex { ... };
+//   Mutex mu_;
+//   size_t depth_ FEDSEARCH_GUARDED_BY(mu_);
+//   void CompactLocked() FEDSEARCH_REQUIRES(mu_);
+//
+// The project convention (DESIGN.md §6h): every mutex-protected member is
+// GUARDED_BY its mutex; internals that assume the lock is already held are
+// named `...Locked()` and annotated REQUIRES; public methods acquire via
+// the RAII util::MutexLock (a SCOPED_CAPABILITY the analysis tracks).
+// tools/lint_contracts.py enforces the coverage statically, so the
+// discipline holds even on builds where the analysis itself cannot run.
+
+#if defined(__clang__) && !defined(SWIG)
+#define FEDSEARCH_THREAD_ATTR_(x) __attribute__((x))
+#else
+#define FEDSEARCH_THREAD_ATTR_(x)  // no-op off Clang
+#endif
+
+// A type that acts as a capability (lock). The string names the kind of
+// capability for diagnostics ("mutex").
+#define FEDSEARCH_CAPABILITY(x) FEDSEARCH_THREAD_ATTR_(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor (util::MutexLock).
+#define FEDSEARCH_SCOPED_CAPABILITY FEDSEARCH_THREAD_ATTR_(scoped_lockable)
+
+// Data member readable/writable only while holding the given capability.
+#define FEDSEARCH_GUARDED_BY(x) FEDSEARCH_THREAD_ATTR_(guarded_by(x))
+
+// Pointer member whose *pointee* is protected by the given capability.
+#define FEDSEARCH_PT_GUARDED_BY(x) FEDSEARCH_THREAD_ATTR_(pt_guarded_by(x))
+
+// Function requires the capability to be held on entry (and does not
+// release it): the `...Locked()` internal-method annotation.
+#define FEDSEARCH_REQUIRES(...) \
+  FEDSEARCH_THREAD_ATTR_(requires_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it past return.
+#define FEDSEARCH_ACQUIRE(...) \
+  FEDSEARCH_THREAD_ATTR_(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability (which must be held on entry).
+#define FEDSEARCH_RELEASE(...) \
+  FEDSEARCH_THREAD_ATTR_(release_capability(__VA_ARGS__))
+
+// Function acquires the capability only when returning `result`.
+#define FEDSEARCH_TRY_ACQUIRE(result, ...) \
+  FEDSEARCH_THREAD_ATTR_(try_acquire_capability(result, __VA_ARGS__))
+
+// Function may not be called while holding the capability (deadlock
+// guard for non-reentrant locks).
+#define FEDSEARCH_EXCLUDES(...) \
+  FEDSEARCH_THREAD_ATTR_(locks_excluded(__VA_ARGS__))
+
+// Documented partial order between locks; a FEDSEARCH_ACQUIRED_BEFORE(b)
+// on lock a means a is (always) taken before b.
+#define FEDSEARCH_ACQUIRED_BEFORE(...) \
+  FEDSEARCH_THREAD_ATTR_(acquired_before(__VA_ARGS__))
+#define FEDSEARCH_ACQUIRED_AFTER(...) \
+  FEDSEARCH_THREAD_ATTR_(acquired_after(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define FEDSEARCH_RETURN_CAPABILITY(x) \
+  FEDSEARCH_THREAD_ATTR_(lock_returned(x))
+
+// Escape hatch: the function body is deliberately not analyzed. Reserved
+// for protocols the analysis cannot model (e.g. the ThreadPool generation
+// handshake, where data guarded for publication is read lock-free during
+// a loop's exclusive window). Every use must carry a comment explaining
+// why the access is sound.
+#define FEDSEARCH_NO_THREAD_SAFETY_ANALYSIS \
+  FEDSEARCH_THREAD_ATTR_(no_thread_safety_analysis)
+
+#endif  // FEDSEARCH_UTIL_THREAD_ANNOTATIONS_H_

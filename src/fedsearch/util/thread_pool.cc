@@ -38,13 +38,15 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
+// Lock-free reads of fn_/count_ here are published by ParallelFor under mu_
+// and frozen for the loop's run_mu_ window; see the header.
 void ThreadPool::Drain(bool stealing_worker) {
   // Count locally and publish once per drain so the accounting adds zero
   // atomics to the per-index claim loop.
@@ -65,17 +67,15 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) work_cv_.Wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
     }
     Drain(/*stealing_worker=*/true);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_workers_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--pending_workers_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -95,22 +95,22 @@ void ThreadPool::ParallelFor(size_t count,
   // One worker-assisted loop at a time (see header): later callers block
   // here until the current loop fully drains and resets fn_/count_.
   const uint64_t wait_start = MonotonicNanos();
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(run_mu_);
   Metrics().run_wait_ns.Record(MonotonicNanos() - wait_start);
   Metrics().loops_pooled.Add();
   ScopedTimer timer(Metrics().loop_ns);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     count_ = count;
     next_.store(0, std::memory_order_relaxed);
     pending_workers_ = workers_.size();
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   Drain(/*stealing_worker=*/false);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_workers_ != 0) done_cv_.Wait(mu_);
   fn_ = nullptr;
   count_ = 0;
 }

@@ -2,13 +2,14 @@
 #define FEDSEARCH_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "fedsearch/util/mutex.h"
+#include "fedsearch/util/thread_annotations.h"
 
 namespace fedsearch::util {
 
@@ -32,6 +33,11 @@ namespace fedsearch::util {
 // (Concurrent SelectDatabases calls on one Metasearcher share its pool and
 // rely on this.) ParallelFor is still not reentrant — fn must not call
 // back into the same pool, which would self-deadlock on the run lock.
+//
+// Lock order: run_mu_ -> mu_ (ParallelFor holds run_mu_ across the whole
+// loop and takes mu_ inside for the publication handshake); neither lock
+// is ever taken while holding mu_. Both are terminal with respect to every
+// other lock in the tree: pool code never calls out while holding them.
 class ThreadPool {
  public:
   // `num_threads` counts the calling thread: the pool spawns
@@ -49,7 +55,8 @@ class ThreadPool {
   // blocks until all indices completed. fn must not throw, must not call
   // back into this pool, and must only touch per-index state (see class
   // comment). With no workers (or count <= 1) the loop runs inline.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn)
+      FEDSEARCH_EXCLUDES(run_mu_, mu_);
 
   // Thread count to use when the caller does not specify one: the
   // FEDSEARCH_THREADS environment variable if set to a positive integer,
@@ -57,10 +64,12 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() FEDSEARCH_EXCLUDES(mu_);
   // `stealing_worker` only labels the claimed-index metric (worker-claimed
   // indices count as "stolen" from the calling thread's serial order).
-  void Drain(bool stealing_worker);
+  // Reads fn_/count_ without mu_ — sound via the publication handshake
+  // (see the members), which the analysis cannot model.
+  void Drain(bool stealing_worker) FEDSEARCH_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> workers_;
 
@@ -68,19 +77,25 @@ class ThreadPool {
   // time owns fn_/count_/next_/generation_. Without it, concurrent callers
   // would race on the generation handshake (and workers could observe one
   // caller's fn_ reset while draining another's loop).
-  std::mutex run_mu_;
+  // LOCK-FREE: guards no member directly — it is a capability over the
+  // loop's exclusive time window; the loop data itself is published under
+  // mu_ below.
+  Mutex run_mu_ FEDSEARCH_ACQUIRED_BEFORE(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
   // Current generation's loop, guarded by mu_ for publication; workers read
-  // it only after observing the generation bump under mu_.
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t count_ = 0;
+  // them lock-free in Drain only after observing the generation bump under
+  // mu_, and the publishing ParallelFor holds run_mu_ until every worker
+  // reported done — so the values are frozen for the whole window in which
+  // they are read (the handshake PR 3's race fix pinned).
+  const std::function<void(size_t)>* fn_ FEDSEARCH_GUARDED_BY(mu_) = nullptr;
+  size_t count_ FEDSEARCH_GUARDED_BY(mu_) = 0;
   std::atomic<size_t> next_{0};
-  size_t pending_workers_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  size_t pending_workers_ FEDSEARCH_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ FEDSEARCH_GUARDED_BY(mu_) = 0;
+  bool stop_ FEDSEARCH_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace fedsearch::util

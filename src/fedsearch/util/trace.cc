@@ -51,12 +51,12 @@ std::vector<Tracer::Span> SortedByStart(std::vector<Tracer::Span> spans) {
 }  // namespace
 
 void Tracer::set_capacity(size_t max_spans) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = max_spans;
 }
 
 size_t Tracer::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 
@@ -127,18 +127,18 @@ Tracer::Attr Tracer::StrAttr(const char* key, const char* v) {
 }
 
 std::vector<Tracer::Span> Tracer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }
 
 void Tracer::Record(const Span& span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;

@@ -6,9 +6,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "fedsearch/util/mutex.h"
+#include "fedsearch/util/thread_annotations.h"
 
 namespace fedsearch::util {
 
@@ -198,9 +200,13 @@ class Tracer {
   // that matters. Relaxed: ids are observational labels, never ordered
   // against payload data.
   std::atomic<uint64_t> next_id_{1};
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
-  size_t capacity_ = 65536;
+  // Lock order: mu_ is terminal — recording/snapshotting never acquires
+  // another lock while holding it. Callers may hold their own locks when a
+  // Scope exit records here (broker mu_ -> tracer mu_); the tracer never
+  // calls back out, so no inversion is possible.
+  mutable Mutex mu_;
+  std::vector<Span> spans_ FEDSEARCH_GUARDED_BY(mu_);
+  size_t capacity_ FEDSEARCH_GUARDED_BY(mu_) = 65536;
 };
 
 }  // namespace fedsearch::util

@@ -45,8 +45,8 @@ TEST(PosteriorCacheTest, CachedGridMatchesDirectConstruction) {
 
 TEST(PosteriorCacheTest, ResetDropsEntriesAndCounters) {
   PosteriorCache cache(1);
-  cache.Get(0, 1, 10, 100, -2.0, 16);
-  cache.Get(0, 1, 10, 100, -2.0, 16);
+  (void)cache.Get(0, 1, 10, 100, -2.0, 16);
+  (void)cache.Get(0, 1, 10, 100, -2.0, 16);
   cache.Reset(4);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().hits, 0u);
@@ -57,10 +57,10 @@ TEST(PosteriorCacheTest, ResetDropsEntriesAndCounters) {
 TEST(PosteriorCacheTest, HitRate) {
   PosteriorCache cache(1);
   EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
-  cache.Get(0, 2, 10, 100, -2.0, 16);
-  cache.Get(0, 2, 10, 100, -2.0, 16);
-  cache.Get(0, 2, 10, 100, -2.0, 16);
-  cache.Get(0, 3, 10, 100, -2.0, 16);
+  (void)cache.Get(0, 2, 10, 100, -2.0, 16);
+  (void)cache.Get(0, 2, 10, 100, -2.0, 16);
+  (void)cache.Get(0, 2, 10, 100, -2.0, 16);
+  (void)cache.Get(0, 3, 10, 100, -2.0, 16);
   EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
 }
 
@@ -130,14 +130,14 @@ TEST(PosteriorCacheDeathTest, ParameterDriftIsFatal) {
   // The cache key is (database, sample_df) only: parameters that drift
   // between calls would silently hand back grids built from stale values.
   PosteriorCache cache(1);
-  cache.Get(0, 5, 100, 10000, -2.0, 64);
-  EXPECT_DEATH(cache.Get(0, 5, 100, 20000, -2.0, 64),
+  (void)cache.Get(0, 5, 100, 10000, -2.0, 64);
+  EXPECT_DEATH((void)cache.Get(0, 5, 100, 20000, -2.0, 64),
                "posterior params changed for database 0");
-  EXPECT_DEATH(cache.Get(0, 5, 200, 10000, -2.0, 64),
+  EXPECT_DEATH((void)cache.Get(0, 5, 200, 10000, -2.0, 64),
                "posterior params changed");
-  EXPECT_DEATH(cache.Get(0, 5, 100, 10000, -1.5, 64),
+  EXPECT_DEATH((void)cache.Get(0, 5, 100, 10000, -1.5, 64),
                "posterior params changed");
-  EXPECT_DEATH(cache.Get(0, 5, 100, 10000, -2.0, 32),
+  EXPECT_DEATH((void)cache.Get(0, 5, 100, 10000, -2.0, 32),
                "posterior params changed");
 }
 
@@ -146,7 +146,7 @@ TEST(PosteriorCacheDeathTest, PinnedParameterMismatchIsFatal) {
   cache.PinParams(0, 100, 10000.0, -2.0, 64);
   EXPECT_DEATH(cache.PinParams(0, 100, 12000.0, -2.0, 64),
                "posterior params changed");
-  EXPECT_DEATH(cache.Get(0, 5, 100, 12000, -2.0, 64),
+  EXPECT_DEATH((void)cache.Get(0, 5, 100, 12000, -2.0, 64),
                "posterior params changed");
 }
 #endif  // FEDSEARCH_DCHECK_IS_ON

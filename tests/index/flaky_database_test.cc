@@ -98,7 +98,7 @@ TEST_F(FlakyDatabaseTest, FaultMixMatchesConfiguredRates) {
   FlakyDatabase flaky(&local, FaultProfile::Mixed(total_rate), /*seed=*/99);
   const size_t calls = 6000;
   // Search-only script so every fault class can fire on every call.
-  for (size_t i = 0; i < calls; ++i) flaky.Search("common", 8);
+  for (size_t i = 0; i < calls; ++i) (void)flaky.Search("common", 8);
   const FaultStats& s = flaky.stats();
   EXPECT_EQ(s.calls, calls);
   const double expected = total_rate / 5.0 * static_cast<double>(calls);

@@ -84,8 +84,8 @@ TEST(PosteriorCacheStressTest, SizeSnapshotsWhileWritersRun) {
   });
   for (size_t df = 0; df < 30; ++df) {
     for (size_t db = 0; db < 4; ++db) {
-      cache.Get(db, df, /*sample_size=*/64, /*db_size=*/2000.0,
-                /*gamma=*/-2.0, /*grid_points=*/8);
+      (void)cache.Get(db, df, /*sample_size=*/64, /*db_size=*/2000.0,
+                      /*gamma=*/-2.0, /*grid_points=*/8);
     }
   }
   done.store(true, std::memory_order_release);

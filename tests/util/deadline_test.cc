@@ -10,7 +10,7 @@ TEST(DeadlineTest, DefaultConstructedIsInfinite) {
   EXPECT_TRUE(d.infinite());
   EXPECT_FALSE(d.expired());
   EXPECT_EQ(d.remaining_ms(), std::numeric_limits<double>::infinity());
-  d.Charge(1e12);
+  EXPECT_TRUE(d.Charge(1e12));
   EXPECT_FALSE(d.expired());
   EXPECT_DOUBLE_EQ(d.consumed_ms(), 0.0);
 }
@@ -18,10 +18,11 @@ TEST(DeadlineTest, DefaultConstructedIsInfinite) {
 TEST(DeadlineTest, ChargesAccumulateAndExpireAtTheBudget) {
   Deadline d(10.0);
   EXPECT_FALSE(d.expired());
-  d.Charge(4.0);
+  EXPECT_TRUE(d.Charge(4.0));
   EXPECT_FALSE(d.expired());
   EXPECT_DOUBLE_EQ(d.remaining_ms(), 6.0);
-  d.Charge(6.0);  // consumed == budget: spent
+  // consumed == budget: spent, and the charge reports it.
+  EXPECT_FALSE(d.Charge(6.0));
   EXPECT_TRUE(d.expired());
   EXPECT_DOUBLE_EQ(d.remaining_ms(), 0.0);
 }
@@ -30,9 +31,9 @@ TEST(DeadlineTest, ChargesLandEvenPastTheBudget) {
   // consumed_ms() must stay the exact prefix sum of the work performed, so
   // a cost-model replay of the same charges reaches the same verdict.
   Deadline d(1.0);
-  d.Charge(0.75);
-  d.Charge(0.75);
-  d.Charge(0.75);
+  EXPECT_TRUE(d.Charge(0.75));
+  EXPECT_FALSE(d.Charge(0.75));
+  EXPECT_FALSE(d.Charge(0.75));
   EXPECT_DOUBLE_EQ(d.consumed_ms(), 0.75 + 0.75 + 0.75);
   EXPECT_TRUE(d.expired());
 }
@@ -49,13 +50,13 @@ TEST(DeadlineTest, NamedChargesUseTheCostTable) {
   costs.score_ms = 0.5;
   costs.search_ms = 3.0;
   Deadline d(100.0, costs);
-  d.ChargeAdaptiveEvaluation();
-  d.ChargeScore();
+  EXPECT_TRUE(d.ChargeAdaptiveEvaluation());
+  EXPECT_TRUE(d.ChargeScore());
   EXPECT_DOUBLE_EQ(d.consumed_ms(), 2.5);
   // Engine-reported service time wins; the model default is the fallback.
-  d.ChargeSearch(7.0);
+  EXPECT_TRUE(d.ChargeSearch(7.0));
   EXPECT_DOUBLE_EQ(d.consumed_ms(), 9.5);
-  d.ChargeSearch(0.0);
+  EXPECT_TRUE(d.ChargeSearch(0.0));
   EXPECT_DOUBLE_EQ(d.consumed_ms(), 12.5);
 }
 
@@ -67,12 +68,15 @@ TEST(DeadlineTest, ExpiryBoundaryIsAnExactReplayOfTheChargeSequence) {
   const double budget = 0.3 * 7;  // not exactly representable in binary
   Deadline executed(budget, costs);
   double replay = 0.0;
+  bool last_alive = true;
   for (int i = 0; i < 7; ++i) {
-    executed.ChargeAdaptiveEvaluation();
+    last_alive = executed.ChargeAdaptiveEvaluation();
     replay += costs.adaptive_evaluation_ms;
   }
   EXPECT_EQ(executed.consumed_ms(), replay);
   EXPECT_EQ(executed.expired(), replay >= budget);
+  // The final charge's verdict is the expiry state it produced.
+  EXPECT_EQ(last_alive, !executed.expired());
 }
 
 }  // namespace

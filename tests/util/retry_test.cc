@@ -77,7 +77,8 @@ TEST(RetryControllerTest, BudgetExhaustionStopsIssuingCalls) {
     return Status::Unavailable("down");
   };
   // Each call burns up to max_attempts failures; the budget caps the total.
-  while (!retry.exhausted()) retry.Run(failing);
+  // Run for the side effect only: each call burns failure budget.
+  while (!retry.exhausted()) (void)retry.Run(failing);
   EXPECT_GE(retry.failed_attempts(), options.failure_budget);
   // Every path observes the budget: once exhausted, Run refuses to invoke.
   const size_t invocations_before = invocations;
@@ -96,7 +97,8 @@ TEST(RetryControllerTest, BackoffGrowsAndIsBounded) {
   options.max_backoff_ms = 100.0;
   options.jitter_fraction = 0.0;  // deterministic schedule for the bound
   RetryController retry(options);
-  retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+  (void)retry.Run(
+      [&]() -> StatusOr<int> { return Status::Unavailable("down"); });
   // 20 attempts: 10+20+40+80 then 16 x 100 (capped) = 1750.
   EXPECT_DOUBLE_EQ(retry.simulated_backoff_ms(), 1750.0);
 }
@@ -107,7 +109,7 @@ TEST(RetryControllerTest, RespectsRetryAfterHint) {
   options.base_backoff_ms = 1.0;
   options.max_backoff_ms = 2.0;
   RetryController retry(options);
-  retry.Run([&]() -> StatusOr<int> {
+  (void)retry.Run([&]() -> StatusOr<int> {
     return Status::ResourceExhausted("throttled; retry_after_ms=500");
   });
   // Two failed attempts, each waiting at least the hinted 500ms.
@@ -119,7 +121,8 @@ TEST(RetryControllerTest, JitterIsDeterministicPerSeed) {
   options.max_attempts = 4;
   const auto run_once = [&options] {
     RetryController retry(options);
-    retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+    (void)retry.Run(
+        [&]() -> StatusOr<int> { return Status::Unavailable("down"); });
     return retry.simulated_backoff_ms();
   };
   EXPECT_DOUBLE_EQ(run_once(), run_once());
@@ -187,7 +190,8 @@ TEST(RetryControllerTest, NoDeadlineKeepsTheLegacyAccounting) {
   options.max_backoff_ms = 100.0;
   options.jitter_fraction = 0.0;
   RetryController retry(options);
-  retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+  (void)retry.Run(
+      [&]() -> StatusOr<int> { return Status::Unavailable("down"); });
   EXPECT_DOUBLE_EQ(retry.simulated_backoff_ms(), 1750.0);
 }
 
@@ -201,7 +205,8 @@ TEST(RetryControllerTest, BackoffsEmitSpansOnTheCallersTrace) {
   options.jitter_fraction = 0.0;
   RetryController retry(options);
   retry.set_trace(trace);
-  retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+  (void)retry.Run(
+      [&]() -> StatusOr<int> { return Status::Unavailable("down"); });
   size_t backoff_spans = 0;
   double backoff_ms = 0.0;
   for (const Tracer::Span& span : tracer.snapshot()) {
@@ -229,7 +234,8 @@ TEST(RetryControllerTest, NoSpansWithoutACallerTrace) {
   tracer.set_enabled(true);
   tracer.Clear();
   RetryController retry;  // no set_trace: inactive context
-  retry.Run([&]() -> StatusOr<int> { return Status::Unavailable("down"); });
+  (void)retry.Run(
+      [&]() -> StatusOr<int> { return Status::Unavailable("down"); });
   for (const Tracer::Span& span : tracer.snapshot()) {
     EXPECT_STRNE(span.name, "retry_backoff");
   }

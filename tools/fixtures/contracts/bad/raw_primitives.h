@@ -1,0 +1,27 @@
+// Negative fixture: every rule lint_contracts enforces, violated once.
+// Compiled by nothing; linted by lint_contracts_selftest.py, which expects
+// exactly the findings listed below (one per marked line).
+#ifndef TOOLS_FIXTURES_CONTRACTS_BAD_RAW_PRIMITIVES_H_
+#define TOOLS_FIXTURES_CONTRACTS_BAD_RAW_PRIMITIVES_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class RawPrimitives {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(raw_mu_);  // banned guard + banned mutex
+    ++count_;
+  }
+
+ private:
+  std::mutex raw_mu_;            // rule 1: bare std::mutex
+  std::condition_variable cv_;   // rule 1: bare std::condition_variable
+  int count_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // TOOLS_FIXTURES_CONTRACTS_BAD_RAW_PRIMITIVES_H_

@@ -1,0 +1,20 @@
+// Negative fixture: an annotated util::Mutex member that guards nothing
+// and has no LOCK-FREE justification, in a file missing the lock-order
+// documentation comment — rules 2 and 3. Compiled by nothing; linted by
+// lint_contracts_selftest.py.
+#ifndef TOOLS_FIXTURES_CONTRACTS_BAD_UNGUARDED_MUTEX_H_
+#define TOOLS_FIXTURES_CONTRACTS_BAD_UNGUARDED_MUTEX_H_
+
+#include "fedsearch/util/mutex.h"
+
+namespace fixture {
+
+class UnguardedMutex {
+ private:
+  fedsearch::util::Mutex mu_;  // guards no member, no justification
+  int count_ = 0;              // should be FEDSEARCH_GUARDED_BY(mu_)
+};
+
+}  // namespace fixture
+
+#endif  // TOOLS_FIXTURES_CONTRACTS_BAD_UNGUARDED_MUTEX_H_

@@ -1,0 +1,33 @@
+// Positive fixture: the shape lint_contracts accepts. A mutex member with
+// GUARDED_BY-covered state, a region lock with a LOCK-FREE justification,
+// and a lock-order comment. Compiled by nothing; linted by
+// lint_contracts_selftest.py, which expects zero findings here.
+#ifndef TOOLS_FIXTURES_CONTRACTS_GOOD_ANNOTATED_CACHE_H_
+#define TOOLS_FIXTURES_CONTRACTS_GOOD_ANNOTATED_CACHE_H_
+
+#include <cstddef>
+
+#include "fedsearch/util/mutex.h"
+#include "fedsearch/util/thread_annotations.h"
+
+namespace fixture {
+
+class AnnotatedCache {
+ public:
+  void Put(size_t key, double value) FEDSEARCH_EXCLUDES(mu_);
+  double Get(size_t key) const FEDSEARCH_EXCLUDES(mu_);
+
+ private:
+  // Lock order: run_mu_ -> mu_; mu_ is terminal.
+  mutable fedsearch::util::Mutex mu_;
+  size_t size_ FEDSEARCH_GUARDED_BY(mu_) = 0;
+  double last_value_ FEDSEARCH_GUARDED_BY(mu_) = 0.0;
+
+  // LOCK-FREE: serializes Rebuild() callers as a region lock; the rebuilt
+  // state is published under mu_, so no member is guarded by this mutex.
+  fedsearch::util::Mutex run_mu_ FEDSEARCH_ACQUIRED_BEFORE(mu_);
+};
+
+}  // namespace fixture
+
+#endif  // TOOLS_FIXTURES_CONTRACTS_GOOD_ANNOTATED_CACHE_H_

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Concurrency & return-value contract lint for the fedsearch C++ tree.
+
+The clang thread-safety analysis job (ci.sh tsa) proves lock discipline,
+but only for code that is *annotated* — an unannotated mutex is invisible
+to it, and the analyzer is only present on clang hosts. This lint closes
+both gaps structurally, so a regression is caught on any machine:
+
+1. Bare standard synchronization primitives (all of src/):
+   std::mutex / std::shared_mutex / std::condition_variable and their
+   guards (std::lock_guard, std::unique_lock, std::scoped_lock) carry no
+   capability annotations under libstdc++, so locking them is invisible
+   to -Wthread-safety. All synchronization must go through the annotated
+   util::Mutex / util::MutexLock / util::CondVar wrappers. The only file
+   allowed to own the raw primitives is src/fedsearch/util/mutex.h,
+   which wraps them.
+
+2. Guard coverage (all of src/): every util::Mutex member declaration
+   must either guard something — at least one member in the same file
+   annotated FEDSEARCH_GUARDED_BY(that mutex) — or carry an explicit
+       // LOCK-FREE: <why no member is guarded by this mutex>
+   justification on its declaration line or in the contiguous comment
+   block directly above it (e.g. a mutex that only serializes a code
+   region, like ThreadPool's run_mu_). An unguarded, unjustified mutex
+   usually means someone added a lock but forgot the GUARDED_BY lines,
+   which silently exempts that state from the tsa job.
+
+3. Lock-order documentation (all of src/): every file that declares a
+   util::Mutex member must contain a "Lock order:" comment naming where
+   its lock(s) sit in the acquisition order (or stating they are
+   terminal). The tsa job can only check orders that are annotated
+   (FEDSEARCH_ACQUIRED_BEFORE) or documented; this makes the
+   documentation non-optional.
+
+4. Status nodiscard covenant (src/fedsearch/util/status.h): Status and
+   StatusOr must stay class-level [[nodiscard]]. Every function
+   returning them inherits the must-check contract from the class, and
+   -Werror=unused-result (set for the whole tree) enforces it at call
+   sites — but only while the class annotation survives, so this lint
+   pins it.
+
+There is deliberately no escape hatch for rules 1, 3, and 4; rule 2's
+// LOCK-FREE: marker is the sanctioned exemption for region locks.
+
+Usage: lint_contracts.py ROOT [ROOT...]
+Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cc", ".h"}
+
+# The one file allowed to own unannotated standard primitives (it wraps
+# them behind the annotated capability types).
+RAW_PRIMITIVE_ALLOWLIST = ("util/mutex.h",)
+
+LOCK_FREE_MARKER = "LOCK-FREE:"
+LOCK_ORDER_MARKER = "Lock order:"
+
+BANNED_PRIMITIVES = [
+    (re.compile(r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?"
+                r"mutex\b"),
+     "bare std::mutex is invisible to -Wthread-safety; use util::Mutex"),
+    (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "std::condition_variable waits are invisible to -Wthread-safety; "
+     "use util::CondVar"),
+    (re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\b"),
+     "standard lock guards carry no capability annotations; use "
+     "util::MutexLock"),
+]
+
+# A util::Mutex member declaration: optional cv-qualifiers, optional
+# trailing thread-safety attribute macros, ending in ; or = or {.
+# References and MutexLock/CondVar declarations deliberately do not match.
+MUTEX_MEMBER = re.compile(
+    r"\b(?:util::)?Mutex\s+(\w+)\s*(?:FEDSEARCH_\w+\s*\([^)]*\)\s*)*[;={]")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def has_marker_above(raw_lines: list[str], lineno: int, marker: str) -> bool:
+    """True if `marker` is on line `lineno` (1-based) or anywhere in the
+    contiguous //-comment block directly above it."""
+    if marker in raw_lines[lineno - 1]:
+        return True
+    k = lineno - 2
+    while k >= 0 and raw_lines[k].lstrip().startswith("//"):
+        if marker in raw_lines[k]:
+            return True
+        k -= 1
+    return False
+
+
+def lint_status_header(path: Path, raw: str) -> list[str]:
+    findings = []
+    code = strip_comments_and_strings(raw)
+    for cls in ("Status", "StatusOr"):
+        if not re.search(r"class\s*\[\[\s*nodiscard\s*\]\]\s*" + cls + r"\b",
+                         code):
+            findings.append(
+                f"{path}: class {cls} must be declared "
+                f"'class [[nodiscard]] {cls}' — the class-level attribute is "
+                f"what makes every {cls}-returning declaration must-check "
+                f"under -Werror=unused-result")
+    return findings
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    rel = path.relative_to(root.parent if root.is_file() else root).as_posix()
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+
+    if rel.endswith("util/status.h"):
+        return lint_status_header(path, raw)
+
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+    findings = []
+
+    # Rule 1: bare standard primitives.
+    if not rel.endswith(RAW_PRIMITIVE_ALLOWLIST):
+        for lineno, line in enumerate(code_lines, start=1):
+            for pattern, why in BANNED_PRIMITIVES:
+                if pattern.search(line):
+                    findings.append(f"{path}:{lineno}: {why}")
+
+    # Rules 2 and 3: guard coverage and lock-order documentation for every
+    # util::Mutex member this file declares.
+    mutex_decls: list[tuple[int, str]] = []  # (lineno, member name)
+    for lineno, line in enumerate(code_lines, start=1):
+        for match in MUTEX_MEMBER.finditer(line):
+            mutex_decls.append((lineno, match.group(1)))
+
+    for lineno, name in mutex_decls:
+        guarded = re.search(
+            r"FEDSEARCH(?:_PT)?_GUARDED_BY\s*\(\s*[\w.>-]*\b"
+            + re.escape(name) + r"\s*\)", code)
+        if not guarded and not has_marker_above(raw_lines, lineno,
+                                               LOCK_FREE_MARKER):
+            findings.append(
+                f"{path}:{lineno}: mutex member '{name}' guards no member "
+                f"(no FEDSEARCH_GUARDED_BY({name}) in this file); annotate "
+                f"the state it protects or justify with // {LOCK_FREE_MARKER}"
+                f" <reason>")
+
+    if mutex_decls and LOCK_ORDER_MARKER not in raw:
+        findings.append(
+            f"{path}:{mutex_decls[0][0]}: file declares a mutex member but "
+            f"no \"{LOCK_ORDER_MARKER}\" comment; document where its lock(s) "
+            f"sit in the acquisition order (or state they are terminal)")
+
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    findings = []
+    checked = 0
+    for root_arg in argv[1:]:
+        root = Path(root_arg)
+        if not root.exists():
+            print(f"lint_contracts: no such path: {root}", file=sys.stderr)
+            return 2
+        files = [root] if root.is_file() else sorted(
+            p for p in root.rglob("*") if p.suffix in CXX_SUFFIXES)
+        for path in files:
+            findings.extend(lint_file(path, root))
+            checked += 1
+    for finding in findings:
+        print(finding)
+    print(f"lint_contracts: {checked} file(s), {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Self-test for lint_contracts.py.
+
+Two layers, both run by ctest (label: lint):
+
+1. Committed fixtures (tools/fixtures/contracts/): good/ must lint clean,
+   bad/ must produce exactly the expected findings. The fixtures are real
+   files under review like any code, so the expected shapes stay visible
+   in the tree.
+2. Synthetic trees: edge cases seeded into a temp directory, in the
+   lint_determinism_selftest mold, covering each rule's boundary
+   (allowlist, escape hatch, attribute forms, the status.h covenant).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SPEC = importlib.util.spec_from_file_location(
+    "lint_contracts", HERE / "lint_contracts.py")
+LINT = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(LINT)
+
+FIXTURES = HERE / "fixtures" / "contracts"
+
+FAILURES: list[str] = []
+
+
+def run_lint(*roots: Path) -> tuple[int, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        status = LINT.main(["lint_contracts.py"] + [str(r) for r in roots])
+    return status, out.getvalue()
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    if condition:
+        print(f"  ok: {name}")
+    else:
+        FAILURES.append(name)
+        print(f"FAIL: {name} {detail}")
+
+
+def expect_findings(name: str, rel_path: str, code: str,
+                    expected_fragments: list[str]) -> None:
+    """Lint `code` at `rel_path` inside a scratch tree; expect each fragment
+    (and only as many findings as fragments)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "src"
+        target = src / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(code, encoding="utf-8")
+        status, output = run_lint(src)
+        want_status = 1 if expected_fragments else 0
+        check(f"{name}: exit status {want_status}", status == want_status,
+              f"(got {status}, output: {output!r})")
+        findings = [line for line in output.splitlines() if line.strip()]
+        check(f"{name}: {len(expected_fragments)} finding(s)",
+              len(findings) == len(expected_fragments),
+              f"(got {findings})")
+        for fragment in expected_fragments:
+            check(f"{name}: mentions {fragment!r}",
+                  any(fragment in f for f in findings), f"(got {findings})")
+
+
+# --- Committed fixtures ----------------------------------------------------
+
+status, output = run_lint(FIXTURES / "good")
+check("good fixtures lint clean", status == 0, f"(output: {output!r})")
+
+status, output = run_lint(FIXTURES / "bad" / "raw_primitives.h")
+bad_lines = [line for line in output.splitlines() if line.strip()]
+check("raw_primitives.h fails", status == 1)
+check("raw_primitives.h: 4 finding(s)", len(bad_lines) == 4,
+      f"(got {bad_lines})")
+check("raw_primitives.h flags std::mutex",
+      any("std::mutex" in f for f in bad_lines), f"(got {bad_lines})")
+check("raw_primitives.h flags std::condition_variable",
+      any("condition_variable" in f for f in bad_lines), f"(got {bad_lines})")
+check("raw_primitives.h flags std::lock_guard",
+      any("lock guards" in f for f in bad_lines), f"(got {bad_lines})")
+
+status, output = run_lint(FIXTURES / "bad" / "unguarded_mutex.h")
+bad_lines = [line for line in output.splitlines() if line.strip()]
+check("unguarded_mutex.h fails", status == 1)
+check("unguarded_mutex.h: 2 finding(s)", len(bad_lines) == 2,
+      f"(got {bad_lines})")
+check("unguarded_mutex.h flags guard coverage",
+      any("guards no member" in f for f in bad_lines), f"(got {bad_lines})")
+check("unguarded_mutex.h flags missing lock order",
+      any("Lock order" in f for f in bad_lines), f"(got {bad_lines})")
+
+# --- Rule 1: bare standard primitives --------------------------------------
+
+expect_findings(
+    "std::mutex member outside util/mutex.h", "fedsearch/core/bad_mutex.h",
+    "class C { std::mutex mu_; };\n",
+    ["bare std::mutex"])
+
+expect_findings(
+    "std::shared_mutex is also banned", "fedsearch/core/bad_shared.h",
+    "class C { std::shared_mutex mu_; };\n",
+    ["bare std::mutex"])
+
+expect_findings(
+    "std::unique_lock in a .cc", "fedsearch/broker/bad_lock.cc",
+    "void F() { std::unique_lock<std::mutex> l(mu); }\n",
+    ["standard lock guards", "bare std::mutex"])
+
+expect_findings(
+    "util/mutex.h may own the raw primitives", "fedsearch/util/mutex.h",
+    "class Mutex { std::mutex mu_; std::condition_variable cv_; };\n",
+    [])
+
+expect_findings(
+    "mentions in comments are ignored", "fedsearch/core/commented.h",
+    "// std::mutex is banned here; use util::Mutex (see util/mutex.h)\n",
+    [])
+
+# --- Rule 2: guard coverage ------------------------------------------------
+
+expect_findings(
+    "guarded mutex with lock order is clean", "fedsearch/core/good.h",
+    "// Lock order: mu_ is terminal.\n"
+    "class C {\n"
+    "  mutable util::Mutex mu_;\n"
+    "  int x_ FEDSEARCH_GUARDED_BY(mu_) = 0;\n"
+    "};\n",
+    [])
+
+expect_findings(
+    "unguarded mutex without justification", "fedsearch/core/unguarded.h",
+    "// Lock order: mu_ is terminal.\n"
+    "class C {\n"
+    "  util::Mutex mu_;\n"
+    "  int x_ = 0;\n"
+    "};\n",
+    ["guards no member"])
+
+expect_findings(
+    "LOCK-FREE marker on the declaration line suppresses",
+    "fedsearch/core/region_inline.h",
+    "// Lock order: run_mu_ is terminal.\n"
+    "class C {\n"
+    "  util::Mutex run_mu_;  // LOCK-FREE: region lock, see RunExclusive()\n"
+    "};\n",
+    [])
+
+expect_findings(
+    "LOCK-FREE marker in the block above suppresses",
+    "fedsearch/core/region_block.h",
+    "// Lock order: run_mu_ -> mu_.\n"
+    "class C {\n"
+    "  // LOCK-FREE: serializes callers; published state is guarded by the\n"
+    "  // inner lock, so no member is guarded by this mutex directly.\n"
+    "  util::Mutex run_mu_ FEDSEARCH_ACQUIRED_BEFORE(mu_);\n"
+    "  util::Mutex mu_;\n"
+    "  int x_ FEDSEARCH_GUARDED_BY(mu_) = 0;\n"
+    "};\n",
+    [])
+
+expect_findings(
+    "attribute-suffixed declaration is still seen",
+    "fedsearch/core/attr_decl.h",
+    "// Lock order: a_ -> b_.\n"
+    "class C {\n"
+    "  util::Mutex a_ FEDSEARCH_ACQUIRED_BEFORE(b_);\n"
+    "  util::Mutex b_;\n"
+    "  int x_ FEDSEARCH_GUARDED_BY(b_) = 0;\n"
+    "};\n",
+    ["'a_' guards no member"])
+
+expect_findings(
+    "nested-struct member guard (shard.mu form) counts",
+    "fedsearch/core/shard.h",
+    "// Lock order: mu is terminal (one shard per lock).\n"
+    "struct Shard {\n"
+    "  util::Mutex mu;\n"
+    "  int entries FEDSEARCH_GUARDED_BY(mu) = 0;\n"
+    "};\n",
+    [])
+
+expect_findings(
+    "MutexLock and Mutex& parameters do not trip the member pattern",
+    "fedsearch/core/lock_use.cc",
+    "void F(util::Mutex& mu) { util::MutexLock lock(mu); }\n",
+    [])
+
+# --- Rule 3: lock-order documentation --------------------------------------
+
+expect_findings(
+    "mutex file without a Lock order comment", "fedsearch/core/no_order.h",
+    "class C {\n"
+    "  util::Mutex mu_;\n"
+    "  int x_ FEDSEARCH_GUARDED_BY(mu_) = 0;\n"
+    "};\n",
+    ["Lock order"])
+
+expect_findings(
+    "files without mutex members need no lock-order comment",
+    "fedsearch/core/stateless.h",
+    "class C { int x_ = 0; };\n",
+    [])
+
+# --- Rule 4: the status.h covenant -----------------------------------------
+
+expect_findings(
+    "status.h with both classes nodiscard is clean",
+    "fedsearch/util/status.h",
+    "class [[nodiscard]] Status {};\n"
+    "template <typename T>\n"
+    "class [[nodiscard]] StatusOr {};\n",
+    [])
+
+expect_findings(
+    "status.h missing nodiscard on Status",
+    "fedsearch/util/status.h",
+    "class Status {};\n"
+    "template <typename T>\n"
+    "class [[nodiscard]] StatusOr {};\n",
+    ["class [[nodiscard]] Status"])
+
+expect_findings(
+    "status.h missing nodiscard on StatusOr",
+    "fedsearch/util/status.h",
+    "class [[nodiscard]] Status {};\n"
+    "template <typename T>\n"
+    "class StatusOr {};\n",
+    ["class [[nodiscard]] StatusOr"])
+
+# --- CLI behaviour ---------------------------------------------------------
+
+status, _ = run_lint(Path(tempfile.gettempdir()) / "contracts-missing-root")
+check("missing root exits 2", status == 2, f"(got {status})")
+
+print()
+if FAILURES:
+    print(f"lint_contracts_selftest: {len(FAILURES)} check(s) FAILED")
+    sys.exit(1)
+print("lint_contracts_selftest: all checks passed")

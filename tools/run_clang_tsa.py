@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Clang thread-safety-analysis driver (ci.sh tsa job).
+
+The production toolchain may be gcc, which compiles the FEDSEARCH_* TSA
+macros (see src/fedsearch/util/thread_annotations.h) as no-ops. This
+driver is what actually enforces them: it replays every project
+translation unit through clang with -Wthread-safety promoted to an
+error, using the compile commands exported by the shared build-ci/static
+tree, so the annotations are checked with exactly the include paths and
+defines the real build uses.
+
+Only -fsyntax-only is run — no object files are produced and the tree
+never needs to have been built, only configured.
+
+Usage:
+    run_clang_tsa.py <compile_commands.json> [--clang PATH] [-j N]
+
+Exit status: 0 clean, 1 thread-safety (or other promoted) diagnostics,
+2 usage error / missing inputs / no clang on PATH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+# Flags appended to every replayed command. -Wthread-safety is the
+# gating group; the -beta group (e.g. pass-by-reference analysis) is
+# surfaced as warnings so new clang releases cannot break CI while still
+# being visible in the log. Unknown-warning noise from gcc-only flags in
+# the recorded command lines is silenced rather than fought flag by flag.
+TSA_FLAGS = [
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Werror=thread-safety",
+    "-Wthread-safety-beta",
+    "-Wno-unknown-warning-option",
+]
+
+# Project TU prefixes, relative to the source root, that the sweep
+# covers. Anything else in the database (none today; defensive against
+# future vendored code) is skipped.
+PROJECT_DIRS = ("src", "tests", "bench")
+
+CLANG_CANDIDATES = ["clang++"] + [f"clang++-{v}" for v in range(21, 13, -1)]
+
+
+def find_clang(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CLANG_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_entries(db_path: Path) -> list[dict]:
+    with db_path.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def entry_args(entry: dict) -> list[str]:
+    if "arguments" in entry:
+        return list(entry["arguments"])
+    return shlex.split(entry["command"])
+
+
+def is_project_file(file_path: Path, source_root: Path) -> bool:
+    try:
+        rel = file_path.resolve().relative_to(source_root)
+    except ValueError:
+        return False
+    return rel.parts[:1] != () and rel.parts[0] in PROJECT_DIRS
+
+
+def rewrite_command(args: list[str], clang: str) -> list[str]:
+    """Swap the recorded compiler for clang and drop codegen-only flags."""
+    out = [clang]
+    skip_next = False
+    for arg in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if arg in ("-c", "-MD", "-MMD"):
+            continue
+        out.append(arg)
+    out.extend(TSA_FLAGS)
+    return out
+
+
+def check_one(entry: dict, clang: str) -> tuple[str, int, str]:
+    cmd = rewrite_command(entry_args(entry), clang)
+    proc = subprocess.run(
+        cmd, cwd=entry.get("directory", "."),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return entry["file"], proc.returncode, proc.stdout
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_clang_tsa.py",
+        description="Replay project TUs through clang -Wthread-safety.")
+    parser.add_argument("database", help="path to compile_commands.json")
+    parser.add_argument("--clang", default=None,
+                        help="clang++ binary to use (default: search PATH)")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1),
+                        help="concurrent clang invocations")
+    opts = parser.parse_args(argv[1:])
+
+    db_path = Path(opts.database)
+    if not db_path.is_file():
+        print(f"run_clang_tsa: no such file: {db_path}", file=sys.stderr)
+        return 2
+
+    clang = find_clang(opts.clang)
+    if clang is None:
+        print("run_clang_tsa: no clang++ on PATH (tried: "
+              f"{opts.clang or ', '.join(CLANG_CANDIDATES)})", file=sys.stderr)
+        return 2
+
+    # The database lives at <build>/compile_commands.json; the source
+    # root is wherever this script's repo checkout is.
+    source_root = Path(__file__).resolve().parent.parent
+
+    entries = [e for e in load_entries(db_path)
+               if is_project_file(Path(e["file"]), source_root)]
+    if not entries:
+        print("run_clang_tsa: database holds no project TUs", file=sys.stderr)
+        return 2
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=opts.jobs) as pool:
+        for file, rc, output in pool.map(
+                lambda e: check_one(e, clang), entries):
+            if rc != 0:
+                failures += 1
+                rel = os.path.relpath(file, source_root)
+                print(f"run_clang_tsa: FAIL {rel}")
+                sys.stdout.write(output)
+            elif output.strip():
+                # Non-gating diagnostics (the -beta group): show them.
+                sys.stdout.write(output)
+
+    print(f"run_clang_tsa: {clang}: {len(entries)} TU(s), "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
