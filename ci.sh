@@ -29,6 +29,12 @@
 #                   BENCH_broker.json (virtual-time numbers: the gate
 #                   doubles as a bit-reproducibility check) and its timeline
 #                   validated by analyze_timeline.py
+#   churn           churn-labeled tests (corpus churn, refresh scheduling,
+#                   epoch-versioned publication) + churn-degradation bench
+#                   smoke gated against bench/baselines/BENCH_churn.json;
+#                   the bench reruns every scenario internally and fails on
+#                   any non-bit-identical request stream, so the gate
+#                   doubles as a determinism check
 #   perf-smoke      Release bench smoke with --json telemetry, gated against
 #                   the committed baseline in bench/baselines/ by
 #                   tools/check_bench_regression.py (>15% qps drop or
@@ -55,11 +61,25 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_JOBS="lint tidy tsa asan ubsan tsan release fuzz-regression smoke broker perf-smoke"
+ALL_JOBS="lint tidy tsa asan ubsan tsan release fuzz-regression smoke broker churn perf-smoke"
 SELECTED="$ALL_JOBS"
 JOBS="$(nproc)"
 CLEAN=0
 STRICT="${FEDSEARCH_CI_STRICT:-0}"
+
+usage() {
+  cat >&2 <<EOF
+usage: ./ci.sh [--jobs <job>[,<job>...]] [-j N] [--clean]
+
+  --jobs   comma- or space-separated subset of the CI matrix; jobs always
+           run in the canonical order below, regardless of --jobs order
+  -j N     parallel build/test width (default: nproc)
+  --clean  remove build-ci/ first for a from-scratch rebuild
+
+jobs:
+  $ALL_JOBS
+EOF
+}
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -68,14 +88,14 @@ while [[ $# -gt 0 ]]; do
     -j)       JOBS="$2"; shift 2 ;;
     -j*)      JOBS="${1#-j}"; shift ;;
     --clean)  CLEAN=1; shift ;;
-    *) echo "ci.sh: unknown argument: $1" >&2; exit 2 ;;
+    *) echo "ci.sh: unknown argument: $1" >&2; usage; exit 2 ;;
   esac
 done
 
 for job in $SELECTED; do
   case " $ALL_JOBS " in
     *" $job "*) ;;
-    *) echo "ci.sh: unknown job: $job (known: $ALL_JOBS)" >&2; exit 2 ;;
+    *) echo "ci.sh: unknown job: $job" >&2; usage; exit 2 ;;
   esac
 done
 
@@ -84,6 +104,34 @@ selected() { case " $SELECTED " in *" $1 "*) return 0 ;; *) return 1 ;; esac; }
 run() {
   echo "+ $*"
   "$@"
+}
+
+# Per-job wall-time accounting: every job block opens with begin_job and
+# closes with end_job; the summary table at the bottom makes CI-budget
+# regressions visible without digging through runner logs. Shared
+# build-tree setup (ensure_tree) is charged to the first job that needs it.
+declare -a TIMED_JOBS=()
+declare -a TIMED_SECS=()
+CURRENT_JOB=""
+CURRENT_JOB_T0=0
+begin_job() {
+  CURRENT_JOB="$1"
+  CURRENT_JOB_T0="$(date +%s)"
+  echo "=== job: $1 ==="
+}
+end_job() {
+  TIMED_JOBS+=("$CURRENT_JOB")
+  TIMED_SECS+=("$(( $(date +%s) - CURRENT_JOB_T0 ))")
+}
+print_job_times() {
+  [[ "${#TIMED_JOBS[@]}" -gt 0 ]] || return 0
+  local total=0 i
+  echo "ci.sh: job wall times"
+  for i in "${!TIMED_JOBS[@]}"; do
+    printf '  %-16s %5ss\n' "${TIMED_JOBS[$i]}" "${TIMED_SECS[$i]}"
+    total=$(( total + TIMED_SECS[i] ))
+  done
+  printf '  %-16s %5ss\n' total "$total"
 }
 
 # missing_tool <job> <tool>: skip notice by default, hard failure under
@@ -131,16 +179,20 @@ ensure_static_tree() {
 
 # --- Static tier: fail fast before any compilation -----------------------
 if selected lint; then
-  echo "=== job: lint ==="
+  begin_job lint
   run python3 tools/lint_determinism.py src
   run python3 tools/lint_determinism_selftest.py
   run python3 tools/lint_contracts.py src
   run python3 tools/lint_contracts_selftest.py
   run python3 tools/analyze_timeline.py --selftest
+  # A committed baseline no job compares against gates nothing; fail fast.
+  run python3 tools/check_bench_regression.py --check-orphans \
+    ci.sh bench/baselines
+  end_job
 fi
 
 if selected tidy; then
-  echo "=== job: tidy ==="
+  begin_job tidy
   if command -v clang-tidy >/dev/null 2>&1; then
     ensure_static_tree
     # Tests and benches are covered too — they hold most of the raw
@@ -152,10 +204,11 @@ if selected tidy; then
   else
     missing_tool tidy clang-tidy
   fi
+  end_job
 fi
 
 if selected tsa; then
-  echo "=== job: tsa ==="
+  begin_job tsa
   # gcc compiles the FEDSEARCH_* thread-safety macros as no-ops; this
   # replay is where the annotations are actually enforced.
   if command -v clang++ >/dev/null 2>&1; then
@@ -165,44 +218,49 @@ if selected tsa; then
   else
     missing_tool tsa clang++
   fi
+  end_job
 fi
 
 # --- Sanitizer matrix ----------------------------------------------------
 if selected asan; then
-  echo "=== job: asan ==="
+  begin_job asan
   ensure_tree asan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=address
   run ctest --test-dir build-ci/asan --output-on-failure -j "$JOBS" -LE bench
+  end_job
 fi
 
 if selected ubsan; then
-  echo "=== job: ubsan ==="
+  begin_job ubsan
   ensure_tree ubsan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=undefined
   run ctest --test-dir build-ci/ubsan --output-on-failure -j "$JOBS" -LE bench
+  end_job
 fi
 
 if selected tsan; then
-  echo "=== job: tsan ==="
+  begin_job tsan
   ensure_tree tsan -DCMAKE_BUILD_TYPE=Debug -DFEDSEARCH_SANITIZE=thread
   # Stress + thread-touching unit tests only: TSan's ~10x slowdown makes the
   # full suite blow the CI budget, and single-threaded tests add no signal.
   run ctest --test-dir build-ci/tsan --output-on-failure -j "$JOBS" \
     -L 'stress|threads'
+  end_job
 fi
 
 # --- Release + dynamic regression tiers ----------------------------------
 if selected release || selected fuzz-regression || selected smoke || \
-    selected broker || selected perf-smoke; then
+    selected broker || selected churn || selected perf-smoke; then
   ensure_tree release -DCMAKE_BUILD_TYPE=Release
 fi
 
 if selected release; then
-  echo "=== job: release ==="
+  begin_job release
   run ctest --test-dir build-ci/release --output-on-failure -j "$JOBS" \
     -LE bench
+  end_job
 fi
 
 if selected fuzz-regression; then
-  echo "=== job: fuzz-regression ==="
+  begin_job fuzz-regression
   # The ctest fuzz label replays corpora with the default mutation budget;
   # CI adds a deeper deterministic mutation pass on top.
   run ctest --test-dir build-ci/release --output-on-failure -L fuzz
@@ -210,20 +268,22 @@ if selected fuzz-regression; then
     --mutate 512 --seed 7 tests/fuzz/corpus/summary_io
   run ./build-ci/release/tests/fuzz_analyzer_replay \
     --mutate 512 --seed 7 tests/fuzz/corpus/analyzer
+  end_job
 fi
 
 if selected smoke; then
-  echo "=== job: smoke ==="
+  begin_job smoke
   # Exits non-zero if parallel rankings ever diverge from serial. The run
   # doubles as trace-export coverage: the Perfetto timeline it writes must
   # be valid, non-empty JSON the analyzer accepts.
   run ./build-ci/release/bench/bench_serving_throughput --smoke \
     --trace-out build-ci/release/serving_trace.json
   run python3 tools/analyze_timeline.py build-ci/release/serving_trace.json
+  end_job
 fi
 
 if selected broker; then
-  echo "=== job: broker ==="
+  begin_job broker
   # Unit + stress + bench-smoke coverage for the serving broker, then the
   # overload bench gated against its committed baseline. The bench reports
   # only virtual-time numbers, so the gate tolerances are slack for real
@@ -241,10 +301,30 @@ if selected broker; then
   run python3 tools/analyze_timeline.py build-ci/release/broker_trace.json
   run python3 tools/check_bench_regression.py \
     bench/baselines/BENCH_broker.json build-ci/release/BENCH_broker.json
+  end_job
+fi
+
+if selected churn; then
+  begin_job churn
+  # Unit + stress coverage for the live-churn subsystem (the bench label
+  # is excluded: the ctest bench tier re-runs the same smoke binary; the
+  # gated run below owns that here). Then the churn-degradation bench —
+  # which internally reruns every scenario and fails on any
+  # non-bit-identical request stream — gated against its committed
+  # baseline. Scores and virtual-time numbers are deterministic, so the
+  # gate doubles as a reproducibility check; only wall_* metrics carry
+  # load noise and those are informational.
+  run ctest --test-dir build-ci/release --output-on-failure -j "$JOBS" \
+    -L churn -LE bench
+  run ./build-ci/release/bench/bench_churn_degradation --smoke \
+    --json build-ci/release/BENCH_churn.json
+  run python3 tools/check_bench_regression.py \
+    bench/baselines/BENCH_churn.json build-ci/release/BENCH_churn.json
+  end_job
 fi
 
 if selected perf-smoke; then
-  echo "=== job: perf-smoke ==="
+  begin_job perf-smoke
   # Gate the telemetry first (a broken gate passes everything), then the
   # numbers: a fresh Release smoke report against the committed baseline.
   run python3 tools/check_bench_regression_selftest.py
@@ -264,6 +344,8 @@ if selected perf-smoke; then
   run python3 tools/check_bench_regression.py \
     bench/baselines/BENCH_micro.json build-ci/release/BENCH_micro.json \
     --max-qps-drop 0.30
+  end_job
 fi
 
+print_job_times
 echo "ci.sh: all green ($SELECTED)"

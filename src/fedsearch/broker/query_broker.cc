@@ -100,7 +100,8 @@ const char* DispositionName(Disposition disposition) {
 QueryBroker::QueryBroker(const core::Metasearcher* meta,
                          const selection::ScoringFunction* scorer,
                          BrokerOptions options)
-    : meta_(meta),
+    : owned_source_(std::make_unique<core::FixedMetasearcherSource>(meta)),
+      source_(owned_source_.get()),
       scorer_(scorer),
       options_(options),
       admission_(options.admission),
@@ -108,8 +109,28 @@ QueryBroker::QueryBroker(const core::Metasearcher* meta,
       slo_(options.slo) {
   options_.num_workers = std::max<size_t>(options_.num_workers, 1);
   options_.max_batch = std::max<size_t>(options_.max_batch, 1);
-  databases_evaluated_per_query_ =
-      meta_->num_databases() - meta_->num_degraded();
+  worker_free_ms_.assign(options_.num_workers, 0.0);
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  // The pool's calling thread participates in ParallelFor, so the broker
+  // dedicates a dispatcher thread to it; together with the pool's
+  // num_workers - 1 spawned threads that makes exactly num_workers
+  // long-lived WorkerLoop instances.
+  dispatcher_ = std::thread([this] {
+    pool_->ParallelFor(options_.num_workers, [this](size_t) { WorkerLoop(); });
+  });
+}
+
+QueryBroker::QueryBroker(const core::MetasearcherSource* source,
+                         const selection::ScoringFunction* scorer,
+                         BrokerOptions options)
+    : source_(source),
+      scorer_(scorer),
+      options_(options),
+      admission_(options.admission),
+      degradation_(options.degradation),
+      slo_(options.slo) {
+  options_.num_workers = std::max<size_t>(options_.num_workers, 1);
+  options_.max_batch = std::max<size_t>(options_.max_batch, 1);
   worker_free_ms_.assign(options_.num_workers, 0.0);
   pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
   // The pool's calling thread participates in ParallelFor, so the broker
@@ -124,18 +145,19 @@ QueryBroker::QueryBroker(const core::Metasearcher* meta,
 QueryBroker::~QueryBroker() { Shutdown(); }
 
 double QueryBroker::PredictCostMs(core::SummaryMode mode,
-                                  const util::Deadline::Costs& costs) const {
+                                  const util::Deadline::Costs& costs,
+                                  size_t num_databases, size_t num_evaluated) {
   // Mirrors SelectDatabases' bounded path: one adaptive-evaluation charge
   // per non-degraded database (adaptive mode only), then one scoring
   // charge per database — folded in the same order so the float result is
   // identical to the execution's consumed_ms().
   double cost = 0.0;
   if (mode == core::SummaryMode::kAdaptiveShrinkage) {
-    for (size_t i = 0; i < databases_evaluated_per_query_; ++i) {
+    for (size_t i = 0; i < num_evaluated; ++i) {
       cost += costs.adaptive_evaluation_ms;
     }
   }
-  for (size_t i = 0; i < meta_->num_databases(); ++i) {
+  for (size_t i = 0; i < num_databases; ++i) {
     cost += costs.score_ms;
   }
   return cost;
@@ -231,13 +253,25 @@ size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
   const core::SummaryMode mode =
       r.downgraded ? options_.degraded_mode : options_.full_mode;
 
+  // Pin this request to the epoch snapshot current at admission: cost
+  // prediction and execution both use exactly these summaries, so a
+  // refresh publishing a newer epoch mid-flight cannot change a recorded
+  // number. Lock order: broker mu_ -> source's internal lock (a pointer
+  // copy under the source's terminal mutex; the source never calls back
+  // into the broker).
+  std::shared_ptr<const core::Metasearcher> snapshot = source_->Snapshot();
+  r.summary_epoch = snapshot->epoch();
+  submit_span.AttrUint("summary_epoch", r.summary_epoch);
+
   // Per-request cost table: the base model scaled by this request's tail
   // inflation; prediction and execution both use this exact table.
   util::Deadline::Costs costs = options_.costs;
   costs.adaptive_evaluation_ms *= service_inflation;
   costs.score_ms *= service_inflation;
   costs.search_ms *= service_inflation;
-  const double cost_ms = PredictCostMs(mode, costs);
+  const double cost_ms =
+      PredictCostMs(mode, costs, snapshot->num_databases(),
+                    snapshot->num_databases() - snapshot->num_degraded());
   r.predicted_cost_ms = cost_ms;
 
   // Virtual placement: FIFO onto the earliest-free worker (lowest index on
@@ -273,6 +307,7 @@ size_t QueryBroker::Submit(const selection::Query& query, double arrival_ms,
   QueueItem item;
   item.seq = seq;
   item.query = query;
+  item.snapshot = std::move(snapshot);
   item.mode = mode;
   item.budget_ms = budget_ms;
   item.costs = costs;
@@ -368,8 +403,8 @@ void QueryBroker::ExecuteOne(QueueItem& item) {
   } else {
     util::Deadline deadline(item.budget_ms, item.costs);
     const core::Metasearcher::SelectionOutcome outcome =
-        meta_->SelectDatabases(item.query, *scorer_, item.mode, &deadline,
-                               execute_span.context());
+        item.snapshot->SelectDatabases(item.query, *scorer_, item.mode,
+                                       &deadline, execute_span.context());
     evaluations = outcome.evaluations_completed;
     if (!outcome.status.ok()) {
       disposition = Disposition::kExpiredExecuting;

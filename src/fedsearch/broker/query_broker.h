@@ -13,6 +13,7 @@
 #include "fedsearch/broker/admission.h"
 #include "fedsearch/broker/degradation.h"
 #include "fedsearch/broker/slo.h"
+#include "fedsearch/core/live_metasearcher.h"
 #include "fedsearch/core/metasearcher.h"
 #include "fedsearch/selection/scoring.h"
 #include "fedsearch/util/deadline.h"
@@ -88,6 +89,12 @@ struct RequestResult {
   // bit-identity the bench rerun check asserts (ids are allocation-ordered
   // across threads).
   uint64_t trace_id = 0;
+  // Epoch of the summary snapshot this request was served against (0 for
+  // a static metasearcher). Captured at Submit: under live churn, a
+  // request admitted on epoch E executes on epoch E even if a refresh
+  // publishes E+1 before a worker reaches it — prediction and execution
+  // must see the same summaries for the dual-clock contract to hold.
+  uint64_t summary_epoch = 0;
 
   bool admitted() const {
     return disposition != Disposition::kShedQueueFull &&
@@ -160,8 +167,19 @@ class QueryBroker {
  public:
   // `meta` and `scorer` must outlive the broker. `meta` should be built
   // with num_threads = 1: the broker supplies the parallelism, and nested
-  // per-query fan-out would fight it for cores.
+  // per-query fan-out would fight it for cores. This overload serves a
+  // static federation: every request executes on `meta` at epoch 0.
   QueryBroker(const core::Metasearcher* meta,
+              const selection::ScoringFunction* scorer,
+              BrokerOptions options = {});
+  // Live-federation overload: each Submit snapshots `source` (an RCU
+  // pointer copy, never blocking on refresh) and the request is predicted
+  // AND executed against that one snapshot — a refresh landing between
+  // Submit and execution cannot change any recorded number. `source` and
+  // `scorer` must outlive the broker; every snapshot must present the
+  // same num_databases (the federation's membership is fixed, only its
+  // contents churn).
+  QueryBroker(const core::MetasearcherSource* source,
               const selection::ScoringFunction* scorer,
               BrokerOptions options = {});
   ~QueryBroker();
@@ -207,6 +225,11 @@ class QueryBroker {
   struct QueueItem {
     size_t seq = 0;
     selection::Query query;
+    // The epoch snapshot this request was admitted against. Keeps the
+    // snapshot's caches and summaries alive until execution even if the
+    // source has since published a newer epoch (RCU grace period = the
+    // lifetime of the last QueueItem holding the pointer).
+    std::shared_ptr<const core::Metasearcher> snapshot;
     core::SummaryMode mode = core::SummaryMode::kPlain;
     double budget_ms = 0.0;  // <= 0: already expired, drop on sight
     util::Deadline::Costs costs;
@@ -230,10 +253,13 @@ class QueryBroker {
   };
 
   // Exact replay of the charge sequence SelectDatabases will perform for
-  // `mode` under `costs` — same additions, same order, so comparing the
-  // sum against the budget predicts the execution's expiry verdict.
-  double PredictCostMs(core::SummaryMode mode,
-                       const util::Deadline::Costs& costs) const;
+  // `mode` under `costs` against a snapshot with `num_databases` databases
+  // of which `num_evaluated` get adaptive evaluations — same additions,
+  // same order, so comparing the sum against the budget predicts the
+  // execution's expiry verdict.
+  static double PredictCostMs(core::SummaryMode mode,
+                              const util::Deadline::Costs& costs,
+                              size_t num_databases, size_t num_evaluated);
 
   void WorkerLoop() FEDSEARCH_EXCLUDES(mu_);
   void ExecuteOne(QueueItem& item) FEDSEARCH_EXCLUDES(mu_);
@@ -251,15 +277,20 @@ class QueryBroker {
   // submit-order replay.
   void ObserveSloLocked(bool good) FEDSEARCH_REQUIRES(mu_);
 
-  const core::Metasearcher* meta_;
+  // Legacy static-metasearcher ctor wraps its argument here; the source
+  // ctor leaves this empty. source_ is what Submit snapshots either way.
+  std::unique_ptr<core::FixedMetasearcherSource> owned_source_;
+  const core::MetasearcherSource* source_;
   const selection::ScoringFunction* scorer_;
   BrokerOptions options_;
 
   // Lock order: mu_ -> util::Tracer's internal lock (span scopes opened
   // under mu_ record on destruction; the tracer never calls back into the
-  // broker). mu_ is never held across SelectDatabases or any other
-  // potentially-blocking call, and no broker path takes mu_ while holding
-  // a pool or shard lock.
+  // broker) and mu_ -> the MetasearcherSource's terminal snapshot lock
+  // (Submit copies the RCU pointer under mu_; the source never calls back
+  // into the broker). mu_ is never held across SelectDatabases or any
+  // other potentially-blocking call, and no broker path takes mu_ while
+  // holding a pool or shard lock.
   mutable util::Mutex mu_;
   util::CondVar work_cv_;
   util::CondVar drain_cv_;
@@ -286,10 +317,6 @@ class QueryBroker {
   // SloTracker is not itself thread-safe by design; the broker owns the
   // only instance and updates it under the scheduler lock.
   SloTracker slo_ FEDSEARCH_GUARDED_BY(mu_);
-  // Set once in the constructor (before any worker exists), read-only
-  // afterwards — no guard needed.
-  size_t databases_evaluated_per_query_ = 0;  // n - degraded (adaptive cost)
-
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread dispatcher_;
 };

@@ -286,7 +286,7 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
     const selection::Query& query, const sampling::SampleResult& sample,
     const selection::ScoringFunction& scorer,
     const selection::ScoringContext& context, util::Rng& rng,
-    PosteriorCache* cache, size_t database_index,
+    PosteriorCache* cache, size_t database_index, SummaryEpoch epoch,
     util::Deadline* deadline, const util::TraceContext& trace) const {
   Metrics().evaluations.Add();
   util::ScopedTimer evaluate_timer(Metrics().evaluate_ns);
@@ -372,16 +372,23 @@ AdaptiveSummarySelector::Uncertainty AdaptiveSummarySelector::Evaluate(
   // query's words.
   std::vector<const DocFrequencyPosterior*> posteriors(num_distinct);
   std::vector<DocFrequencyPosterior> owned;
+  // Keep-alive for cache-returned posteriors: under live refresh a newer
+  // epoch may evict the shard mid-evaluation, so the raw pointers in
+  // `posteriors` (kept for the flat hot-loop reads below) must be backed
+  // by owning references for the duration of the Monte-Carlo pass.
+  std::vector<std::shared_ptr<const DocFrequencyPosterior>> cached;
   std::shared_ptr<const PosteriorGridBasis> local_basis;
   owned.reserve(cache == nullptr ? num_distinct : 0);
+  cached.reserve(cache != nullptr ? num_distinct : 0);
   for (size_t k = 0; k < num_distinct; ++k) {
     const std::string& w = query.terms[distinct_first[k]];
     auto it = sample.sample_df.find(w);
     const size_t sk = it != sample.sample_df.end() ? it->second : 0;
     if (cache != nullptr) {
-      posteriors[k] = &cache->Get(database_index, sk, sample.sample_size,
+      cached.push_back(cache->Get(database_index, sk, sample.sample_size,
                                   db_size, gamma, options_.grid_points,
-                                  trace);
+                                  epoch, trace));
+      posteriors[k] = cached.back().get();
     } else {
       if (local_basis == nullptr) {
         local_basis = std::make_shared<PosteriorGridBasis>(

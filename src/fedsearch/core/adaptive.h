@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fedsearch/core/epoch.h"
 #include "fedsearch/sampling/sample_result.h"
 #include "fedsearch/selection/scoring.h"
 #include "fedsearch/summary/content_summary.h"
@@ -226,6 +227,10 @@ class AdaptiveSummarySelector {
   // converges to one entry per distinct sample frequency and the hit rate
   // approaches 100%. Results are bit-identical to the uncached overload.
   //
+  // `epoch` is the summary epoch of `sample` for this database (0 for
+  // static deployments); the cache uses it to decide between its memo,
+  // eviction, and a private stale-reader build (see PosteriorCache).
+  //
   // A non-null `deadline` marks this evaluation as one unit of bounded
   // work: the call charges Costs::adaptive_evaluation_ms on entry — the
   // per-database evaluation boundary of the deadline contract — and, when
@@ -240,7 +245,7 @@ class AdaptiveSummarySelector {
                        const selection::ScoringFunction& scorer,
                        const selection::ScoringContext& context,
                        util::Rng& rng, PosteriorCache* cache,
-                       size_t database_index,
+                       size_t database_index, SummaryEpoch epoch = 0,
                        util::Deadline* deadline = nullptr,
                        const util::TraceContext& trace = {}) const;
 

@@ -1,0 +1,124 @@
+#include "fedsearch/core/live_metasearcher.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "fedsearch/util/check.h"
+#include "fedsearch/util/metrics.h"
+
+namespace fedsearch::core {
+
+LiveMetasearcher::LiveMetasearcher(
+    const corpus::TopicHierarchy* hierarchy,
+    std::vector<sampling::SampleResult> samples,
+    std::vector<corpus::CategoryId> classifications,
+    MetasearcherOptions options)
+    : hierarchy_(hierarchy),
+      base_options_(std::move(options)),
+      posterior_cache_(std::make_shared<PosteriorCache>(samples.size())),
+      samples_(std::move(samples)),
+      classifications_(std::move(classifications)),
+      summary_epochs_(samples_.size(), 0) {
+  // The refresh machinery owns the live-plumbing fields; a caller
+  // pre-filling them would fight the epoch/prior bookkeeping below.
+  FEDSEARCH_CHECK(base_options_.epoch == 0 &&
+                  base_options_.summary_epochs.empty() &&
+                  base_options_.shared_posterior_cache == nullptr &&
+                  base_options_.prior == nullptr &&
+                  base_options_.changed_databases.empty())
+      << " live-refresh option fields must be left at their defaults";
+  util::MutexLock writer_lock(writer_mu_);
+  std::shared_ptr<const Metasearcher> first =
+      BuildSnapshotLocked(/*prior=*/nullptr, /*changed=*/{});
+  stats_at_publish_ = posterior_cache_->stats();
+  util::MutexLock lock(mu_);
+  current_ = std::move(first);
+}
+
+std::shared_ptr<const Metasearcher> LiveMetasearcher::Snapshot() const {
+  util::MutexLock lock(mu_);
+  return current_;
+}
+
+SummaryEpoch LiveMetasearcher::epoch() const { return Snapshot()->epoch(); }
+
+std::vector<EpochCacheStats> LiveMetasearcher::cache_history() const {
+  util::MutexLock writer_lock(writer_mu_);
+  return cache_history_;
+}
+
+std::shared_ptr<const Metasearcher> LiveMetasearcher::BuildSnapshotLocked(
+    const Metasearcher* prior, std::vector<size_t> changed) {
+  MetasearcherOptions options = base_options_;
+  options.epoch = epoch_;
+  options.summary_epochs = summary_epochs_;
+  options.shared_posterior_cache = posterior_cache_;
+  options.prior = prior;
+  options.changed_databases = std::move(changed);
+  // The snapshot copies the master samples/classifications: published
+  // snapshots must stay immutable while later refreshes mutate the
+  // masters.
+  return std::make_shared<const Metasearcher>(
+      hierarchy_, samples_, classifications_, std::move(options));
+}
+
+util::Status LiveMetasearcher::ApplyRefresh(
+    std::vector<SummaryUpdate> updates) {
+  util::MutexLock writer_lock(writer_mu_);
+  std::vector<size_t> changed;
+  changed.reserve(updates.size());
+  for (const SummaryUpdate& u : updates) {
+    if (u.database >= samples_.size()) {
+      return util::Status::InvalidArgument(
+          "refresh names database " + std::to_string(u.database) +
+          " but the federation has " + std::to_string(samples_.size()));
+    }
+    changed.push_back(u.database);
+  }
+  std::sort(changed.begin(), changed.end());
+  if (std::adjacent_find(changed.begin(), changed.end()) != changed.end()) {
+    return util::Status::InvalidArgument(
+        "refresh batch names a database more than once");
+  }
+
+  // The prior snapshot seeds the incremental corpus-statistics rebuild;
+  // holding the shared_ptr keeps it alive through construction even if
+  // every reader drops theirs meanwhile.
+  std::shared_ptr<const Metasearcher> prior;
+  {
+    util::MutexLock lock(mu_);
+    prior = current_;
+  }
+  ++epoch_;
+  for (SummaryUpdate& u : updates) {
+    samples_[u.database] = std::move(u.sample);
+    classifications_[u.database] = u.classification;
+    summary_epochs_[u.database] = epoch_;
+  }
+  // The expensive part — aggregates, shrinkage, statistics, re-pinning —
+  // runs here with only writer_mu_ held: Snapshot() callers keep being
+  // served the prior epoch until the single pointer swap below.
+  std::shared_ptr<const Metasearcher> next =
+      BuildSnapshotLocked(prior.get(), std::move(changed));
+
+  // Attribute the cache counters accumulated under the superseded epoch.
+  const PosteriorCache::Stats now = posterior_cache_->stats();
+  EpochCacheStats completed;
+  completed.epoch = epoch_ - 1;
+  completed.stats.hits = now.hits - stats_at_publish_.hits;
+  completed.stats.misses = now.misses - stats_at_publish_.misses;
+  completed.stats.evictions = now.evictions - stats_at_publish_.evictions;
+  completed.stats.stale_misses =
+      now.stale_misses - stats_at_publish_.stale_misses;
+  cache_history_.push_back(completed);
+  stats_at_publish_ = now;
+  util::GlobalMetrics().gauge("serving.summary_epoch").Set(
+      static_cast<double>(epoch_));
+
+  util::MutexLock lock(mu_);
+  current_ = std::move(next);
+  return util::Status::Ok();
+}
+
+}  // namespace fedsearch::core

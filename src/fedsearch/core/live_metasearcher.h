@@ -1,0 +1,162 @@
+#ifndef FEDSEARCH_CORE_LIVE_METASEARCHER_H_
+#define FEDSEARCH_CORE_LIVE_METASEARCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "fedsearch/core/epoch.h"
+#include "fedsearch/core/metasearcher.h"
+#include "fedsearch/util/mutex.h"
+#include "fedsearch/util/status.h"
+#include "fedsearch/util/thread_annotations.h"
+
+namespace fedsearch::core {
+
+// Where serving code obtains the Metasearcher it scores against. The
+// indirection lets the same broker serve either a fixed federation (a
+// plain Metasearcher, wrapped by FixedMetasearcherSource) or a live one
+// whose summaries refresh underneath it (LiveMetasearcher). Snapshot() is
+// wait-free with respect to refreshes: it never blocks on a snapshot
+// build, only on the pointer swap.
+class MetasearcherSource {
+ public:
+  virtual ~MetasearcherSource() = default;
+
+  // The current immutable snapshot. The returned pointer (and everything
+  // reachable from it) stays valid for as long as the caller holds it,
+  // even across later refreshes — per-request code captures it once and
+  // scores every phase of that request against the same epoch.
+  [[nodiscard]] virtual std::shared_ptr<const Metasearcher> Snapshot()
+      const = 0;
+};
+
+// Adapts a caller-owned, never-refreshed Metasearcher to the source
+// interface. The aliasing snapshot does not own the metasearcher: the
+// referent must outlive this source and every snapshot taken from it.
+class FixedMetasearcherSource : public MetasearcherSource {
+ public:
+  explicit FixedMetasearcherSource(const Metasearcher* meta)
+      : snapshot_(std::shared_ptr<const Metasearcher>(), meta) {}
+
+  [[nodiscard]] std::shared_ptr<const Metasearcher> Snapshot()
+      const override {
+    return snapshot_;
+  }
+
+ private:
+  std::shared_ptr<const Metasearcher> snapshot_;
+};
+
+// One database's re-probed summary, as produced by a fresh sampler run
+// against the live corpus.
+struct SummaryUpdate {
+  size_t database = 0;
+  sampling::SampleResult sample;
+  corpus::CategoryId classification = 0;
+};
+
+// Posterior-cache activity attributed to one epoch: the counter deltas
+// accumulated while that epoch's snapshot was current.
+struct EpochCacheStats {
+  SummaryEpoch epoch = 0;
+  PosteriorCache::Stats stats;
+};
+
+// Epoch-versioned Metasearcher publication with RCU-style hot swap.
+//
+// Readers call Snapshot() and score against an immutable Metasearcher;
+// a refresh builds the NEXT snapshot entirely off the publication lock —
+// category aggregates, shrinkage model, corpus statistics (incrementally,
+// via ScoringStatisticsCache::Rebuilt), posterior-cache re-pinning — and
+// then swaps one shared_ptr. SelectDatabases therefore never blocks on a
+// refresh, and a refresh never waits for in-flight queries: snapshots
+// pinned by running requests are reclaimed by shared_ptr when the last
+// reader drops them.
+//
+// The posterior cache is shared across snapshots so the working set of
+// grids for unchanged databases survives a refresh; the per-database
+// summary epochs carried by each snapshot key its invalidation (see
+// PosteriorCache's epoch contract — re-probed shards evict lazily on
+// first use, readers on older snapshots build privately).
+class LiveMetasearcher : public MetasearcherSource {
+ public:
+  // Builds and publishes the epoch-0 snapshot. `hierarchy` must outlive
+  // this object. `options.epoch`, `options.summary_epochs`,
+  // `options.shared_posterior_cache`, `options.prior`, and
+  // `options.changed_databases` are owned by the refresh machinery and
+  // must be left at their defaults.
+  LiveMetasearcher(const corpus::TopicHierarchy* hierarchy,
+                   std::vector<sampling::SampleResult> samples,
+                   std::vector<corpus::CategoryId> classifications,
+                   MetasearcherOptions options = {});
+
+  LiveMetasearcher(const LiveMetasearcher&) = delete;
+  LiveMetasearcher& operator=(const LiveMetasearcher&) = delete;
+
+  // The currently published snapshot; never null. Wait-free with respect
+  // to snapshot builds (blocks only on the publication pointer swap).
+  [[nodiscard]] std::shared_ptr<const Metasearcher> Snapshot()
+      const override FEDSEARCH_EXCLUDES(mu_);
+
+  // Applies one batch of re-probed summaries and publishes a new snapshot
+  // at the next epoch. Serializes with other refreshers (writer_mu_); the
+  // expensive snapshot build happens before the publication swap, so
+  // concurrent Snapshot() callers are never blocked behind it. Updates
+  // must name distinct in-range databases; an empty batch still advances
+  // the epoch (useful for tests), touching no summaries.
+  [[nodiscard]] util::Status ApplyRefresh(std::vector<SummaryUpdate> updates)
+      FEDSEARCH_EXCLUDES(writer_mu_, mu_);
+
+  // Epoch of the currently published snapshot.
+  [[nodiscard]] SummaryEpoch epoch() const FEDSEARCH_EXCLUDES(mu_);
+
+  // Cumulative shared posterior-cache counters (all epochs).
+  [[nodiscard]] PosteriorCache::Stats posterior_cache_stats() const {
+    return posterior_cache_->stats();
+  }
+
+  // Per-epoch cache attribution for every epoch that has been superseded:
+  // entry i holds the counter deltas observed while epoch i's snapshot
+  // was the published one. The current epoch's in-progress delta is not
+  // included (it is still accumulating).
+  [[nodiscard]] std::vector<EpochCacheStats> cache_history() const
+      FEDSEARCH_EXCLUDES(writer_mu_);
+
+ private:
+  // Builds a snapshot of the master state at `epoch`; runs with
+  // writer_mu_ held (master samples stay stable) but mu_ free.
+  std::shared_ptr<const Metasearcher> BuildSnapshotLocked(
+      const Metasearcher* prior, std::vector<size_t> changed)
+      FEDSEARCH_REQUIRES(writer_mu_);
+
+  const corpus::TopicHierarchy* hierarchy_;
+  MetasearcherOptions base_options_;
+  std::shared_ptr<PosteriorCache> posterior_cache_;
+
+  // Lock order: writer_mu_ before mu_. ApplyRefresh holds writer_mu_
+  // across the whole refresh (master-state mutation + snapshot build) and
+  // takes mu_ only for the final pointer swap; nothing acquires
+  // writer_mu_ while holding mu_.
+  mutable util::Mutex writer_mu_ FEDSEARCH_ACQUIRED_BEFORE(mu_);
+  // Master copies the next snapshot is built from (the published
+  // snapshots hold their own immutable copies).
+  std::vector<sampling::SampleResult> samples_ FEDSEARCH_GUARDED_BY(writer_mu_);
+  std::vector<corpus::CategoryId> classifications_
+      FEDSEARCH_GUARDED_BY(writer_mu_);
+  std::vector<SummaryEpoch> summary_epochs_ FEDSEARCH_GUARDED_BY(writer_mu_);
+  SummaryEpoch epoch_ FEDSEARCH_GUARDED_BY(writer_mu_) = 0;
+  // Per-epoch cache attribution: counters at the last publication, and
+  // the completed-epoch deltas.
+  PosteriorCache::Stats stats_at_publish_ FEDSEARCH_GUARDED_BY(writer_mu_);
+  std::vector<EpochCacheStats> cache_history_ FEDSEARCH_GUARDED_BY(writer_mu_);
+
+  // Lock order: mu_ is terminal — it guards only the published pointer
+  // and is never held while taking another lock (the swap and the read
+  // are pointer copies).
+  mutable util::Mutex mu_;
+  std::shared_ptr<const Metasearcher> current_ FEDSEARCH_GUARDED_BY(mu_);
+};
+
+}  // namespace fedsearch::core
+
+#endif  // FEDSEARCH_CORE_LIVE_METASEARCHER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fedsearch/util/check.h"
 #include "fedsearch/util/metrics.h"
 #include "fedsearch/util/trace.h"
 
@@ -48,8 +49,8 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
     : hierarchy_(hierarchy),
       samples_(std::move(samples)),
       classifications_(std::move(classifications)),
-      options_(options),
-      adaptive_(options.adaptive) {
+      options_(std::move(options)),
+      adaptive_(options_.adaptive) {
   FEDSEARCH_TRACE_SPAN("metasearcher_build");
   util::ScopedTimer build_timer(Metrics().build_ns);
   degraded_.reserve(samples_.size());
@@ -77,8 +78,13 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
       hierarchy_, summary_ptrs, classifications_);
 
   // Serving-layer state: the samples and shrunk summaries are immutable
-  // from here on, so the corpus statistics are computed once (off the
-  // per-query hot path) and the posterior cache never invalidates.
+  // for this snapshot's lifetime, so the corpus statistics are computed
+  // once (off the per-query hot path) and the posterior cache only
+  // invalidates by epoch under live refresh.
+  FEDSEARCH_CHECK(options_.summary_epochs.empty() ||
+                  options_.summary_epochs.size() == samples_.size())
+      << " summary_epochs covers " << options_.summary_epochs.size()
+      << " databases, federation has " << samples_.size();
   std::vector<const summary::SummaryView*> plain_views;
   std::vector<const summary::SummaryView*> shrunk_views;
   plain_views.reserve(samples_.size());
@@ -87,22 +93,61 @@ Metasearcher::Metasearcher(const corpus::TopicHierarchy* hierarchy,
     plain_views.push_back(&samples_[i].summary);
     shrunk_views.push_back(&shrinkage_->shrunk(i));
   }
-  plain_statistics_ = selection::ScoringStatisticsCache(plain_views);
+  if (options_.prior != nullptr) {
+    // Incremental path (live refresh): delta-update the prior snapshot's
+    // plain statistics for the re-probed databases only; bit-identical to
+    // the full scan below.
+    const Metasearcher& prior = *options_.prior;
+    FEDSEARCH_CHECK(prior.num_databases() == samples_.size())
+        << " prior snapshot has " << prior.num_databases()
+        << " databases, this one " << samples_.size();
+    std::vector<const summary::SummaryView*> prior_views;
+    prior_views.reserve(prior.num_databases());
+    for (size_t i = 0; i < prior.num_databases(); ++i) {
+      prior_views.push_back(&prior.samples_[i].summary);
+    }
+    plain_statistics_ = selection::ScoringStatisticsCache::Rebuilt(
+        prior.plain_statistics_, plain_views, prior_views,
+        options_.changed_databases);
+  } else {
+    plain_statistics_ = selection::ScoringStatisticsCache(plain_views);
+  }
+  // Shrunk statistics always rebuild from scratch: shrinkage couples every
+  // database through the category aggregates, so one re-probed sample can
+  // perturb every shrunk summary and no per-database delta is sound.
   shrunk_statistics_ = selection::ScoringStatisticsCache(shrunk_views);
-  posterior_cache_.Reset(samples_.size());
+  // The prior snapshot and change list are construction-time inputs only;
+  // clearing them keeps options_ free of a pointer into a snapshot that
+  // the refresh loop will drop.
+  options_.prior = nullptr;
+  options_.changed_databases.clear();
+  options_.changed_databases.shrink_to_fit();
+  if (options_.shared_posterior_cache != nullptr) {
+    // A cache shared across snapshots is never Reset here — its value is
+    // exactly the surviving working set; epoch keys evict the re-probed
+    // shards lazily.
+    posterior_cache_ = options_.shared_posterior_cache;
+    FEDSEARCH_CHECK(posterior_cache_->num_databases() == samples_.size())
+        << " shared posterior cache covers "
+        << posterior_cache_->num_databases() << " databases, federation has "
+        << samples_.size();
+  } else {
+    posterior_cache_ = std::make_shared<PosteriorCache>(samples_.size());
+  }
   // Pin each shard's posterior parameters and build the shared grid basis
   // (support + γ·ln d prior + binomial log-bases) here, off the query
-  // path: the parameters are constants of the database's sample, and
-  // pinning them up front turns any later mismatch into a DCHECK instead
-  // of a silently stale grid. Degraded databases never reach the adaptive
-  // evaluation, so their shards stay unpinned.
+  // path: the parameters are constants of the database's sample at its
+  // epoch, and pinning them up front turns any later mismatch into a
+  // DCHECK instead of a silently stale grid. Degraded databases never
+  // reach the adaptive evaluation, so their shards stay unpinned.
   for (size_t i = 0; i < samples_.size(); ++i) {
     if (degraded_[i]) continue;
     const sampling::SampleResult& s = samples_[i];
-    posterior_cache_.PinParams(i, s.sample_size,
-                               std::max(1.0, s.estimated_db_size),
-                               PowerLawGamma(s.mandelbrot_alpha),
-                               options_.adaptive.grid_points);
+    posterior_cache_->PinParams(i, s.sample_size,
+                                std::max(1.0, s.estimated_db_size),
+                                PowerLawGamma(s.mandelbrot_alpha),
+                                options_.adaptive.grid_points,
+                                summary_epoch(i));
   }
   num_threads_ = options_.num_threads > 0
                      ? options_.num_threads
@@ -151,7 +196,7 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       util::Tracer::Scope adaptive_span("adaptive_evaluation",
                                         select_span.context());
       PosteriorCache::Stats cache_before;
-      if (adaptive_span.recording()) cache_before = posterior_cache_.stats();
+      if (adaptive_span.recording()) cache_before = posterior_cache_->stats();
       // The uncertainty estimation scores against the unshrunk summaries'
       // corpus statistics.
       selection::ScoringContext decision_context;
@@ -186,8 +231,9 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
         }
         const AdaptiveSummarySelector::Uncertainty u =
             adaptive_.Evaluate(query, samples_[i], scorer, decision_context,
-                               db_rngs[i], &posterior_cache_, i,
-                               bounded ? deadline : nullptr, adaptive_ctx);
+                               db_rngs[i], posterior_cache_.get(), i,
+                               summary_epoch(i), bounded ? deadline : nullptr,
+                               adaptive_ctx);
         applied[i] = u.use_shrinkage ? 1 : 0;
         chosen[i] =
             u.use_shrinkage
@@ -209,7 +255,7 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
         }
         if (deadline->expired()) {
           if (adaptive_span.recording()) {
-            const PosteriorCache::Stats cache_after = posterior_cache_.stats();
+            const PosteriorCache::Stats cache_after = posterior_cache_->stats();
             adaptive_span.AttrUint("evaluated", outcome.evaluations_completed)
                 .AttrUint("cache_hits", cache_after.hits - cache_before.hits)
                 .AttrUint("cache_misses",
@@ -229,7 +275,7 @@ Metasearcher::SelectionOutcome Metasearcher::SelectDatabases(
       if (adaptive_span.recording()) {
         // Counter deltas across this span; under concurrent callers they
         // include the neighbors' traffic (observational, labeled as such).
-        const PosteriorCache::Stats cache_after = posterior_cache_.stats();
+        const PosteriorCache::Stats cache_after = posterior_cache_->stats();
         adaptive_span.AttrUint("evaluated", n)
             .AttrUint("cache_hits", cache_after.hits - cache_before.hits)
             .AttrUint("cache_misses", cache_after.misses - cache_before.misses)

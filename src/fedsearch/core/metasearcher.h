@@ -31,6 +31,8 @@ enum class SummaryMode {
   kUniversalShrinkage,
 };
 
+class Metasearcher;
+
 struct MetasearcherOptions {
   ShrinkageOptions shrinkage;
   AdaptiveOptions adaptive;
@@ -43,6 +45,31 @@ struct MetasearcherOptions {
   // on its own deterministically-forked RNG stream and reductions happen
   // in index order on the calling thread.
   size_t num_threads = 0;
+
+  // --- Live-refresh plumbing (set by LiveMetasearcher when it builds a
+  // snapshot; static deployments leave all of these at their defaults). ---
+  //
+  // Global epoch of this snapshot and per-database summary epochs (the
+  // epoch at which each database was last re-probed). An empty
+  // summary_epochs means every database is at `epoch`.
+  SummaryEpoch epoch = 0;
+  std::vector<SummaryEpoch> summary_epochs;
+  // Posterior cache shared across successive snapshots so the working set
+  // of unchanged databases survives a refresh (epoch keys evict only the
+  // re-probed shards). Must cover exactly this federation's database
+  // count. When null, the metasearcher owns a private cache.
+  std::shared_ptr<PosteriorCache> shared_posterior_cache;
+  // Incremental corpus-statistics rebuild: the previous snapshot and the
+  // (unique) indices whose samples differ from it. When `prior` is set,
+  // plain statistics are produced via ScoringStatisticsCache::Rebuilt —
+  // O(changed × vocabulary) instead of a full rescan — bit-identical to
+  // the scan. Shrunk statistics always rebuild from scratch: shrinkage
+  // couples every database through the category aggregates, so there is
+  // no sound per-database delta. Both fields are consumed during
+  // construction and cleared (the prior snapshot need not outlive this
+  // one).
+  const Metasearcher* prior = nullptr;
+  std::vector<size_t> changed_databases;
 };
 
 // End-to-end federation layer: owns the per-database sample results and
@@ -94,13 +121,21 @@ class Metasearcher {
   }
   // Threads SelectDatabases fans out over (resolved from the options).
   size_t num_threads() const { return num_threads_; }
-  // Hit/miss counters of the per-(database, sample_df) posterior cache the
-  // adaptive path draws from; serving-layer instrumentation.
+  // Global epoch of this snapshot (0 for static deployments) and the epoch
+  // at which database i's summary was last refreshed.
+  SummaryEpoch epoch() const { return options_.epoch; }
+  SummaryEpoch summary_epoch(size_t i) const {
+    return options_.summary_epochs.empty() ? options_.epoch
+                                           : options_.summary_epochs[i];
+  }
+  // Hit/miss/evict counters of the per-(database, sample_df) posterior
+  // cache the adaptive path draws from; serving-layer instrumentation.
+  // Under a shared cache (live refresh) these aggregate across snapshots.
   PosteriorCache::Stats posterior_cache_stats() const {
-    return posterior_cache_.stats();
+    return posterior_cache_->stats();
   }
   // Materialized posterior grids across all databases.
-  size_t posterior_cache_size() const { return posterior_cache_.size(); }
+  size_t posterior_cache_size() const { return posterior_cache_->size(); }
   // Precomputed corpus statistics (cf(w) over the full vocabulary, mean
   // collection word count) for the unshrunk / shrunk summary sets.
   const selection::ScoringStatisticsCache& plain_statistics() const {
@@ -192,7 +227,9 @@ class Metasearcher {
   AdaptiveSummarySelector adaptive_;
   selection::ScoringStatisticsCache plain_statistics_;
   selection::ScoringStatisticsCache shrunk_statistics_;
-  mutable PosteriorCache posterior_cache_;
+  // Private by default; LiveMetasearcher passes one shared across
+  // snapshots (options.shared_posterior_cache). Never null.
+  std::shared_ptr<PosteriorCache> posterior_cache_;
   size_t num_threads_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;  // null when serving serially
 };

@@ -18,6 +18,8 @@ void PosteriorCache::Reset(size_t num_databases) {
   }
   hits_.Reset();
   misses_.Reset();
+  evictions_.Reset();
+  stale_misses_.Reset();
 }
 
 const std::shared_ptr<const PosteriorGridBasis>&
@@ -30,7 +32,8 @@ PosteriorCache::EnsureBasisLocked(size_t database, Shard& shard,
   } else {
     // The cache key is (database, sample_df) only: parameters that drift
     // between calls would silently hand back grids built from stale
-    // values, so the first-seen parameters are pinned per shard.
+    // values, so the first-seen parameters are pinned per shard — until a
+    // newer epoch evicts the shard and re-pins them.
     FEDSEARCH_DCHECK(shard.params.sample_size == sample_size &&
                      shard.params.db_size == db_size &&
                      shard.params.gamma == gamma &&
@@ -49,12 +52,35 @@ PosteriorCache::EnsureBasisLocked(size_t database, Shard& shard,
   return shard.basis;
 }
 
-const DocFrequencyPosterior& PosteriorCache::Get(
+bool PosteriorCache::ReconcileEpochLocked(Shard& shard, SummaryEpoch epoch) {
+  if (epoch < shard.epoch) {
+    return true;  // Stale reader: the shard already serves a newer summary.
+  }
+  if (epoch > shard.epoch) {
+    // First caller through a freshly published snapshot: the memoized
+    // grids describe a summary that no longer exists. Dropping params and
+    // basis lets the caller re-pin the new sample's parameters.
+    static util::Counter& global_evictions =
+        util::GlobalMetrics().counter("posterior_cache.evictions");
+    const uint64_t dropped = shard.by_df.size();
+    evictions_.Add(dropped);
+    global_evictions.Add(dropped);
+    shard.by_df.clear();
+    shard.basis.reset();
+    shard.has_params = false;
+    shard.params = Params{};
+    shard.epoch = epoch;
+  }
+  return false;
+}
+
+std::shared_ptr<const DocFrequencyPosterior> PosteriorCache::Get(
     size_t database, size_t sample_df, size_t sample_size, double db_size,
-    double gamma, size_t grid_points, const util::TraceContext& trace) {
+    double gamma, size_t grid_points, SummaryEpoch epoch,
+    const util::TraceContext& trace) {
   // Cache-key validity: a bad database index would silently alias another
   // shard's grids (and a different-keyed rebuild would corrupt the "one
-  // grid per (database, sample_df)" invariant the references depend on).
+  // grid per (database, sample_df, epoch)" invariant).
   FEDSEARCH_CHECK(database < shards_.size())
       << " database " << database << " of " << shards_.size();
   FEDSEARCH_CHECK(grid_points > 0);
@@ -67,6 +93,24 @@ const DocFrequencyPosterior& PosteriorCache::Get(
       util::GlobalMetrics().counter("posterior_cache.hits");
   static util::Counter& global_misses =
       util::GlobalMetrics().counter("posterior_cache.misses");
+  static util::Counter& global_stale =
+      util::GlobalMetrics().counter("posterior_cache.stale_misses");
+  if (ReconcileEpochLocked(shard, epoch)) {
+    // A reader on an older snapshot must get exactly the posterior its
+    // epoch's parameters imply, without disturbing the shard serving the
+    // current epoch — build privately, skip the memo and its parameter
+    // pin. Not counted as a miss: hit/miss accounting describes the
+    // current-epoch working set.
+    stale_misses_.Add();
+    global_stale.Add();
+    util::Tracer::Scope build_span("posterior_grid_build", trace);
+    build_span.AttrUint("database", database)
+        .AttrUint("sample_df", sample_df);
+    auto basis =
+        std::make_shared<PosteriorGridBasis>(db_size, gamma, grid_points);
+    return std::make_shared<DocFrequencyPosterior>(std::move(basis),
+                                                   sample_df, sample_size);
+  }
   // Pin-or-validate the shard parameters on EVERY call, hits included: a
   // hit under drifted parameters would otherwise silently serve a grid
   // built from stale values (the key is (database, sample_df) only).
@@ -76,7 +120,7 @@ const DocFrequencyPosterior& PosteriorCache::Get(
   if (it != shard.by_df.end()) {
     hits_.Add();
     global_hits.Add();
-    return *it->second;
+    return it->second;
   }
   misses_.Add();
   global_misses.Add();
@@ -84,21 +128,23 @@ const DocFrequencyPosterior& PosteriorCache::Get(
   // without a second lookup; construction is O(grid_points) and rare.
   util::Tracer::Scope build_span("posterior_grid_build", trace);
   build_span.AttrUint("database", database).AttrUint("sample_df", sample_df);
-  auto posterior = std::make_unique<DocFrequencyPosterior>(
+  auto posterior = std::make_shared<const DocFrequencyPosterior>(
       basis, sample_df, sample_size);
-  return *shard.by_df.emplace(sample_df, std::move(posterior))
-              .first->second;
+  return shard.by_df.emplace(sample_df, std::move(posterior)).first->second;
 }
 
 void PosteriorCache::PinParams(size_t database, size_t sample_size,
                                double db_size, double gamma,
-                               size_t grid_points) {
+                               size_t grid_points, SummaryEpoch epoch) {
   FEDSEARCH_CHECK(database < shards_.size())
       << " database " << database << " of " << shards_.size();
   FEDSEARCH_CHECK(grid_points > 0);
   FEDSEARCH_DCHECK(std::isfinite(gamma) && std::isfinite(db_size));
   Shard& shard = *shards_[database];
   util::MutexLock lock(shard.mu);
+  if (ReconcileEpochLocked(shard, epoch)) {
+    return;  // Stale pin: the shard already serves a newer summary.
+  }
   EnsureBasisLocked(database, shard, sample_size, db_size, gamma,
                     grid_points);
 }
@@ -107,6 +153,8 @@ PosteriorCache::Stats PosteriorCache::stats() const {
   Stats s;
   s.hits = hits_.value();
   s.misses = misses_.value();
+  s.evictions = evictions_.value();
+  s.stale_misses = stale_misses_.value();
   return s;
 }
 

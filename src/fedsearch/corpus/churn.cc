@@ -1,0 +1,192 @@
+#include "fedsearch/corpus/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "fedsearch/util/check.h"
+
+namespace fedsearch::corpus {
+namespace {
+
+// splitmix64 finalizer: decorrelates the per-(seed, epoch, database)
+// replacement streams so adjacent epochs/databases share no draw prefix.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ReplacementSeed(uint64_t seed, uint64_t epoch, size_t db) {
+  return Mix(Mix(seed ^ Mix(epoch)) ^ Mix(static_cast<uint64_t>(db)));
+}
+
+}  // namespace
+
+ChurnTestbed::ChurnTestbed(const Testbed* bed, ChurnOptions options)
+    : bed_(bed), options_(options) {
+  FEDSEARCH_CHECK(bed_->options().keep_documents)
+      << " churn needs the testbed's retained document texts; build it "
+         "with TestbedOptions::keep_documents = true";
+  FEDSEARCH_CHECK(options_.static_fraction >= 0.0 &&
+                  options_.fast_fraction >= 0.0 &&
+                  options_.static_fraction + options_.fast_fraction <= 1.0)
+      << " static_fraction + fast_fraction must stay within [0, 1]";
+  const size_t n = bed_->num_databases();
+  doc_texts_.reserve(n);
+  doc_topics_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    doc_texts_.push_back(bed_->documents_of(i));
+    doc_topics_.push_back(bed_->doc_topics_of(i));
+  }
+  diverged_.assign(n, false);
+  rebuilt_.resize(n);
+
+  // Drift classes: a seed-shuffled assignment so the classes are spread
+  // over topics/sizes rather than correlated with database index.
+  util::Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t num_static =
+      static_cast<size_t>(std::lround(options_.static_fraction *
+                                      static_cast<double>(n)));
+  const size_t num_fast = static_cast<size_t>(
+      std::lround(options_.fast_fraction * static_cast<double>(n)));
+  drift_classes_.assign(n, DriftClass::kSlow);
+  for (size_t r = 0; r < n; ++r) {
+    if (r < num_static) {
+      drift_classes_[order[r]] = DriftClass::kStatic;
+    } else if (r < num_static + num_fast) {
+      drift_classes_[order[r]] = DriftClass::kFast;
+    }
+  }
+
+  // Fast databases drift toward a fixed sibling leaf of their category
+  // (any other leaf when the category has no sibling leaves).
+  const TopicHierarchy& hierarchy = bed_->hierarchy();
+  migration_targets_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const CategoryId own = bed_->category_of(i);
+    migration_targets_[i] = own;
+    if (drift_classes_[i] != DriftClass::kFast) continue;
+    std::vector<CategoryId> candidates;
+    const CategoryId parent = hierarchy.node(own).parent;
+    if (parent != kInvalidCategory) {
+      for (CategoryId c : hierarchy.node(parent).children) {
+        if (c != own && hierarchy.IsLeaf(c)) candidates.push_back(c);
+      }
+    }
+    if (candidates.empty()) {
+      for (CategoryId c : hierarchy.Leaves()) {
+        if (c != own) candidates.push_back(c);
+      }
+    }
+    if (!candidates.empty()) {
+      migration_targets_[i] = candidates[rng.NextBounded(candidates.size())];
+    }
+  }
+}
+
+bool ChurnTestbed::ReplaceDocuments(size_t db, double drift_fraction,
+                                    util::Rng& rng) {
+  std::vector<std::string>& texts = doc_texts_[db];
+  std::vector<CategoryId>& topics = doc_topics_[db];
+  const size_t n = texts.size();
+  if (n == 0) return false;
+  const size_t replacements = static_cast<size_t>(
+      std::lround(drift_fraction * static_cast<double>(n)));
+  if (replacements == 0) return false;
+  const bool fast = drift_classes_[db] == DriftClass::kFast;
+  const CategoryId own = bed_->category_of(db);
+  const CategoryId target = migration_targets_[db];
+  for (size_t k = 0; k < replacements; ++k) {
+    const size_t pos = rng.NextBounded(n);
+    const CategoryId topic =
+        fast && rng.NextBernoulli(options_.migrate_fraction) ? target : own;
+    texts[pos] = bed_->model().GenerateDocumentText(topic, rng);
+    topics[pos] = topic;
+  }
+  diverged_[db] = true;
+  rebuilt_[db].reset();
+  return true;
+}
+
+std::vector<size_t> ChurnTestbed::AdvanceEpoch() {
+  ++epoch_;
+  std::vector<size_t> changed;
+  for (size_t i = 0; i < doc_texts_.size(); ++i) {
+    double drift = 0.0;
+    switch (drift_classes_[i]) {
+      case DriftClass::kStatic:
+        continue;
+      case DriftClass::kSlow:
+        drift = options_.slow_drift;
+        break;
+      case DriftClass::kFast:
+        drift = options_.fast_drift;
+        break;
+    }
+    // A fresh stream per (seed, epoch, database): the corpus at epoch E is
+    // a pure function of the inputs, not of how prior epochs interleaved.
+    util::Rng rng(ReplacementSeed(options_.seed, epoch_, i));
+    if (ReplaceDocuments(i, drift, rng)) changed.push_back(i);
+  }
+  return changed;
+}
+
+const index::TextDatabase& ChurnTestbed::live_database(size_t i) const {
+  FEDSEARCH_CHECK(i < doc_texts_.size())
+      << " database " << i << " of " << doc_texts_.size();
+  if (!diverged_[i]) return bed_->database(i);
+  if (rebuilt_[i] == nullptr) {
+    auto db = std::make_unique<index::TextDatabase>(
+        bed_->database(i).name(), &bed_->analyzer());
+    for (const std::string& text : doc_texts_[i]) {
+      db->AddDocument(text);
+    }
+    rebuilt_[i] = std::move(db);
+  }
+  return *rebuilt_[i];
+}
+
+size_t ChurnTestbed::CountRelevant(size_t query_index, size_t db_index) const {
+  FEDSEARCH_CHECK(query_index < bed_->queries().size() &&
+                  db_index < doc_texts_.size())
+      << " query " << query_index << " / database " << db_index
+      << " out of range";
+  const uint64_t key = (epoch_ << 40) |
+                       (static_cast<uint64_t>(query_index) << 20) |
+                       static_cast<uint64_t>(db_index);
+  auto it = relevance_cache_.find(key);
+  if (it != relevance_cache_.end()) return it->second;
+
+  // Same relevance rule as Testbed::CountRelevant, against the current
+  // corpus: topical subtree membership plus a distinct-term threshold.
+  const TestQuery& q = bed_->queries()[query_index];
+  std::vector<std::string> terms = bed_->analyzer().Analyze(q.text);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  const size_t threshold = std::min(bed_->options().relevance_min_terms,
+                                    std::max<size_t>(1, terms.size()));
+
+  const index::TextDatabase& db = live_database(db_index);
+  std::vector<uint16_t> hits(db.num_documents(), 0);
+  for (const std::string& t : terms) {
+    db.index().ForEachPosting(t,
+                              [&](index::DocId doc, uint32_t) { ++hits[doc]; });
+  }
+  std::unordered_set<CategoryId> on_topic;
+  for (CategoryId c : bed_->hierarchy().Subtree(q.topic)) on_topic.insert(c);
+
+  const std::vector<CategoryId>& topics = doc_topics_[db_index];
+  size_t relevant = 0;
+  for (size_t d = 0; d < hits.size(); ++d) {
+    if (hits[d] >= threshold && on_topic.count(topics[d]) > 0) ++relevant;
+  }
+  relevance_cache_.emplace(key, relevant);
+  return relevant;
+}
+
+}  // namespace fedsearch::corpus

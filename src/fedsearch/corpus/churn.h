@@ -1,0 +1,125 @@
+#ifndef FEDSEARCH_CORPUS_CHURN_H_
+#define FEDSEARCH_CORPUS_CHURN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fedsearch/corpus/testbed.h"
+#include "fedsearch/index/text_database.h"
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::corpus {
+
+// How fast one database's content drifts under churn.
+enum class DriftClass {
+  kStatic,  // never changes — its epoch-0 summary stays exact
+  kSlow,    // replaces a small document fraction per epoch, same topic mix
+  kFast,    // replaces a large fraction AND migrates toward another topic
+};
+
+struct ChurnOptions {
+  // Seeds the drift-class assignment, the migration targets, and (mixed
+  // with epoch and database index) every per-epoch replacement draw, so a
+  // churn run is a pure function of (testbed, options).
+  uint64_t seed = 0xC0D1CE5ULL;
+
+  // Partition of the federation by drift class; fractions of the database
+  // count (static + fast <= 1, the remainder is slow).
+  double static_fraction = 0.4;
+  double fast_fraction = 0.2;
+
+  // Fraction of a database's documents replaced per epoch, by class.
+  double slow_drift = 0.05;
+  double fast_drift = 0.25;
+
+  // For fast databases: probability that a replacement document is drawn
+  // from the database's migration-target topic (a sibling leaf fixed at
+  // construction) instead of its own — the topic mix drifts toward the
+  // target while the directory still lists the original category.
+  double migrate_fraction = 0.7;
+};
+
+// Deterministic live-corpus churn over a frozen Testbed.
+//
+// The testbed supplies the epoch-0 state (databases, topics, retained
+// document texts — TestbedOptions::keep_documents must be set) and the
+// generative model; AdvanceEpoch() then replaces a per-class fraction of
+// each non-static database's documents with freshly generated ones,
+// keeping every database's size constant. Every replacement draw comes
+// from a per-(seed, epoch, database) util::Rng, so epoch E's corpus is a
+// pure function of the inputs — independent of call interleaving, thread
+// count, or how often accessors run — which is what lets churn benches
+// assert bit-identical reruns.
+//
+// Replacement documents are generated without a database-private
+// vocabulary (the model's MakeDatabaseVocabulary mutates global word
+// state, which regeneration must not): new documents carry only shared
+// topic vocabulary, a mild additional drift away from the epoch-0 sample
+// that affects every churned database equally.
+class ChurnTestbed {
+ public:
+  // `bed` must outlive this object and have been built with
+  // keep_documents = true.
+  ChurnTestbed(const Testbed* bed, ChurnOptions options = {});
+
+  ChurnTestbed(const ChurnTestbed&) = delete;
+  ChurnTestbed& operator=(const ChurnTestbed&) = delete;
+
+  const Testbed& testbed() const { return *bed_; }
+  const ChurnOptions& options() const { return options_; }
+  size_t num_databases() const { return doc_texts_.size(); }
+  uint64_t epoch() const { return epoch_; }
+
+  DriftClass drift_class(size_t i) const { return drift_classes_[i]; }
+  // The topic fast database i migrates toward (its own category for
+  // non-fast databases).
+  CategoryId migration_target(size_t i) const { return migration_targets_[i]; }
+
+  // Advances the corpus one epoch: every slow/fast database replaces its
+  // class's document fraction. Returns the databases that changed, in
+  // index order.
+  std::vector<size_t> AdvanceEpoch();
+
+  // Database i's content at the current epoch. Unchanged databases alias
+  // the testbed's original index; changed ones are rebuilt lazily on
+  // first access after a change.
+  const index::TextDatabase& live_database(size_t i) const;
+
+  // The generating topic of each current document of database i.
+  const std::vector<CategoryId>& doc_topics_of(size_t i) const {
+    return doc_topics_[i];
+  }
+
+  // r(q, D) against the CURRENT corpus for testbed query `query_index`
+  // (cached per epoch). The ground truth a churn bench scores R_k with —
+  // it moves as documents churn, while stale summaries still describe the
+  // epoch the database was last probed at.
+  size_t CountRelevant(size_t query_index, size_t db_index) const;
+
+ private:
+  // Returns true when at least one document was replaced.
+  bool ReplaceDocuments(size_t db, double drift_fraction, util::Rng& rng);
+
+  const Testbed* bed_;
+  ChurnOptions options_;
+  uint64_t epoch_ = 0;
+  std::vector<DriftClass> drift_classes_;
+  std::vector<CategoryId> migration_targets_;
+  // Current corpus state, seeded from the testbed's retained documents.
+  std::vector<std::vector<std::string>> doc_texts_;
+  std::vector<std::vector<CategoryId>> doc_topics_;
+  // Databases that diverged from epoch 0 (their live_database is rebuilt
+  // from doc_texts_ rather than aliased from the testbed), and the lazily
+  // rebuilt indexes. rebuilt_[i] is dropped on every change to i.
+  std::vector<bool> diverged_;
+  mutable std::vector<std::unique_ptr<index::TextDatabase>> rebuilt_;
+  // (epoch, query, db) -> relevant count.
+  mutable std::unordered_map<uint64_t, size_t> relevance_cache_;
+};
+
+}  // namespace fedsearch::corpus
+
+#endif  // FEDSEARCH_CORPUS_CHURN_H_

@@ -105,13 +105,19 @@ Testbed::Testbed(const TestbedOptions& options) : options_(options) {
         model_->MakeDatabaseVocabulary(db_rng);
     std::vector<CategoryId> doc_topics;
     doc_topics.reserve(num_docs);
+    std::vector<std::string> doc_texts;
+    if (options_.keep_documents) doc_texts.reserve(num_docs);
     for (size_t d = 0; d < num_docs; ++d) {
       CategoryId topic = leaf;
       if (db_rng.NextBernoulli(options_.offtopic_fraction)) {
         topic = PickOfftopicLeaf(leaf, db_rng);
       }
-      db->AddDocument(
-          model_->GenerateDocumentText(topic, db_rng, &db_vocab));
+      std::string text =
+          model_->GenerateDocumentText(topic, db_rng, &db_vocab);
+      // Retention must not perturb the draw sequence: the text is copied
+      // aside, never re-generated.
+      if (options_.keep_documents) doc_texts.push_back(text);
+      db->AddDocument(std::move(text));
       doc_topics.push_back(topic);
     }
     total_documents_ += num_docs;
@@ -122,6 +128,7 @@ Testbed::Testbed(const TestbedOptions& options) : options_(options) {
             ? PickOfftopicLeaf(leaf, rng)
             : leaf);
     doc_topics_.push_back(std::move(doc_topics));
+    doc_texts_.push_back(std::move(doc_texts));
   }
 
   // Generate the query workload. Topics are drawn only from leaves that

@@ -70,6 +70,13 @@ struct TestbedOptions {
   // distinct analyzed query terms.
   size_t relevance_min_terms = 2;
 
+  // Retain every generated document's raw text (documents_of accessor).
+  // Off by default — the text roughly doubles the testbed's memory — and
+  // needed by churn scenarios, which rebuild databases from a mix of
+  // retained and freshly generated documents. Does not consume or reorder
+  // any RNG draws, so a testbed is bit-identical with the flag on or off.
+  bool keep_documents = false;
+
   TopicModelOptions model;
   text::AnalyzerOptions analyzer;
 };
@@ -115,6 +122,11 @@ class Testbed {
   const std::vector<CategoryId>& doc_topics_of(size_t i) const {
     return doc_topics_[i];
   }
+  // The raw text of each document of database i, parallel to
+  // doc_topics_of(i). Empty unless options.keep_documents was set.
+  const std::vector<std::string>& documents_of(size_t i) const {
+    return doc_texts_[i];
+  }
 
   const std::vector<TestQuery>& queries() const { return queries_; }
 
@@ -136,6 +148,7 @@ class Testbed {
   std::vector<CategoryId> categories_;
   std::vector<CategoryId> directory_categories_;
   std::vector<std::vector<CategoryId>> doc_topics_;
+  std::vector<std::vector<std::string>> doc_texts_;
   std::vector<TestQuery> queries_;
   uint64_t total_documents_ = 0;
   mutable std::unordered_map<uint64_t, size_t> relevance_cache_;

@@ -1,0 +1,102 @@
+#include "fedsearch/sampling/refresh_scheduler.h"
+
+#include <algorithm>
+
+#include "fedsearch/util/check.h"
+
+namespace fedsearch::sampling {
+
+RefreshScheduler::RefreshScheduler(size_t num_databases,
+                                   RefreshSchedulerOptions options)
+    : options_(options), stats_(num_databases), rng_(options.seed) {
+  FEDSEARCH_CHECK(options_.explore_fraction >= 0.0 &&
+                  options_.explore_fraction <= 1.0)
+      << " explore_fraction " << options_.explore_fraction
+      << " outside [0, 1]";
+  FEDSEARCH_CHECK(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0)
+      << " ewma_alpha " << options_.ewma_alpha << " outside (0, 1]";
+}
+
+void RefreshScheduler::BeginEpoch() {
+  for (DatabaseStats& s : stats_) {
+    ++s.age;
+    s.picked_this_epoch = false;
+  }
+}
+
+double RefreshScheduler::StalenessOf(const DatabaseStats& s) const {
+  const double rate = s.observed ? s.rate : options_.initial_drift_rate;
+  return rate * static_cast<double>(s.age);
+}
+
+size_t RefreshScheduler::PickNext() {
+  const size_t n = stats_.size();
+  if (n == 0 || options_.policy == RefreshPolicy::kNone) return n;
+
+  if (options_.policy == RefreshPolicy::kRoundRobin) {
+    for (size_t step = 0; step < n; ++step) {
+      const size_t candidate = round_robin_next_;
+      round_robin_next_ = (round_robin_next_ + 1) % n;
+      if (!stats_[candidate].picked_this_epoch) {
+        stats_[candidate].picked_this_epoch = true;
+        return candidate;
+      }
+    }
+    return n;  // every database already picked this epoch
+  }
+
+  // kRacing. The ε-explore draw is consumed unconditionally per slot so
+  // the schedule's draw stream depends only on the slot sequence, not on
+  // how many candidates remain.
+  const bool explore = rng_.NextBernoulli(options_.explore_fraction);
+  std::vector<size_t> candidates;
+  candidates.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!stats_[i].picked_this_epoch) candidates.push_back(i);
+  }
+  if (candidates.empty()) return n;
+  size_t chosen = candidates.front();
+  if (explore) {
+    chosen = candidates[rng_.NextBounded(candidates.size())];
+  } else {
+    // Exploit: staleness argmax, ties to the lowest index (candidates are
+    // in index order, strict > keeps the first maximum).
+    double best = StalenessOf(stats_[chosen]);
+    for (size_t k = 1; k < candidates.size(); ++k) {
+      const double staleness = StalenessOf(stats_[candidates[k]]);
+      if (staleness > best) {
+        best = staleness;
+        chosen = candidates[k];
+      }
+    }
+  }
+  stats_[chosen].picked_this_epoch = true;
+  return chosen;
+}
+
+void RefreshScheduler::ReportDrift(size_t database, double summary_distance) {
+  FEDSEARCH_CHECK(database < stats_.size())
+      << " database " << database << " of " << stats_.size();
+  FEDSEARCH_CHECK(summary_distance >= 0.0)
+      << " summary distance " << summary_distance << " negative";
+  DatabaseStats& s = stats_[database];
+  // The observation covers every epoch since the last probe; normalize to
+  // a per-epoch rate before folding it into the EWMA.
+  const double span = static_cast<double>(std::max<uint64_t>(1, s.age));
+  const double observed_rate = summary_distance / span;
+  s.rate = s.observed
+               ? options_.ewma_alpha * observed_rate +
+                     (1.0 - options_.ewma_alpha) * s.rate
+               : observed_rate;
+  s.observed = true;
+  s.age = 0;
+}
+
+double RefreshScheduler::drift_rate(size_t database) const {
+  FEDSEARCH_CHECK(database < stats_.size())
+      << " database " << database << " of " << stats_.size();
+  const DatabaseStats& s = stats_[database];
+  return s.observed ? s.rate : options_.initial_drift_rate;
+}
+
+}  // namespace fedsearch::sampling

@@ -1,0 +1,113 @@
+#ifndef FEDSEARCH_SAMPLING_REFRESH_SCHEDULER_H_
+#define FEDSEARCH_SAMPLING_REFRESH_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fedsearch/util/rng.h"
+
+namespace fedsearch::sampling {
+
+// How the per-epoch probe budget is allocated across databases.
+enum class RefreshPolicy {
+  kNone,        // never re-probe (summaries stay at epoch 0)
+  kRoundRobin,  // uniform rotation, ignoring drift evidence
+  // Explore/exploit racing over estimated staleness: each database's
+  // drift RATE is learned from the summary distance observed whenever it
+  // is re-probed (an EWMA, normalized by the epochs the probe spans), its
+  // STALENESS is rate × epochs-since-probe, and each probe slot picks the
+  // staleness argmax — except an ε-fraction of slots, which explore a
+  // uniformly random database so a database whose rate estimate went
+  // stale (or was never observed) keeps getting sampled. Never-probed
+  // databases carry an optimistic prior rate, so the first sweeps race to
+  // cover the federation before exploitation narrows onto the fast
+  // drifters.
+  kRacing,
+};
+
+struct RefreshSchedulerOptions {
+  RefreshPolicy policy = RefreshPolicy::kRacing;
+  // ε: fraction of probe slots spent exploring uniformly (kRacing only).
+  double explore_fraction = 0.1;
+  // EWMA weight of the newest observed drift rate.
+  double ewma_alpha = 0.5;
+  // Optimistic prior drift rate for never-probed databases — high enough
+  // that unobserved databases outrank any plausibly learned rate until
+  // each has been probed at least once.
+  double initial_drift_rate = 1.0;
+  // Seed for the exploration draws (all randomness flows through
+  // util::Rng).
+  uint64_t seed = 0x5EED5EEDULL;
+};
+
+// Allocates a fixed per-epoch probe budget across databases under live
+// churn (the incremental-refresh half of the live-churn subsystem; the
+// racing policy follows the learning-sampler idiom of SNIPPETS.md
+// Snippet 1). Deterministic: given the same option seed and the same
+// sequence of BeginEpoch/PickNext/ReportDrift calls, the probe schedule
+// is bit-identical.
+//
+// Protocol per epoch:
+//   scheduler.BeginEpoch();
+//   for (size_t slot = 0; slot < budget; ++slot) {
+//     size_t db = scheduler.PickNext();
+//     ... re-probe db, diff the new summary against the previous one ...
+//     scheduler.ReportDrift(db, summary_distance);
+//   }
+// PickNext never returns the same database twice within one epoch (the
+// per-epoch budget is spent on distinct databases); ReportDrift feeds the
+// observed drift back into the rate estimates.
+//
+// Not thread-safe: one scheduler belongs to one refresh loop.
+class RefreshScheduler {
+ public:
+  RefreshScheduler(size_t num_databases, RefreshSchedulerOptions options = {});
+
+  size_t num_databases() const { return stats_.size(); }
+  const RefreshSchedulerOptions& options() const { return options_; }
+
+  // Starts the next epoch: advances every database's age and clears the
+  // picked-this-epoch set.
+  void BeginEpoch();
+
+  // Picks the next database to re-probe this epoch (see the policy
+  // descriptions above). With kNone, or once every database has been
+  // picked this epoch, returns num_databases() (no candidate).
+  [[nodiscard]] size_t PickNext();
+
+  // Reports the summary distance observed when `database` was re-probed:
+  // the distance between its previous summary and the fresh one. The
+  // observation spans every epoch since the database's last probe, so the
+  // per-epoch rate is distance / epochs_since_probe; the database's age
+  // resets to zero.
+  void ReportDrift(size_t database, double summary_distance);
+
+  // Current estimated per-epoch drift rate of `database` (the optimistic
+  // prior until its first ReportDrift).
+  [[nodiscard]] double drift_rate(size_t database) const;
+
+  // Epochs since `database` was last probed (== epochs since construction
+  // while never probed).
+  [[nodiscard]] uint64_t epochs_since_probe(size_t database) const {
+    return stats_[database].age;
+  }
+
+ private:
+  struct DatabaseStats {
+    double rate = 0.0;        // EWMA of observed per-epoch drift
+    bool observed = false;    // any ReportDrift yet?
+    uint64_t age = 0;         // epochs since last probe
+    bool picked_this_epoch = false;
+  };
+
+  double StalenessOf(const DatabaseStats& s) const;
+
+  RefreshSchedulerOptions options_;
+  std::vector<DatabaseStats> stats_;
+  util::Rng rng_;
+  size_t round_robin_next_ = 0;
+};
+
+}  // namespace fedsearch::sampling
+
+#endif  // FEDSEARCH_SAMPLING_REFRESH_SCHEDULER_H_

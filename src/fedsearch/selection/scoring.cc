@@ -97,6 +97,56 @@ ScoringStatisticsCache::ScoringStatisticsCache(
   }
 }
 
+ScoringStatisticsCache ScoringStatisticsCache::Rebuilt(
+    const ScoringStatisticsCache& prior,
+    const std::vector<const summary::SummaryView*>& summaries,
+    const std::vector<const summary::SummaryView*>& prior_summaries,
+    const std::vector<size_t>& changed) {
+  FEDSEARCH_CHECK(summaries.size() == prior_summaries.size())
+      << " summary sets differ in size: " << summaries.size() << " vs "
+      << prior_summaries.size();
+  FEDSEARCH_CHECK(prior.num_summaries_ == prior_summaries.size())
+      << " prior cache covers " << prior.num_summaries_
+      << " summaries, not " << prior_summaries.size();
+  ScoringStatisticsCache next;
+  next.num_summaries_ = summaries.size();
+  next.cf_ = prior.cf_;
+  for (size_t i : changed) {
+    FEDSEARCH_CHECK(i < summaries.size())
+        << " changed index " << i << " of " << summaries.size();
+    // Retract the old summary's contributions, then add the new one's.
+    // Integer counts, so the result is order-independent and exactly what
+    // a fresh scan over `summaries` would produce; entries reaching 0 are
+    // erased so the maps (and vocabulary_size()) match the scan exactly.
+    const summary::SummaryView* old_s = prior_summaries[i];
+    old_s->ForEachWord(
+        [&](const std::string& word, const summary::WordStats&) {
+          if (!old_s->ContainsRounded(word)) return;
+          auto it = next.cf_.find(word);
+          FEDSEARCH_DCHECK(it != next.cf_.end() && it->second > 0)
+              << " cf underflow for word retracted by database " << i;
+          if (--it->second == 0) next.cf_.erase(it);
+        });
+    const summary::SummaryView* new_s = summaries[i];
+    new_s->ForEachWord(
+        [&](const std::string& word, const summary::WordStats&) {
+          if (new_s->ContainsRounded(word)) ++next.cf_[word];
+        });
+  }
+  // Index-order full recompute, NOT an incremental ± of the changed
+  // databases' totals: float addition is non-associative, so only the
+  // scanning constructor's exact reduction order reproduces its bits.
+  double total_cw = 0.0;
+  for (const summary::SummaryView* s : summaries) {
+    total_cw += s->total_tokens();
+  }
+  next.mean_cw_ = summaries.empty()
+                      ? 1.0
+                      : total_cw / static_cast<double>(summaries.size());
+  if (next.mean_cw_ <= 0.0) next.mean_cw_ = 1.0;
+  return next;
+}
+
 size_t ScoringStatisticsCache::CollectionFrequency(
     const std::string& word) const {
   static util::Counter& global_hits =

@@ -62,6 +62,23 @@ class ScoringStatisticsCache {
   explicit ScoringStatisticsCache(
       const std::vector<const summary::SummaryView*>& summaries);
 
+  // Incremental rebuild for live refresh: produces the cache the scanning
+  // constructor would build over `summaries`, given `prior` built over
+  // `prior_summaries` and the indices (`changed`, unique) where the two
+  // summary vectors differ. cf(w) is updated by integer ±1 deltas for the
+  // changed databases only — integer counts carry no accumulation-order
+  // history, so the result is exactly the scanned map (entries reaching 0
+  // are erased to keep the maps identical). mean_cw is NOT incrementally
+  // updated: it is recomputed as the full index-order float sum, the only
+  // way to stay bit-identical to the scanning constructor (and to
+  // PrepareContextForQuery) under floating-point non-associativity.
+  // O(changed × vocabulary + databases).
+  static ScoringStatisticsCache Rebuilt(
+      const ScoringStatisticsCache& prior,
+      const std::vector<const summary::SummaryView*>& summaries,
+      const std::vector<const summary::SummaryView*>& prior_summaries,
+      const std::vector<size_t>& changed);
+
   // cf(w) over the cached set; 0 for words no summary contains. A pure
   // lookup: discarding the result is always a bug (the hit/miss counters
   // it bumps are not a sanctioned side effect to call it for).

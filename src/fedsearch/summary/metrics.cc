@@ -1,6 +1,8 @@
 #include "fedsearch/summary/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "fedsearch/util/math.h"
@@ -86,6 +88,26 @@ double KlDivergence(const ContentSummary& approx,
     if (p > 0.0 && q > 0.0) kl += p * std::log(p / q);
   });
   return std::max(0.0, kl);
+}
+
+double SummaryDistance(const SummaryView& a, const SummaryView& b) {
+  std::vector<std::string> words;
+  words.reserve(a.vocabulary_size() + b.vocabulary_size());
+  a.ForEachWord([&](const std::string& word, const WordStats&) {
+    words.push_back(word);
+  });
+  b.ForEachWord([&](const std::string& word, const WordStats&) {
+    words.push_back(word);
+  });
+  // Sorted union: ForEachWord iterates hash order, which must not leak
+  // into the float reduction.
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  double l1 = 0.0;
+  for (const std::string& w : words) {
+    l1 += std::abs(a.ProbToken(w) - b.ProbToken(w));
+  }
+  return 0.5 * l1;
 }
 
 SummaryQuality EvaluateSummary(const ContentSummary& approx,

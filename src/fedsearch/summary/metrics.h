@@ -38,6 +38,16 @@ double SpearmanCorrelation(const ContentSummary& approx,
 //   KL = Σ_{w ∈ WA ∩ WS} p(w|D) · log(p(w|D) / p̂(w|D)).  (Table 9)
 double KlDivergence(const ContentSummary& approx, const ContentSummary& truth);
 
+// Total-variation distance between two summaries' LM-style token
+// distributions, over the union vocabulary:
+//   d(A, B) = ½ Σ_w |p_A(w) - p_B(w)|,  p(w) = tf(w) / Σ tf.
+// In [0, 1]; 0 iff the token distributions coincide. This is the drift
+// signal live refresh acts on: the distance between a database's previous
+// summary and its re-probed one estimates how much the underlying corpus
+// moved since the last probe. The union vocabulary is iterated in sorted
+// order so the float reduction is deterministic.
+double SummaryDistance(const SummaryView& a, const SummaryView& b);
+
 // Convenience bundle for the per-table benches.
 struct SummaryQuality {
   double weighted_recall = 0.0;

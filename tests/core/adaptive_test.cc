@@ -544,7 +544,7 @@ TEST(AdaptiveSelectorTest, ExpiredDeadlineSkipIsCountedAsDisposition) {
   util::Deadline expired(0.0);  // born expired: zero budget
   const auto u =
       selector.Evaluate(selection::Query{{"present", "missing"}}, s, bgloss,
-                        ctx, rng, &cache, 0, &expired);
+                        ctx, rng, &cache, 0, /*epoch=*/0, &expired);
   EXPECT_FALSE(u.use_shrinkage);
   EXPECT_EQ(u.draws, 0u);
   EXPECT_EQ(evals.value() - evals0, 1u);

@@ -12,11 +12,12 @@ namespace {
 
 TEST(PosteriorCacheTest, MissThenHitPerKey) {
   PosteriorCache cache(3);
-  const DocFrequencyPosterior& a =
+  const std::shared_ptr<const DocFrequencyPosterior> a =
       cache.Get(/*database=*/0, /*sample_df=*/5, /*sample_size=*/100,
                 /*db_size=*/10000, /*gamma=*/-2.0, /*grid_points=*/64);
-  const DocFrequencyPosterior& b = cache.Get(0, 5, 100, 10000, -2.0, 64);
-  EXPECT_EQ(&a, &b);  // one grid per key, reference-stable
+  const std::shared_ptr<const DocFrequencyPosterior> b =
+      cache.Get(0, 5, 100, 10000, -2.0, 64);
+  EXPECT_EQ(a.get(), b.get());  // one grid per key, pointer-stable
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.size(), 1u);
@@ -24,22 +25,24 @@ TEST(PosteriorCacheTest, MissThenHitPerKey) {
 
 TEST(PosteriorCacheTest, KeysAreScopedPerDatabase) {
   PosteriorCache cache(2);
-  const DocFrequencyPosterior& a = cache.Get(0, 5, 100, 10000, -2.0, 64);
-  const DocFrequencyPosterior& b = cache.Get(1, 5, 200, 50000, -3.0, 64);
-  EXPECT_NE(&a, &b);
+  const std::shared_ptr<const DocFrequencyPosterior> a =
+      cache.Get(0, 5, 100, 10000, -2.0, 64);
+  const std::shared_ptr<const DocFrequencyPosterior> b =
+      cache.Get(1, 5, 200, 50000, -3.0, 64);
+  EXPECT_NE(a.get(), b.get());
   EXPECT_EQ(cache.stats().misses, 2u);
   EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(PosteriorCacheTest, CachedGridMatchesDirectConstruction) {
   PosteriorCache cache(1);
-  const DocFrequencyPosterior& cached =
+  const std::shared_ptr<const DocFrequencyPosterior> cached =
       cache.Get(0, 30, 100, 1000, -2.0, 128);
   const DocFrequencyPosterior direct(30, 100, 1000, -2.0, 128);
-  ASSERT_EQ(cached.support().size(), direct.support().size());
-  for (size_t i = 0; i < cached.support().size(); ++i) {
-    EXPECT_EQ(cached.support()[i], direct.support()[i]);
-    EXPECT_EQ(cached.weights()[i], direct.weights()[i]);
+  ASSERT_EQ(cached->support().size(), direct.support().size());
+  for (size_t i = 0; i < cached->support().size(); ++i) {
+    EXPECT_EQ(cached->support()[i], direct.support()[i]);
+    EXPECT_EQ(cached->weights()[i], direct.weights()[i]);
   }
 }
 
@@ -106,15 +109,15 @@ TEST(PosteriorCacheTest, PosteriorsOfOneDatabaseShareOneGridBasis) {
   PosteriorCache cache(2);
   cache.PinParams(/*database=*/0, /*sample_size=*/100, /*db_size=*/10000.0,
                   /*gamma=*/-2.0, /*grid_points=*/64);
-  const DocFrequencyPosterior& a = cache.Get(0, 5, 100, 10000, -2.0, 64);
-  const DocFrequencyPosterior& b = cache.Get(0, 9, 100, 10000, -2.0, 64);
-  EXPECT_EQ(&a.basis(), &b.basis());
+  const auto a = cache.Get(0, 5, 100, 10000, -2.0, 64);
+  const auto b = cache.Get(0, 9, 100, 10000, -2.0, 64);
+  EXPECT_EQ(&a->basis(), &b->basis());
   // A shard without PinParams pins on first use and shares thereafter.
-  const DocFrequencyPosterior& c = cache.Get(1, 5, 100, 20000, -3.0, 64);
-  const DocFrequencyPosterior& d = cache.Get(1, 9, 100, 20000, -3.0, 64);
-  EXPECT_EQ(&c.basis(), &d.basis());
-  EXPECT_NE(&a.basis(), &c.basis());
-  EXPECT_DOUBLE_EQ(a.basis().db_size(), 10000.0);
+  const auto c = cache.Get(1, 5, 100, 20000, -3.0, 64);
+  const auto d = cache.Get(1, 9, 100, 20000, -3.0, 64);
+  EXPECT_EQ(&c->basis(), &d->basis());
+  EXPECT_NE(&a->basis(), &c->basis());
+  EXPECT_DOUBLE_EQ(a->basis().db_size(), 10000.0);
 }
 
 TEST(PosteriorCacheTest, PinParamsCostsNoCacheTraffic) {
@@ -123,6 +126,54 @@ TEST(PosteriorCacheTest, PinParamsCostsNoCacheTraffic) {
   EXPECT_EQ(cache.stats().hits, 0u);
   EXPECT_EQ(cache.stats().misses, 0u);
   EXPECT_EQ(cache.size(), 0u);  // bases are not posterior entries
+}
+
+TEST(PosteriorCacheTest, NewerEpochEvictsShardEntries) {
+  PosteriorCache cache(2);
+  (void)cache.Get(0, 5, 100, 10000, -2.0, 64, /*epoch=*/0);
+  (void)cache.Get(0, 9, 100, 10000, -2.0, 64, /*epoch=*/0);
+  ASSERT_EQ(cache.size(), 2u);
+  // Epoch 1 arrives: the shard's epoch-0 grids are stale and go away. The
+  // refreshed summary may carry different parameters — that must NOT trip
+  // the param-drift DCHECK, because eviction resets the pinned params too.
+  const auto fresh = cache.Get(0, 5, 120, 20000, -2.5, 64, /*epoch=*/1);
+  EXPECT_NE(fresh, nullptr);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  // Other shards are untouched: invalidation is per-database.
+  (void)cache.Get(1, 5, 100, 10000, -2.0, 64, /*epoch=*/0);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PosteriorCacheTest, StaleEpochGetsPrivateGridWithoutEviction) {
+  PosteriorCache cache(1);
+  const auto current = cache.Get(0, 5, 100, 10000, -2.0, 64, /*epoch=*/3);
+  // A reader still scoring against epoch 2 neither pollutes nor evicts the
+  // shard: it gets a privately built grid, counted as a stale miss (not a
+  // miss — hits + misses stays the same-epoch traffic).
+  const auto stale = cache.Get(0, 5, 90, 9000, -2.0, 64, /*epoch=*/2);
+  EXPECT_NE(stale.get(), current.get());
+  EXPECT_EQ(cache.stats().stale_misses, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  // The current epoch's entry still hits.
+  const auto again = cache.Get(0, 5, 100, 10000, -2.0, 64, /*epoch=*/3);
+  EXPECT_EQ(again.get(), current.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PosteriorCacheTest, EvictedGridStaysAliveForHolders) {
+  // The RCU half of the contract: eviction must not free a grid a reader
+  // is still iterating. The shared_ptr keeps it alive past the epoch swap.
+  PosteriorCache cache(1);
+  const auto held = cache.Get(0, 5, 100, 10000, -2.0, 64, /*epoch=*/0);
+  const double support_front = held->support().front();
+  (void)cache.Get(0, 5, 100, 10000, -2.0, 64, /*epoch=*/1);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(held->support().front(), support_front);  // still valid
+  EXPECT_EQ(held.use_count(), 1);                     // cache let go
 }
 
 #if FEDSEARCH_DCHECK_IS_ON

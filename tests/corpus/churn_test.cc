@@ -1,0 +1,167 @@
+#include "fedsearch/corpus/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "testing/churn_testbed.h"
+
+namespace fedsearch::corpus {
+namespace {
+
+using fedsearch::testing::SharedChurnTestbed;
+
+TEST(ChurnTestbedTest, DriftClassPartitionMatchesFractions) {
+  const Testbed& bed = SharedChurnTestbed();
+  ChurnTestbed churn(&bed);
+  size_t num_static = 0;
+  size_t num_fast = 0;
+  size_t num_slow = 0;
+  for (size_t i = 0; i < churn.num_databases(); ++i) {
+    switch (churn.drift_class(i)) {
+      case DriftClass::kStatic:
+        ++num_static;
+        break;
+      case DriftClass::kFast:
+        ++num_fast;
+        break;
+      case DriftClass::kSlow:
+        ++num_slow;
+        break;
+    }
+  }
+  const auto& o = churn.options();
+  const double n = static_cast<double>(churn.num_databases());
+  EXPECT_EQ(num_static,
+            static_cast<size_t>(std::lround(o.static_fraction * n)));
+  EXPECT_EQ(num_fast, static_cast<size_t>(std::lround(o.fast_fraction * n)));
+  EXPECT_EQ(num_static + num_fast + num_slow, churn.num_databases());
+}
+
+TEST(ChurnTestbedTest, StaticDatabasesNeverChange) {
+  const Testbed& bed = SharedChurnTestbed();
+  ChurnTestbed churn(&bed);
+  for (int e = 0; e < 3; ++e) {
+    const std::vector<size_t> changed = churn.AdvanceEpoch();
+    for (size_t db : changed) {
+      EXPECT_NE(churn.drift_class(db), DriftClass::kStatic);
+    }
+  }
+  for (size_t i = 0; i < churn.num_databases(); ++i) {
+    if (churn.drift_class(i) == DriftClass::kStatic) {
+      // Unchanged databases alias the frozen testbed index outright.
+      EXPECT_EQ(&churn.live_database(i), &bed.database(i));
+    }
+  }
+  EXPECT_EQ(churn.epoch(), 3u);
+}
+
+TEST(ChurnTestbedTest, DatabaseSizesStayConstantUnderChurn) {
+  const Testbed& bed = SharedChurnTestbed();
+  ChurnTestbed churn(&bed);
+  (void)churn.AdvanceEpoch();
+  (void)churn.AdvanceEpoch();
+  for (size_t i = 0; i < churn.num_databases(); ++i) {
+    EXPECT_EQ(churn.live_database(i).num_documents(),
+              bed.database(i).num_documents())
+        << "db " << i;
+    EXPECT_EQ(churn.doc_topics_of(i).size(), bed.database(i).num_documents());
+  }
+}
+
+TEST(ChurnTestbedTest, ChurnIsAPureFunctionOfSeedAndEpoch) {
+  const Testbed& bed = SharedChurnTestbed();
+  ChurnTestbed a(&bed);
+  ChurnTestbed b(&bed);
+  // Interleave accessor traffic on `a` only: per-epoch replacement draws
+  // must not depend on what else ran between epochs.
+  for (int e = 0; e < 3; ++e) {
+    const std::vector<size_t> changed_a = a.AdvanceEpoch();
+    (void)a.CountRelevant(0, 0);
+    (void)a.live_database(changed_a.empty() ? 0 : changed_a.front());
+    const std::vector<size_t> changed_b = b.AdvanceEpoch();
+    EXPECT_EQ(changed_a, changed_b);
+  }
+  for (size_t i = 0; i < a.num_databases(); ++i) {
+    EXPECT_EQ(a.doc_topics_of(i), b.doc_topics_of(i)) << "db " << i;
+  }
+  for (size_t q = 0; q < bed.queries().size(); ++q) {
+    for (size_t d = 0; d < a.num_databases(); ++d) {
+      EXPECT_EQ(a.CountRelevant(q, d), b.CountRelevant(q, d))
+          << "query " << q << " db " << d;
+    }
+  }
+}
+
+TEST(ChurnTestbedTest, FastDatabasesMigrateTowardTargetTopic) {
+  const Testbed& bed = SharedChurnTestbed();
+  ChurnTestbed churn(&bed);
+  for (int e = 0; e < 4; ++e) (void)churn.AdvanceEpoch();
+  bool any_fast = false;
+  for (size_t i = 0; i < churn.num_databases(); ++i) {
+    if (churn.drift_class(i) != DriftClass::kFast) continue;
+    any_fast = true;
+    EXPECT_NE(churn.migration_target(i), bed.category_of(i));
+    size_t migrated = 0;
+    for (CategoryId t : churn.doc_topics_of(i)) {
+      if (t == churn.migration_target(i)) ++migrated;
+    }
+    // Four epochs of 25% replacement at 70% migration probability: the
+    // expected migrated share is ~0.7·(1 - 0.75^4) ≈ 48%; even a very
+    // unlucky draw clears a 10% floor.
+    const double fraction = static_cast<double>(migrated) /
+                            static_cast<double>(churn.doc_topics_of(i).size());
+    EXPECT_GT(fraction, 0.1) << "fast db " << i;
+  }
+  EXPECT_TRUE(any_fast);
+}
+
+TEST(ChurnTestbedTest, SlowDatabasesKeepTheirTopicMix) {
+  const Testbed& bed = SharedChurnTestbed();
+  ChurnTestbed churn(&bed);
+  for (int e = 0; e < 4; ++e) (void)churn.AdvanceEpoch();
+  for (size_t i = 0; i < churn.num_databases(); ++i) {
+    if (churn.drift_class(i) != DriftClass::kSlow) continue;
+    EXPECT_EQ(churn.migration_target(i), bed.category_of(i));
+    size_t on_topic = 0;
+    for (CategoryId t : churn.doc_topics_of(i)) {
+      if (t == bed.category_of(i)) ++on_topic;
+    }
+    // Slow churn replaces documents with same-topic ones; the on-topic
+    // share must stay near the testbed's offtopic_fraction complement.
+    const double fraction = static_cast<double>(on_topic) /
+                            static_cast<double>(churn.doc_topics_of(i).size());
+    EXPECT_GT(fraction, 0.7) << "slow db " << i;
+  }
+}
+
+TEST(ChurnTestbedTest, RelevanceIsRecomputedPerEpoch) {
+  const Testbed& bed = SharedChurnTestbed();
+  ChurnTestbed churn(&bed);
+  // Epoch 0 matches the frozen testbed's ground truth exactly.
+  for (size_t q = 0; q < bed.queries().size(); ++q) {
+    for (size_t d = 0; d < churn.num_databases(); ++d) {
+      EXPECT_EQ(churn.CountRelevant(q, d), bed.CountRelevant(q, d));
+    }
+  }
+  for (int e = 0; e < 3; ++e) (void)churn.AdvanceEpoch();
+  // Static databases keep their counts; the churned corpus as a whole
+  // must have moved somewhere.
+  bool any_moved = false;
+  for (size_t q = 0; q < bed.queries().size(); ++q) {
+    for (size_t d = 0; d < churn.num_databases(); ++d) {
+      const size_t now = churn.CountRelevant(q, d);
+      if (churn.drift_class(d) == DriftClass::kStatic) {
+        EXPECT_EQ(now, bed.CountRelevant(q, d));
+      } else if (now != bed.CountRelevant(q, d)) {
+        any_moved = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+}  // namespace
+}  // namespace fedsearch::corpus

@@ -1,0 +1,152 @@
+#include "fedsearch/sampling/refresh_scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedsearch::sampling {
+namespace {
+
+TEST(RefreshSchedulerTest, NonePolicyNeverPicks) {
+  RefreshSchedulerOptions o;
+  o.policy = RefreshPolicy::kNone;
+  RefreshScheduler s(4, o);
+  s.BeginEpoch();
+  EXPECT_EQ(s.PickNext(), 4u);
+}
+
+TEST(RefreshSchedulerTest, RoundRobinRotatesAcrossEpochs) {
+  RefreshSchedulerOptions o;
+  o.policy = RefreshPolicy::kRoundRobin;
+  RefreshScheduler s(3, o);
+  // Budget of 2 per epoch: the rotation must continue where it left off,
+  // so every database is reached within ceil(n / budget) epochs.
+  s.BeginEpoch();
+  EXPECT_EQ(s.PickNext(), 0u);
+  EXPECT_EQ(s.PickNext(), 1u);
+  s.BeginEpoch();
+  EXPECT_EQ(s.PickNext(), 2u);
+  EXPECT_EQ(s.PickNext(), 0u);
+  s.BeginEpoch();
+  EXPECT_EQ(s.PickNext(), 1u);
+  EXPECT_EQ(s.PickNext(), 2u);
+}
+
+TEST(RefreshSchedulerTest, PickNextExhaustsWithinOneEpoch) {
+  for (RefreshPolicy policy :
+       {RefreshPolicy::kRoundRobin, RefreshPolicy::kRacing}) {
+    RefreshSchedulerOptions o;
+    o.policy = policy;
+    RefreshScheduler s(3, o);
+    s.BeginEpoch();
+    std::vector<bool> seen(3, false);
+    for (int slot = 0; slot < 3; ++slot) {
+      const size_t db = s.PickNext();
+      ASSERT_LT(db, 3u);
+      EXPECT_FALSE(seen[db]) << "database picked twice in one epoch";
+      seen[db] = true;
+    }
+    EXPECT_EQ(s.PickNext(), 3u);  // budget beyond n finds no candidate
+  }
+}
+
+TEST(RefreshSchedulerTest, OptimisticPriorRacesOverUnprobedDatabases) {
+  RefreshSchedulerOptions o;
+  o.explore_fraction = 0.0;  // pure exploitation: fully deterministic
+  RefreshScheduler s(3, o);
+  // Never-probed databases share the optimistic prior; ties resolve to the
+  // lowest index, so the first sweeps cover the federation in index order.
+  s.BeginEpoch();
+  EXPECT_EQ(s.PickNext(), 0u);
+  s.ReportDrift(0, 0.0);
+  EXPECT_EQ(s.PickNext(), 1u);
+  s.ReportDrift(1, 0.0);
+  s.BeginEpoch();
+  // Database 2 still carries the prior (rate 1.0, age 2): it outranks the
+  // two observed-quiet databases.
+  EXPECT_EQ(s.PickNext(), 2u);
+  s.ReportDrift(2, 0.0);
+}
+
+TEST(RefreshSchedulerTest, ExploitationFollowsObservedDriftRates) {
+  RefreshSchedulerOptions o;
+  o.explore_fraction = 0.0;
+  RefreshScheduler s(3, o);
+  // Cover everyone once, reporting very different drift.
+  s.BeginEpoch();
+  for (int slot = 0; slot < 3; ++slot) {
+    const size_t db = s.PickNext();
+    s.ReportDrift(db, db == 1 ? 0.8 : 0.05);
+  }
+  EXPECT_DOUBLE_EQ(s.drift_rate(1), 0.8);
+  // With one probe per epoch, the fast drifter must win most slots: ages
+  // grow uniformly, so staleness ratios converge to rate ratios.
+  size_t picked_fast = 0;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    s.BeginEpoch();
+    const size_t db = s.PickNext();
+    ASSERT_LT(db, 3u);
+    if (db == 1) ++picked_fast;
+    s.ReportDrift(db, db == 1 ? 0.8 : 0.05);
+  }
+  EXPECT_GE(picked_fast, 6u);
+}
+
+TEST(RefreshSchedulerTest, DriftRateIsEwmaNormalizedBySpan) {
+  RefreshSchedulerOptions o;
+  o.explore_fraction = 0.0;
+  o.ewma_alpha = 0.5;
+  RefreshScheduler s(1, o);
+  s.BeginEpoch();
+  EXPECT_EQ(s.PickNext(), 0u);
+  s.ReportDrift(0, 0.4);  // first observation over 1 epoch: rate = 0.4
+  EXPECT_DOUBLE_EQ(s.drift_rate(0), 0.4);
+  EXPECT_EQ(s.epochs_since_probe(0), 0u);
+  // Skip an epoch, then observe 0.6 of drift accumulated over 2 epochs:
+  // the per-epoch observation is 0.3, folded at alpha 0.5.
+  s.BeginEpoch();
+  s.BeginEpoch();
+  EXPECT_EQ(s.epochs_since_probe(0), 2u);
+  EXPECT_EQ(s.PickNext(), 0u);
+  s.ReportDrift(0, 0.6);
+  EXPECT_DOUBLE_EQ(s.drift_rate(0), 0.5 * 0.3 + 0.5 * 0.4);
+}
+
+TEST(RefreshSchedulerTest, ScheduleIsDeterministicPerSeed) {
+  RefreshSchedulerOptions o;
+  o.explore_fraction = 0.5;  // exercise the exploration draws
+  RefreshScheduler a(6, o);
+  RefreshScheduler b(6, o);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    a.BeginEpoch();
+    b.BeginEpoch();
+    for (int slot = 0; slot < 2; ++slot) {
+      const size_t da = a.PickNext();
+      const size_t db = b.PickNext();
+      ASSERT_EQ(da, db) << "epoch " << epoch << " slot " << slot;
+      const double drift = 0.1 * static_cast<double>(da);
+      a.ReportDrift(da, drift);
+      b.ReportDrift(db, drift);
+    }
+  }
+}
+
+TEST(RefreshSchedulerTest, ExplorationReachesQuietDatabases) {
+  RefreshSchedulerOptions o;
+  o.explore_fraction = 0.3;
+  RefreshScheduler s(4, o);
+  // Database 3 reports zero drift forever; with exploration on it must
+  // still be probed occasionally after its first observation.
+  std::vector<size_t> probes(4, 0);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    s.BeginEpoch();
+    const size_t db = s.PickNext();
+    ASSERT_LT(db, 4u);
+    ++probes[db];
+    s.ReportDrift(db, db == 3 ? 0.0 : 0.5);
+  }
+  EXPECT_GE(probes[3], 2u);
+}
+
+}  // namespace
+}  // namespace fedsearch::sampling

@@ -57,5 +57,76 @@ TEST(ScoringContextTest, EmptyRankedSetIsSafe) {
   EXPECT_EQ(ctx.cached_mean_cw, 1.0);
 }
 
+TEST(ScoringStatisticsCacheTest, RebuiltMatchesScanningConstructorExactly) {
+  const summary::ContentSummary a0 = MakeDb(100, {{"x", 40}, {"y", 3}});
+  const summary::ContentSummary b0 = MakeDb(300, {{"x", 10}, {"z", 7}});
+  const summary::ContentSummary c0 = MakeDb(50, {{"z", 5}});
+  const std::vector<const summary::SummaryView*> before = {&a0, &b0, &c0};
+  const ScoringStatisticsCache prior(before);
+
+  // Refresh replaces b: loses z (its count must drop AND the entry must
+  // disappear when it reaches zero elsewhere), gains w.
+  const summary::ContentSummary b1 = MakeDb(280, {{"x", 12}, {"w", 4}});
+  const std::vector<const summary::SummaryView*> after = {&a0, &b1, &c0};
+
+  const ScoringStatisticsCache incremental =
+      ScoringStatisticsCache::Rebuilt(prior, after, before, {1});
+  const ScoringStatisticsCache scanned(after);
+
+  EXPECT_EQ(incremental.num_summaries(), scanned.num_summaries());
+  EXPECT_EQ(incremental.vocabulary_size(), scanned.vocabulary_size());
+  // mean_cw is a full index-order float recompute: bit-identical, not
+  // merely close.
+  EXPECT_EQ(incremental.mean_cw(), scanned.mean_cw());
+  for (const char* word : {"x", "y", "z", "w", "absent"}) {
+    EXPECT_EQ(incremental.CollectionFrequency(word),
+              scanned.CollectionFrequency(word))
+        << word;
+  }
+}
+
+TEST(ScoringStatisticsCacheTest, RebuiltWithNoChangesIsTheIdentity) {
+  const summary::ContentSummary a = MakeDb(100, {{"x", 40}});
+  const summary::ContentSummary b = MakeDb(300, {{"y", 2}});
+  const std::vector<const summary::SummaryView*> set = {&a, &b};
+  const ScoringStatisticsCache prior(set);
+  const ScoringStatisticsCache rebuilt =
+      ScoringStatisticsCache::Rebuilt(prior, set, set, {});
+  EXPECT_EQ(rebuilt.mean_cw(), prior.mean_cw());
+  EXPECT_EQ(rebuilt.vocabulary_size(), prior.vocabulary_size());
+  EXPECT_EQ(rebuilt.CollectionFrequency("x"), 1u);
+  EXPECT_EQ(rebuilt.CollectionFrequency("y"), 1u);
+}
+
+TEST(ScoringStatisticsCacheTest, RebuiltChainMatchesScanAfterManyRefreshes) {
+  // Chained incremental rebuilds (the live-refresh steady state) must not
+  // accumulate any error relative to scanning.
+  std::vector<summary::ContentSummary> owned;
+  owned.reserve(8);
+  owned.push_back(MakeDb(100, {{"x", 1}, {"y", 2}}));
+  owned.push_back(MakeDb(200, {{"y", 3}, {"z", 4}}));
+  owned.push_back(MakeDb(300, {{"z", 5}}));
+  std::vector<const summary::SummaryView*> current = {&owned[0], &owned[1],
+                                                      &owned[2]};
+  ScoringStatisticsCache cache{current};
+  for (int round = 0; round < 4; ++round) {
+    const size_t victim = static_cast<size_t>(round) % 3;
+    owned.push_back(MakeDb(100.0 + 17.0 * round,
+                           {{round % 2 == 0 ? "x" : "w", 2.0 + round}}));
+    std::vector<const summary::SummaryView*> next = current;
+    next[victim] = &owned.back();
+    cache = ScoringStatisticsCache::Rebuilt(cache, next, current, {victim});
+    current = next;
+  }
+  const ScoringStatisticsCache scanned(current);
+  EXPECT_EQ(cache.mean_cw(), scanned.mean_cw());
+  EXPECT_EQ(cache.vocabulary_size(), scanned.vocabulary_size());
+  for (const char* word : {"x", "y", "z", "w"}) {
+    EXPECT_EQ(cache.CollectionFrequency(word),
+              scanned.CollectionFrequency(word))
+        << word;
+  }
+}
+
 }  // namespace
 }  // namespace fedsearch::selection

@@ -1,0 +1,32 @@
+#ifndef FEDSEARCH_TESTS_TESTING_CHURN_TESTBED_H_
+#define FEDSEARCH_TESTS_TESTING_CHURN_TESTBED_H_
+
+#include "fedsearch/corpus/testbed.h"
+#include "testing/small_testbed.h"
+
+namespace fedsearch::testing {
+
+// The small testbed with document retention switched on (churn scenarios
+// regenerate databases from the retained texts) and slightly smaller
+// databases — churn tests rebuild indexes every epoch, so size is wall
+// time here.
+inline corpus::TestbedOptions ChurnTestbedOptions() {
+  corpus::TestbedOptions o = SmallTestbedOptions();
+  o.keep_documents = true;
+  o.num_databases = 10;
+  o.min_db_docs = 80;
+  o.max_db_docs = 300;
+  return o;
+}
+
+// Shared instance: built once per test binary, read-only for tests (the
+// churn layer copies what it mutates).
+inline const corpus::Testbed& SharedChurnTestbed() {
+  static const corpus::Testbed* bed =
+      new corpus::Testbed(ChurnTestbedOptions());
+  return *bed;
+}
+
+}  // namespace fedsearch::testing
+
+#endif  // FEDSEARCH_TESTS_TESTING_CHURN_TESTBED_H_

@@ -29,17 +29,27 @@ allowed — they gate nothing until a new baseline is recorded.
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [options]
   check_bench_regression.py --validate REPORT.json
+  check_bench_regression.py --check-orphans CI_SCRIPT BASELINE_DIR
 
-Exit codes: 0 pass, 1 regression or missing scenario, 2 malformed
-report / unreadable file. Importable as a module; the self-test
-(check_bench_regression_selftest.py) drives main() in-process.
+--check-orphans closes the other gate bypass: a committed baseline that
+no CI job compares against gates nothing — it silently rots while the
+bench it froze regresses. The check cross-references bench/baselines/
+against the CI driver script: every BENCH_*.json under the baseline
+directory must be referenced by some job, and every baseline path the
+script references must exist on disk.
+
+Exit codes: 0 pass, 1 regression / missing scenario / orphan baseline,
+2 malformed report / unreadable file. Importable as a module; the
+self-test (check_bench_regression_selftest.py) drives main() in-process.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+from pathlib import Path
 
 SCHEMA_VERSION = 1
 
@@ -169,6 +179,41 @@ def compare(baseline: dict, current: dict,
     return failures
 
 
+def check_orphans(ci_script: str, baseline_dir: str,
+                  log=print) -> list[str]:
+    """Cross-references committed baselines against the CI driver.
+
+    Returns problem descriptions: baselines on disk that the CI script
+    never mentions (ungated — dead weight that LOOKS like a gate), and
+    baseline paths the script references that do not exist (the job
+    would fail at runtime; catch it in lint instead).
+    """
+    problems: list[str] = []
+    ci_text = Path(ci_script).read_text(encoding="utf-8")
+    dir_path = Path(baseline_dir)
+    # Only bench/baselines/-style references count: the CI script also
+    # names BENCH_*.json build outputs (the CURRENT side of each gate),
+    # which say nothing about whether the committed baseline is wired up.
+    referenced = set(
+        re.findall(rf"{re.escape(dir_path.name)}/(BENCH_\w+\.json)", ci_text))
+    on_disk = sorted(p.name for p in dir_path.glob("BENCH_*.json"))
+    for name in on_disk:
+        if name in referenced:
+            log(f"  ok {dir_path / name}: referenced by {ci_script}")
+        else:
+            problems.append(
+                f"orphan baseline {dir_path / name}: no job in {ci_script} "
+                f"references it, so it gates nothing")
+    # The reverse direction: a referenced baseline whose file is gone
+    # (renamed baseline, stale job).
+    for ref in sorted(referenced):
+        if ref not in on_disk:
+            problems.append(
+                f"{ci_script} references {ref} but {dir_path / ref} "
+                f"does not exist")
+    return problems
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog=argv[0], description=__doc__,
@@ -177,6 +222,11 @@ def main(argv: list[str]) -> int:
                         help="BASELINE.json CURRENT.json")
     parser.add_argument("--validate", metavar="REPORT",
                         help="only schema-check the given report")
+    parser.add_argument("--check-orphans", nargs=2,
+                        metavar=("CI_SCRIPT", "BASELINE_DIR"),
+                        help="fail if a BENCH_*.json under BASELINE_DIR is "
+                             "gated by no job in CI_SCRIPT, or a referenced "
+                             "baseline is missing")
     parser.add_argument("--max-qps-drop", type=float,
                         default=DEFAULT_MAX_QPS_DROP,
                         help="allowed fractional qps drop (default %(default)s)")
@@ -190,6 +240,24 @@ def main(argv: list[str]) -> int:
                              "are informational, not gated "
                              "(default %(default)s)")
     args = parser.parse_args(argv[1:])
+
+    if args.check_orphans is not None:
+        if args.reports or args.validate is not None:
+            parser.error("--check-orphans takes no other reports")
+        ci_script, baseline_dir = args.check_orphans
+        try:
+            problems = check_orphans(ci_script, baseline_dir)
+        except OSError as e:
+            print(f"{ci_script}: {e}", file=sys.stderr)
+            return 2
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        if problems:
+            print(f"\ncheck_bench_regression: {len(problems)} orphan "
+                  f"check(s) FAILED")
+            return 1
+        print("\ncheck_bench_regression: every baseline is gated")
+        return 0
 
     if args.validate is not None:
         if args.reports:

@@ -198,6 +198,63 @@ check("tightened qps threshold trips on 10% drop", status == 1,
 status, _, err = run_pair(make_report(), {"schema_version": 1})
 check("malformed current report exits 2", status == 2, f"(got {status})")
 
+# --- orphan-baseline detection ---------------------------------------------
+
+CI_FIXTURE = """\
+run ./build-ci/release/bench/bench_serving --smoke \\
+  --json build-ci/release/BENCH_serving.json
+run python3 tools/check_bench_regression.py \\
+  bench/baselines/BENCH_serving.json build-ci/release/BENCH_serving.json
+"""
+
+
+def run_orphans(ci_text: str, baselines: list[str]) -> tuple[int, str, str]:
+    with tempfile.TemporaryDirectory() as tmp:
+        ci = Path(tmp) / "ci.sh"
+        ci.write_text(ci_text, encoding="utf-8")
+        bdir = Path(tmp) / "baselines"
+        bdir.mkdir()
+        for name in baselines:
+            (bdir / name).write_text("{}", encoding="utf-8")
+        return run_main(["--check-orphans", str(ci), str(bdir)])
+
+
+status, out, _ = run_orphans(CI_FIXTURE, ["BENCH_serving.json"])
+check("gated baseline passes orphan check", status == 0,
+      f"(got {status}: {out})")
+
+status, _, err = run_orphans(
+    CI_FIXTURE, ["BENCH_serving.json", "BENCH_forgotten.json"])
+check("ungated baseline fails orphan check", status == 1, f"(got {status})")
+check("orphan baseline is named", "BENCH_forgotten.json" in err,
+      f"(got {err})")
+
+# A build-output mention (current side of a gate) must NOT count as a
+# baseline reference.
+status, _, err = run_orphans(
+    CI_FIXTURE + "run foo build-ci/release/BENCH_other.json\n",
+    ["BENCH_serving.json", "BENCH_other.json"])
+check("build-output mention does not gate a baseline", status == 1,
+      f"(got {status})")
+
+# The reverse direction: a referenced baseline that is gone from disk.
+status, _, err = run_orphans(CI_FIXTURE, [])
+check("missing referenced baseline fails", status == 1, f"(got {status})")
+check("missing referenced baseline is named", "BENCH_serving.json" in err,
+      f"(got {err})")
+
+status, _, err = run_main(
+    ["--check-orphans", "/nonexistent/ci.sh", "/nonexistent/baselines"])
+check("unreadable ci script exits 2", status == 2, f"(got {status})")
+
+# The repo's own wiring must be clean (run from the repo root by ci.sh,
+# from anywhere by ctest — resolve paths relative to this file).
+status, out, err = run_main(
+    ["--check-orphans", str(HERE.parent / "ci.sh"),
+     str(HERE.parent / "bench" / "baselines")])
+check("repo baselines are all gated", status == 0,
+      f"(got {status}: {out}{err})")
+
 print()
 if FAILURES:
     print(f"check_bench_regression_selftest: {len(FAILURES)} check(s) FAILED")

@@ -16,7 +16,8 @@ promise, so this lint bans them at review time:
    (and its header), which wraps it behind deterministic seeding.
 
 2. Order-dependent iteration (restricted TUs only: selection/*, broker/*,
-   core/adaptive.cc, core/shrinkage.cc):
+   core/adaptive.cc, core/shrinkage.cc, core/live_metasearcher.cc,
+   corpus/churn.cc, sampling/refresh_scheduler.cc):
    Range-for over a std::unordered_map / std::unordered_set makes
    floating-point accumulation order depend on hash layout, which varies
    across standard libraries and element insertion histories. Scoring and
@@ -24,7 +25,10 @@ promise, so this lint bans them at review time:
    an ordered sibling container). The broker directory is restricted for
    the same reason: its virtual-time schedule promises bit-identical
    request dispositions per seed, so any accumulation there must also be
-   order-defined.
+   order-defined. The live-churn TUs (epoch publication, corpus churn,
+   refresh scheduling) carry the same promise: probe picks and epoch
+   swaps must replay bit-identically per seed, so drift-rate EWMAs and
+   update batches must not be accumulated in hash order.
 
 3. Direct clock reads (all of src/ except util/):
    std::chrono *_clock::now() outside util/ invites wall time into
@@ -66,7 +70,9 @@ RNG_ALLOWLIST = ("util/rng.cc", "util/rng.h")
 
 # TUs where unordered iteration is banned without justification.
 RESTRICTED_DIRS = ("/selection/", "/broker/")
-RESTRICTED_FILES = ("core/adaptive.cc", "core/shrinkage.cc")
+RESTRICTED_FILES = ("core/adaptive.cc", "core/shrinkage.cc",
+                    "core/live_metasearcher.cc", "corpus/churn.cc",
+                    "sampling/refresh_scheduler.cc")
 
 ESCAPE_HATCH = "ORDER-INDEPENDENT:"
 

@@ -182,6 +182,37 @@ expect_findings(
     ["range-for over unordered container"])
 
 expect_findings(
+    "sampling/refresh_scheduler.cc is restricted",
+    "fedsearch/sampling/refresh_scheduler.cc",
+    "std::unordered_map<size_t, double> drift_rate_;\n"
+    "size_t PickNext() {\n"
+    "  size_t best = 0;\n"
+    "  for (const auto& [db, rate] : drift_rate_) best = db;\n"
+    "  return best;\n"
+    "}\n",
+    ["range-for over unordered container"])
+
+expect_findings(
+    "corpus/churn.cc is restricted", "fedsearch/corpus/churn.cc",
+    "std::unordered_set<size_t> changed_;\n"
+    "void Emit() { for (size_t db : changed_) Publish(db); }\n",
+    ["range-for over unordered container"])
+
+expect_findings(
+    "core/live_metasearcher.cc is restricted",
+    "fedsearch/core/live_metasearcher.cc",
+    "std::unordered_map<size_t, int> pending_;\n"
+    "void Apply() { for (const auto& kv : pending_) Use(kv); }\n",
+    ["range-for over unordered container"])
+
+expect_findings(
+    "other sampling TUs may iterate unordered",
+    "fedsearch/sampling/qbs_sampler.cc",
+    "std::unordered_map<std::string, int> seen_;\n"
+    "void Dump() { for (const auto& kv : seen_) Use(kv); }\n",
+    [])
+
+expect_findings(
     "deref of unordered pointer is caught", "fedsearch/selection/deref.cc",
     "std::unordered_map<int, int>* live_ = nullptr;\n"
     "void Walk() { for (const auto& kv : *live_) Use(kv); }\n",
